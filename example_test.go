@@ -1,0 +1,82 @@
+package lapse_test
+
+import (
+	"fmt"
+
+	"lapse"
+)
+
+// ExampleCluster_Run shows the basic workflow: create a cluster, relocate a
+// parameter with Localize, and access it locally.
+func ExampleCluster_Run() {
+	cl, err := lapse.NewCluster(lapse.Config{
+		Nodes: 2, WorkersPerNode: 1, Keys: 8, ValueLength: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer cl.Close()
+
+	err = cl.Run(func(w *lapse.Worker) error {
+		if w.ID() != 0 {
+			return nil
+		}
+		key := []lapse.Key{7} // initially allocated on node 1
+		if err := w.Localize(key); err != nil {
+			return err
+		}
+		if err := w.Push(key, []float32{1.5, 2.5}); err != nil {
+			return err
+		}
+		buf := make([]float32, 2)
+		ok, err := w.PullIfLocal(key, buf)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("local=%v value=%v\n", ok, buf)
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output: local=true value=[1.5 2.5]
+}
+
+// ExampleWorker_LocalizeAsync shows latency hiding: relocation of the next
+// data point's parameters overlaps the current computation.
+func ExampleWorker_LocalizeAsync() {
+	cl, err := lapse.NewCluster(lapse.Config{
+		Nodes: 2, WorkersPerNode: 1, Keys: 100, ValueLength: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer cl.Close()
+
+	err = cl.Run(func(w *lapse.Worker) error {
+		if w.ID() != 0 {
+			return nil
+		}
+		buf := make([]float32, 1)
+		next := []lapse.Key{60}
+		pending := w.LocalizeAsync(next)
+		for step := 0; step < 3; step++ {
+			cur := next
+			curPending := pending
+			next = []lapse.Key{lapse.Key(61 + step)}
+			pending = w.LocalizeAsync(next) // prefetch while computing
+			if err := curPending.Wait(); err != nil {
+				return err
+			}
+			if err := w.Pull(cur, buf); err != nil { // local access
+				return err
+			}
+		}
+		fmt.Println("done")
+		return pending.Wait()
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output: done
+}

@@ -1,0 +1,97 @@
+// Command latencyhiding demonstrates the third PAL technique of the paper
+// (Section 2.2.3) on a word-vectors-style workload: workers pre-localize the
+// parameters of the *next* data point asynchronously while computing on the
+// current one, so the relocation latency overlaps computation, and use
+// PullIfLocal to skip negative samples that lost a localization conflict
+// (Appendix A).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"lapse"
+)
+
+const (
+	vocab     = 2000
+	steps     = 300
+	negatives = 3
+	dim       = 8
+)
+
+func main() {
+	cl, err := lapse.NewCluster(lapse.Config{
+		Nodes:          4,
+		WorkersPerNode: 2,
+		Keys:           vocab,
+		ValueLength:    dim,
+		Network:        lapse.DefaultNetwork(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	var conflictSkips atomic.Int64
+	err = cl.Run(func(w *lapse.Worker) error {
+		rng := rand.New(rand.NewSource(int64(w.ID())))
+		zipf := rand.NewZipf(rng, 1.3, 8, vocab-1)
+		sample := func() []lapse.Key {
+			ks := make([]lapse.Key, 0, 1+negatives)
+			ks = append(ks, lapse.Key(zipf.Uint64()))
+			for i := 0; i < negatives; i++ {
+				ks = append(ks, lapse.Key(rng.Intn(vocab)))
+			}
+			return ks
+		}
+		buf := make([]float32, dim)
+		update := make([]float32, dim)
+		next := sample()
+		w.LocalizeAsync(next) // pre-localize the first data point
+		for s := 0; s < steps; s++ {
+			cur := next
+			if s+1 < steps {
+				next = sample()
+				// Latency hiding: the relocation of the next data
+				// point's parameters overlaps this step's compute.
+				w.LocalizeAsync(next)
+			}
+			for i, k := range cur {
+				if i > 0 {
+					// Negative sample: use it only if it is local
+					// (localization conflicts are skipped).
+					if ok, err := w.PullIfLocal([]lapse.Key{k}, buf); err != nil {
+						return err
+					} else if !ok {
+						conflictSkips.Add(1)
+						continue
+					}
+				} else if err := w.Pull([]lapse.Key{k}, buf); err != nil {
+					return err
+				}
+				for d := range update {
+					update[d] = 0.01 * buf[d]
+				}
+				if err := w.Push([]lapse.Key{k}, update); err != nil {
+					return err
+				}
+			}
+			w.Compute(50 * time.Microsecond) // model the gradient computation
+		}
+		return w.WaitAll()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := cl.Stats()
+	total := st.LocalReads + st.RemoteReads
+	fmt.Printf("reads: %d total, %.1f%% local thanks to pre-localization\n",
+		total, 100*float64(st.LocalReads)/float64(total))
+	fmt.Printf("relocations: %d (mean relocation time %v), conflict skips: %d\n",
+		st.Relocations, st.MeanRelocationTime, conflictSkips.Load())
+}

@@ -1,0 +1,71 @@
+// Command quickstart demonstrates the Lapse public API: a 2-node simulated
+// cluster, cumulative pushes, pulls, and the localize primitive that
+// relocates parameters to the accessing node at runtime.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lapse"
+)
+
+func main() {
+	cl, err := lapse.NewCluster(lapse.Config{
+		Nodes:          2,
+		WorkersPerNode: 2,
+		Keys:           64,
+		ValueLength:    4,
+		Network:        lapse.DefaultNetwork(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Initialize every parameter to its key index.
+	cl.Init(func(k lapse.Key, v []float32) {
+		for i := range v {
+			v[i] = float32(k)
+		}
+	})
+
+	err = cl.Run(func(w *lapse.Worker) error {
+		// Each worker adopts a disjoint slice of the key space. The slice
+		// is deliberately chosen from the other node's half, so the
+		// Localize below actually relocates the parameters.
+		other := (w.ID() + 2) % 4
+		keys := []lapse.Key{
+			lapse.Key(other * 16),
+			lapse.Key(other*16 + 1),
+		}
+		// …relocates it to its own node (dynamic parameter allocation)…
+		if err := w.Localize(keys); err != nil {
+			return err
+		}
+		// …and from now on accesses it through shared memory.
+		buf := make([]float32, 8)
+		if err := w.Pull(keys, buf); err != nil {
+			return err
+		}
+		update := []float32{1, 1, 1, 1, 2, 2, 2, 2}
+		if err := w.Push(keys, update); err != nil {
+			return err
+		}
+		ok, err := w.PullIfLocal(keys, buf)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("worker %d on node %d: keys %v local=%v value[0]=%v\n",
+			w.ID(), w.Node(), keys, ok, buf[0])
+		w.Barrier()
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := cl.Stats()
+	fmt.Printf("stats: %d local reads, %d remote reads, %d relocations (mean %v)\n",
+		st.LocalReads, st.RemoteReads, st.Relocations, st.MeanRelocationTime)
+}

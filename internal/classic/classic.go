@@ -1,0 +1,428 @@
+// Package classic implements the classic parameter-server architecture
+// (Section 2.1 of the paper), modeled after PS-Lite: parameters are
+// statically allocated to servers by a partitioner, there is no replication,
+// and precisely one server handles all pulls and pushes for a parameter.
+//
+// Two variants are provided, matching the paper's experiments:
+//
+//   - Classic PS (PS-Lite): every parameter access — including access to
+//     parameters stored on the worker's own node — travels through the
+//     server's message path (the loopback link of the simulated network
+//     models PS-Lite's inter-process communication).
+//   - Classic PS with fast local access: identical static allocation, but
+//     workers access node-local parameters directly through shared memory,
+//     like Lapse does. This is the "Classic PS with fast local access (in
+//     Lapse)" baseline from Figures 1, 6, 7 and 8.
+//
+// Both variants provide per-key sequential consistency for synchronous and
+// asynchronous operations (Table 1): per-link FIFO delivery preserves each
+// worker's program order, and the single owning server serializes all
+// operations on a key.
+package classic
+
+import (
+	"fmt"
+	"sync"
+
+	"lapse/internal/cluster"
+	"lapse/internal/kv"
+	"lapse/internal/metrics"
+	"lapse/internal/msg"
+	"lapse/internal/partition"
+	"lapse/internal/store"
+)
+
+// Config parameterizes a classic parameter server.
+type Config struct {
+	// FastLocalAccess enables shared-memory access to node-local
+	// parameters instead of the loopback message path.
+	FastLocalAccess bool
+	// Partitioner assigns keys to server nodes. Defaults to range
+	// partitioning over the cluster's nodes.
+	Partitioner partition.Partitioner
+	// Latches is the size of each store's latch list (0 = default).
+	Latches int
+	// SparseStore selects the sparse map store instead of dense arrays.
+	SparseStore bool
+}
+
+// System is a classic parameter server running on a cluster: one server
+// (goroutine) per node plus client handles for worker threads.
+type System struct {
+	cl      *cluster.Cluster
+	layout  kv.Layout
+	cfg     Config
+	part    partition.Partitioner
+	servers []*server
+	stats   []*metrics.ServerStats
+	wg      sync.WaitGroup
+}
+
+type server struct {
+	sys     *System
+	node    int
+	store   store.Store
+	pending *pendingTable
+	stats   *metrics.ServerStats
+}
+
+// New creates a classic PS on cl and starts one server goroutine per node.
+// All parameters are zero-initialized at their assigned server.
+func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
+	if cfg.Partitioner == nil {
+		cfg.Partitioner = partition.NewRange(layout.NumKeys(), cl.Nodes())
+	}
+	s := &System{
+		cl:      cl,
+		layout:  layout,
+		cfg:     cfg,
+		part:    cfg.Partitioner,
+		servers: make([]*server, cl.Nodes()),
+		stats:   make([]*metrics.ServerStats, cl.Nodes()),
+	}
+	for n := 0; n < cl.Nodes(); n++ {
+		var st store.Store
+		if cfg.SparseStore {
+			st = store.NewSparse(layout, cfg.Latches)
+		} else {
+			st = store.NewDense(layout, cfg.Latches)
+		}
+		s.stats[n] = &metrics.ServerStats{}
+		s.servers[n] = &server{sys: s, node: n, store: st, pending: newPendingTable(), stats: s.stats[n]}
+	}
+	// Zero-initialize every key at its server.
+	for k := kv.Key(0); k < layout.NumKeys(); k++ {
+		n := s.part.NodeOf(k)
+		s.servers[n].store.Set(k, make([]float32, layout.Len(k)))
+	}
+	for n := 0; n < cl.Nodes(); n++ {
+		s.wg.Add(1)
+		go s.servers[n].loop()
+	}
+	return s
+}
+
+// Layout returns the parameter layout.
+func (s *System) Layout() kv.Layout { return s.layout }
+
+// Stats returns the per-node server statistics.
+func (s *System) Stats() []*metrics.ServerStats { return s.stats }
+
+// Init sets initial parameter values: fn fills the value of each key. It must
+// be called before training starts (it writes server stores directly).
+func (s *System) Init(fn func(k kv.Key, val []float32)) {
+	buf := make([]float32, 0)
+	for k := kv.Key(0); k < s.layout.NumKeys(); k++ {
+		l := s.layout.Len(k)
+		if cap(buf) < l {
+			buf = make([]float32, l)
+		}
+		v := buf[:l]
+		for i := range v {
+			v[i] = 0
+		}
+		fn(k, v)
+		s.servers[s.part.NodeOf(k)].store.Set(k, v)
+	}
+}
+
+// ReadParameter reads the current value of k directly from its server's
+// store, bypassing the network. Intended for evaluation/loss computation
+// after training rounds, not for worker use.
+func (s *System) ReadParameter(k kv.Key, dst []float32) {
+	s.servers[s.part.NodeOf(k)].store.Read(k, dst)
+}
+
+// Shutdown waits for server goroutines to exit. The cluster's network must be
+// closed first (cluster.Close), which drains and closes the inboxes.
+func (s *System) Shutdown() { s.wg.Wait() }
+
+// Handle returns a KV client for the given worker thread. Handles must not
+// be shared across goroutines.
+func (s *System) Handle(worker int) kv.KV {
+	node := s.cl.NodeOfWorker(worker)
+	return &handle{sys: s, srv: s.servers[node], node: node, worker: worker}
+}
+
+func (sv *server) loop() {
+	defer sv.sys.wg.Done()
+	for env := range sv.sys.cl.Net().Inbox(sv.node) {
+		switch m := env.Msg.(type) {
+		case *msg.Op:
+			sv.handleOp(m)
+		case *msg.OpResp:
+			sv.pending.complete(sv.sys.layout, m)
+		default:
+			panic(fmt.Sprintf("classic: unexpected message %T at node %d", env.Msg, sv.node))
+		}
+	}
+}
+
+func (sv *server) handleOp(m *msg.Op) {
+	switch m.Type {
+	case msg.OpPull:
+		vals := make([]float32, kv.BufferLen(sv.sys.layout, m.Keys))
+		off := 0
+		for _, k := range m.Keys {
+			l := sv.sys.layout.Len(k)
+			if !sv.store.Read(k, vals[off:off+l]) {
+				panic(fmt.Sprintf("classic: pull of key %d at node %d: not in store", k, sv.node))
+			}
+			off += l
+		}
+		resp := &msg.OpResp{Type: msg.OpPull, ID: m.ID, Responder: int32(sv.node), Keys: m.Keys, Vals: vals}
+		sv.sys.cl.Net().Send(sv.node, int(m.Origin), resp, msg.Size(resp))
+	case msg.OpPush:
+		off := 0
+		for _, k := range m.Keys {
+			l := sv.sys.layout.Len(k)
+			if !sv.store.Add(k, m.Vals[off:off+l]) {
+				panic(fmt.Sprintf("classic: push of key %d at node %d: not in store", k, sv.node))
+			}
+			off += l
+		}
+		resp := &msg.OpResp{Type: msg.OpPush, ID: m.ID, Responder: int32(sv.node), Keys: m.Keys}
+		sv.sys.cl.Net().Send(sv.node, int(m.Origin), resp, msg.Size(resp))
+	}
+}
+
+// pendingTable tracks outstanding operations issued by a node's workers.
+type pendingTable struct {
+	mu   sync.Mutex
+	next uint64
+	ops  map[uint64]*pendingOp
+}
+
+type pendingOp struct {
+	fut       *kv.Future
+	remaining int // number of keys still outstanding
+	dst       []float32
+	dstOff    map[kv.Key]int
+}
+
+func newPendingTable() *pendingTable {
+	return &pendingTable{ops: make(map[uint64]*pendingOp)}
+}
+
+// register allocates an operation slot expecting responses for nKeys keys.
+func (p *pendingTable) register(nKeys int, dst []float32, dstOff map[kv.Key]int) (uint64, *kv.Future) {
+	fut := kv.NewFuture()
+	p.mu.Lock()
+	p.next++
+	id := p.next
+	p.ops[id] = &pendingOp{fut: fut, remaining: nKeys, dst: dst, dstOff: dstOff}
+	p.mu.Unlock()
+	return id, fut
+}
+
+// complete applies a response, filling pull destinations and completing the
+// future when all keys have been answered.
+func (p *pendingTable) complete(layout kv.Layout, m *msg.OpResp) {
+	p.mu.Lock()
+	op, ok := p.ops[m.ID]
+	if !ok {
+		p.mu.Unlock()
+		panic(fmt.Sprintf("classic: response for unknown op %d", m.ID))
+	}
+	p.mu.Unlock()
+	// Fill the caller's buffer before accounting the keys as answered, so
+	// the future can only complete after all copies finished.
+	if m.Type == msg.OpPull && op.dst != nil {
+		src := 0
+		for _, k := range m.Keys {
+			l := layout.Len(k)
+			copy(op.dst[op.dstOff[k]:op.dstOff[k]+l], m.Vals[src:src+l])
+			src += l
+		}
+	}
+	p.mu.Lock()
+	op.remaining -= len(m.Keys)
+	done := op.remaining <= 0
+	if done {
+		delete(p.ops, m.ID)
+	}
+	p.mu.Unlock()
+	if done {
+		op.fut.Complete(nil)
+	}
+}
+
+// handle is the per-worker client.
+type handle struct {
+	sys         *System
+	srv         *server
+	node        int
+	worker      int
+	outstanding []*kv.Future
+}
+
+// NodeID implements kv.KV.
+func (h *handle) NodeID() int { return h.node }
+
+// WorkerID implements kv.KV.
+func (h *handle) WorkerID() int { return h.worker }
+
+// Barrier implements kv.KV.
+func (h *handle) Barrier() { h.sys.cl.Barrier().Wait() }
+
+// Clock implements kv.KV (no-op: classic PSs have no staleness clock).
+func (h *handle) Clock() {}
+
+// Localize implements kv.KV: classic PSs allocate statically.
+func (h *handle) Localize([]kv.Key) error { return kv.ErrUnsupported }
+
+// LocalizeAsync implements kv.KV.
+func (h *handle) LocalizeAsync([]kv.Key) *kv.Future {
+	return kv.CompletedFuture(kv.ErrUnsupported)
+}
+
+// Pull implements kv.KV.
+func (h *handle) Pull(keys []kv.Key, dst []float32) error {
+	return h.PullAsync(keys, dst).Wait()
+}
+
+// Push implements kv.KV.
+func (h *handle) Push(keys []kv.Key, vals []float32) error {
+	return h.PushAsync(keys, vals).Wait()
+}
+
+// PullAsync implements kv.KV.
+func (h *handle) PullAsync(keys []kv.Key, dst []float32) *kv.Future {
+	if want := kv.BufferLen(h.sys.layout, keys); len(dst) != want {
+		return kv.CompletedFuture(fmt.Errorf("classic: pull buffer has %d values, want %d", len(dst), want))
+	}
+	fut := h.dispatch(msg.OpPull, keys, nil, dst)
+	h.track(fut)
+	return fut
+}
+
+// PushAsync implements kv.KV.
+func (h *handle) PushAsync(keys []kv.Key, vals []float32) *kv.Future {
+	if want := kv.BufferLen(h.sys.layout, keys); len(vals) != want {
+		return kv.CompletedFuture(fmt.Errorf("classic: push buffer has %d values, want %d", len(vals), want))
+	}
+	fut := h.dispatch(msg.OpPush, keys, vals, nil)
+	h.track(fut)
+	return fut
+}
+
+// dispatch groups keys by server node, serves the local group through shared
+// memory when FastLocalAccess is on, and sends one message per remote group
+// (message grouping, Section 3.7).
+func (h *handle) dispatch(t msg.OpType, keys []kv.Key, vals []float32, dst []float32) *kv.Future {
+	if len(keys) == 0 {
+		return kv.CompletedFuture(nil)
+	}
+	layout := h.sys.layout
+	// Compute per-key offsets into the caller's buffer.
+	dstOff := make(map[kv.Key]int, len(keys))
+	off := 0
+	for _, k := range keys {
+		dstOff[k] = off
+		off += layout.Len(k)
+	}
+	// Group keys by target server.
+	groups := make(map[int][]kv.Key)
+	for _, k := range keys {
+		n := h.sys.part.NodeOf(k)
+		groups[n] = append(groups[n], k)
+	}
+	// Fast local path.
+	remoteKeys := len(keys)
+	if h.sys.cfg.FastLocalAccess {
+		if local, ok := groups[h.node]; ok {
+			delete(groups, h.node)
+			remoteKeys -= len(local)
+			for _, k := range local {
+				l := layout.Len(k)
+				switch t {
+				case msg.OpPull:
+					h.srv.store.Read(k, dst[dstOff[k]:dstOff[k]+l])
+					h.srv.stats.LocalReads.Inc()
+					h.srv.stats.ReadValues.Add(int64(l))
+				case msg.OpPush:
+					h.srv.store.Add(k, vals[dstOff[k]:dstOff[k]+l])
+					h.srv.stats.LocalWrites.Inc()
+				}
+			}
+		}
+	}
+	if remoteKeys == 0 {
+		return kv.CompletedFuture(nil)
+	}
+	id, fut := h.srv.pending.register(remoteKeys, dst, dstOff)
+	for n, gk := range groups {
+		var gv []float32
+		if t == msg.OpPush {
+			gv = make([]float32, 0, kv.BufferLen(layout, gk))
+			for _, k := range gk {
+				l := layout.Len(k)
+				gv = append(gv, vals[dstOff[k]:dstOff[k]+l]...)
+			}
+		}
+		countAccess(h.srv.stats, t, n == h.node, len(gk))
+		if t == msg.OpPull {
+			h.srv.stats.ReadValues.Add(int64(kv.BufferLen(layout, gk)))
+		}
+		op := &msg.Op{Type: t, ID: id, Origin: int32(h.node), Keys: gk, Vals: gv}
+		h.sys.cl.Net().Send(h.node, n, op, msg.Size(op))
+	}
+	return fut
+}
+
+// PullIfLocal implements kv.KV: succeeds only if every key is assigned to the
+// caller's node.
+func (h *handle) PullIfLocal(keys []kv.Key, dst []float32) (bool, error) {
+	for _, k := range keys {
+		if h.sys.part.NodeOf(k) != h.node {
+			return false, nil
+		}
+	}
+	return true, h.Pull(keys, dst)
+}
+
+// WaitAll implements kv.KV.
+func (h *handle) WaitAll() error {
+	var first error
+	for _, f := range h.outstanding {
+		if err := f.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	h.outstanding = h.outstanding[:0]
+	return first
+}
+
+func (h *handle) track(f *kv.Future) {
+	if done, _ := f.TryWait(); done {
+		return
+	}
+	h.outstanding = append(h.outstanding, f)
+	if len(h.outstanding) > 4096 {
+		kept := h.outstanding[:0]
+		for _, f := range h.outstanding {
+			if done, _ := f.TryWait(); !done {
+				kept = append(kept, f)
+			}
+		}
+		h.outstanding = kept
+	}
+}
+
+// countAccess attributes an access to the local/remote read/write counters.
+// "Local" means the parameter resides on the accessing worker's node, whether
+// or not the access used the shared-memory fast path.
+func countAccess(s *metrics.ServerStats, t msg.OpType, local bool, n int) {
+	switch {
+	case t == msg.OpPull && local:
+		s.LocalReads.Add(int64(n))
+	case t == msg.OpPull:
+		s.RemoteReads.Add(int64(n))
+	case local:
+		s.LocalWrites.Add(int64(n))
+	default:
+		s.RemoteWrites.Add(int64(n))
+	}
+}
+
+var _ kv.KV = (*handle)(nil)

@@ -1,0 +1,135 @@
+// Package cluster provides the simulated multi-node runtime shared by all
+// parameter-server variants: node/worker topology (Figure 2 of the paper:
+// one server thread plus several worker threads co-located per node), worker
+// spawning, and a cluster-wide barrier.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lapse/internal/simnet"
+)
+
+// Config describes cluster topology and network behaviour.
+type Config struct {
+	// Nodes is the number of simulated machines.
+	Nodes int
+	// WorkersPerNode is the number of worker threads per node (the paper
+	// uses 4 in all experiments, plus 1 server thread).
+	WorkersPerNode int
+	// Net configures the simulated network. Its Nodes field is overwritten
+	// with Config.Nodes.
+	Net simnet.Config
+}
+
+// Cluster is a running simulated cluster: a network plus topology metadata.
+type Cluster struct {
+	cfg     Config
+	net     *simnet.Network
+	barrier *Barrier
+}
+
+// New starts a cluster. Call Close when done.
+func New(cfg Config) *Cluster {
+	if cfg.Nodes <= 0 || cfg.WorkersPerNode <= 0 {
+		panic(fmt.Sprintf("cluster: invalid topology %d×%d", cfg.Nodes, cfg.WorkersPerNode))
+	}
+	cfg.Net.Nodes = cfg.Nodes
+	return &Cluster{
+		cfg:     cfg,
+		net:     simnet.New(cfg.Net),
+		barrier: NewBarrier(cfg.Nodes * cfg.WorkersPerNode),
+	}
+}
+
+// Nodes returns the node count.
+func (c *Cluster) Nodes() int { return c.cfg.Nodes }
+
+// WorkersPerNode returns the per-node worker-thread count.
+func (c *Cluster) WorkersPerNode() int { return c.cfg.WorkersPerNode }
+
+// TotalWorkers returns Nodes × WorkersPerNode.
+func (c *Cluster) TotalWorkers() int { return c.cfg.Nodes * c.cfg.WorkersPerNode }
+
+// Net returns the simulated network.
+func (c *Cluster) Net() *simnet.Network { return c.net }
+
+// Barrier returns the cluster-wide worker barrier.
+func (c *Cluster) Barrier() *Barrier { return c.barrier }
+
+// NodeOfWorker maps a global worker index to its node.
+func (c *Cluster) NodeOfWorker(worker int) int { return worker / c.cfg.WorkersPerNode }
+
+// LocalWorker maps a global worker index to its index within its node.
+func (c *Cluster) LocalWorker(worker int) int { return worker % c.cfg.WorkersPerNode }
+
+// GlobalWorker maps (node, localWorker) to the global worker index.
+func (c *Cluster) GlobalWorker(node, localWorker int) int {
+	return node*c.cfg.WorkersPerNode + localWorker
+}
+
+// RunWorkers spawns one goroutine per worker thread running fn(node, worker)
+// (worker is the global index) and waits for all of them to return.
+func (c *Cluster) RunWorkers(fn func(node, worker int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < c.TotalWorkers(); w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fn(c.NodeOfWorker(w), w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Compute models d of worker computation by sleeping precisely through the
+// network's central scheduler. Sleeping workers release the CPU, so the
+// computation of many simulated workers overlaps in wall-clock time
+// regardless of how many host cores exist — this is what makes distributed
+// compute speedups observable in the simulation. With timing disabled
+// (zero-latency test networks), Compute returns immediately.
+func (c *Cluster) Compute(d time.Duration) { c.net.Sleep(d) }
+
+// Close shuts down the network. All server loops reading from inboxes observe
+// channel close after in-flight messages drain.
+func (c *Cluster) Close() { c.net.Close() }
+
+// Barrier is a reusable cluster-wide barrier for worker threads. The paper's
+// algorithms use "a global barrier after each subepoch"; in the real system
+// this is a small coordinator round-trip whose cost (a handful of messages
+// per epoch) is negligible next to parameter traffic, so the simulation uses
+// an in-process barrier.
+type Barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	total int
+	count int
+	gen   uint64
+}
+
+// NewBarrier returns a barrier for total participants.
+func NewBarrier(total int) *Barrier {
+	b := &Barrier{total: total}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all participants have called Wait, then releases them.
+// The barrier is reusable.
+func (b *Barrier) Wait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	b.count++
+	if b.count == b.total {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+}

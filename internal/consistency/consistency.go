@@ -1,0 +1,238 @@
+// Package consistency provides execution-history recording and checkers for
+// the per-key consistency guarantees of Table 1 in the paper: eventual
+// consistency, the client-centric guarantees (read your writes, monotonic
+// reads), and per-key sequential consistency.
+//
+// Parameter servers with cumulative pushes admit a compact checkable model:
+// a history is, per key, one totally ordered operation sequence per worker
+// (program order), where each push carries its update term and each pull the
+// value it observed. Sequential consistency (Lamport) holds iff the workers'
+// sequences can be interleaved into one total order in which every pull
+// observes exactly the sum of the pushes ordered before it. CheckSequential
+// decides this by memoized search; the client-centric checkers verify the
+// necessary conditions they are named after under the documented
+// preconditions.
+package consistency
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"lapse/internal/kv"
+)
+
+// OpType distinguishes pushes from pulls in a recorded history.
+type OpType int
+
+// Operation types.
+const (
+	Push OpType = iota
+	Pull
+)
+
+// Op is one recorded operation of one worker on one key.
+type Op struct {
+	Type OpType
+	Key  kv.Key
+	// Value is the update term for pushes and the observed value for
+	// pulls.
+	Value float64
+}
+
+// History holds, for each worker, its operations in program order.
+type History struct {
+	Workers [][]Op
+}
+
+// PerKey splits the history into per-key histories, preserving each worker's
+// program order.
+func (h History) PerKey() map[kv.Key]History {
+	out := make(map[kv.Key]History)
+	for w, ops := range h.Workers {
+		for _, op := range ops {
+			kh, ok := out[op.Key]
+			if !ok {
+				kh = History{Workers: make([][]Op, len(h.Workers))}
+			}
+			kh.Workers[w] = append(kh.Workers[w], op)
+			out[op.Key] = kh
+		}
+	}
+	return out
+}
+
+// Recorder collects operations from concurrent workers. Each worker must
+// record only its own operations (per-worker slices are lock-free; the
+// recorder only needs the worker count up front).
+type Recorder struct {
+	mu      sync.Mutex
+	workers [][]Op
+}
+
+// NewRecorder returns a recorder for workers workers.
+func NewRecorder(workers int) *Recorder {
+	return &Recorder{workers: make([][]Op, workers)}
+}
+
+// Push records a cumulative update by worker.
+func (r *Recorder) Push(worker int, k kv.Key, delta float64) {
+	r.mu.Lock()
+	r.workers[worker] = append(r.workers[worker], Op{Type: Push, Key: k, Value: delta})
+	r.mu.Unlock()
+}
+
+// Pull records an observed read by worker.
+func (r *Recorder) Pull(worker int, k kv.Key, observed float64) {
+	r.mu.Lock()
+	r.workers[worker] = append(r.workers[worker], Op{Type: Pull, Key: k, Value: observed})
+	r.mu.Unlock()
+}
+
+// History returns the recorded history.
+func (r *Recorder) History() History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := History{Workers: make([][]Op, len(r.workers))}
+	for w := range r.workers {
+		out.Workers[w] = append([]Op(nil), r.workers[w]...)
+	}
+	return out
+}
+
+const eps = 1e-6
+
+// CheckEventual verifies eventual consistency for one key: the final value
+// equals the sum of all recorded pushes.
+func CheckEventual(h History, k kv.Key, final float64) error {
+	var sum float64
+	for _, ops := range h.Workers {
+		for _, op := range ops {
+			if op.Key == k && op.Type == Push {
+				sum += op.Value
+			}
+		}
+	}
+	if math.Abs(sum-final) > eps {
+		return fmt.Errorf("consistency: key %d: final value %v != sum of pushes %v", k, final, sum)
+	}
+	return nil
+}
+
+// CheckReadYourWrites verifies the read-your-writes session guarantee per
+// worker and key. Precondition: all pushes in the history are non-negative
+// (then every pull must observe at least the worker's own preceding pushes).
+func CheckReadYourWrites(h History) error {
+	for w, ops := range h.Workers {
+		own := make(map[kv.Key]float64)
+		for i, op := range ops {
+			switch op.Type {
+			case Push:
+				if op.Value < 0 {
+					return fmt.Errorf("consistency: CheckReadYourWrites requires non-negative pushes (worker %d op %d)", w, i)
+				}
+				own[op.Key] += op.Value
+			case Pull:
+				if op.Value < own[op.Key]-eps {
+					return fmt.Errorf("consistency: worker %d op %d: read %v of key %d misses own writes (>= %v expected)",
+						w, i, op.Value, op.Key, own[op.Key])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckMonotonicReads verifies the monotonic-reads session guarantee per
+// worker and key. Precondition: all pushes are non-negative (values only
+// grow, so successive reads must not decrease).
+func CheckMonotonicReads(h History) error {
+	for w, ops := range h.Workers {
+		last := make(map[kv.Key]float64)
+		for i, op := range ops {
+			switch op.Type {
+			case Push:
+				if op.Value < 0 {
+					return fmt.Errorf("consistency: CheckMonotonicReads requires non-negative pushes (worker %d op %d)", w, i)
+				}
+			case Pull:
+				if prev, ok := last[op.Key]; ok && op.Value < prev-eps {
+					return fmt.Errorf("consistency: worker %d op %d: read of key %d regressed from %v to %v",
+						w, i, op.Key, prev, op.Value)
+				}
+				last[op.Key] = op.Value
+			}
+		}
+	}
+	return nil
+}
+
+// CheckSequential verifies per-key sequential consistency: for every key, the
+// workers' operation sequences must admit an interleaving in which each pull
+// observes the sum of preceding pushes. The search is exponential in the
+// worst case but memoization keeps small histories (tens of ops per worker)
+// fast; it is intended for protocol tests, not production traces.
+func CheckSequential(h History) error {
+	for k, kh := range h.PerKey() {
+		if !sequentialFeasible(kh) {
+			return fmt.Errorf("consistency: key %d: no sequentially consistent interleaving exists", k)
+		}
+	}
+	return nil
+}
+
+// sequentialFeasible searches for a valid interleaving of one key's history.
+func sequentialFeasible(h History) bool {
+	n := len(h.Workers)
+	idx := make([]int, n)
+	total := 0
+	for _, ops := range h.Workers {
+		total += len(ops)
+	}
+	// Memoize on index vectors: the running value is determined by the
+	// consumed pushes, so the index vector is the full state.
+	seen := make(map[string]bool)
+	keyOf := func(idx []int) string {
+		b := make([]byte, 0, n*3)
+		for _, i := range idx {
+			b = append(b, byte(i), byte(i>>8), ',')
+		}
+		return string(b)
+	}
+	var dfs func(done int, value float64) bool
+	dfs = func(done int, value float64) bool {
+		if done == total {
+			return true
+		}
+		key := keyOf(idx)
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+		for w := 0; w < n; w++ {
+			i := idx[w]
+			if i >= len(h.Workers[w]) {
+				continue
+			}
+			op := h.Workers[w][i]
+			switch op.Type {
+			case Push:
+				idx[w]++
+				if dfs(done+1, value+op.Value) {
+					return true
+				}
+				idx[w]--
+			case Pull:
+				if math.Abs(op.Value-value) <= eps {
+					idx[w]++
+					if dfs(done+1, value) {
+						return true
+					}
+					idx[w]--
+				}
+			}
+		}
+		return false
+	}
+	return dfs(0, 0)
+}

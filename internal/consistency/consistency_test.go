@@ -1,0 +1,157 @@
+package consistency
+
+import (
+	"testing"
+
+	"lapse/internal/kv"
+)
+
+func TestCheckEventual(t *testing.T) {
+	r := NewRecorder(2)
+	r.Push(0, 1, 2)
+	r.Push(1, 1, 3)
+	r.Push(0, 2, 7)
+	h := r.History()
+	if err := CheckEventual(h, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckEventual(h, 2, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckEventual(h, 1, 6); err == nil {
+		t.Fatal("wrong final value accepted")
+	}
+}
+
+func TestCheckReadYourWrites(t *testing.T) {
+	ok := History{Workers: [][]Op{
+		{{Push, 1, 1}, {Pull, 1, 1}, {Push, 1, 1}, {Pull, 1, 5}},
+	}}
+	if err := CheckReadYourWrites(ok); err != nil {
+		t.Fatal(err)
+	}
+	bad := History{Workers: [][]Op{
+		{{Push, 1, 1}, {Push, 1, 1}, {Pull, 1, 1}}, // missed own 2nd write
+	}}
+	if err := CheckReadYourWrites(bad); err == nil {
+		t.Fatal("RYW violation not detected")
+	}
+}
+
+func TestCheckMonotonicReads(t *testing.T) {
+	ok := History{Workers: [][]Op{
+		{{Pull, 1, 3}, {Pull, 1, 3}, {Pull, 1, 8}},
+	}}
+	if err := CheckMonotonicReads(ok); err != nil {
+		t.Fatal(err)
+	}
+	bad := History{Workers: [][]Op{
+		{{Pull, 1, 3}, {Pull, 1, 2}},
+	}}
+	if err := CheckMonotonicReads(bad); err == nil {
+		t.Fatal("monotonic-reads violation not detected")
+	}
+}
+
+func TestCheckSequentialSimple(t *testing.T) {
+	// Two workers increment; a third observes 0 then 2: valid (reads can
+	// be ordered around the pushes).
+	ok := History{Workers: [][]Op{
+		{{Push, 1, 1}},
+		{{Push, 1, 1}},
+		{{Pull, 1, 0}, {Pull, 1, 2}},
+	}}
+	if err := CheckSequential(ok); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckSequentialDetectsRegression(t *testing.T) {
+	// A worker that reads 2 then 1 cannot be sequential with cumulative
+	// non-negative pushes.
+	bad := History{Workers: [][]Op{
+		{{Push, 1, 1}, {Push, 1, 1}},
+		{{Pull, 1, 2}, {Pull, 1, 1}},
+	}}
+	if err := CheckSequential(bad); err == nil {
+		t.Fatal("regressing reads accepted as sequential")
+	}
+}
+
+func TestCheckSequentialDetectsLostProgramOrder(t *testing.T) {
+	// Worker 0 pushes +1 then reads 0: its own program order forbids it.
+	bad := History{Workers: [][]Op{
+		{{Push, 1, 1}, {Pull, 1, 0}},
+	}}
+	if err := CheckSequential(bad); err == nil {
+		t.Fatal("read ignoring own earlier push accepted")
+	}
+}
+
+func TestCheckSequentialReordersAcrossWorkers(t *testing.T) {
+	// The Theorem 3 shape: worker 0's two pushes are observed by worker 1
+	// in an impossible order given worker 0's program order. Worker 0
+	// pushes +1 then +10; worker 1 reads 10 (second push only): no
+	// interleaving yields exactly 10.
+	bad := History{Workers: [][]Op{
+		{{Push, 1, 1}, {Push, 1, 10}},
+		{{Pull, 1, 10}},
+	}}
+	if err := CheckSequential(bad); err == nil {
+		t.Fatal("out-of-program-order application accepted")
+	}
+	// Whereas observing 0, 1 or 11 is fine.
+	for _, v := range []float64{0, 1, 11} {
+		ok := History{Workers: [][]Op{
+			{{Push, 1, 1}, {Push, 1, 10}},
+			{{Pull, 1, v}},
+		}}
+		if err := CheckSequential(ok); err != nil {
+			t.Fatalf("valid observation %v rejected: %v", v, err)
+		}
+	}
+}
+
+func TestCheckSequentialMultiKeyIndependent(t *testing.T) {
+	// Sequential consistency is per key: cross-key anomalies are allowed
+	// (PSs give no guarantees across keys).
+	h := History{Workers: [][]Op{
+		{{Push, 1, 1}, {Push, 2, 1}},
+		{{Pull, 2, 1}, {Pull, 1, 0}}, // sees key 2's write but not key 1's
+	}}
+	if err := CheckSequential(h); err != nil {
+		t.Fatalf("per-key independent history rejected: %v", err)
+	}
+}
+
+func TestCheckSequentialLargerHistory(t *testing.T) {
+	// 4 workers × 6 ops with a consistent witness order.
+	h := History{Workers: make([][]Op, 4)}
+	for w := 0; w < 4; w++ {
+		for i := 0; i < 6; i++ {
+			h.Workers[w] = append(h.Workers[w], Op{Push, 3, 1})
+		}
+	}
+	// One observer that saw intermediate sums.
+	h.Workers[0] = append(h.Workers[0], Op{Pull, 3, 24})
+	if err := CheckSequential(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerKeySplit(t *testing.T) {
+	r := NewRecorder(2)
+	r.Push(0, 1, 1)
+	r.Push(0, 2, 2)
+	r.Pull(1, 1, 1)
+	per := r.History().PerKey()
+	if len(per) != 2 {
+		t.Fatalf("PerKey split into %d keys, want 2", len(per))
+	}
+	if len(per[1].Workers[0]) != 1 || len(per[1].Workers[1]) != 1 {
+		t.Fatalf("key 1 history wrong: %+v", per[kv.Key(1)])
+	}
+	if len(per[2].Workers[0]) != 1 || len(per[2].Workers[1]) != 0 {
+		t.Fatalf("key 2 history wrong: %+v", per[kv.Key(2)])
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"lapse/internal/cluster"
+	"lapse/internal/kv"
+	"lapse/internal/simnet"
+)
+
+// TestChainedRelocation forces the instruct-overtakes-transfer case: node 2
+// localizes a key while its transfer to node 0 is still in flight, so the
+// instruct is queued at node 0 and the key chains onward when it arrives.
+func TestChainedRelocation(t *testing.T) {
+	cl := cluster.New(cluster.Config{
+		Nodes: 3, WorkersPerNode: 1,
+		Net: simnet.Config{Latency: 3 * time.Millisecond, LoopbackLatency: 50 * time.Microsecond},
+	})
+	sys := New(cl, kv.NewUniformLayout(9, 1), Config{})
+	defer func() { cl.Close(); sys.Shutdown() }()
+
+	k := []kv.Key{4} // homed at node 1
+	h0, h2 := sys.Handle(0), sys.Handle(2)
+	if err := h2.Push(k, []float32{11}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Node 0 and node 2 localize nearly simultaneously; the home node
+	// serializes them, and the loser's transfer chains through the winner.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); h0.Localize(k) }()
+	go func() { defer wg.Done(); h2.Localize(k) }()
+	wg.Wait()
+
+	// Whoever owns it now, the value must be intact and reachable.
+	buf := make([]float32, 1)
+	if err := h0.Pull(k, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 11 {
+		t.Fatalf("value after chained relocations = %v, want 11", buf[0])
+	}
+	owner := sys.OwnerOf(k[0])
+	if owner != 0 && owner != 2 {
+		t.Fatalf("owner = %d, want 0 or 2", owner)
+	}
+	// Both relocations were fulfilled.
+	var reloc int64
+	for _, st := range sys.Stats() {
+		reloc += st.Relocations.Load()
+	}
+	if reloc < 2 {
+		t.Fatalf("relocations = %d, want >= 2", reloc)
+	}
+}
+
+// TestQueuedOpsBehindChainedInstructRerouted verifies that local operations
+// queued behind a chained-away key are re-issued through the home node and
+// still complete with correct values.
+func TestQueuedOpsBehindChainedInstructRerouted(t *testing.T) {
+	cl := cluster.New(cluster.Config{
+		Nodes: 3, WorkersPerNode: 2,
+		Net: simnet.Config{Latency: 2 * time.Millisecond, LoopbackLatency: 50 * time.Microsecond},
+	})
+	sys := New(cl, kv.NewUniformLayout(9, 1), Config{})
+	defer func() { cl.Close(); sys.Shutdown() }()
+
+	k := []kv.Key{4}
+	h0 := sys.Handle(0)
+	h2 := sys.Handle(4) // node 2 worker
+
+	// Node 0 localizes; immediately queue a push and a pull locally.
+	loc := h0.LocalizeAsync(k)
+	pushDone := h0.PushAsync(k, []float32{5})
+	// Node 2 steals the key concurrently; depending on timing the
+	// queued ops drain before the chain or get re-routed.
+	if err := h2.Localize(k); err != nil {
+		t.Fatal(err)
+	}
+	if err := loc.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pushDone.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float32, 1)
+	if err := h0.Pull(k, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 5 {
+		t.Fatalf("value = %v, want 5 (queued push must not be lost)", buf[0])
+	}
+}
+
+// TestManyKeysHeterogeneousLayout exercises Lapse under a RangeLayout with
+// very different value sizes per range (the RESCAL shape).
+func TestManyKeysHeterogeneousLayout(t *testing.T) {
+	layout := kv.NewRangeLayout([]kv.Key{12, 4}, []int{2, 9})
+	cl := cluster.New(cluster.Config{Nodes: 2, WorkersPerNode: 2})
+	sys := New(cl, layout, Config{})
+	defer func() { cl.Close(); sys.Shutdown() }()
+
+	cl.RunWorkers(func(node, worker int) {
+		h := sys.Handle(worker)
+		keys := []kv.Key{kv.Key(worker), kv.Key(12 + worker)}
+		vals := make([]float32, 2+9)
+		for i := range vals {
+			vals[i] = float32(worker + 1)
+		}
+		if err := h.Localize(keys); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := h.Push(keys, vals); err != nil {
+			t.Error(err)
+			return
+		}
+		got := make([]float32, 11)
+		if err := h.Pull(keys, got); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := range got {
+			if got[i] != float32(worker+1) {
+				t.Errorf("worker %d: got[%d] = %v", worker, i, got[i])
+				return
+			}
+		}
+	})
+}
+
+// TestComputeOverlap checks that cluster.Compute sleeps overlap across
+// workers: 4 workers sleeping 20ms each in parallel must finish in far less
+// than 80ms.
+func TestComputeOverlap(t *testing.T) {
+	cl := cluster.New(cluster.Config{
+		Nodes: 2, WorkersPerNode: 2,
+		Net: simnet.Config{Latency: time.Millisecond},
+	})
+	defer cl.Close()
+	start := time.Now()
+	cl.RunWorkers(func(node, worker int) {
+		cl.Compute(20 * time.Millisecond)
+	})
+	got := time.Since(start)
+	if got > 60*time.Millisecond {
+		t.Fatalf("4 overlapping 20ms computes took %v", got)
+	}
+	if got < 18*time.Millisecond {
+		t.Fatalf("compute returned too early: %v", got)
+	}
+}

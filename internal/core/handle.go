@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+
+	"lapse/internal/kv"
+	"lapse/internal/msg"
+)
+
+// handle is the per-worker-thread Lapse client. It implements the full API of
+// Table 2: pull, push, and localize, each synchronous and asynchronous, plus
+// PullIfLocal used by latency-hiding applications.
+type handle struct {
+	sys         *System
+	srv         *server
+	node        int
+	worker      int
+	outstanding []*kv.Future
+}
+
+// NodeID implements kv.KV.
+func (h *handle) NodeID() int { return h.node }
+
+// WorkerID implements kv.KV.
+func (h *handle) WorkerID() int { return h.worker }
+
+// Barrier implements kv.KV.
+func (h *handle) Barrier() { h.sys.cl.Barrier().Wait() }
+
+// Clock implements kv.KV (no-op: Lapse has no staleness clock).
+func (h *handle) Clock() {}
+
+// Pull implements kv.KV.
+func (h *handle) Pull(keys []kv.Key, dst []float32) error {
+	return h.PullAsync(keys, dst).Wait()
+}
+
+// Push implements kv.KV.
+func (h *handle) Push(keys []kv.Key, vals []float32) error {
+	return h.PushAsync(keys, vals).Wait()
+}
+
+// Localize implements kv.KV.
+func (h *handle) Localize(keys []kv.Key) error {
+	return h.LocalizeAsync(keys).Wait()
+}
+
+// PullAsync implements kv.KV.
+func (h *handle) PullAsync(keys []kv.Key, dst []float32) *kv.Future {
+	if want := kv.BufferLen(h.sys.layout, keys); len(dst) != want {
+		return kv.CompletedFuture(fmt.Errorf("core: pull buffer has %d values, want %d", len(dst), want))
+	}
+	f := h.dispatch(msg.OpPull, keys, nil, dst)
+	h.track(f)
+	return f
+}
+
+// PushAsync implements kv.KV.
+func (h *handle) PushAsync(keys []kv.Key, vals []float32) *kv.Future {
+	if want := kv.BufferLen(h.sys.layout, keys); len(vals) != want {
+		return kv.CompletedFuture(fmt.Errorf("core: push buffer has %d values, want %d", len(vals), want))
+	}
+	f := h.dispatch(msg.OpPush, keys, vals, nil)
+	h.track(f)
+	return f
+}
+
+// routeDest identifies a network destination for a key group: the home node
+// (ViaCache false) or a cached owner (ViaCache true).
+type routeDest struct {
+	node     int
+	viaCache bool
+}
+
+// dispatch serves each key through the fastest admissible path: shared-memory
+// access for owned keys, the relocation queue for keys currently arriving at
+// this node, and the network (home-routed, or cache-direct when location
+// caches are on) for everything else. Remote keys are grouped per destination
+// (message grouping, Section 3.7).
+//
+// The pending-op slot is registered for all keys up front and the keys served
+// by the fast path are immediately accounted as done; this way queued entries
+// always carry a valid op ID even if the server drains them concurrently.
+func (h *handle) dispatch(t msg.OpType, keys []kv.Key, vals []float32, dst []float32) *kv.Future {
+	if len(keys) == 0 {
+		return kv.CompletedFuture(nil)
+	}
+	layout := h.sys.layout
+	dstOff := make(map[kv.Key]int, len(keys))
+	off := 0
+	for _, k := range keys {
+		dstOff[k] = off
+		off += layout.Len(k)
+	}
+	id, fut := h.srv.pending.registerOp(len(keys), dst, dstOff)
+
+	var groups map[routeDest][]kv.Key
+	fastDone := 0
+	for _, k := range keys {
+		l := layout.Len(k)
+		var kdst, kvals []float32
+		if t == msg.OpPull {
+			kdst = dst[dstOff[k] : dstOff[k]+l]
+		} else {
+			kvals = vals[dstOff[k] : dstOff[k]+l]
+		}
+		if h.tryFast(t, k, kdst, kvals) {
+			fastDone++
+			continue
+		}
+		dest, enqueued := h.slowRoute(t, id, k, kdst, kvals)
+		if enqueued {
+			continue
+		}
+		if groups == nil {
+			groups = make(map[routeDest][]kv.Key)
+		}
+		groups[dest] = append(groups[dest], k)
+		if t == msg.OpPull {
+			h.srv.stats.RemoteReads.Inc()
+			h.srv.stats.ReadValues.Add(int64(l))
+		} else {
+			h.srv.stats.RemoteWrites.Inc()
+		}
+	}
+	for dest, gk := range groups {
+		var gv []float32
+		if t == msg.OpPush {
+			gv = make([]float32, 0, kv.BufferLen(layout, gk))
+			for _, k := range gk {
+				l := layout.Len(k)
+				gv = append(gv, vals[dstOff[k]:dstOff[k]+l]...)
+			}
+		}
+		op := &msg.Op{Type: t, ID: id, Origin: int32(h.node), ViaCache: dest.viaCache, Keys: gk, Vals: gv}
+		h.srv.sendFromWorker(dest.node, op)
+	}
+	if fastDone > 0 {
+		h.srv.pending.finishKeys(id, fastDone)
+	}
+	return fut
+}
+
+// tryFast attempts the shared-memory fast path: allowed only for keys in
+// Owned state. Keys whose relocation queue is still draining must not be
+// served here — that would jump the queue and break the worker's program
+// order — which the Owned gate guarantees, because the state only flips to
+// Owned after the drain completes.
+func (h *handle) tryFast(t msg.OpType, k kv.Key, dst, vals []float32) bool {
+	if h.srv.state[k].Load() != stateOwned {
+		return false
+	}
+	switch t {
+	case msg.OpPull:
+		if !h.srv.store.Read(k, dst) {
+			return false // lost the race against a transfer-out
+		}
+		h.srv.stats.LocalReads.Inc()
+		h.srv.stats.ReadValues.Add(int64(len(dst)))
+		return true
+	default:
+		if !h.srv.store.Add(k, vals) {
+			return false
+		}
+		h.srv.stats.LocalWrites.Inc()
+		return true
+	}
+}
+
+// slowRoute handles a key that is not locally accessible: it appends the
+// operation to the key's relocation queue if the key is arriving at this node
+// (enqueued=true), and otherwise returns the network destination — the cached
+// owner on a location-cache hit, the home node otherwise.
+func (h *handle) slowRoute(t msg.OpType, id uint64, k kv.Key, dst, vals []float32) (routeDest, bool) {
+	h.srv.queueMu.Lock()
+	if q, ok := h.srv.queues[k]; ok {
+		q.entries = append(q.entries, queueEntry{local: &localOp{t: t, id: id, k: k, dst: dst, vals: vals}})
+		h.srv.queueMu.Unlock()
+		h.srv.stats.QueuedOps.Inc()
+		return routeDest{}, true
+	}
+	h.srv.queueMu.Unlock()
+	if h.srv.cache != nil {
+		if c := h.srv.cache[k].Load(); c >= 0 && int(c) != h.node {
+			h.srv.stats.CacheHits.Inc()
+			return routeDest{node: int(c), viaCache: true}, false
+		}
+		h.srv.stats.CacheMisses.Inc()
+	}
+	return routeDest{node: h.sys.home.NodeOf(k)}, false
+}
+
+// PullIfLocal implements kv.KV: it reads the keys only if all of them are
+// currently owned by this node, without any network communication. On false,
+// dst may be partially written.
+func (h *handle) PullIfLocal(keys []kv.Key, dst []float32) (bool, error) {
+	if want := kv.BufferLen(h.sys.layout, keys); len(dst) != want {
+		return false, fmt.Errorf("core: pull buffer has %d values, want %d", len(dst), want)
+	}
+	off := 0
+	for _, k := range keys {
+		l := h.sys.layout.Len(k)
+		if !h.tryFast(msg.OpPull, k, dst[off:off+l], nil) {
+			return false, nil
+		}
+		off += l
+	}
+	return true, nil
+}
+
+// LocalizeAsync implements kv.KV: it requests relocation of all non-local
+// keys to this node and returns a future that completes when every key has
+// arrived (Section 3.2). Keys already relocating here (requested by a
+// co-located worker) are waited on without sending additional messages.
+func (h *handle) LocalizeAsync(keys []kv.Key) *kv.Future {
+	if len(keys) == 0 {
+		return kv.CompletedFuture(nil)
+	}
+	var sendKeys, waitKeys []kv.Key
+	h.srv.queueMu.Lock()
+	for _, k := range keys {
+		switch h.srv.state[k].Load() {
+		case stateOwned:
+			continue // already local
+		case stateIncoming:
+			waitKeys = append(waitKeys, k)
+		default:
+			h.srv.state[k].Store(stateIncoming)
+			h.srv.queues[k] = &keyQueue{}
+			sendKeys = append(sendKeys, k)
+		}
+	}
+	total := len(sendKeys) + len(waitKeys)
+	if total == 0 {
+		h.srv.queueMu.Unlock()
+		return kv.CompletedFuture(nil)
+	}
+	id, fut := h.srv.pending.registerLocalize(total, len(sendKeys) > 0)
+	for _, k := range sendKeys {
+		h.srv.pending.addWaiter(k, id)
+	}
+	for _, k := range waitKeys {
+		h.srv.pending.addWaiter(k, id)
+	}
+	h.srv.queueMu.Unlock()
+
+	if len(sendKeys) > 0 {
+		groups := make(map[int][]kv.Key)
+		for _, k := range sendKeys {
+			home := h.sys.home.NodeOf(k)
+			groups[home] = append(groups[home], k)
+		}
+		for home, gk := range groups {
+			m := &msg.Localize{ID: id, Origin: int32(h.node), Keys: gk}
+			h.srv.sendFromWorker(home, m)
+		}
+	}
+	h.track(fut)
+	return fut
+}
+
+// WaitAll implements kv.KV.
+func (h *handle) WaitAll() error {
+	var first error
+	for _, f := range h.outstanding {
+		if err := f.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	h.outstanding = h.outstanding[:0]
+	return first
+}
+
+func (h *handle) track(f *kv.Future) {
+	if done, _ := f.TryWait(); done {
+		return
+	}
+	h.outstanding = append(h.outstanding, f)
+	if len(h.outstanding) > 4096 {
+		kept := h.outstanding[:0]
+		for _, f := range h.outstanding {
+			if done, _ := f.TryWait(); !done {
+				kept = append(kept, f)
+			}
+		}
+		h.outstanding = kept
+	}
+}
+
+var _ kv.KV = (*handle)(nil)

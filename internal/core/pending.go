@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lapse/internal/kv"
+	"lapse/internal/metrics"
+	"lapse/internal/msg"
+)
+
+// pendingTable tracks the asynchronous operations issued by one node's
+// workers: pulls/pushes awaiting responses (possibly split across several
+// responders) and localizes awaiting key arrivals.
+//
+// Localize waiting uses per-key waiter lists rather than transfer IDs: every
+// localize call registers as a waiter on each key it still needs, and key
+// arrival notifies all waiters. This naturally de-duplicates concurrent
+// localizes of the same key by co-located workers (only the first sends a
+// message; the rest piggy-back).
+type pendingTable struct {
+	mu      sync.Mutex
+	next    uint64
+	ops     map[uint64]*pendingOp
+	locs    map[uint64]*pendingLoc
+	waiters map[kv.Key][]uint64 // key -> localize IDs waiting for arrival
+}
+
+type pendingOp struct {
+	fut       *kv.Future
+	remaining int
+	dst       []float32
+	dstOff    map[kv.Key]int
+}
+
+type pendingLoc struct {
+	fut       *kv.Future
+	remaining int
+	start     time.Time
+	measure   bool // true for the localize that sent the network message
+}
+
+func newPendingTable() *pendingTable {
+	return &pendingTable{
+		ops:     make(map[uint64]*pendingOp),
+		locs:    make(map[uint64]*pendingLoc),
+		waiters: make(map[kv.Key][]uint64),
+	}
+}
+
+// registerOp allocates a slot for a pull/push expecting nKeys key answers.
+func (p *pendingTable) registerOp(nKeys int, dst []float32, dstOff map[kv.Key]int) (uint64, *kv.Future) {
+	fut := kv.NewFuture()
+	p.mu.Lock()
+	p.next++
+	id := p.next
+	p.ops[id] = &pendingOp{fut: fut, remaining: nKeys, dst: dst, dstOff: dstOff}
+	p.mu.Unlock()
+	return id, fut
+}
+
+// registerLocalize allocates a localize slot expecting nKeys arrivals.
+// measure marks the slot whose relocation time should be recorded.
+func (p *pendingTable) registerLocalize(nKeys int, measure bool) (uint64, *kv.Future) {
+	fut := kv.NewFuture()
+	p.mu.Lock()
+	p.next++
+	id := p.next
+	p.locs[id] = &pendingLoc{fut: fut, remaining: nKeys, start: nowFunc(), measure: measure}
+	p.mu.Unlock()
+	return id, fut
+}
+
+// addWaiter registers localize id as waiting for key k. Must be called while
+// the caller holds the key in Incoming state (under the server's queueMu) so
+// that arrival notifications cannot be missed.
+func (p *pendingTable) addWaiter(k kv.Key, id uint64) {
+	p.mu.Lock()
+	p.waiters[k] = append(p.waiters[k], id)
+	p.mu.Unlock()
+}
+
+// completeResp applies a pull/push response, filling the destination buffer
+// and completing the future once all keys are answered.
+func (p *pendingTable) completeResp(layout kv.Layout, m *msg.OpResp) {
+	p.mu.Lock()
+	op, ok := p.ops[m.ID]
+	p.mu.Unlock()
+	if !ok {
+		panic(fmt.Sprintf("core: response for unknown op %d", m.ID))
+	}
+	if m.Type == msg.OpPull && op.dst != nil {
+		src := 0
+		for _, k := range m.Keys {
+			l := layout.Len(k)
+			copy(op.dst[op.dstOff[k]:op.dstOff[k]+l], m.Vals[src:src+l])
+			src += l
+		}
+	}
+	p.finishKeys(m.ID, len(m.Keys))
+}
+
+// completeLocalKey accounts one queued local op key as done (the drain loop
+// already applied it to the store and, for pulls, filled op.dst directly).
+func (p *pendingTable) completeLocalKey(_ kv.Layout, op *localOp) {
+	p.finishKeys(op.id, 1)
+}
+
+func (p *pendingTable) finishKeys(id uint64, n int) {
+	p.mu.Lock()
+	op, ok := p.ops[id]
+	if !ok {
+		p.mu.Unlock()
+		panic(fmt.Sprintf("core: completion for unknown op %d", id))
+	}
+	op.remaining -= n
+	done := op.remaining <= 0
+	if done {
+		delete(p.ops, id)
+	}
+	p.mu.Unlock()
+	if done {
+		op.fut.Complete(nil)
+	}
+}
+
+// completeLocalizeKeys notifies all localize waiters of the given keys that
+// the keys arrived (or already reside) at this node. Relocation times are
+// observed on the measuring slot when it completes.
+func (p *pendingTable) completeLocalizeKeys(_ uint64, keys []kv.Key, stats *metrics.ServerStats) {
+	var completed []*pendingLoc
+	p.mu.Lock()
+	for _, k := range keys {
+		ids := p.waiters[k]
+		if len(ids) == 0 {
+			continue
+		}
+		delete(p.waiters, k)
+		for _, id := range ids {
+			loc, ok := p.locs[id]
+			if !ok {
+				continue
+			}
+			loc.remaining--
+			if loc.remaining <= 0 {
+				delete(p.locs, id)
+				completed = append(completed, loc)
+			}
+		}
+	}
+	p.mu.Unlock()
+	for _, loc := range completed {
+		if loc.measure && stats != nil {
+			stats.RelocationTime.Observe(nowFunc().Sub(loc.start))
+		}
+		loc.fut.Complete(nil)
+	}
+}

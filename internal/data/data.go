@@ -1,0 +1,241 @@
+// Package data generates the synthetic datasets that stand in for the
+// paper's training data (see DESIGN.md §5 for the substitution rationale):
+//
+//   - low-rank-plus-noise sparse matrices for matrix factorization
+//     (the paper used 1b-entry synthetic matrices from Makari et al.);
+//   - Zipf-skewed knowledge graphs for RESCAL/ComplEx training
+//     (for DBpedia-500k);
+//   - Zipf-distributed text corpora for word2vec
+//     (for the One Billion Word benchmark).
+//
+// All generators are deterministic given their seed, so every parameter
+// server trains on byte-identical data within an experiment.
+package data
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Entry is one observed cell of a sparse matrix.
+type Entry struct {
+	I, J int
+	V    float32
+}
+
+// Matrix is a synthetic sparse matrix sampled from a ground-truth low-rank
+// model, so SGD-based factorization provably has signal to recover.
+type Matrix struct {
+	Rows, Cols int
+	Entries    []Entry
+}
+
+// SyntheticMatrix samples nnz entries of a rows×cols matrix generated from
+// rank-trueRank ground-truth factors plus Gaussian noise.
+func SyntheticMatrix(rows, cols, nnz, trueRank int, noise float64, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	// Ground-truth factors with small entries so products stay O(1).
+	scale := 1.0 / math.Sqrt(float64(trueRank))
+	w := make([]float64, rows*trueRank)
+	h := make([]float64, cols*trueRank)
+	for i := range w {
+		w[i] = rng.NormFloat64() * scale
+	}
+	for i := range h {
+		h[i] = rng.NormFloat64() * scale
+	}
+	m := &Matrix{Rows: rows, Cols: cols, Entries: make([]Entry, 0, nnz)}
+	seen := make(map[int64]struct{}, nnz)
+	for len(m.Entries) < nnz {
+		i := rng.Intn(rows)
+		j := rng.Intn(cols)
+		id := int64(i)*int64(cols) + int64(j)
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		var dot float64
+		for r := 0; r < trueRank; r++ {
+			dot += w[i*trueRank+r] * h[j*trueRank+r]
+		}
+		m.Entries = append(m.Entries, Entry{I: i, J: j, V: float32(dot + rng.NormFloat64()*noise)})
+	}
+	return m
+}
+
+// BlockGrid buckets entries into a workers×workers grid of (row block,
+// column block) cells for DSGD parameter blocking: cell (b, c) holds the
+// entries whose row falls in block b and column in block c.
+func (m *Matrix) BlockGrid(workers int) [][][]Entry {
+	grid := make([][][]Entry, workers)
+	for b := range grid {
+		grid[b] = make([][]Entry, workers)
+	}
+	for _, e := range m.Entries {
+		b := blockOf(e.I, m.Rows, workers)
+		c := blockOf(e.J, m.Cols, workers)
+		grid[b][c] = append(grid[b][c], e)
+	}
+	return grid
+}
+
+// blockOf assigns index i of a dimension of size n to one of blocks blocks
+// (sizes differing by at most one, matching partition.Range).
+func blockOf(i, n, blocks int) int {
+	per := n / blocks
+	rem := n % blocks
+	cut := (per + 1) * rem
+	if i < cut {
+		return i / (per + 1)
+	}
+	return rem + (i-cut)/per
+}
+
+// BlockRange returns the index interval [lo, hi) of block b when dimension
+// size n is split into blocks blocks.
+func BlockRange(n, blocks, b int) (lo, hi int) {
+	per := n / blocks
+	rem := n % blocks
+	if b < rem {
+		lo = b * (per + 1)
+		return lo, lo + per + 1
+	}
+	lo = rem*(per+1) + (b-rem)*per
+	return lo, lo + per
+}
+
+// Triple is one knowledge-graph fact (subject, relation, object).
+type Triple struct {
+	S, O int32 // entity ids
+	R    int32 // relation id
+}
+
+// KG is a synthetic knowledge graph with Zipf-skewed entity popularity,
+// standing in for DBpedia-500k (490 598 entities, 573 relations, 3 M
+// triples).
+type KG struct {
+	Entities  int
+	Relations int
+	Triples   []Triple
+}
+
+// SyntheticKG samples nTriples facts over entities entities and relations
+// relations. Entity endpoints follow a Zipf distribution (popular entities
+// appear in many facts, which is what causes localization conflicts in
+// Section 4.3); relations are skewed mildly.
+func SyntheticKG(entities, relations, nTriples int, seed int64) *KG {
+	rng := rand.New(rand.NewSource(seed))
+	ez := rand.NewZipf(rng, 1.3, 8, uint64(entities-1))
+	rz := rand.NewZipf(rng, 1.2, 4, uint64(relations-1))
+	kg := &KG{Entities: entities, Relations: relations, Triples: make([]Triple, nTriples)}
+	for i := range kg.Triples {
+		kg.Triples[i] = Triple{
+			S: int32(ez.Uint64()),
+			O: int32(ez.Uint64()),
+			R: int32(rz.Uint64()),
+		}
+	}
+	return kg
+}
+
+// PartitionByRelation distributes triples over nodes by relation (data
+// clustering, Appendix A): all triples of one relation land on one node, so
+// each relation parameter is accessed by a single node only. Relations are
+// assigned to nodes greedily by descending frequency to balance load.
+// It returns the per-node triple lists and the relation→node assignment.
+func (kg *KG) PartitionByRelation(nodes int) ([][]Triple, []int) {
+	freq := make([]int, kg.Relations)
+	for _, t := range kg.Triples {
+		freq[t.R]++
+	}
+	order := make([]int, kg.Relations)
+	for i := range order {
+		order[i] = i
+	}
+	// Sort by descending frequency (insertion sort: relation counts are
+	// small).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && freq[order[j]] > freq[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	assign := make([]int, kg.Relations)
+	load := make([]int, nodes)
+	for _, r := range order {
+		min := 0
+		for n := 1; n < nodes; n++ {
+			if load[n] < load[min] {
+				min = n
+			}
+		}
+		assign[r] = min
+		load[min] += freq[r]
+	}
+	parts := make([][]Triple, nodes)
+	for _, t := range kg.Triples {
+		n := assign[t.R]
+		parts[n] = append(parts[n], t)
+	}
+	return parts, assign
+}
+
+// Corpus is a synthetic text corpus with Zipf word frequencies, standing in
+// for the One Billion Word benchmark. Sentences are slices of word ids.
+type Corpus struct {
+	Vocab     int
+	Sentences [][]int32
+	Freq      []int64 // word frequencies over the corpus
+}
+
+// SyntheticCorpus samples nSentences sentences of sentenceLen words each over
+// a vocab-word vocabulary with Zipf-distributed word frequencies (the skew
+// that drives word2vec's localization conflicts, Section 4.3).
+func SyntheticCorpus(vocab, nSentences, sentenceLen int, seed int64) *Corpus {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.2, 6, uint64(vocab-1))
+	c := &Corpus{Vocab: vocab, Sentences: make([][]int32, nSentences), Freq: make([]int64, vocab)}
+	for s := range c.Sentences {
+		sent := make([]int32, sentenceLen)
+		for i := range sent {
+			w := int32(z.Uint64())
+			sent[i] = w
+			c.Freq[w]++
+		}
+		c.Sentences[s] = sent
+	}
+	return c
+}
+
+// UnigramSampler draws negative samples from the unigram distribution raised
+// to the 3/4 power, as in Mikolov et al. (the Word2Vec negative-sampling
+// distribution). It uses the alias-free cumulative method with binary search.
+type UnigramSampler struct {
+	cum []float64
+	rng *rand.Rand
+}
+
+// NewUnigramSampler builds a sampler over the corpus frequencies.
+func NewUnigramSampler(freq []int64, seed int64) *UnigramSampler {
+	cum := make([]float64, len(freq))
+	var total float64
+	for i, f := range freq {
+		total += math.Pow(float64(f), 0.75)
+		cum[i] = total
+	}
+	return &UnigramSampler{cum: cum, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Sample draws one word id.
+func (u *UnigramSampler) Sample() int32 {
+	x := u.rng.Float64() * u.cum[len(u.cum)-1]
+	lo, hi := 0, len(u.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if u.cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int32(lo)
+}

@@ -1,0 +1,204 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSyntheticMatrixShape(t *testing.T) {
+	m := SyntheticMatrix(100, 80, 500, 4, 0.01, 1)
+	if m.Rows != 100 || m.Cols != 80 {
+		t.Fatalf("dims = %d×%d", m.Rows, m.Cols)
+	}
+	if len(m.Entries) != 500 {
+		t.Fatalf("nnz = %d, want 500", len(m.Entries))
+	}
+	seen := map[[2]int]bool{}
+	for _, e := range m.Entries {
+		if e.I < 0 || e.I >= 100 || e.J < 0 || e.J >= 80 {
+			t.Fatalf("entry out of range: %+v", e)
+		}
+		if seen[[2]int{e.I, e.J}] {
+			t.Fatalf("duplicate entry (%d,%d)", e.I, e.J)
+		}
+		seen[[2]int{e.I, e.J}] = true
+	}
+}
+
+func TestSyntheticMatrixDeterministic(t *testing.T) {
+	a := SyntheticMatrix(50, 50, 200, 4, 0.01, 7)
+	b := SyntheticMatrix(50, 50, 200, 4, 0.01, 7)
+	for i := range a.Entries {
+		if a.Entries[i] != b.Entries[i] {
+			t.Fatal("matrix generation not deterministic")
+		}
+	}
+	c := SyntheticMatrix(50, 50, 200, 4, 0.01, 8)
+	same := 0
+	for i := range a.Entries {
+		if a.Entries[i] == c.Entries[i] {
+			same++
+		}
+	}
+	if same == len(a.Entries) {
+		t.Fatal("different seeds gave identical matrices")
+	}
+}
+
+func TestBlockGridPartitionsAllEntries(t *testing.T) {
+	f := func(seed int64, wRaw uint8) bool {
+		workers := int(wRaw%7) + 1
+		m := SyntheticMatrix(40, 30, 300, 3, 0.01, seed)
+		grid := m.BlockGrid(workers)
+		total := 0
+		for b := range grid {
+			for c := range grid[b] {
+				for _, e := range grid[b][c] {
+					lo, hi := BlockRange(m.Rows, workers, b)
+					if e.I < lo || e.I >= hi {
+						return false
+					}
+					clo, chi := BlockRange(m.Cols, workers, c)
+					if e.J < clo || e.J >= chi {
+						return false
+					}
+				}
+				total += len(grid[b][c])
+			}
+		}
+		return total == len(m.Entries)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockRangeTiles(t *testing.T) {
+	for _, n := range []int{7, 8, 100} {
+		for _, blocks := range []int{1, 3, 8} {
+			prev := 0
+			for b := 0; b < blocks; b++ {
+				lo, hi := BlockRange(n, blocks, b)
+				if lo != prev {
+					t.Fatalf("n=%d blocks=%d: block %d starts at %d, want %d", n, blocks, b, lo, prev)
+				}
+				if hi < lo {
+					t.Fatalf("negative block size")
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d blocks=%d: blocks end at %d", n, blocks, prev)
+			}
+		}
+	}
+}
+
+func TestSyntheticKG(t *testing.T) {
+	kg := SyntheticKG(1000, 20, 5000, 3)
+	if len(kg.Triples) != 5000 {
+		t.Fatalf("triples = %d", len(kg.Triples))
+	}
+	entSeen := make(map[int32]int)
+	for _, tr := range kg.Triples {
+		if tr.S < 0 || int(tr.S) >= 1000 || tr.O < 0 || int(tr.O) >= 1000 {
+			t.Fatalf("entity out of range: %+v", tr)
+		}
+		if tr.R < 0 || int(tr.R) >= 20 {
+			t.Fatalf("relation out of range: %+v", tr)
+		}
+		entSeen[tr.S]++
+	}
+	// Zipf skew: the most frequent subject should appear far more often
+	// than the average.
+	max := 0
+	for _, c := range entSeen {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 3*len(kg.Triples)/1000 {
+		t.Fatalf("entity distribution not skewed: max frequency %d", max)
+	}
+}
+
+func TestPartitionByRelation(t *testing.T) {
+	kg := SyntheticKG(500, 16, 4000, 5)
+	parts, assign := kg.PartitionByRelation(4)
+	total := 0
+	for n, part := range parts {
+		for _, tr := range part {
+			if assign[tr.R] != n {
+				t.Fatalf("triple with relation %d on node %d, assigned to %d", tr.R, n, assign[tr.R])
+			}
+		}
+		total += len(part)
+	}
+	if total != len(kg.Triples) {
+		t.Fatalf("partition lost triples: %d != %d", total, len(kg.Triples))
+	}
+	// Greedy assignment should be reasonably balanced.
+	minL, maxL := len(parts[0]), len(parts[0])
+	for _, p := range parts {
+		if len(p) < minL {
+			minL = len(p)
+		}
+		if len(p) > maxL {
+			maxL = len(p)
+		}
+	}
+	if maxL > 3*(minL+1) {
+		t.Fatalf("relation partition unbalanced: %d..%d", minL, maxL)
+	}
+}
+
+func TestSyntheticCorpus(t *testing.T) {
+	c := SyntheticCorpus(500, 100, 12, 9)
+	if len(c.Sentences) != 100 {
+		t.Fatalf("sentences = %d", len(c.Sentences))
+	}
+	var total int64
+	for _, s := range c.Sentences {
+		if len(s) != 12 {
+			t.Fatalf("sentence length %d", len(s))
+		}
+		for _, w := range s {
+			if w < 0 || int(w) >= 500 {
+				t.Fatalf("word out of range: %d", w)
+			}
+		}
+	}
+	for _, f := range c.Freq {
+		total += f
+	}
+	if total != 1200 {
+		t.Fatalf("frequency total = %d, want 1200", total)
+	}
+	// Zipf: the head word should take a few percent of all tokens (like
+	// "the" in natural text) and dwarf mid-rank words.
+	if c.Freq[0] < total/40 {
+		t.Fatalf("corpus not Zipf-skewed: freq[0] = %d of %d", c.Freq[0], total)
+	}
+	if c.Freq[0] < 10*(c.Freq[200]+1) {
+		t.Fatalf("head/tail ratio too flat: %d vs %d", c.Freq[0], c.Freq[200])
+	}
+}
+
+func TestUnigramSampler(t *testing.T) {
+	freq := []int64{1000, 100, 10, 1, 0}
+	s := NewUnigramSampler(freq, 11)
+	counts := make([]int, len(freq))
+	for i := 0; i < 20000; i++ {
+		w := s.Sample()
+		if w < 0 || int(w) >= len(freq) {
+			t.Fatalf("sample out of range: %d", w)
+		}
+		counts[w]++
+	}
+	if !(counts[0] > counts[1] && counts[1] > counts[2] && counts[2] > counts[3]) {
+		t.Fatalf("sampler does not follow frequency order: %v", counts)
+	}
+	if counts[4] != 0 {
+		t.Fatalf("zero-frequency word sampled %d times", counts[4])
+	}
+}

@@ -1,0 +1,75 @@
+package driver
+
+import (
+	"testing"
+
+	"lapse/internal/cluster"
+	"lapse/internal/kv"
+)
+
+func TestBuildAllKinds(t *testing.T) {
+	layout := kv.NewUniformLayout(16, 2)
+	for _, kind := range Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			cl := cluster.New(cluster.Config{Nodes: 2, WorkersPerNode: 2})
+			ps := Build(kind, cl, layout, Options{Staleness: 1})
+			defer func() {
+				cl.Close()
+				ps.Shutdown()
+			}()
+			if ps.Layout().NumKeys() != 16 {
+				t.Fatal("layout not propagated")
+			}
+			// Basic push/pull through every variant.
+			h := ps.Handle(0)
+			if err := h.Push([]kv.Key{3}, []float32{1, 2}); err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]float32, 2)
+			if err := h.Pull([]kv.Key{3}, buf); err != nil {
+				t.Fatal(err)
+			}
+			if buf[0] != 1 || buf[1] != 2 {
+				t.Fatalf("pull = %v", buf)
+			}
+			// Localize supported exactly on the Lapse variants.
+			err := h.Localize([]kv.Key{3})
+			if SupportsLocalize(kind) && err != nil {
+				t.Fatalf("Localize on %s: %v", kind, err)
+			}
+			if !SupportsLocalize(kind) && err != kv.ErrUnsupported {
+				t.Fatalf("Localize on %s = %v, want ErrUnsupported", kind, err)
+			}
+		})
+	}
+}
+
+func TestBuildUnknownKindPanics(t *testing.T) {
+	cl := cluster.New(cluster.Config{Nodes: 1, WorkersPerNode: 1})
+	defer cl.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Build(Kind("nonsense"), cl, kv.NewUniformLayout(1, 1), Options{})
+}
+
+func TestStatsExposed(t *testing.T) {
+	cl := cluster.New(cluster.Config{Nodes: 3, WorkersPerNode: 1})
+	ps := Build(Lapse, cl, kv.NewUniformLayout(9, 1), Options{})
+	defer func() {
+		cl.Close()
+		ps.Shutdown()
+	}()
+	if len(ps.Stats()) != 3 {
+		t.Fatalf("stats for %d nodes", len(ps.Stats()))
+	}
+	ps.Init(func(k kv.Key, v []float32) { v[0] = 1 })
+	buf := make([]float32, 1)
+	ps.ReadParameter(4, buf)
+	if buf[0] != 1 {
+		t.Fatal("Init/ReadParameter broken")
+	}
+}

@@ -1,0 +1,155 @@
+package loc
+
+import (
+	"math/rand"
+	"testing"
+
+	"lapse/internal/kv"
+)
+
+// TestTable3 verifies that the measured strategy costs reproduce Table 3 of
+// the paper: storage per node and message counts for remote access and
+// relocation, with N = 8 nodes and K = 1024 keys.
+func TestTable3(t *testing.T) {
+	const (
+		keys  = kv.Key(1024)
+		nodes = 8
+	)
+	rows := MeasureTable3(keys, nodes)
+	want := map[string]struct {
+		storage int
+		access  int
+		reloc   int
+	}{
+		"Static partition":                 {0, 2, -1},
+		"Broadcast operations":             {0, int(nodes), 0},
+		"Broadcast relocations":            {int(keys), 2, int(nodes)},
+		"Home node":                        {int(keys) / nodes, 3, 3},
+		"Home node (with location caches)": {int(keys) / nodes, 3, 3},
+	}
+	for _, r := range rows {
+		w, ok := want[r.Strategy]
+		if !ok {
+			t.Errorf("unexpected strategy %q", r.Strategy)
+			continue
+		}
+		if r.StoragePerNode != w.storage {
+			t.Errorf("%s: storage = %d, want %d", r.Strategy, r.StoragePerNode, w.storage)
+		}
+		if r.RemoteAccessMsgs != w.access {
+			t.Errorf("%s: access msgs = %d, want %d", r.Strategy, r.RemoteAccessMsgs, w.access)
+		}
+		if r.RelocationMsgs != w.reloc {
+			t.Errorf("%s: reloc msgs = %d, want %d", r.Strategy, r.RelocationMsgs, w.reloc)
+		}
+	}
+	// Footnote a of Table 3: 2 messages with a correct cache, 4 with a
+	// stale one.
+	last := rows[len(rows)-1]
+	if last.CachedAccessMsgs != 2 {
+		t.Errorf("cached access = %d, want 2", last.CachedAccessMsgs)
+	}
+	if last.StaleCacheAccMsgs != 4 {
+		t.Errorf("stale-cache access = %d, want 4", last.StaleCacheAccMsgs)
+	}
+}
+
+func TestLocalAccessIsFree(t *testing.T) {
+	strategies := []Strategy{
+		NewStatic(64, 4),
+		NewBroadcastOps(64, 4),
+		NewBroadcastRelocations(64, 4),
+		NewHomeNode(64, 4, false),
+		NewHomeNode(64, 4, true),
+	}
+	for _, s := range strategies {
+		// Key 0 starts at node 0 under range partitioning.
+		if got := s.Access(0, 0); got != 0 {
+			t.Errorf("%s: local access cost = %d, want 0", s.Name(), got)
+		}
+	}
+}
+
+func TestOwnershipTrackingConsistent(t *testing.T) {
+	// All relocation-capable strategies must agree on ownership after the
+	// same random relocation sequence.
+	const keys = 128
+	const nodes = 4
+	strategies := []Strategy{
+		NewBroadcastOps(keys, nodes),
+		NewBroadcastRelocations(keys, nodes),
+		NewHomeNode(keys, nodes, false),
+		NewHomeNode(keys, nodes, true),
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		k := kv.Key(rng.Intn(keys))
+		dest := rng.Intn(nodes)
+		for _, s := range strategies {
+			s.Relocate(dest, k)
+		}
+	}
+	for k := kv.Key(0); k < keys; k++ {
+		owner := strategies[0].OwnerOf(k)
+		for _, s := range strategies[1:] {
+			if s.OwnerOf(k) != owner {
+				t.Fatalf("key %d: %s says owner %d, %s says %d",
+					k, strategies[0].Name(), owner, s.Name(), s.OwnerOf(k))
+			}
+		}
+	}
+}
+
+func TestStaticRelocatePanics(t *testing.T) {
+	s := NewStatic(8, 2)
+	if s.SupportsRelocation() {
+		t.Fatal("static partitioning claims relocation support")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Relocate(1, 0)
+}
+
+func TestHomeNodeCacheLearnsLocation(t *testing.T) {
+	h := NewHomeNode(64, 4, true)
+	// Key 63 is homed at node 3; access from node 0.
+	if got := h.Access(0, 63); got != 3 {
+		t.Fatalf("cold access = %d, want 3", got)
+	}
+	if got := h.Access(0, 63); got != 2 {
+		t.Fatalf("warm access = %d, want 2", got)
+	}
+	h.Relocate(1, 63)
+	if got := h.Access(0, 63); got != 4 {
+		t.Fatalf("stale access = %d, want 4", got)
+	}
+	// The double-forward refreshed the cache.
+	if got := h.Access(0, 63); got != 2 {
+		t.Fatalf("post-refresh access = %d, want 2", got)
+	}
+}
+
+func TestBroadcastRelocationsStorageGrowsWithKeys(t *testing.T) {
+	small := NewBroadcastRelocations(16, 4)
+	big := NewBroadcastRelocations(1024, 4)
+	if maxInt(small.StoragePerNode()) != 16 || maxInt(big.StoragePerNode()) != 1024 {
+		t.Fatal("broadcast-relocations storage must equal K on every node")
+	}
+	// Home node stores only K/N.
+	hn := NewHomeNode(1024, 4, false)
+	if got := maxInt(hn.StoragePerNode()); got != 256 {
+		t.Fatalf("home-node storage = %d, want 256", got)
+	}
+}
+
+func TestMeasureTable3RequiresThreeNodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 2 nodes")
+		}
+	}()
+	MeasureTable3(16, 2)
+}

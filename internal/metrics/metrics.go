@@ -1,0 +1,188 @@
+// Package metrics provides the lightweight counters and duration aggregates
+// used to instrument the parameter servers. Table 5 of the paper (parameter
+// reads, relocations, relocation times) and the communication-overhead
+// analyses are regenerated from these counters.
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is an atomic event counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Durations aggregates a stream of time.Durations (sum, count, min, max).
+type Durations struct {
+	mu    sync.Mutex
+	sum   time.Duration
+	count int64
+	min   time.Duration
+	max   time.Duration
+}
+
+// Observe records one duration.
+func (d *Durations) Observe(t time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.sum += t
+	if d.count == 0 || t < d.min {
+		d.min = t
+	}
+	if t > d.max {
+		d.max = t
+	}
+	d.count++
+}
+
+// Snapshot returns the aggregate view.
+func (d *Durations) Snapshot() DurationStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := DurationStats{Sum: d.sum, Count: d.count, Min: d.min, Max: d.max}
+	if d.count > 0 {
+		s.Mean = time.Duration(int64(d.sum) / d.count)
+	}
+	return s
+}
+
+// Reset clears the aggregate.
+func (d *Durations) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.sum, d.count, d.min, d.max = 0, 0, 0, 0
+}
+
+// DurationStats is an immutable snapshot of a Durations aggregate.
+type DurationStats struct {
+	Sum   time.Duration
+	Count int64
+	Min   time.Duration
+	Max   time.Duration
+	Mean  time.Duration
+}
+
+func (s DurationStats) String() string {
+	return fmt.Sprintf("n=%d mean=%v min=%v max=%v", s.Count, s.Mean, s.Min, s.Max)
+}
+
+// ServerStats collects the per-node parameter-server instrumentation the
+// experiments report. All fields are safe for concurrent update.
+type ServerStats struct {
+	// LocalReads counts keys read through the shared-memory fast path.
+	LocalReads Counter
+	// RemoteReads counts keys read through the network.
+	RemoteReads Counter
+	// LocalWrites and RemoteWrites count pushed keys analogously.
+	LocalWrites  Counter
+	RemoteWrites Counter
+	// ReadValues counts float32 values read (local + remote), for the
+	// MB/s column of Table 4.
+	ReadValues Counter
+	// Relocations counts keys relocated *to* this node.
+	Relocations Counter
+	// RelocationTime aggregates per-localize-call relocation times
+	// (localize issued until all keys are owned locally, Section 3.2).
+	RelocationTime Durations
+	// QueuedOps counts operations that had to be queued during relocations.
+	QueuedOps Counter
+	// Forwards counts operations forwarded by this node (as home), and
+	// DoubleForwards those re-forwarded due to stale location caches.
+	Forwards       Counter
+	DoubleForwards Counter
+	// CacheHits/CacheMisses count location-cache routing outcomes.
+	CacheHits   Counter
+	CacheMisses Counter
+	// SyncWaits counts stale-PS reads that blocked on the staleness bound.
+	SyncWaits Counter
+}
+
+// Reset zeroes all counters and aggregates.
+func (s *ServerStats) Reset() {
+	s.LocalReads.Reset()
+	s.RemoteReads.Reset()
+	s.LocalWrites.Reset()
+	s.RemoteWrites.Reset()
+	s.ReadValues.Reset()
+	s.Relocations.Reset()
+	s.RelocationTime.Reset()
+	s.QueuedOps.Reset()
+	s.Forwards.Reset()
+	s.DoubleForwards.Reset()
+	s.CacheHits.Reset()
+	s.CacheMisses.Reset()
+	s.SyncWaits.Reset()
+}
+
+// Sum aggregates a set of per-node stats into cluster totals. Relocation-time
+// aggregates are merged by total sum/count and global min/max.
+func Sum(nodes []*ServerStats) Totals {
+	var t Totals
+	for _, s := range nodes {
+		t.LocalReads += s.LocalReads.Load()
+		t.RemoteReads += s.RemoteReads.Load()
+		t.LocalWrites += s.LocalWrites.Load()
+		t.RemoteWrites += s.RemoteWrites.Load()
+		t.ReadValues += s.ReadValues.Load()
+		t.Relocations += s.Relocations.Load()
+		t.QueuedOps += s.QueuedOps.Load()
+		t.Forwards += s.Forwards.Load()
+		t.DoubleForwards += s.DoubleForwards.Load()
+		t.CacheHits += s.CacheHits.Load()
+		t.CacheMisses += s.CacheMisses.Load()
+		t.SyncWaits += s.SyncWaits.Load()
+		rt := s.RelocationTime.Snapshot()
+		if rt.Count > 0 {
+			if t.RelocationCalls == 0 || rt.Min < t.RelocationTimeMin {
+				t.RelocationTimeMin = rt.Min
+			}
+			if rt.Max > t.RelocationTimeMax {
+				t.RelocationTimeMax = rt.Max
+			}
+			t.RelocationTimeSum += rt.Sum
+			t.RelocationCalls += rt.Count
+		}
+	}
+	return t
+}
+
+// Totals is the cluster-wide aggregate of ServerStats.
+type Totals struct {
+	LocalReads, RemoteReads   int64
+	LocalWrites, RemoteWrites int64
+	ReadValues                int64
+	Relocations               int64
+	QueuedOps                 int64
+	Forwards, DoubleForwards  int64
+	CacheHits, CacheMisses    int64
+	SyncWaits                 int64
+	RelocationTimeSum         time.Duration
+	RelocationTimeMin         time.Duration
+	RelocationTimeMax         time.Duration
+	RelocationCalls           int64
+}
+
+// TotalReads returns local + remote key reads.
+func (t Totals) TotalReads() int64 { return t.LocalReads + t.RemoteReads }
+
+// MeanRelocationTime returns the mean per-localize relocation time.
+func (t Totals) MeanRelocationTime() time.Duration {
+	if t.RelocationCalls == 0 {
+		return 0
+	}
+	return time.Duration(int64(t.RelocationTimeSum) / t.RelocationCalls)
+}

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+			c.Add(5)
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8*1005 {
+		t.Fatalf("counter = %d, want %d", got, 8*1005)
+	}
+	c.Reset()
+	if c.Load() != 0 {
+		t.Fatal("counter not reset")
+	}
+}
+
+func TestDurations(t *testing.T) {
+	var d Durations
+	d.Observe(2 * time.Millisecond)
+	d.Observe(4 * time.Millisecond)
+	d.Observe(6 * time.Millisecond)
+	s := d.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Mean != 4*time.Millisecond {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.Min != 2*time.Millisecond || s.Max != 6*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+	d.Reset()
+	if d.Snapshot().Count != 0 {
+		t.Fatal("not reset")
+	}
+}
+
+func TestDurationsEmptySnapshot(t *testing.T) {
+	var d Durations
+	s := d.Snapshot()
+	if s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+}
+
+func TestSumTotals(t *testing.T) {
+	a := &ServerStats{}
+	b := &ServerStats{}
+	a.LocalReads.Add(10)
+	b.LocalReads.Add(5)
+	a.RemoteReads.Add(2)
+	a.Relocations.Add(7)
+	a.RelocationTime.Observe(time.Millisecond)
+	b.RelocationTime.Observe(3 * time.Millisecond)
+	tot := Sum([]*ServerStats{a, b})
+	if tot.LocalReads != 15 || tot.RemoteReads != 2 || tot.Relocations != 7 {
+		t.Fatalf("totals = %+v", tot)
+	}
+	if tot.TotalReads() != 17 {
+		t.Fatalf("TotalReads = %d", tot.TotalReads())
+	}
+	if tot.MeanRelocationTime() != 2*time.Millisecond {
+		t.Fatalf("mean RT = %v", tot.MeanRelocationTime())
+	}
+	if tot.RelocationTimeMin != time.Millisecond || tot.RelocationTimeMax != 3*time.Millisecond {
+		t.Fatalf("min/max RT = %v/%v", tot.RelocationTimeMin, tot.RelocationTimeMax)
+	}
+}
+
+func TestSumEmpty(t *testing.T) {
+	tot := Sum(nil)
+	if tot.MeanRelocationTime() != 0 {
+		t.Fatal("mean RT on empty should be 0")
+	}
+}
+
+func TestServerStatsReset(t *testing.T) {
+	s := &ServerStats{}
+	s.LocalReads.Inc()
+	s.RelocationTime.Observe(time.Second)
+	s.Reset()
+	if s.LocalReads.Load() != 0 || s.RelocationTime.Snapshot().Count != 0 {
+		t.Fatal("reset incomplete")
+	}
+}

@@ -1,0 +1,318 @@
+// Package kge implements distributed knowledge-graph-embedding training for
+// the RESCAL and ComplEx models, as evaluated in Sections 4.2–4.3 and
+// Figures 1 and 7 of the paper.
+//
+// Training uses SGD with AdaGrad and negative sampling (Appendix A). The
+// AdaGrad accumulators are stored in the parameter server alongside the
+// values (each key holds [embedding | accumulator]), so updates remain
+// cumulative pushes.
+//
+// Two PAL techniques create and exploit locality:
+//
+//   - Data clustering for relation parameters: the training triples are
+//     partitioned by relation across nodes and each relation embedding is
+//     localized at (or, without DPA, simply served from) the node that uses
+//     it.
+//   - Latency hiding for entity parameters: while computing data point t,
+//     each worker pre-localizes the entity embeddings (subject, object, and
+//     pre-sampled negatives) of data point t+1, so the transfer overlaps the
+//     computation.
+package kge
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"lapse/internal/cluster"
+	"lapse/internal/data"
+	"lapse/internal/driver"
+	"lapse/internal/kv"
+)
+
+// Model selects the embedding model.
+type Model string
+
+// Supported models.
+const (
+	// ComplEx embeds entities and relations in C^Dim
+	// (Trouillon et al., ICML'16).
+	ComplEx Model = "complex"
+	// RESCAL embeds entities in R^Dim and relations in R^(Dim×Dim)
+	// (Nickel et al., ICML'11).
+	RESCAL Model = "rescal"
+)
+
+// Mode selects which PAL techniques the run uses (Figure 7's line variants).
+type Mode int
+
+// Run modes.
+const (
+	// ModePlain uses no PAL technique (classic PS baselines).
+	ModePlain Mode = iota
+	// ModeDataClustering localizes relation parameters only
+	// ("Lapse, only data clustering").
+	ModeDataClustering
+	// ModeFull adds latency hiding for entity parameters (full Lapse).
+	ModeFull
+)
+
+// Config parameterizes a KGE run.
+type Config struct {
+	Model     Model
+	Entities  int
+	Relations int
+	Triples   int
+	Dim       int // embedding dimension d
+	Negatives int // negative samples per side (subject and object)
+	LR        float32
+	Epochs    int
+	Seed      int64
+	// PointCost is the modeled computation time per data point (scoring
+	// and gradients of the positive triple plus negatives), simulated via
+	// cluster.Compute. Zero disables compute modeling (unit tests).
+	PointCost time.Duration
+	// Lookahead is how many data points ahead entity parameters are
+	// pre-localized (Appendix A: the paper uses 1 and reports similar
+	// speed-ups for 2 and 3). Values < 1 mean 1.
+	Lookahead int
+}
+
+func (c Config) lookahead() int {
+	if c.Lookahead < 1 {
+		return 1
+	}
+	return c.Lookahead
+}
+
+// SmallConfig mirrors ComplEx-Small (dim 100/100) at laptop scale: a
+// frequently accessing, communication-heavy task.
+func SmallConfig() Config {
+	return Config{Model: ComplEx, Entities: 2000, Relations: 20, Triples: 8000,
+		Dim: 8, Negatives: 2, LR: 0.1, Epochs: 1, Seed: 1}
+}
+
+// LargeConfig mirrors ComplEx-Large (dim 4000/4000): fewer key accesses per
+// second, much larger values.
+func LargeConfig() Config {
+	return Config{Model: ComplEx, Entities: 2000, Relations: 20, Triples: 8000,
+		Dim: 64, Negatives: 2, LR: 0.1, Epochs: 1, Seed: 1}
+}
+
+// RescalConfig mirrors RESCAL-Large (dim 100/10000): relation embeddings are
+// quadratically larger than entity embeddings.
+func RescalConfig() Config {
+	return Config{Model: RESCAL, Entities: 2000, Relations: 20, Triples: 8000,
+		Dim: 8, Negatives: 2, LR: 0.1, Epochs: 1, Seed: 1}
+}
+
+// entLen and relLen return the per-key value lengths (embedding plus AdaGrad
+// accumulator, hence the ×2).
+func (c Config) entLen() int {
+	if c.Model == ComplEx {
+		return 2 * (2 * c.Dim) // complex: re+im
+	}
+	return 2 * c.Dim
+}
+
+func (c Config) relLen() int {
+	if c.Model == ComplEx {
+		return 2 * (2 * c.Dim)
+	}
+	return 2 * (c.Dim * c.Dim)
+}
+
+// Layout returns the parameter layout: entity keys [0, Entities), relation
+// keys [Entities, Entities+Relations).
+func (c Config) Layout() kv.Layout {
+	return kv.NewRangeLayout(
+		[]kv.Key{kv.Key(c.Entities), kv.Key(c.Relations)},
+		[]int{c.entLen(), c.relLen()},
+	)
+}
+
+func (c Config) relKey(r int32) kv.Key { return kv.Key(c.Entities) + kv.Key(r) }
+
+// Result captures a run's measurements.
+type Result struct {
+	EpochTimes []time.Duration
+	Losses     []float64 // mean training loss per epoch
+}
+
+// InitEmbeddings returns a deterministic initializer (embedding part random,
+// accumulator part a small epsilon for AdaGrad stability).
+func (c Config) InitEmbeddings() func(k kv.Key, v []float32) {
+	scale := float32(0.1)
+	return func(k kv.Key, v []float32) {
+		half := len(v) / 2
+		h := uint64(k)*0x9e3779b97f4a7c15 + uint64(c.Seed) + 13
+		for i := 0; i < half; i++ {
+			h ^= h >> 30
+			h *= 0xbf58476d1ce4e5b9
+			h ^= h >> 27
+			v[i] = (float32(h%100000)/100000 - 0.5) * scale
+		}
+		for i := half; i < len(v); i++ {
+			v[i] = 1e-6
+		}
+	}
+}
+
+// Run trains cfg on ps over cl.
+func Run(cl *cluster.Cluster, ps driver.PS, kind driver.Kind, cfg Config, mode Mode) (*Result, error) {
+	kg := data.SyntheticKG(cfg.Entities, cfg.Relations, cfg.Triples, cfg.Seed)
+	return RunOnKG(cl, ps, kind, cfg, mode, kg)
+}
+
+// RunOnKG is Run with a caller-provided knowledge graph.
+func RunOnKG(cl *cluster.Cluster, ps driver.PS, kind driver.Kind, cfg Config, mode Mode, kg *data.KG) (*Result, error) {
+	if mode != ModePlain && !driver.SupportsLocalize(kind) {
+		return nil, fmt.Errorf("kge: mode %d requires a PS with localize support, got %q", mode, kind)
+	}
+	parts, _ := kg.PartitionByRelation(cl.Nodes())
+	ps.Init(cfg.InitEmbeddings())
+
+	res := &Result{}
+	losses := make([]float64, cl.TotalWorkers())
+	counts := make([]int, cl.TotalWorkers())
+	errs := make(chan error, cl.TotalWorkers())
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		start := time.Now()
+		cl.RunWorkers(func(node, worker int) {
+			loss, n, err := runWorkerEpoch(cl, ps, cfg, mode, parts[node], epoch, node, worker)
+			if err != nil {
+				select {
+				case errs <- err:
+				default:
+				}
+				return
+			}
+			losses[worker] = loss
+			counts[worker] = n
+		})
+		select {
+		case err := <-errs:
+			return nil, err
+		default:
+		}
+		res.EpochTimes = append(res.EpochTimes, time.Since(start))
+		var sum float64
+		var n int
+		for w := range losses {
+			sum += losses[w]
+			n += counts[w]
+		}
+		if n > 0 {
+			sum /= float64(n)
+		}
+		res.Losses = append(res.Losses, sum)
+	}
+	return res, nil
+}
+
+// sample is one training step's key set: the positive triple's parameters
+// plus pre-drawn negative entities.
+type sample struct {
+	triple  data.Triple
+	negSubj []int32
+	negObj  []int32
+	entKeys []kv.Key // s, o, negSubj..., negObj...
+}
+
+// intner abstracts the random source (satisfied by *rand.Rand).
+type intner interface{ Intn(n int) int }
+
+func makeSample(cfg Config, t data.Triple, rng intner) sample {
+	s := sample{triple: t}
+	s.negSubj = make([]int32, cfg.Negatives)
+	s.negObj = make([]int32, cfg.Negatives)
+	for i := range s.negSubj {
+		s.negSubj[i] = int32(rng.Intn(cfg.Entities))
+		s.negObj[i] = int32(rng.Intn(cfg.Entities))
+	}
+	s.entKeys = make([]kv.Key, 0, 2+2*cfg.Negatives)
+	seen := map[kv.Key]bool{}
+	add := func(e int32) {
+		k := kv.Key(e)
+		if !seen[k] {
+			seen[k] = true
+			s.entKeys = append(s.entKeys, k)
+		}
+	}
+	add(t.S)
+	add(t.O)
+	for i := range s.negSubj {
+		add(s.negSubj[i])
+		add(s.negObj[i])
+	}
+	return s
+}
+
+// runWorkerEpoch processes this worker's share of its node's triples.
+func runWorkerEpoch(cl *cluster.Cluster, ps driver.PS, cfg Config, mode Mode,
+	nodeTriples []data.Triple, epoch, node, worker int) (float64, int, error) {
+	h := ps.Handle(worker)
+	local := cl.LocalWorker(worker)
+	W := cl.WorkersPerNode()
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(epoch)*977 + int64(worker)*13))
+
+	// Data clustering: localize the relation parameters this node uses.
+	if mode != ModePlain && epoch == 0 && local == 0 {
+		seen := map[kv.Key]bool{}
+		keys := []kv.Key{}
+		for _, t := range nodeTriples {
+			k := cfg.relKey(t.R)
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		if err := h.Localize(keys); err != nil {
+			return 0, 0, fmt.Errorf("kge: localize relations: %w", err)
+		}
+	}
+	h.Barrier()
+
+	// This worker's slice of the node's triples.
+	var mine []data.Triple
+	for i := local; i < len(nodeTriples); i += W {
+		mine = append(mine, nodeTriples[i])
+	}
+
+	model := newScorer(cfg)
+	var lossSum float64
+	// Latency hiding: keep a window of cfg.Lookahead pre-generated samples
+	// whose entity parameters are being pre-localized while earlier points
+	// compute (Appendix A).
+	la := cfg.lookahead()
+	window := make([]sample, 0, la+1)
+	prepare := func(idx int) {
+		if idx >= len(mine) {
+			return
+		}
+		s := makeSample(cfg, mine[idx], rng)
+		if mode == ModeFull {
+			h.LocalizeAsync(s.entKeys)
+		}
+		window = append(window, s)
+	}
+	for i := 0; i < la && i < len(mine); i++ {
+		prepare(i)
+	}
+	for i := range mine {
+		cur := window[0]
+		window = window[:copy(window, window[1:])]
+		prepare(i + la)
+		loss, err := model.step(h, cfg, cur)
+		if err != nil {
+			return 0, 0, err
+		}
+		lossSum += loss
+		cl.Compute(cfg.PointCost)
+	}
+	if err := h.WaitAll(); err != nil {
+		return 0, 0, err
+	}
+	h.Barrier()
+	return lossSum, len(mine), nil
+}

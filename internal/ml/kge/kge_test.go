@@ -1,0 +1,212 @@
+package kge
+
+import (
+	"testing"
+
+	"lapse/internal/cluster"
+	"lapse/internal/data"
+	"lapse/internal/driver"
+	"lapse/internal/kv"
+)
+
+func tinyConfig(model Model) Config {
+	return Config{
+		Model: model, Entities: 200, Relations: 8, Triples: 1500,
+		Dim: 4, Negatives: 2, LR: 0.2, Epochs: 3, Seed: 3,
+	}
+}
+
+func runKGE(t *testing.T, kind driver.Kind, nodes, workers int, cfg Config, mode Mode, kg *data.KG) *Result {
+	t.Helper()
+	cl := cluster.New(cluster.Config{Nodes: nodes, WorkersPerNode: workers})
+	ps := driver.Build(kind, cl, cfg.Layout(), driver.Options{})
+	defer func() { cl.Close(); ps.Shutdown() }()
+	res, err := RunOnKG(cl, ps, kind, cfg, mode, kg)
+	if err != nil {
+		t.Fatalf("%s mode %d: %v", kind, mode, err)
+	}
+	return res
+}
+
+func TestLayouts(t *testing.T) {
+	c := tinyConfig(ComplEx)
+	l := c.Layout()
+	if l.NumKeys() != 208 {
+		t.Fatalf("keys = %d", l.NumKeys())
+	}
+	if l.Len(0) != 2*2*c.Dim { // complex entity: (re+im) × (emb+acc)
+		t.Fatalf("entity len = %d", l.Len(0))
+	}
+	if l.Len(200) != 2*2*c.Dim {
+		t.Fatalf("complex relation len = %d", l.Len(200))
+	}
+	r := tinyConfig(RESCAL)
+	lr := r.Layout()
+	if lr.Len(0) != 2*r.Dim {
+		t.Fatalf("rescal entity len = %d", lr.Len(0))
+	}
+	if lr.Len(200) != 2*r.Dim*r.Dim {
+		t.Fatalf("rescal relation len = %d", lr.Len(200))
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	for _, model := range []Model{ComplEx, RESCAL} {
+		model := model
+		t.Run(string(model), func(t *testing.T) {
+			cfg := tinyConfig(model)
+			kg := data.SyntheticKG(cfg.Entities, cfg.Relations, cfg.Triples, cfg.Seed)
+			res := runKGE(t, driver.Lapse, 2, 2, cfg, ModeFull, kg)
+			if len(res.Losses) != cfg.Epochs {
+				t.Fatalf("losses = %v", res.Losses)
+			}
+			first, last := res.Losses[0], res.Losses[len(res.Losses)-1]
+			if last >= first {
+				t.Fatalf("loss did not decrease: %v", res.Losses)
+			}
+		})
+	}
+}
+
+func TestAllVariantsTrain(t *testing.T) {
+	cfg := tinyConfig(ComplEx)
+	cfg.Epochs = 1
+	kg := data.SyntheticKG(cfg.Entities, cfg.Relations, cfg.Triples, cfg.Seed)
+	cases := []struct {
+		kind driver.Kind
+		mode Mode
+	}{
+		{driver.ClassicPS, ModePlain},
+		{driver.ClassicFast, ModePlain},
+		{driver.Lapse, ModeDataClustering},
+		{driver.Lapse, ModeFull},
+		{driver.LapseCached, ModeFull},
+	}
+	for _, c := range cases {
+		res := runKGE(t, c.kind, 2, 2, cfg, c.mode, kg)
+		if len(res.EpochTimes) != 1 || res.EpochTimes[0] <= 0 {
+			t.Fatalf("%s mode %d: bad epoch times %v", c.kind, c.mode, res.EpochTimes)
+		}
+		if res.Losses[0] <= 0 {
+			t.Fatalf("%s mode %d: suspicious loss %v", c.kind, c.mode, res.Losses)
+		}
+	}
+}
+
+func TestModeRequiresLocalize(t *testing.T) {
+	cfg := tinyConfig(ComplEx)
+	cl := cluster.New(cluster.Config{Nodes: 1, WorkersPerNode: 1})
+	ps := driver.Build(driver.ClassicPS, cl, cfg.Layout(), driver.Options{})
+	defer func() { cl.Close(); ps.Shutdown() }()
+	if _, err := Run(cl, ps, driver.ClassicPS, cfg, ModeFull); err == nil {
+		t.Fatal("ModeFull on classic PS should fail")
+	}
+}
+
+func TestRelationAccessesLocalUnderDataClustering(t *testing.T) {
+	// With data clustering, all relation-parameter accesses must be local.
+	cfg := tinyConfig(RESCAL)
+	cfg.Epochs = 1
+	kg := data.SyntheticKG(cfg.Entities, cfg.Relations, cfg.Triples, cfg.Seed)
+	cl := cluster.New(cluster.Config{Nodes: 2, WorkersPerNode: 2})
+	ps := driver.Build(driver.Lapse, cl, cfg.Layout(), driver.Options{})
+	defer func() { cl.Close(); ps.Shutdown() }()
+	if _, err := RunOnKG(cl, ps, driver.Lapse, cfg, ModeFull, kg); err != nil {
+		t.Fatal(err)
+	}
+	// All triples' relations were localized; entity conflicts can cause
+	// some remote reads, but there should be overwhelmingly local access.
+	var local, remote int64
+	for _, st := range ps.Stats() {
+		local += st.LocalReads.Load()
+		remote += st.RemoteReads.Load()
+	}
+	if local == 0 {
+		t.Fatal("no local reads")
+	}
+	if remote > local/2 {
+		t.Fatalf("PAL ineffective: %d local vs %d remote reads", local, remote)
+	}
+}
+
+func TestGradientsComplExFiniteDifference(t *testing.T) {
+	cfg := tinyConfig(ComplEx)
+	checkGradients(t, cfg)
+}
+
+func TestGradientsRESCALFiniteDifference(t *testing.T) {
+	cfg := tinyConfig(RESCAL)
+	checkGradients(t, cfg)
+}
+
+// checkGradients compares scoreAndGrad's analytic gradients against central
+// finite differences of the logistic loss.
+func checkGradients(t *testing.T, cfg Config) {
+	t.Helper()
+	sc := newScorer(cfg)
+	entHalf := cfg.entLen() / 2
+	relHalf := cfg.relLen() / 2
+	se := fill(entHalf, 0.3)
+	oe := fill(entHalf, -0.2)
+	re := fill(relHalf, 0.15)
+	for _, label := range []float32{1, -1} {
+		gs := make([]float32, entHalf)
+		gr := make([]float32, relHalf)
+		goo := make([]float32, entHalf)
+		sc.scoreAndGrad(cfg, se, re, oe, gs, gr, goo, label)
+		const h = 1e-3
+		lossAt := func() float64 {
+			tmp := make([]float32, entHalf)
+			f := sc.scoreAndGrad(cfg, se, re, oe, tmp, make([]float32, relHalf), make([]float32, entHalf), label)
+			return logisticLoss(f, label)
+		}
+		for _, probe := range []struct {
+			vec  []float32
+			grad []float32
+		}{{se, gs}, {re, gr}, {oe, goo}} {
+			for i := 0; i < len(probe.vec); i += 3 { // sample a few coordinates
+				orig := probe.vec[i]
+				probe.vec[i] = orig + h
+				up := lossAt()
+				probe.vec[i] = orig - h
+				down := lossAt()
+				probe.vec[i] = orig
+				fd := (up - down) / (2 * h)
+				if diff := fd - float64(probe.grad[i]); diff > 1e-2 || diff < -1e-2 {
+					t.Fatalf("model %s label %v coord %d: analytic %v vs fd %v",
+						cfg.Model, label, i, probe.grad[i], fd)
+				}
+			}
+		}
+	}
+}
+
+func fill(n int, base float32) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = base + float32(i%5)*0.01
+	}
+	return v
+}
+
+func TestSampleDedupesKeys(t *testing.T) {
+	cfg := tinyConfig(ComplEx)
+	cfg.Negatives = 3
+	tr := data.Triple{S: 5, O: 5, R: 1} // duplicate entity
+	rng := newDetRand()
+	s := makeSample(cfg, tr, rng)
+	seen := map[kv.Key]bool{}
+	for _, k := range s.entKeys {
+		if seen[k] {
+			t.Fatalf("duplicate key %d in sample", k)
+		}
+		seen[k] = true
+	}
+}
+
+func newDetRand() *randSource { return &randSource{} }
+
+// randSource is a minimal deterministic stand-in for *rand.Rand in tests.
+type randSource struct{ n int }
+
+func (r *randSource) Intn(n int) int { r.n++; return r.n % n }

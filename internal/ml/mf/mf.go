@@ -1,0 +1,224 @@
+// Package mf implements distributed low-rank matrix factorization with the
+// DSGD parameter-blocking algorithm (Gemulla et al., KDD'11) used in the
+// paper's Section 4 experiments, runnable on every parameter-server variant,
+// plus the specialized low-level implementation the paper compares against in
+// Section 4.4 (DSGDpp-style direct block passing without a PS).
+//
+// Model: R ≈ W·Hᵀ with squared loss and L2 regularization. Keys 0..Rows-1
+// hold the row factors (always accessed by a fixed worker: data clustering);
+// keys Rows..Rows+Cols-1 hold the column factors, which DSGD partitions into
+// one block per worker and rotates between subepochs (parameter blocking,
+// Figure 3b). On Lapse each worker localizes its current column block at the
+// start of every subepoch, making all accesses within the subepoch local; on
+// the stale PS each subepoch ends with a clock (staleness 1, Appendix A); on
+// classic PSs every access goes through the (mostly remote) servers.
+package mf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"lapse/internal/cluster"
+	"lapse/internal/data"
+	"lapse/internal/driver"
+	"lapse/internal/kv"
+)
+
+// Config parameterizes a factorization run.
+type Config struct {
+	Rows, Cols int
+	NNZ        int
+	TrueRank   int // rank of the generating model
+	Rank       int // model rank r
+	LR         float32
+	Reg        float32
+	Epochs     int
+	Seed       int64
+	// EvalSample bounds the number of entries used for the loss estimate
+	// (0 = all entries).
+	EvalSample int
+	// PointCost is the modeled computation time per training entry
+	// (gradient computation), simulated through cluster.Compute so worker
+	// computation overlaps in wall time. Zero disables compute modeling
+	// (unit tests).
+	PointCost time.Duration
+}
+
+// DefaultConfig returns a laptop-scale configuration with the paper's shape
+// (rank-100 factorization of a large synthetic matrix, scaled down).
+func DefaultConfig() Config {
+	return Config{
+		Rows: 2000, Cols: 2000, NNZ: 40000, TrueRank: 8,
+		Rank: 16, LR: 0.05, Reg: 0.01, Epochs: 1, Seed: 1,
+		EvalSample: 4000,
+	}
+}
+
+// Layout returns the parameter layout: one key per row factor and one per
+// column factor, each of length Rank.
+func (c Config) Layout() kv.Layout {
+	return kv.NewUniformLayout(kv.Key(c.Rows+c.Cols), c.Rank)
+}
+
+// colKey maps column j to its parameter key.
+func (c Config) colKey(j int) kv.Key { return kv.Key(c.Rows + j) }
+
+// Result captures a run's measurements.
+type Result struct {
+	EpochTimes []time.Duration
+	Losses     []float64 // RMSE on the evaluation sample after each epoch
+}
+
+// InitFactors seeds the parameters with small deterministic pseudo-random
+// values (identical across PS variants for comparable losses).
+func (c Config) InitFactors() func(k kv.Key, v []float32) {
+	scale := float32(1.0 / math.Sqrt(float64(c.Rank)))
+	return func(k kv.Key, v []float32) {
+		h := uint64(k)*0x9e3779b97f4a7c15 + uint64(c.Seed)
+		for i := range v {
+			h ^= h >> 30
+			h *= 0xbf58476d1ce4e5b9
+			h ^= h >> 27
+			// Map to (-0.5, 0.5) then scale.
+			v[i] = (float32(h%100000)/100000 - 0.5) * scale
+		}
+	}
+}
+
+// Run trains cfg on ps over cl using DSGD. kind selects the PS-specific
+// behaviour (localize for Lapse variants, clocks for stale variants).
+func Run(cl *cluster.Cluster, ps driver.PS, kind driver.Kind, cfg Config) (*Result, error) {
+	m := data.SyntheticMatrix(cfg.Rows, cfg.Cols, cfg.NNZ, cfg.TrueRank, 0.05, cfg.Seed)
+	return RunOnMatrix(cl, ps, kind, cfg, m)
+}
+
+// RunOnMatrix is Run with a caller-provided matrix (shared across variants).
+func RunOnMatrix(cl *cluster.Cluster, ps driver.PS, kind driver.Kind, cfg Config, m *data.Matrix) (*Result, error) {
+	P := cl.TotalWorkers()
+	grid := m.BlockGrid(P)
+	ps.Init(cfg.InitFactors())
+
+	useDPA := driver.SupportsLocalize(kind)
+	useClock := kind == driver.SSPClient || kind == driver.SSPServer
+
+	res := &Result{}
+	errs := make(chan error, P)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		start := time.Now()
+		cl.RunWorkers(func(node, worker int) {
+			if err := runWorkerEpoch(cl, ps, kind, cfg, grid, P, epoch, worker, useDPA, useClock); err != nil {
+				select {
+				case errs <- err:
+				default:
+				}
+			}
+		})
+		select {
+		case err := <-errs:
+			return nil, err
+		default:
+		}
+		res.EpochTimes = append(res.EpochTimes, time.Since(start))
+		res.Losses = append(res.Losses, EvalRMSE(ps, cfg, m))
+	}
+	return res, nil
+}
+
+// runWorkerEpoch executes one DSGD epoch for one worker: P subepochs, in
+// subepoch s processing block (worker + s) mod P of the columns.
+func runWorkerEpoch(cl *cluster.Cluster, ps driver.PS, kind driver.Kind, cfg Config, grid [][][]data.Entry,
+	P, epoch, worker int, useDPA, useClock bool) error {
+	h := ps.Handle(worker)
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(epoch)*1000 + int64(worker)))
+
+	// Data clustering for the row factors: localize this worker's row
+	// block once (they are accessed by this worker only).
+	if useDPA && epoch == 0 {
+		lo, hi := data.BlockRange(cfg.Rows, P, worker)
+		keys := make([]kv.Key, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			keys = append(keys, kv.Key(i))
+		}
+		if err := h.Localize(keys); err != nil {
+			return fmt.Errorf("mf: localize row block: %w", err)
+		}
+	}
+	h.Barrier()
+
+	buf := make([]float32, 2*cfg.Rank)
+	delta := make([]float32, 2*cfg.Rank)
+	for s := 0; s < P; s++ {
+		colBlock := (worker + s) % P
+		if useDPA {
+			// Parameter blocking: localize the column block for this
+			// subepoch; all accesses below are then local.
+			lo, hi := data.BlockRange(cfg.Cols, P, colBlock)
+			keys := make([]kv.Key, 0, hi-lo)
+			for j := lo; j < hi; j++ {
+				keys = append(keys, cfg.colKey(j))
+			}
+			if err := h.Localize(keys); err != nil {
+				return fmt.Errorf("mf: localize column block: %w", err)
+			}
+		}
+		entries := grid[worker][colBlock]
+		order := rng.Perm(len(entries))
+		for _, idx := range order {
+			e := entries[idx]
+			keys := []kv.Key{kv.Key(e.I), cfg.colKey(e.J)}
+			if err := h.Pull(keys, buf); err != nil {
+				return fmt.Errorf("mf: pull: %w", err)
+			}
+			w := buf[:cfg.Rank]
+			hv := buf[cfg.Rank:]
+			var dot float32
+			for r := 0; r < cfg.Rank; r++ {
+				dot += w[r] * hv[r]
+			}
+			err := e.V - dot
+			for r := 0; r < cfg.Rank; r++ {
+				delta[r] = cfg.LR * (err*hv[r] - cfg.Reg*w[r])
+				delta[cfg.Rank+r] = cfg.LR * (err*w[r] - cfg.Reg*hv[r])
+			}
+			h.PushAsync(keys, delta)
+			cl.Compute(cfg.PointCost)
+		}
+		if err := h.WaitAll(); err != nil {
+			return fmt.Errorf("mf: waitall: %w", err)
+		}
+		if useClock {
+			// Bounded staleness: one clock per subepoch, staleness 1
+			// (Appendix A), so replicas refresh at block exchanges.
+			h.Clock()
+		}
+		// Global barrier after each subepoch (Appendix A).
+		h.Barrier()
+	}
+	return nil
+}
+
+// EvalRMSE estimates the root-mean-square error on a sample of entries using
+// the authoritative parameter values.
+func EvalRMSE(ps driver.PS, cfg Config, m *data.Matrix) float64 {
+	n := len(m.Entries)
+	if cfg.EvalSample > 0 && cfg.EvalSample < n {
+		n = cfg.EvalSample
+	}
+	w := make([]float32, cfg.Rank)
+	hv := make([]float32, cfg.Rank)
+	var se float64
+	for i := 0; i < n; i++ {
+		e := m.Entries[i]
+		ps.ReadParameter(kv.Key(e.I), w)
+		ps.ReadParameter(cfg.colKey(e.J), hv)
+		var dot float32
+		for r := 0; r < cfg.Rank; r++ {
+			dot += w[r] * hv[r]
+		}
+		d := float64(e.V - dot)
+		se += d * d
+	}
+	return math.Sqrt(se / float64(n))
+}

@@ -1,0 +1,136 @@
+package w2v
+
+import (
+	"testing"
+
+	"lapse/internal/cluster"
+	"lapse/internal/data"
+	"lapse/internal/driver"
+)
+
+func tinyConfig() Config {
+	return Config{
+		Vocab: 300, Sentences: 120, SentenceLen: 10,
+		Dim: 8, Window: 2, Negatives: 2,
+		NegPool: 50, RefillAt: 45,
+		LR: 0.1, Epochs: 3, Seed: 4,
+		EvalExamples: 200,
+	}
+}
+
+func runW2V(t *testing.T, kind driver.Kind, nodes, workers int, cfg Config, useLH bool, c *data.Corpus) *Result {
+	t.Helper()
+	cl := cluster.New(cluster.Config{Nodes: nodes, WorkersPerNode: workers})
+	ps := driver.Build(kind, cl, cfg.Layout(), driver.Options{})
+	defer func() { cl.Close(); ps.Shutdown() }()
+	res, err := RunOnCorpus(cl, ps, kind, cfg, useLH, c)
+	if err != nil {
+		t.Fatalf("%s: %v", kind, err)
+	}
+	return res
+}
+
+func TestTrainingReducesError(t *testing.T) {
+	cfg := tinyConfig()
+	corpus := data.SyntheticCorpus(cfg.Vocab, cfg.Sentences, cfg.SentenceLen, cfg.Seed)
+	res := runW2V(t, driver.Lapse, 2, 2, cfg, true, corpus)
+	if len(res.Errors) != cfg.Epochs {
+		t.Fatalf("errors = %v", res.Errors)
+	}
+	if res.Errors[len(res.Errors)-1] >= res.Errors[0] {
+		t.Fatalf("error did not decrease: %v", res.Errors)
+	}
+}
+
+func TestClassicFastAlsoTrains(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Epochs = 2
+	corpus := data.SyntheticCorpus(cfg.Vocab, cfg.Sentences, cfg.SentenceLen, cfg.Seed)
+	res := runW2V(t, driver.ClassicFast, 2, 2, cfg, false, corpus)
+	if res.Errors[len(res.Errors)-1] >= res.Errors[0] {
+		t.Fatalf("error did not decrease: %v", res.Errors)
+	}
+}
+
+func TestLatencyHidingRequiresLapse(t *testing.T) {
+	cfg := tinyConfig()
+	cl := cluster.New(cluster.Config{Nodes: 1, WorkersPerNode: 1})
+	ps := driver.Build(driver.ClassicFast, cl, cfg.Layout(), driver.Options{})
+	defer func() { cl.Close(); ps.Shutdown() }()
+	if _, err := Run(cl, ps, driver.ClassicFast, cfg, true); err == nil {
+		t.Fatal("latency hiding on classic PS should fail")
+	}
+}
+
+func TestMostAccessesLocalWithLatencyHiding(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Epochs = 1
+	corpus := data.SyntheticCorpus(cfg.Vocab, cfg.Sentences, cfg.SentenceLen, cfg.Seed)
+	cl := cluster.New(cluster.Config{Nodes: 4, WorkersPerNode: 1})
+	ps := driver.Build(driver.Lapse, cl, cfg.Layout(), driver.Options{})
+	defer func() { cl.Close(); ps.Shutdown() }()
+	if _, err := RunOnCorpus(cl, ps, driver.Lapse, cfg, true, corpus); err != nil {
+		t.Fatal(err)
+	}
+	var local, remote int64
+	for _, st := range ps.Stats() {
+		local += st.LocalReads.Load()
+		remote += st.RemoteReads.Load()
+	}
+	if local == 0 {
+		t.Fatal("no local reads recorded")
+	}
+	if remote > local {
+		t.Fatalf("latency hiding ineffective: %d local vs %d remote", local, remote)
+	}
+}
+
+func TestNegPoolSkipsConflictedSamples(t *testing.T) {
+	// On a single node everything is local, so take() must always report
+	// local with latency hiding on.
+	cfg := tinyConfig()
+	corpus := data.SyntheticCorpus(cfg.Vocab, cfg.Sentences, cfg.SentenceLen, cfg.Seed)
+	cl := cluster.New(cluster.Config{Nodes: 1, WorkersPerNode: 1})
+	ps := driver.Build(driver.Lapse, cl, cfg.Layout(), driver.Options{})
+	defer func() { cl.Close(); ps.Shutdown() }()
+	ps.Init(cfg.InitVectors())
+	h := ps.Handle(0)
+	sampler := data.NewUnigramSampler(corpus.Freq, 5)
+	pool := newNegPool(cfg, sampler, h, true)
+	if err := h.WaitAll(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float32, cfg.Dim)
+	for i := 0; i < 100; i++ {
+		_, local := pool.take(buf)
+		if !local {
+			t.Fatal("single-node negative sample reported non-local")
+		}
+	}
+}
+
+func TestEvalSetDeterministic(t *testing.T) {
+	cfg := tinyConfig()
+	corpus := data.SyntheticCorpus(cfg.Vocab, cfg.Sentences, cfg.SentenceLen, cfg.Seed)
+	a := newEvalSet(cfg, corpus)
+	b := newEvalSet(cfg, corpus)
+	if len(a.centers) == 0 || len(a.centers) != len(b.centers) {
+		t.Fatalf("eval sizes: %d vs %d", len(a.centers), len(b.centers))
+	}
+	for i := range a.centers {
+		if a.centers[i] != b.centers[i] || a.contexts[i] != b.contexts[i] {
+			t.Fatal("eval set not deterministic")
+		}
+	}
+}
+
+func TestLayout(t *testing.T) {
+	cfg := tinyConfig()
+	l := cfg.Layout()
+	if l.NumKeys() != 600 {
+		t.Fatalf("keys = %d, want 600", l.NumKeys())
+	}
+	if cfg.outKey(0) != 300 {
+		t.Fatalf("outKey(0) = %d", cfg.outKey(0))
+	}
+}

@@ -1,0 +1,423 @@
+// Package msg defines the wire messages exchanged between nodes of a
+// parameter server and a compact binary codec for them.
+//
+// The real Lapse implementation uses ZeroMQ with protocol-buffer payloads;
+// here messages travel through the simulated network of package simnet, but
+// the codec is used to (1) compute realistic on-the-wire sizes for the
+// latency/bandwidth model and (2) validate that every message round-trips
+// losslessly, so the system could be ported to a real transport unchanged.
+package msg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"lapse/internal/kv"
+)
+
+// Kind discriminates message types on the wire.
+type Kind uint8
+
+// Message kinds. The Op* kinds are client operations that may be forwarded
+// between nodes; the Reloc* kinds implement the relocation protocol of
+// Section 3.2; the Ssp* kinds implement the stale (Petuum-style) protocol.
+const (
+	KindInvalid Kind = iota
+	KindOp           // pull/push request (possibly forwarded)
+	KindOpResp       // response to a pull/push
+	KindLocalize
+	KindRelocInstruct
+	KindRelocTransfer
+	KindSspClock
+	KindSspSync
+	KindBarrier
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindOp:
+		return "Op"
+	case KindOpResp:
+		return "OpResp"
+	case KindLocalize:
+		return "Localize"
+	case KindRelocInstruct:
+		return "RelocInstruct"
+	case KindRelocTransfer:
+		return "RelocTransfer"
+	case KindSspClock:
+		return "SspClock"
+	case KindSspSync:
+		return "SspSync"
+	case KindBarrier:
+		return "Barrier"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// OpType distinguishes pulls from pushes inside an Op message.
+type OpType uint8
+
+// Operation types.
+const (
+	OpPull OpType = iota
+	OpPush
+)
+
+func (t OpType) String() string {
+	if t == OpPull {
+		return "pull"
+	}
+	return "push"
+}
+
+// Op is a (possibly multi-key) pull or push request. Origin identifies the
+// node whose worker issued the operation and ID the pending-operation slot at
+// that node, so that the final owner can respond directly to the origin.
+// Hops counts forwarding steps (for double-forward accounting and loop
+// detection); ViaCache marks requests sent via a location cache entry, which
+// the receiver uses for stale-cache handling.
+type Op struct {
+	Type     OpType
+	ID       uint64
+	Origin   int32
+	Hops     uint8
+	ViaCache bool
+	Keys     []kv.Key
+	Vals     []float32 // push update terms (concatenated in Keys order); nil for pulls
+}
+
+// OpResp answers an Op. For pulls, Vals carries the requested values in Keys
+// order. Responder is the node that held the keys; origins use it to update
+// their location caches.
+type OpResp struct {
+	Type      OpType
+	ID        uint64
+	Responder int32
+	Keys      []kv.Key
+	Vals      []float32 // nil for push acknowledgements
+}
+
+// Localize asks the home node of Keys to relocate them to Origin (message 1
+// of the relocation protocol). ID identifies the pending localize at Origin.
+type Localize struct {
+	ID     uint64
+	Origin int32
+	Keys   []kv.Key
+}
+
+// RelocInstruct tells the current owner to stop processing, remove Keys from
+// its store, and transfer them to Dest (message 2 of the protocol).
+type RelocInstruct struct {
+	ID   uint64 // pending-localize ID at Dest
+	Dest int32
+	Keys []kv.Key
+}
+
+// RelocTransfer hands the parameter values over to the new owner (message 3).
+type RelocTransfer struct {
+	ID   uint64 // pending-localize ID at the destination
+	Keys []kv.Key
+	Vals []float32
+}
+
+// SspClock reports that worker Worker advanced its clock to Clock. It is sent
+// to every server after the worker flushed its buffered updates.
+type SspClock struct {
+	Worker int32
+	Clock  int32
+}
+
+// SspSync carries replica refreshes in the stale PS: for client-based
+// synchronization it answers an explicit fetch; for server-based
+// synchronization (SSPPush) the server sends it eagerly after a global clock
+// advance. Clock is the global clock the values reflect.
+type SspSync struct {
+	ID    uint64 // pending fetch ID at the destination; 0 for eager pushes
+	Clock int32
+	Keys  []kv.Key
+	Vals  []float32
+}
+
+// Barrier implements a simple distributed barrier through the coordinator
+// node (node 0): workers send Enter=true, the coordinator answers with
+// Enter=false once all have arrived. Seq numbers consecutive barriers.
+type Barrier struct {
+	Enter  bool
+	Seq    uint32
+	Worker int32
+}
+
+const (
+	headerBytes = 1 + 4 // kind + payload length prefix used by Encode
+	keyBytes    = 8
+	valBytes    = 4
+)
+
+// Size returns the encoded size in bytes of m. It is used by the simulated
+// network's bandwidth model and matches the output length of Encode.
+func Size(m any) int {
+	switch t := m.(type) {
+	case *Op:
+		return headerBytes + 1 + 8 + 4 + 1 + 1 + 4 + 4 + len(t.Keys)*keyBytes + len(t.Vals)*valBytes
+	case *OpResp:
+		return headerBytes + 1 + 8 + 4 + 4 + 4 + len(t.Keys)*keyBytes + len(t.Vals)*valBytes
+	case *Localize:
+		return headerBytes + 8 + 4 + 4 + len(t.Keys)*keyBytes
+	case *RelocInstruct:
+		return headerBytes + 8 + 4 + 4 + len(t.Keys)*keyBytes
+	case *RelocTransfer:
+		return headerBytes + 8 + 4 + 4 + len(t.Keys)*keyBytes + len(t.Vals)*valBytes
+	case *SspClock:
+		return headerBytes + 4 + 4
+	case *SspSync:
+		return headerBytes + 8 + 4 + 4 + 4 + len(t.Keys)*keyBytes + len(t.Vals)*valBytes
+	case *Barrier:
+		return headerBytes + 1 + 4 + 4
+	default:
+		panic(fmt.Sprintf("msg: Size on unknown message type %T", m))
+	}
+}
+
+// Encode serializes m into a fresh byte slice.
+func Encode(m any) []byte {
+	buf := make([]byte, 0, Size(m))
+	switch t := m.(type) {
+	case *Op:
+		buf = append(buf, byte(KindOp))
+		buf = appendLen(buf, Size(m)-headerBytes)
+		buf = append(buf, byte(t.Type))
+		buf = binary.LittleEndian.AppendUint64(buf, t.ID)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Origin))
+		buf = append(buf, t.Hops, boolByte(t.ViaCache))
+		buf = appendKeys(buf, t.Keys)
+		buf = appendVals(buf, t.Vals)
+	case *OpResp:
+		buf = append(buf, byte(KindOpResp))
+		buf = appendLen(buf, Size(m)-headerBytes)
+		buf = append(buf, byte(t.Type))
+		buf = binary.LittleEndian.AppendUint64(buf, t.ID)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Responder))
+		buf = appendKeys(buf, t.Keys)
+		buf = appendVals(buf, t.Vals)
+	case *Localize:
+		buf = append(buf, byte(KindLocalize))
+		buf = appendLen(buf, Size(m)-headerBytes)
+		buf = binary.LittleEndian.AppendUint64(buf, t.ID)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Origin))
+		buf = appendKeys(buf, t.Keys)
+	case *RelocInstruct:
+		buf = append(buf, byte(KindRelocInstruct))
+		buf = appendLen(buf, Size(m)-headerBytes)
+		buf = binary.LittleEndian.AppendUint64(buf, t.ID)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Dest))
+		buf = appendKeys(buf, t.Keys)
+	case *RelocTransfer:
+		buf = append(buf, byte(KindRelocTransfer))
+		buf = appendLen(buf, Size(m)-headerBytes)
+		buf = binary.LittleEndian.AppendUint64(buf, t.ID)
+		buf = appendKeys(buf, t.Keys)
+		buf = appendVals(buf, t.Vals)
+	case *SspClock:
+		buf = append(buf, byte(KindSspClock))
+		buf = appendLen(buf, Size(m)-headerBytes)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Worker))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Clock))
+	case *SspSync:
+		buf = append(buf, byte(KindSspSync))
+		buf = appendLen(buf, Size(m)-headerBytes)
+		buf = binary.LittleEndian.AppendUint64(buf, t.ID)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Clock))
+		buf = appendKeys(buf, t.Keys)
+		buf = appendVals(buf, t.Vals)
+	case *Barrier:
+		buf = append(buf, byte(KindBarrier))
+		buf = appendLen(buf, Size(m)-headerBytes)
+		buf = append(buf, boolByte(t.Enter))
+		buf = binary.LittleEndian.AppendUint32(buf, t.Seq)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Worker))
+	default:
+		panic(fmt.Sprintf("msg: Encode on unknown message type %T", m))
+	}
+	return buf
+}
+
+// Decode parses one encoded message and returns it together with the number
+// of bytes consumed.
+func Decode(buf []byte) (any, int, error) {
+	if len(buf) < headerBytes {
+		return nil, 0, fmt.Errorf("msg: short buffer (%d bytes)", len(buf))
+	}
+	kind := Kind(buf[0])
+	plen := int(binary.LittleEndian.Uint32(buf[1:5]))
+	if len(buf) < headerBytes+plen {
+		return nil, 0, fmt.Errorf("msg: truncated %v payload: have %d, want %d", kind, len(buf)-headerBytes, plen)
+	}
+	p := buf[headerBytes : headerBytes+plen]
+	total := headerBytes + plen
+	switch kind {
+	case KindOp:
+		m := &Op{}
+		m.Type = OpType(p[0])
+		m.ID = binary.LittleEndian.Uint64(p[1:9])
+		m.Origin = int32(binary.LittleEndian.Uint32(p[9:13]))
+		m.Hops = p[13]
+		m.ViaCache = p[14] != 0
+		var err error
+		p = p[15:]
+		m.Keys, p, err = readKeys(p)
+		if err != nil {
+			return nil, 0, err
+		}
+		m.Vals, _, err = readVals(p)
+		if err != nil {
+			return nil, 0, err
+		}
+		return m, total, nil
+	case KindOpResp:
+		m := &OpResp{}
+		m.Type = OpType(p[0])
+		m.ID = binary.LittleEndian.Uint64(p[1:9])
+		m.Responder = int32(binary.LittleEndian.Uint32(p[9:13]))
+		var err error
+		p = p[13:]
+		m.Keys, p, err = readKeys(p)
+		if err != nil {
+			return nil, 0, err
+		}
+		m.Vals, _, err = readVals(p)
+		if err != nil {
+			return nil, 0, err
+		}
+		return m, total, nil
+	case KindLocalize:
+		m := &Localize{}
+		m.ID = binary.LittleEndian.Uint64(p[0:8])
+		m.Origin = int32(binary.LittleEndian.Uint32(p[8:12]))
+		var err error
+		m.Keys, _, err = readKeys(p[12:])
+		if err != nil {
+			return nil, 0, err
+		}
+		return m, total, nil
+	case KindRelocInstruct:
+		m := &RelocInstruct{}
+		m.ID = binary.LittleEndian.Uint64(p[0:8])
+		m.Dest = int32(binary.LittleEndian.Uint32(p[8:12]))
+		var err error
+		m.Keys, _, err = readKeys(p[12:])
+		if err != nil {
+			return nil, 0, err
+		}
+		return m, total, nil
+	case KindRelocTransfer:
+		m := &RelocTransfer{}
+		m.ID = binary.LittleEndian.Uint64(p[0:8])
+		var err error
+		p = p[8:]
+		m.Keys, p, err = readKeys(p)
+		if err != nil {
+			return nil, 0, err
+		}
+		m.Vals, _, err = readVals(p)
+		if err != nil {
+			return nil, 0, err
+		}
+		return m, total, nil
+	case KindSspClock:
+		m := &SspClock{}
+		m.Worker = int32(binary.LittleEndian.Uint32(p[0:4]))
+		m.Clock = int32(binary.LittleEndian.Uint32(p[4:8]))
+		return m, total, nil
+	case KindSspSync:
+		m := &SspSync{}
+		m.ID = binary.LittleEndian.Uint64(p[0:8])
+		m.Clock = int32(binary.LittleEndian.Uint32(p[8:12]))
+		var err error
+		p = p[12:]
+		m.Keys, p, err = readKeys(p)
+		if err != nil {
+			return nil, 0, err
+		}
+		m.Vals, _, err = readVals(p)
+		if err != nil {
+			return nil, 0, err
+		}
+		return m, total, nil
+	case KindBarrier:
+		m := &Barrier{}
+		m.Enter = p[0] != 0
+		m.Seq = binary.LittleEndian.Uint32(p[1:5])
+		m.Worker = int32(binary.LittleEndian.Uint32(p[5:9]))
+		return m, total, nil
+	default:
+		return nil, 0, fmt.Errorf("msg: unknown message kind %d", kind)
+	}
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func appendLen(buf []byte, n int) []byte {
+	return binary.LittleEndian.AppendUint32(buf, uint32(n))
+}
+
+func appendKeys(buf []byte, keys []kv.Key) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(keys)))
+	for _, k := range keys {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(k))
+	}
+	return buf
+}
+
+func appendVals(buf []byte, vals []float32) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(vals)))
+	for _, v := range vals {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+	}
+	return buf
+}
+
+func readKeys(p []byte) ([]kv.Key, []byte, error) {
+	if len(p) < 4 {
+		return nil, nil, fmt.Errorf("msg: truncated key count")
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	if len(p) < n*keyBytes {
+		return nil, nil, fmt.Errorf("msg: truncated keys: want %d, have %d bytes", n*keyBytes, len(p))
+	}
+	if n == 0 {
+		return nil, p, nil
+	}
+	keys := make([]kv.Key, n)
+	for i := range keys {
+		keys[i] = kv.Key(binary.LittleEndian.Uint64(p[i*keyBytes:]))
+	}
+	return keys, p[n*keyBytes:], nil
+}
+
+func readVals(p []byte) ([]float32, []byte, error) {
+	if len(p) < 4 {
+		return nil, nil, fmt.Errorf("msg: truncated value count")
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	if len(p) < n*valBytes {
+		return nil, nil, fmt.Errorf("msg: truncated values: want %d, have %d bytes", n*valBytes, len(p))
+	}
+	if n == 0 {
+		return nil, p, nil
+	}
+	vals := make([]float32, n)
+	for i := range vals {
+		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(p[i*valBytes:]))
+	}
+	return vals, p[n*valBytes:], nil
+}

@@ -1,0 +1,127 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lapse/internal/kv"
+)
+
+func TestRangeCoversAllKeys(t *testing.T) {
+	for _, nodes := range []int{1, 2, 3, 8} {
+		for _, keys := range []kv.Key{1, 7, 8, 100, 1001} {
+			if int(keys) < nodes {
+				continue
+			}
+			p := NewRange(keys, nodes)
+			counts := make([]int, nodes)
+			prev := -1
+			for k := kv.Key(0); k < keys; k++ {
+				n := p.NodeOf(k)
+				if n < 0 || n >= nodes {
+					t.Fatalf("NodeOf(%d) = %d with %d nodes", k, n, nodes)
+				}
+				if n < prev {
+					t.Fatalf("range partition not monotone: key %d -> node %d after node %d", k, n, prev)
+				}
+				prev = n
+				counts[n]++
+			}
+			minC, maxC := counts[0], counts[0]
+			for _, c := range counts {
+				if c < minC {
+					minC = c
+				}
+				if c > maxC {
+					maxC = c
+				}
+			}
+			if maxC-minC > 1 {
+				t.Fatalf("nodes=%d keys=%d: unbalanced ranges %v", nodes, keys, counts)
+			}
+		}
+	}
+}
+
+func TestRangeOfMatchesNodeOf(t *testing.T) {
+	f := func(keysRaw uint16, nodesRaw uint8) bool {
+		nodes := int(nodesRaw%8) + 1
+		keys := kv.Key(keysRaw%2000) + kv.Key(nodes)
+		p := NewRange(keys, nodes)
+		for node := 0; node < nodes; node++ {
+			lo, hi := p.RangeOf(node)
+			if lo >= hi {
+				return false
+			}
+			for k := lo; k < hi; k++ {
+				if p.NodeOf(k) != node {
+					return false
+				}
+			}
+		}
+		// Ranges must tile [0, keys).
+		_, hiLast := p.RangeOf(nodes - 1)
+		lo0, _ := p.RangeOf(0)
+		return lo0 == 0 && hiLast == keys
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeOutOfBoundsPanics(t *testing.T) {
+	p := NewRange(10, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.NodeOf(10)
+}
+
+func TestHashInRangeAndBalanced(t *testing.T) {
+	const keys = 100000
+	for _, nodes := range []int{1, 2, 4, 8} {
+		p := NewHash(nodes)
+		counts := make([]int, nodes)
+		for k := kv.Key(0); k < keys; k++ {
+			n := p.NodeOf(k)
+			if n < 0 || n >= nodes {
+				t.Fatalf("NodeOf(%d) = %d with %d nodes", k, n, nodes)
+			}
+			counts[n]++
+		}
+		want := keys / nodes
+		for n, c := range counts {
+			if c < want*9/10 || c > want*11/10 {
+				t.Fatalf("nodes=%d: node %d has %d keys, want ~%d", nodes, n, c, want)
+			}
+		}
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	p := NewHash(4)
+	for k := kv.Key(0); k < 1000; k++ {
+		if p.NodeOf(k) != p.NodeOf(k) {
+			t.Fatal("hash partitioner not deterministic")
+		}
+	}
+}
+
+func TestHashSpreadsAdjacentKeys(t *testing.T) {
+	// Unlike range partitioning, adjacent keys should often land on
+	// different nodes: that is the point of using it for skewed access.
+	p := NewHash(8)
+	same := 0
+	const n = 10000
+	for k := kv.Key(0); k < n-1; k++ {
+		if p.NodeOf(k) == p.NodeOf(k+1) {
+			same++
+		}
+	}
+	// Expected fraction 1/8; allow generous slack.
+	if same > n/4 {
+		t.Fatalf("adjacent keys collide too often: %d/%d", same, n)
+	}
+}

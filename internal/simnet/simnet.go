@@ -1,0 +1,373 @@
+// Package simnet simulates the cluster network of the paper's testbed in a
+// single process.
+//
+// The network consists of one directed link per ordered node pair. Each link
+// delivers messages in FIFO order — the property the paper's consistency
+// proofs assume of TCP ("we assume that the network layer preserves message
+// order") — and models transmission as
+//
+//	deliver(i) = max(deliver(i-1), send(i) + Latency) + Bytes(i)/Bandwidth
+//
+// i.e. a fixed one-way propagation latency plus serialization delay on the
+// sender's link. Intra-node messages (src == dst) model the inter-process
+// communication path of PS-Lite and travel over a loopback link with a
+// (much smaller, but non-zero) LoopbackLatency; Lapse-style shared-memory
+// access bypasses the network entirely and is not represented here.
+//
+// Delivery uses real wall-clock time, so latency hiding, pipelining and
+// contention emerge naturally and epoch measurements made by the harness are
+// directly comparable across parameter-server variants. Because operating
+// systems only honour sleeps of roughly a millisecond, all timed events
+// (message deliveries and Sleep calls) are driven by one central scheduler
+// goroutine that sleeps coarsely while the next event is far away and
+// spin-waits (yielding) once it is close, achieving microsecond-scale
+// precision with at most one busy core.
+//
+// Sleep doubles as the simulation's virtual-compute primitive: a worker that
+// "computes" by sleeping releases the CPU, so the waits of many simulated
+// workers overlap even on a single-core host — which is how distributed
+// speedups remain observable in wall-clock time regardless of host
+// parallelism.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes a simulated network.
+type Config struct {
+	// Nodes is the number of cluster nodes.
+	Nodes int
+	// Latency is the one-way propagation delay between distinct nodes.
+	// Zero disables timed delivery (messages are delivered immediately,
+	// FIFO order still guaranteed); used by unit tests.
+	Latency time.Duration
+	// LoopbackLatency is the delay of node-local (IPC) messages.
+	LoopbackLatency time.Duration
+	// BytesPerSecond is the link bandwidth; 0 means infinite.
+	BytesPerSecond float64
+	// InboxSize bounds the per-node inbox (default 1<<16).
+	InboxSize int
+	// LinkSize is retained for compatibility; unused by the central
+	// scheduler.
+	LinkSize int
+}
+
+// DefaultTestbed mirrors the paper's cluster: 10 GBit Ethernet with ~100 µs
+// one-way latency, and an IPC loopback far faster than the network but far
+// slower than shared memory (the paper measures shared memory 47–91× faster
+// than PS-Lite's local access paths).
+func DefaultTestbed(nodes int) Config {
+	return Config{
+		Nodes:           nodes,
+		Latency:         100 * time.Microsecond,
+		LoopbackLatency: 2 * time.Microsecond,
+		BytesPerSecond:  1.25e9, // 10 GBit/s
+	}
+}
+
+// Envelope is a message in flight.
+type Envelope struct {
+	Src, Dst int
+	Msg      any
+	Bytes    int
+}
+
+// link tracks per-link FIFO delivery state.
+type link struct {
+	mu   sync.Mutex
+	last time.Time // delivery time of the previous message
+}
+
+// Stats aggregates network traffic counters.
+type Stats struct {
+	RemoteMessages   int64
+	RemoteBytes      int64
+	LoopbackMessages int64
+	LoopbackBytes    int64
+}
+
+// event is a scheduled occurrence: a message delivery or a sleeper wakeup.
+type event struct {
+	at  time.Time
+	seq uint64
+	// Delivery events carry env+inbox; wakeups carry ch.
+	env   Envelope
+	inbox chan Envelope
+	ch    chan struct{}
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at.Equal(h[j].at) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].at.Before(h[j].at)
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// Network is a simulated cluster network. Send, Sleep and Inbox are safe for
+// concurrent use.
+type Network struct {
+	cfg     Config
+	inboxes []chan Envelope
+	links   [][]*link
+
+	schedMu   sync.Mutex
+	events    eventHeap
+	seq       uint64
+	wake      chan struct{}
+	stopped   bool
+	schedDone chan struct{}
+
+	sendMu  sync.RWMutex
+	closed  atomic.Bool
+	dropped atomic.Int64
+
+	remoteMsgs   atomic.Int64
+	remoteBytes  atomic.Int64
+	loopMsgs     atomic.Int64
+	loopBytes    atomic.Int64
+	pairMsgs     []atomic.Int64 // nodes×nodes message counts
+	sleepEnabled bool
+}
+
+// New creates a network with cfg and starts its delivery scheduler.
+func New(cfg Config) *Network {
+	if cfg.Nodes <= 0 {
+		panic(fmt.Sprintf("simnet: invalid node count %d", cfg.Nodes))
+	}
+	if cfg.InboxSize <= 0 {
+		cfg.InboxSize = 1 << 16
+	}
+	n := &Network{
+		cfg:          cfg,
+		inboxes:      make([]chan Envelope, cfg.Nodes),
+		links:        make([][]*link, cfg.Nodes),
+		pairMsgs:     make([]atomic.Int64, cfg.Nodes*cfg.Nodes),
+		wake:         make(chan struct{}, 1),
+		schedDone:    make(chan struct{}),
+		sleepEnabled: cfg.Latency > 0 || cfg.LoopbackLatency > 0 || cfg.BytesPerSecond > 0,
+	}
+	for i := range n.inboxes {
+		n.inboxes[i] = make(chan Envelope, cfg.InboxSize)
+	}
+	for src := range n.links {
+		n.links[src] = make([]*link, cfg.Nodes)
+		for dst := range n.links[src] {
+			n.links[src][dst] = &link{}
+		}
+	}
+	go n.scheduler()
+	return n
+}
+
+// Nodes returns the number of nodes.
+func (n *Network) Nodes() int { return n.cfg.Nodes }
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Send transmits msg of the given encoded size from src to dst. Messages sent
+// after Close are dropped (reported by Dropped), mirroring sends on a closing
+// TCP connection; this lets server loops answer their final in-flight
+// messages during teardown.
+func (n *Network) Send(src, dst int, m any, bytes int) {
+	n.sendMu.RLock()
+	defer n.sendMu.RUnlock()
+	if n.closed.Load() {
+		n.dropped.Add(1)
+		return
+	}
+	if src == dst {
+		n.loopMsgs.Add(1)
+		n.loopBytes.Add(int64(bytes))
+	} else {
+		n.remoteMsgs.Add(1)
+		n.remoteBytes.Add(int64(bytes))
+	}
+	n.pairMsgs[src*n.cfg.Nodes+dst].Add(1)
+
+	env := Envelope{Src: src, Dst: dst, Msg: m, Bytes: bytes}
+	if !n.sleepEnabled {
+		n.inboxes[dst] <- env
+		return
+	}
+	lat := n.cfg.Latency
+	if src == dst {
+		lat = n.cfg.LoopbackLatency
+	}
+	l := n.links[src][dst]
+	l.mu.Lock()
+	at := time.Now().Add(lat)
+	if at.Before(l.last) {
+		at = l.last
+	}
+	// Bandwidth serialization applies to network links only: loopback
+	// (IPC) moves data at memory speed.
+	if n.cfg.BytesPerSecond > 0 && src != dst {
+		at = at.Add(time.Duration(float64(bytes) / n.cfg.BytesPerSecond * float64(time.Second)))
+	}
+	l.last = at
+	l.mu.Unlock()
+	n.schedule(event{at: at, env: env, inbox: n.inboxes[dst]})
+}
+
+// Sleep blocks the caller for precisely d, driven by the central scheduler.
+// It is the simulation's virtual-compute primitive: sleeping workers release
+// the CPU, so concurrent simulated computation overlaps even on one core.
+// With timing disabled (all-zero Config), Sleep returns immediately.
+func (n *Network) Sleep(d time.Duration) {
+	if !n.sleepEnabled || d <= 0 || n.closed.Load() {
+		return
+	}
+	ch := make(chan struct{})
+	n.schedule(event{at: time.Now().Add(d), ch: ch})
+	<-ch
+}
+
+func (n *Network) schedule(e event) {
+	n.schedMu.Lock()
+	if n.stopped {
+		n.schedMu.Unlock()
+		// Late event during teardown: deliver/complete immediately.
+		n.fire(e)
+		return
+	}
+	n.seq++
+	e.seq = n.seq
+	heap.Push(&n.events, e)
+	n.schedMu.Unlock()
+	select {
+	case n.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (n *Network) fire(e event) {
+	if e.ch != nil {
+		close(e.ch)
+		return
+	}
+	e.inbox <- e.env
+}
+
+// scheduler is the single delivery goroutine: it sleeps coarsely while the
+// next event is far away and spin-waits (with yields) when it is near, so
+// event times are honoured at microsecond granularity despite the kernel's
+// millisecond sleep floor.
+func (n *Network) scheduler() {
+	defer close(n.schedDone)
+	const spinHorizon = 3 * time.Millisecond
+	for {
+		n.schedMu.Lock()
+		if len(n.events) == 0 {
+			stopped := n.stopped
+			n.schedMu.Unlock()
+			if stopped {
+				return
+			}
+			select {
+			case <-n.wake:
+			case <-time.After(10 * time.Millisecond):
+			}
+			continue
+		}
+		next := n.events[0].at
+		now := time.Now()
+		if !now.Before(next) {
+			e := heap.Pop(&n.events).(event)
+			n.schedMu.Unlock()
+			n.fire(e)
+			continue
+		}
+		d := next.Sub(now)
+		n.schedMu.Unlock()
+		if d > spinHorizon {
+			select {
+			case <-n.wake:
+			case <-time.After(d - spinHorizon + time.Millisecond):
+			}
+			continue
+		}
+		// Near: yield-spin until due (or an earlier event arrives).
+		runtime.Gosched()
+	}
+}
+
+// Inbox returns the receive channel of node. All messages addressed to node
+// (from any source) are merged into this channel; per-source FIFO order is
+// preserved. The channel is closed by Close after all in-flight messages
+// have been delivered.
+func (n *Network) Inbox(node int) <-chan Envelope { return n.inboxes[node] }
+
+// Close drains all in-flight messages and closes every inbox. It must be
+// called only when no goroutine will Send anymore; receivers observe channel
+// close after the last in-flight message.
+func (n *Network) Close() {
+	n.sendMu.Lock()
+	swapped := n.closed.CompareAndSwap(false, true)
+	n.sendMu.Unlock()
+	if !swapped {
+		return
+	}
+	// Tell the scheduler to drain: fire all remaining events immediately
+	// (in order), then exit.
+	n.schedMu.Lock()
+	n.stopped = true
+	var rest eventHeap
+	rest, n.events = n.events, nil
+	n.schedMu.Unlock()
+	select {
+	case n.wake <- struct{}{}:
+	default:
+	}
+	// Deliver remaining events in time order ourselves.
+	heap.Init(&rest)
+	for rest.Len() > 0 {
+		n.fire(heap.Pop(&rest).(event))
+	}
+	<-n.schedDone
+	for _, in := range n.inboxes {
+		close(in)
+	}
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		RemoteMessages:   n.remoteMsgs.Load(),
+		RemoteBytes:      n.remoteBytes.Load(),
+		LoopbackMessages: n.loopMsgs.Load(),
+		LoopbackBytes:    n.loopBytes.Load(),
+	}
+}
+
+// Dropped returns the number of messages discarded because they were sent
+// after Close (teardown traffic).
+func (n *Network) Dropped() int64 { return n.dropped.Load() }
+
+// PairMessages returns the number of messages sent from src to dst.
+func (n *Network) PairMessages(src, dst int) int64 {
+	return n.pairMsgs[src*n.cfg.Nodes+dst].Load()
+}
+
+// ResetStats zeroes all traffic counters (e.g. after a warm-up epoch).
+func (n *Network) ResetStats() {
+	n.remoteMsgs.Store(0)
+	n.remoteBytes.Store(0)
+	n.loopMsgs.Store(0)
+	n.loopBytes.Store(0)
+	for i := range n.pairMsgs {
+		n.pairMsgs[i].Store(0)
+	}
+}

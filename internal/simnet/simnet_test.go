@@ -1,0 +1,170 @@
+package simnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFIFOPerLink(t *testing.T) {
+	n := New(Config{Nodes: 2})
+	defer n.Close()
+	const msgs = 1000
+	for i := 0; i < msgs; i++ {
+		n.Send(0, 1, i, 8)
+	}
+	for i := 0; i < msgs; i++ {
+		env := <-n.Inbox(1)
+		if env.Msg.(int) != i {
+			t.Fatalf("message %d arrived out of order (got %v)", i, env.Msg)
+		}
+		if env.Src != 0 || env.Dst != 1 {
+			t.Fatalf("bad envelope routing: %+v", env)
+		}
+	}
+}
+
+func TestFIFOWithLatency(t *testing.T) {
+	n := New(Config{Nodes: 2, Latency: 100 * time.Microsecond})
+	defer n.Close()
+	const msgs = 50
+	for i := 0; i < msgs; i++ {
+		n.Send(0, 1, i, 8)
+	}
+	for i := 0; i < msgs; i++ {
+		env := <-n.Inbox(1)
+		if env.Msg.(int) != i {
+			t.Fatalf("message %d out of order (got %v)", i, env.Msg)
+		}
+	}
+}
+
+func TestLatencyIsApplied(t *testing.T) {
+	const lat = 2 * time.Millisecond
+	n := New(Config{Nodes: 2, Latency: lat})
+	defer n.Close()
+	start := time.Now()
+	n.Send(0, 1, "x", 8)
+	<-n.Inbox(1)
+	if got := time.Since(start); got < lat {
+		t.Fatalf("message delivered after %v, want >= %v", got, lat)
+	}
+}
+
+func TestLoopbackLatencyDistinct(t *testing.T) {
+	const loop = 1 * time.Millisecond
+	n := New(Config{Nodes: 2, Latency: 50 * time.Millisecond, LoopbackLatency: loop})
+	defer n.Close()
+	start := time.Now()
+	n.Send(1, 1, "x", 8)
+	<-n.Inbox(1)
+	got := time.Since(start)
+	if got < loop {
+		t.Fatalf("loopback delivered after %v, want >= %v", got, loop)
+	}
+	if got > 20*time.Millisecond {
+		t.Fatalf("loopback took %v; appears to use remote latency", got)
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	// 1 MB at 100 MB/s should take >= 10ms on top of zero latency.
+	n := New(Config{Nodes: 2, BytesPerSecond: 100e6})
+	defer n.Close()
+	start := time.Now()
+	n.Send(0, 1, "big", 1_000_000)
+	<-n.Inbox(1)
+	if got := time.Since(start); got < 9*time.Millisecond {
+		t.Fatalf("1MB at 100MB/s delivered in %v, want >= ~10ms", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	n := New(Config{Nodes: 3})
+	defer n.Close()
+	n.Send(0, 1, "a", 100)
+	n.Send(0, 2, "b", 50)
+	n.Send(1, 1, "c", 25) // loopback
+	<-n.Inbox(1)
+	<-n.Inbox(2)
+	<-n.Inbox(1)
+	s := n.Stats()
+	if s.RemoteMessages != 2 || s.RemoteBytes != 150 {
+		t.Fatalf("remote stats = %+v, want 2 msgs / 150 bytes", s)
+	}
+	if s.LoopbackMessages != 1 || s.LoopbackBytes != 25 {
+		t.Fatalf("loopback stats = %+v, want 1 msg / 25 bytes", s)
+	}
+	if got := n.PairMessages(0, 1); got != 1 {
+		t.Fatalf("PairMessages(0,1) = %d, want 1", got)
+	}
+	n.ResetStats()
+	if s := n.Stats(); s.RemoteMessages != 0 || s.LoopbackBytes != 0 {
+		t.Fatalf("stats after reset = %+v", s)
+	}
+}
+
+func TestCloseDrainsInFlight(t *testing.T) {
+	n := New(Config{Nodes: 2, Latency: time.Millisecond})
+	const msgs = 20
+	for i := 0; i < msgs; i++ {
+		n.Send(0, 1, i, 8)
+	}
+	done := make(chan int)
+	go func() {
+		count := 0
+		for range n.Inbox(1) {
+			count++
+		}
+		done <- count
+	}()
+	n.Close()
+	if got := <-done; got != msgs {
+		t.Fatalf("received %d messages after Close, want %d", got, msgs)
+	}
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	n := New(Config{Nodes: 4})
+	defer n.Close()
+	const perSender = 200
+	var wg sync.WaitGroup
+	for src := 0; src < 4; src++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				n.Send(src, 3, [2]int{src, i}, 16)
+			}
+		}(src)
+	}
+	go func() { wg.Wait() }()
+	// Per-source sequences must arrive in order even when interleaved.
+	next := [4]int{}
+	for i := 0; i < 4*perSender; i++ {
+		env := <-n.Inbox(3)
+		p := env.Msg.([2]int)
+		if p[1] != next[p[0]] {
+			t.Fatalf("source %d: got seq %d, want %d", p[0], p[1], next[p[0]])
+		}
+		next[p[0]]++
+	}
+}
+
+func TestSendOnClosedIsDropped(t *testing.T) {
+	n := New(Config{Nodes: 1})
+	n.Close()
+	n.Send(0, 0, "x", 1) // must not panic
+	if got := n.Dropped(); got != 1 {
+		t.Fatalf("Dropped = %d, want 1", got)
+	}
+	if s := n.Stats(); s.LoopbackMessages != 0 {
+		t.Fatalf("dropped message counted in stats: %+v", s)
+	}
+}
+
+func TestDoubleCloseIsSafe(t *testing.T) {
+	n := New(Config{Nodes: 1})
+	n.Close()
+	n.Close() // must not panic
+}

@@ -1,0 +1,92 @@
+package ssp
+
+import (
+	"fmt"
+	"sync"
+
+	"lapse/internal/kv"
+	"lapse/internal/msg"
+)
+
+// pendingTable tracks outstanding flush pushes (completed by OpResp acks,
+// counted per key) and synchronous fetches (completed by SspSync replies,
+// counted per reply message).
+type pendingTable struct {
+	mu    sync.Mutex
+	next  uint64
+	ops   map[uint64]*pendingOp
+	syncs map[uint64]*pendingSync
+}
+
+type pendingOp struct {
+	fut       *kv.Future
+	remaining int
+}
+
+type pendingSync struct {
+	fut       *kv.Future
+	remaining int // number of server replies expected
+}
+
+func newPendingTable() *pendingTable {
+	return &pendingTable{
+		ops:   make(map[uint64]*pendingOp),
+		syncs: make(map[uint64]*pendingSync),
+	}
+}
+
+func (p *pendingTable) registerOp(nKeys int) (uint64, *kv.Future) {
+	fut := kv.NewFuture()
+	p.mu.Lock()
+	p.next++
+	id := p.next
+	p.ops[id] = &pendingOp{fut: fut, remaining: nKeys}
+	p.mu.Unlock()
+	return id, fut
+}
+
+func (p *pendingTable) registerSync(nReplies int) (uint64, *kv.Future) {
+	fut := kv.NewFuture()
+	p.mu.Lock()
+	p.next++
+	id := p.next
+	p.syncs[id] = &pendingSync{fut: fut, remaining: nReplies}
+	p.mu.Unlock()
+	return id, fut
+}
+
+func (p *pendingTable) complete(_ kv.Layout, m *msg.OpResp) {
+	p.mu.Lock()
+	op, ok := p.ops[m.ID]
+	if !ok {
+		p.mu.Unlock()
+		panic(fmt.Sprintf("ssp: ack for unknown flush %d", m.ID))
+	}
+	op.remaining -= len(m.Keys)
+	done := op.remaining <= 0
+	if done {
+		delete(p.ops, m.ID)
+	}
+	p.mu.Unlock()
+	if done {
+		op.fut.Complete(nil)
+	}
+}
+
+func (p *pendingTable) completeSync(id uint64) {
+	p.mu.Lock()
+	s, ok := p.syncs[id]
+	if !ok {
+		p.mu.Unlock()
+		panic(fmt.Sprintf("ssp: reply for unknown sync %d", id))
+	}
+	s.remaining--
+	done := s.remaining <= 0
+	if done {
+		delete(p.syncs, id)
+	}
+	p.mu.Unlock()
+	if done {
+		s.fut.Complete(nil)
+	}
+}

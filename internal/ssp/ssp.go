@@ -1,0 +1,388 @@
+// Package ssp implements the stale parameter-server architecture (Petuum) the
+// paper compares against in Section 4.5: static parameter allocation plus
+// bounded-staleness replication.
+//
+// Parameters are range-partitioned across server shards as in a classic PS.
+// Each node additionally keeps replicas of the parameters its workers have
+// accessed, tagged with the global clock they reflect, and each worker
+// buffers its updates in a write-back cache that is flushed when the worker
+// advances its clock. A read at worker clock c with staleness bound s may be
+// served from a replica that reflects global clock >= c-s; otherwise the
+// worker synchronizes with the server, blocking until the server's global
+// clock (the minimum over all worker clocks) is recent enough.
+//
+// Two synchronization strategies are provided, matching Petuum's SSP and
+// SSPPush consistency models:
+//
+//   - Client-based (SSP): stale replicas are refreshed by an explicit
+//     synchronous fetch from the server.
+//   - Server-based (SSPPush): after every global clock advance, each server
+//     eagerly pushes the current values of all parameters a node has ever
+//     fetched ("learned" subscriptions, populated during a warm-up epoch) to
+//     that node. This eliminates fetch latency but replicates every
+//     previously accessed parameter whether needed or not — the unnecessary
+//     communication the paper identifies as Petuum's scaling bottleneck.
+//
+// Consistency (Table 1): eventual and client-centric (reads observe the
+// worker's own buffered writes; replica clocks advance monotonically), but
+// neither causal nor sequential consistency.
+package ssp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"lapse/internal/cluster"
+	"lapse/internal/kv"
+	"lapse/internal/metrics"
+	"lapse/internal/msg"
+	"lapse/internal/partition"
+	"lapse/internal/store"
+)
+
+// Config parameterizes the stale PS.
+type Config struct {
+	// Staleness is the SSP staleness bound s: a read at worker clock c
+	// tolerates replicas as old as global clock c-s.
+	Staleness int
+	// ServerSync selects server-based synchronization (SSPPush).
+	ServerSync bool
+	// Partitioner assigns keys to server shards (default: range).
+	Partitioner partition.Partitioner
+	// Latches is the store latch-list size (0 = default).
+	Latches int
+}
+
+// System is a running stale PS.
+type System struct {
+	cl      *cluster.Cluster
+	layout  kv.Layout
+	cfg     Config
+	part    partition.Partitioner
+	nodes   []*node
+	stats   []*metrics.ServerStats
+	wg      sync.WaitGroup
+	workers int
+}
+
+// node combines the server shard and the client-side replica manager of one
+// simulated machine (they share the node's single message loop).
+type node struct {
+	sys   *System
+	id    int
+	stats *metrics.ServerStats
+
+	// Server-side state (shard).
+	shard        store.Store
+	clockMu      sync.Mutex
+	workerClocks []int32
+	globalClock  int32
+	waiting      []waitingSync
+	subs         map[int]map[kv.Key]struct{} // subscriber node -> keys
+
+	// Client-side state (replicas).
+	repMu    sync.RWMutex
+	replicas map[kv.Key]*replica
+	pending  *pendingTable
+}
+
+type replica struct {
+	vals  []float32
+	clock int32
+}
+
+type waitingSync struct {
+	required int32
+	origin   int32
+	id       uint64
+	keys     []kv.Key
+}
+
+// New creates a stale PS on cl with zero-initialized parameters and starts
+// the per-node message loops.
+func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
+	if cfg.Partitioner == nil {
+		cfg.Partitioner = partition.NewRange(layout.NumKeys(), cl.Nodes())
+	}
+	if cfg.Staleness < 0 {
+		panic(fmt.Sprintf("ssp: negative staleness %d", cfg.Staleness))
+	}
+	s := &System{
+		cl:      cl,
+		layout:  layout,
+		cfg:     cfg,
+		part:    cfg.Partitioner,
+		nodes:   make([]*node, cl.Nodes()),
+		stats:   make([]*metrics.ServerStats, cl.Nodes()),
+		workers: cl.TotalWorkers(),
+	}
+	for n := 0; n < cl.Nodes(); n++ {
+		nd := &node{
+			sys:          s,
+			id:           n,
+			stats:        &metrics.ServerStats{},
+			shard:        store.NewDense(layout, cfg.Latches),
+			workerClocks: make([]int32, cl.TotalWorkers()),
+			subs:         make(map[int]map[kv.Key]struct{}),
+			replicas:     make(map[kv.Key]*replica),
+			pending:      newPendingTable(),
+		}
+		s.stats[n] = nd.stats
+		s.nodes[n] = nd
+	}
+	for k := kv.Key(0); k < layout.NumKeys(); k++ {
+		s.nodes[s.part.NodeOf(k)].shard.Set(k, make([]float32, layout.Len(k)))
+	}
+	for n := 0; n < cl.Nodes(); n++ {
+		s.wg.Add(1)
+		go s.nodes[n].loop()
+	}
+	return s
+}
+
+// Layout returns the parameter layout.
+func (s *System) Layout() kv.Layout { return s.layout }
+
+// Stats returns per-node statistics.
+func (s *System) Stats() []*metrics.ServerStats { return s.stats }
+
+// Init sets initial parameter values at the server shards.
+func (s *System) Init(fn func(k kv.Key, val []float32)) {
+	var buf []float32
+	for k := kv.Key(0); k < s.layout.NumKeys(); k++ {
+		l := s.layout.Len(k)
+		if cap(buf) < l {
+			buf = make([]float32, l)
+		}
+		v := buf[:l]
+		for i := range v {
+			v[i] = 0
+		}
+		fn(k, v)
+		s.nodes[s.part.NodeOf(k)].shard.Set(k, v)
+	}
+}
+
+// ReadParameter reads the authoritative server value of k (quiescent only).
+func (s *System) ReadParameter(k kv.Key, dst []float32) {
+	s.nodes[s.part.NodeOf(k)].shard.Read(k, dst)
+}
+
+// GlobalClock returns node n's view of the global clock (tests).
+func (s *System) GlobalClock(n int) int32 {
+	nd := s.nodes[n]
+	nd.clockMu.Lock()
+	defer nd.clockMu.Unlock()
+	return nd.globalClock
+}
+
+// Shutdown waits for the node loops to exit; close the cluster network first.
+func (s *System) Shutdown() { s.wg.Wait() }
+
+// Handle returns the KV client of a worker thread.
+func (s *System) Handle(worker int) kv.KV {
+	n := s.cl.NodeOfWorker(worker)
+	return &handle{
+		sys:        s,
+		nd:         s.nodes[n],
+		node:       n,
+		worker:     worker,
+		writeCache: make(map[kv.Key][]float32),
+	}
+}
+
+func (nd *node) loop() {
+	defer nd.sys.wg.Done()
+	for env := range nd.sys.cl.Net().Inbox(nd.id) {
+		switch m := env.Msg.(type) {
+		case *msg.Op:
+			nd.handleFlush(m)
+		case *msg.SspClock:
+			nd.handleClock(m)
+		case *msg.SspSync:
+			nd.handleSync(env.Src, m)
+		case *msg.OpResp:
+			nd.pending.complete(nd.sys.layout, m)
+		default:
+			panic(fmt.Sprintf("ssp: unexpected message %T at node %d", env.Msg, nd.id))
+		}
+	}
+}
+
+// handleFlush applies a worker's flushed update batch to the shard and
+// acknowledges it (the ack keeps flush futures precise; Petuum's oplog flush
+// is likewise confirmed).
+func (nd *node) handleFlush(m *msg.Op) {
+	if m.Type != msg.OpPush {
+		panic("ssp: only push flushes reach servers")
+	}
+	off := 0
+	for _, k := range m.Keys {
+		l := nd.sys.layout.Len(k)
+		if !nd.shard.Add(k, m.Vals[off:off+l]) {
+			panic(fmt.Sprintf("ssp: flush for key %d not in shard of node %d", k, nd.id))
+		}
+		off += l
+	}
+	resp := &msg.OpResp{Type: msg.OpPush, ID: m.ID, Responder: int32(nd.id), Keys: m.Keys}
+	nd.send(int(m.Origin), resp)
+}
+
+// handleClock advances a worker's clock at this server and, if the global
+// clock advanced, releases blocked synchronizations and (in SSPPush mode)
+// eagerly pushes subscribed parameters.
+func (nd *node) handleClock(m *msg.SspClock) {
+	nd.clockMu.Lock()
+	if m.Clock > nd.workerClocks[m.Worker] {
+		nd.workerClocks[m.Worker] = m.Clock
+	}
+	min := nd.workerClocks[0]
+	for _, c := range nd.workerClocks[1:] {
+		if c < min {
+			min = c
+		}
+	}
+	advanced := min > nd.globalClock
+	nd.globalClock = min
+	var release []waitingSync
+	if advanced {
+		kept := nd.waiting[:0]
+		for _, w := range nd.waiting {
+			if w.required <= min {
+				release = append(release, w)
+			} else {
+				kept = append(kept, w)
+			}
+		}
+		nd.waiting = kept
+	}
+	global := nd.globalClock
+	nd.clockMu.Unlock()
+
+	for _, w := range release {
+		nd.replySync(w.origin, w.id, w.keys, global)
+	}
+	if advanced && nd.sys.cfg.ServerSync {
+		nd.eagerPush(global)
+	}
+}
+
+// eagerPush sends every subscribed key's current value to each subscriber
+// node (SSPPush: replicate all previously accessed parameters).
+func (nd *node) eagerPush(global int32) {
+	nd.clockMu.Lock()
+	plan := make(map[int][]kv.Key, len(nd.subs))
+	for sub, keys := range nd.subs {
+		ks := make([]kv.Key, 0, len(keys))
+		for k := range keys {
+			ks = append(ks, k)
+		}
+		sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+		plan[sub] = ks
+	}
+	nd.clockMu.Unlock()
+	for sub, ks := range plan {
+		if len(ks) == 0 {
+			continue
+		}
+		vals := make([]float32, 0, kv.BufferLen(nd.sys.layout, ks))
+		buf := make([]float32, 0)
+		for _, k := range ks {
+			l := nd.sys.layout.Len(k)
+			if cap(buf) < l {
+				buf = make([]float32, l)
+			}
+			b := buf[:l]
+			nd.shard.Read(k, b)
+			vals = append(vals, b...)
+		}
+		m := &msg.SspSync{ID: 0, Clock: global, Keys: ks, Vals: vals}
+		nd.send(sub, m)
+	}
+}
+
+// handleSync processes either a client fetch request (at a server, ID != 0
+// with no values) or a replica refresh (at a client: a fetch reply or an
+// eager push).
+func (nd *node) handleSync(src int, m *msg.SspSync) {
+	if m.Vals == nil {
+		// Fetch request: serve when the global clock is recent enough.
+		nd.clockMu.Lock()
+		if sub, ok := nd.subs[src]; ok {
+			for _, k := range m.Keys {
+				sub[k] = struct{}{}
+			}
+		} else {
+			set := make(map[kv.Key]struct{}, len(m.Keys))
+			for _, k := range m.Keys {
+				set[k] = struct{}{}
+			}
+			nd.subs[src] = set
+		}
+		ready := nd.globalClock >= m.Clock
+		global := nd.globalClock
+		if !ready {
+			nd.waiting = append(nd.waiting, waitingSync{required: m.Clock, origin: int32(src), id: m.ID, keys: m.Keys})
+			nd.stats.SyncWaits.Inc()
+		}
+		nd.clockMu.Unlock()
+		if ready {
+			nd.replySync(int32(src), m.ID, m.Keys, global)
+		}
+		return
+	}
+	// Replica refresh at a client.
+	nd.applyRefresh(m)
+	if m.ID != 0 {
+		nd.pending.completeSync(m.ID)
+	}
+}
+
+// replySync sends the current shard values of keys to origin.
+func (nd *node) replySync(origin int32, id uint64, keys []kv.Key, global int32) {
+	vals := make([]float32, 0, kv.BufferLen(nd.sys.layout, keys))
+	var buf []float32
+	for _, k := range keys {
+		l := nd.sys.layout.Len(k)
+		if cap(buf) < l {
+			buf = make([]float32, l)
+		}
+		b := buf[:l]
+		if !nd.shard.Read(k, b) {
+			panic(fmt.Sprintf("ssp: sync for key %d not in shard of node %d", k, nd.id))
+		}
+		vals = append(vals, b...)
+	}
+	m := &msg.SspSync{ID: id, Clock: global, Keys: keys, Vals: vals}
+	nd.send(int(origin), m)
+}
+
+// applyRefresh installs newer replica values; older refreshes are ignored so
+// replica clocks advance monotonically (monotonic reads).
+func (nd *node) applyRefresh(m *msg.SspSync) {
+	nd.repMu.Lock()
+	defer nd.repMu.Unlock()
+	off := 0
+	for _, k := range m.Keys {
+		l := nd.sys.layout.Len(k)
+		v := m.Vals[off : off+l]
+		off += l
+		r, ok := nd.replicas[k]
+		if !ok {
+			r = &replica{vals: make([]float32, l)}
+			nd.replicas[k] = r
+		} else if r.clock > m.Clock {
+			continue
+		}
+		copy(r.vals, v)
+		r.clock = m.Clock
+	}
+}
+
+// send delivers a message, dispatching locally when the destination is this
+// node (the server and client sides share the node loop, so a self-send is
+// an ordinary loopback network message to preserve ordering).
+func (nd *node) send(dest int, m any) {
+	nd.sys.cl.Net().Send(nd.id, dest, m, msg.Size(m))
+}

@@ -1,0 +1,302 @@
+// Package lapse is a Go implementation of Lapse, the parameter server with
+// dynamic parameter allocation (DPA) from "Dynamic Parameter Allocation in
+// Parameter Servers" (Renz-Wieland et al., VLDB 2020), together with a
+// simulated multi-node runtime for running it on a single machine.
+//
+// A parameter server stores the model parameters of a distributed machine
+// learning job as key–value pairs (one fixed-length float32 vector per key)
+// and exposes pull (read) and cumulative push (add) primitives. Lapse adds a
+// third primitive, Localize, which relocates parameters to the calling
+// node at runtime while preserving classic-PS (per-key sequential)
+// consistency. Relocation lets applications exploit parameter access
+// locality — data clustering, parameter blocking, and latency hiding — and
+// turn most parameter accesses into shared-memory reads.
+//
+// # Quick start
+//
+//	cfg := lapse.Config{Nodes: 2, WorkersPerNode: 2, Keys: 100, ValueLength: 4}
+//	cl, err := lapse.NewCluster(cfg)
+//	if err != nil { ... }
+//	defer cl.Close()
+//	err = cl.Run(func(w *lapse.Worker) error {
+//		keys := []lapse.Key{lapse.Key(w.ID())}
+//		if err := w.Localize(keys); err != nil {
+//			return err
+//		}
+//		if err := w.Push(keys, []float32{1, 2, 3, 4}); err != nil {
+//			return err
+//		}
+//		buf := make([]float32, 4)
+//		return w.Pull(keys, buf)
+//	})
+//
+// The cluster is simulated in-process: each node runs one server goroutine
+// and WorkersPerNode worker goroutines, and inter-node traffic crosses a
+// simulated network with configurable latency and bandwidth (zero values
+// mean instantaneous delivery). The parameter-server protocol — home-node
+// location management, the three-message relocation protocol, operation
+// queuing during relocations, optional location caches — is the full
+// system described in the paper; see the internal packages for details and
+// DESIGN.md for the architecture overview.
+package lapse
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"lapse/internal/cluster"
+	"lapse/internal/core"
+	"lapse/internal/kv"
+	"lapse/internal/metrics"
+	"lapse/internal/simnet"
+)
+
+// Key identifies one parameter.
+type Key = kv.Key
+
+// ErrUnsupported is returned by primitives the configured server variant
+// does not support.
+var ErrUnsupported = kv.ErrUnsupported
+
+// Range declares Count consecutive keys of Length float32 values each, for
+// models with heterogeneous parameter sizes (e.g. RESCAL's d-dimensional
+// entity and d²-dimensional relation embeddings).
+type Range struct {
+	Count  Key
+	Length int
+}
+
+// NetworkConfig models the simulated interconnect. The zero value means
+// instantaneous delivery (useful for tests); DefaultNetwork returns values
+// mirroring the paper's 10 GBit testbed.
+type NetworkConfig struct {
+	// Latency is the one-way delay between distinct nodes.
+	Latency time.Duration
+	// LoopbackLatency is the node-local (IPC) delay.
+	LoopbackLatency time.Duration
+	// BytesPerSecond is the inter-node link bandwidth (0 = infinite).
+	BytesPerSecond float64
+}
+
+// DefaultNetwork mirrors the paper's cluster network.
+func DefaultNetwork() NetworkConfig {
+	d := simnet.DefaultTestbed(1)
+	return NetworkConfig{
+		Latency:         d.Latency,
+		LoopbackLatency: d.LoopbackLatency,
+		BytesPerSecond:  d.BytesPerSecond,
+	}
+}
+
+// Config describes a Lapse cluster.
+type Config struct {
+	// Nodes is the number of simulated machines (>= 1).
+	Nodes int
+	// WorkersPerNode is the number of worker threads per node (>= 1).
+	WorkersPerNode int
+	// Keys and ValueLength declare a uniform parameter layout: Keys keys
+	// of ValueLength float32 values each. Leave zero when using Ranges.
+	Keys        Key
+	ValueLength int
+	// Ranges declares a heterogeneous layout; mutually exclusive with
+	// Keys/ValueLength.
+	Ranges []Range
+	// Network configures the simulated interconnect.
+	Network NetworkConfig
+	// LocationCaches enables Lapse's optional location caches. Note that
+	// with caches on, asynchronous operations are only eventually
+	// consistent (Theorem 3 of the paper).
+	LocationCaches bool
+}
+
+func (c Config) layout() (kv.Layout, error) {
+	switch {
+	case len(c.Ranges) > 0 && (c.Keys != 0 || c.ValueLength != 0):
+		return nil, errors.New("lapse: specify either Keys/ValueLength or Ranges, not both")
+	case len(c.Ranges) > 0:
+		counts := make([]Key, len(c.Ranges))
+		lens := make([]int, len(c.Ranges))
+		for i, r := range c.Ranges {
+			if r.Count == 0 || r.Length <= 0 {
+				return nil, fmt.Errorf("lapse: invalid range %d: %+v", i, r)
+			}
+			counts[i] = r.Count
+			lens[i] = r.Length
+		}
+		return kv.NewRangeLayout(counts, lens), nil
+	case c.Keys > 0 && c.ValueLength > 0:
+		return kv.NewUniformLayout(c.Keys, c.ValueLength), nil
+	default:
+		return nil, errors.New("lapse: parameter layout missing (set Keys/ValueLength or Ranges)")
+	}
+}
+
+// Cluster is a running simulated Lapse deployment.
+type Cluster struct {
+	cfg    Config
+	cl     *cluster.Cluster
+	sys    *core.System
+	closed bool
+	mu     sync.Mutex
+}
+
+// NewCluster starts a cluster per cfg. Call Close when done.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Nodes < 1 || cfg.WorkersPerNode < 1 {
+		return nil, fmt.Errorf("lapse: invalid topology %d×%d", cfg.Nodes, cfg.WorkersPerNode)
+	}
+	layout, err := cfg.layout()
+	if err != nil {
+		return nil, err
+	}
+	cl := cluster.New(cluster.Config{
+		Nodes:          cfg.Nodes,
+		WorkersPerNode: cfg.WorkersPerNode,
+		Net: simnet.Config{
+			Latency:         cfg.Network.Latency,
+			LoopbackLatency: cfg.Network.LoopbackLatency,
+			BytesPerSecond:  cfg.Network.BytesPerSecond,
+		},
+	})
+	sys := core.New(cl, layout, core.Config{LocationCaches: cfg.LocationCaches})
+	return &Cluster{cfg: cfg, cl: cl, sys: sys}, nil
+}
+
+// Nodes returns the node count.
+func (c *Cluster) Nodes() int { return c.cfg.Nodes }
+
+// Workers returns the total worker count.
+func (c *Cluster) Workers() int { return c.cl.TotalWorkers() }
+
+// Init sets initial parameter values before training: fn is called once per
+// key with a zeroed buffer to fill. It must not run concurrently with Run.
+func (c *Cluster) Init(fn func(k Key, val []float32)) { c.sys.Init(fn) }
+
+// Read returns the authoritative current value of k (for evaluation between
+// Run calls, not for use inside workers).
+func (c *Cluster) Read(k Key, dst []float32) { c.sys.ReadParameter(k, dst) }
+
+// Run spawns one goroutine per worker thread executing fn and waits for all
+// of them. It returns the first non-nil error. Run may be called multiple
+// times (e.g. once per training phase).
+func (c *Cluster) Run(fn func(w *Worker) error) error {
+	errs := make(chan error, c.cl.TotalWorkers())
+	c.cl.RunWorkers(func(node, worker int) {
+		w := &Worker{c: c, kv: c.sys.Handle(worker)}
+		if err := fn(w); err != nil {
+			select {
+			case errs <- fmt.Errorf("worker %d: %w", worker, err):
+			default:
+			}
+		}
+	})
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// Stats summarizes the cluster-wide server counters.
+type Stats struct {
+	LocalReads, RemoteReads int64
+	Relocations             int64
+	MeanRelocationTime      time.Duration
+	NetworkMessages         int64
+	NetworkBytes            int64
+}
+
+// Stats returns a snapshot of the instrumentation counters.
+func (c *Cluster) Stats() Stats {
+	t := metrics.Sum(c.sys.Stats())
+	n := c.cl.Net().Stats()
+	return Stats{
+		LocalReads:         t.LocalReads,
+		RemoteReads:        t.RemoteReads,
+		Relocations:        t.Relocations,
+		MeanRelocationTime: t.MeanRelocationTime(),
+		NetworkMessages:    n.RemoteMessages,
+		NetworkBytes:       n.RemoteBytes,
+	}
+}
+
+// Close shuts the cluster down. It is idempotent.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.cl.Close()
+	c.sys.Shutdown()
+}
+
+// Worker is the per-worker-thread view of the parameter server, passed to
+// the function given to Run. A Worker must not be shared across goroutines.
+type Worker struct {
+	c  *Cluster
+	kv kv.KV
+}
+
+// ID returns the global worker index (0 … Workers-1).
+func (w *Worker) ID() int { return w.kv.WorkerID() }
+
+// Node returns the node this worker runs on.
+func (w *Worker) Node() int { return w.kv.NodeID() }
+
+// Pull retrieves the values of keys into dst (concatenated in key order).
+func (w *Worker) Pull(keys []Key, dst []float32) error { return w.kv.Pull(keys, dst) }
+
+// Push sends cumulative updates for keys (vals concatenated in key order).
+func (w *Worker) Push(keys []Key, vals []float32) error { return w.kv.Push(keys, vals) }
+
+// PullAsync is Pull without waiting; the returned handle's Wait reports
+// completion.
+func (w *Worker) PullAsync(keys []Key, dst []float32) *Async {
+	return &Async{f: w.kv.PullAsync(keys, dst)}
+}
+
+// PushAsync is Push without waiting.
+func (w *Worker) PushAsync(keys []Key, vals []float32) *Async {
+	return &Async{f: w.kv.PushAsync(keys, vals)}
+}
+
+// Localize relocates keys to this worker's node and waits for their arrival.
+func (w *Worker) Localize(keys []Key) error { return w.kv.Localize(keys) }
+
+// LocalizeAsync requests relocation without waiting.
+func (w *Worker) LocalizeAsync(keys []Key) *Async {
+	return &Async{f: w.kv.LocalizeAsync(keys)}
+}
+
+// PullIfLocal retrieves keys only if all of them are currently on this
+// worker's node, without network communication. On false, dst may be
+// partially written.
+func (w *Worker) PullIfLocal(keys []Key, dst []float32) (bool, error) {
+	return w.kv.PullIfLocal(keys, dst)
+}
+
+// WaitAll blocks until all outstanding asynchronous operations of this
+// worker completed.
+func (w *Worker) WaitAll() error { return w.kv.WaitAll() }
+
+// Barrier blocks until every worker in the cluster reached it.
+func (w *Worker) Barrier() { w.kv.Barrier() }
+
+// Compute models d of computation time in the simulated cluster (sleeps
+// precisely; overlaps across workers). No-op when the network is configured
+// with zero latencies.
+func (w *Worker) Compute(d time.Duration) { w.c.cl.Compute(d) }
+
+// Async is a handle to an asynchronous operation.
+type Async struct{ f *kv.Future }
+
+// Wait blocks until the operation completes and returns its error.
+func (a *Async) Wait() error { return a.f.Wait() }
+
+// Done reports whether the operation has completed, without blocking.
+func (a *Async) Done() bool { done, _ := a.f.TryWait(); return done }

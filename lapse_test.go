@@ -1,0 +1,199 @@
+package lapse_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"lapse"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	cl, err := lapse.NewCluster(lapse.Config{
+		Nodes: 2, WorkersPerNode: 2, Keys: 16, ValueLength: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	var pushes atomic.Int64
+	err = cl.Run(func(w *lapse.Worker) error {
+		k := []lapse.Key{lapse.Key(w.ID())}
+		if err := w.Localize(k); err != nil {
+			return err
+		}
+		if err := w.Push(k, []float32{1, 2}); err != nil {
+			return err
+		}
+		pushes.Add(1)
+		buf := make([]float32, 2)
+		if err := w.Pull(k, buf); err != nil {
+			return err
+		}
+		if buf[0] != 1 || buf[1] != 2 {
+			return fmt.Errorf("pull = %v", buf)
+		}
+		w.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pushes.Load() != 4 {
+		t.Fatalf("pushes = %d", pushes.Load())
+	}
+	buf := make([]float32, 2)
+	cl.Read(3, buf)
+	if buf[0] != 1 {
+		t.Fatalf("Read = %v", buf)
+	}
+	st := cl.Stats()
+	if st.Relocations == 0 {
+		t.Fatal("no relocations recorded despite Localize calls")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := lapse.NewCluster(lapse.Config{Nodes: 0, WorkersPerNode: 1, Keys: 1, ValueLength: 1}); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := lapse.NewCluster(lapse.Config{Nodes: 1, WorkersPerNode: 1}); err == nil {
+		t.Fatal("missing layout accepted")
+	}
+	if _, err := lapse.NewCluster(lapse.Config{
+		Nodes: 1, WorkersPerNode: 1, Keys: 4, ValueLength: 1,
+		Ranges: []lapse.Range{{Count: 1, Length: 1}},
+	}); err == nil {
+		t.Fatal("both layout forms accepted")
+	}
+	if _, err := lapse.NewCluster(lapse.Config{
+		Nodes: 1, WorkersPerNode: 1,
+		Ranges: []lapse.Range{{Count: 0, Length: 1}},
+	}); err == nil {
+		t.Fatal("empty range accepted")
+	}
+}
+
+func TestRangesLayout(t *testing.T) {
+	cl, err := lapse.NewCluster(lapse.Config{
+		Nodes: 1, WorkersPerNode: 1,
+		Ranges: []lapse.Range{{Count: 4, Length: 2}, {Count: 2, Length: 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	err = cl.Run(func(w *lapse.Worker) error {
+		if err := w.Push([]lapse.Key{5}, []float32{1, 2, 3, 4, 5}); err != nil {
+			return err
+		}
+		buf := make([]float32, 7)
+		return w.Pull([]lapse.Key{0, 5}, buf)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitAndRead(t *testing.T) {
+	cl, err := lapse.NewCluster(lapse.Config{Nodes: 2, WorkersPerNode: 1, Keys: 8, ValueLength: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.Init(func(k lapse.Key, v []float32) { v[0] = float32(k) * 2 })
+	buf := make([]float32, 1)
+	cl.Read(3, buf)
+	if buf[0] != 6 {
+		t.Fatalf("Read = %v", buf)
+	}
+}
+
+func TestAsyncOps(t *testing.T) {
+	cl, err := lapse.NewCluster(lapse.Config{Nodes: 2, WorkersPerNode: 1, Keys: 8, ValueLength: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	err = cl.Run(func(w *lapse.Worker) error {
+		k := []lapse.Key{7}
+		for i := 0; i < 10; i++ {
+			w.PushAsync(k, []float32{1})
+		}
+		if err := w.WaitAll(); err != nil {
+			return err
+		}
+		a := w.LocalizeAsync(k)
+		if err := a.Wait(); err != nil {
+			return err
+		}
+		if !a.Done() {
+			return fmt.Errorf("completed async not Done")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float32, 1)
+	cl.Read(7, buf)
+	if buf[0] != 20 {
+		t.Fatalf("final value = %v, want 20", buf[0])
+	}
+}
+
+func TestPullIfLocal(t *testing.T) {
+	cl, err := lapse.NewCluster(lapse.Config{Nodes: 2, WorkersPerNode: 1, Keys: 8, ValueLength: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	err = cl.Run(func(w *lapse.Worker) error {
+		if w.ID() != 0 {
+			return nil
+		}
+		buf := make([]float32, 1)
+		ok, err := w.PullIfLocal([]lapse.Key{7}, buf) // homed at node 1
+		if err != nil || ok {
+			return fmt.Errorf("PullIfLocal(remote) = (%v, %v)", ok, err)
+		}
+		if err := w.Localize([]lapse.Key{7}); err != nil {
+			return err
+		}
+		ok, err = w.PullIfLocal([]lapse.Key{7}, buf)
+		if err != nil || !ok {
+			return fmt.Errorf("PullIfLocal(localized) = (%v, %v)", ok, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	cl, err := lapse.NewCluster(lapse.Config{Nodes: 1, WorkersPerNode: 1, Keys: 1, ValueLength: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	cl.Close()
+}
+
+func TestRunPropagatesWorkerError(t *testing.T) {
+	cl, err := lapse.NewCluster(lapse.Config{Nodes: 1, WorkersPerNode: 2, Keys: 4, ValueLength: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	wantErr := fmt.Errorf("boom")
+	err = cl.Run(func(w *lapse.Worker) error {
+		if w.ID() == 1 {
+			return wantErr
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("worker error not propagated")
+	}
+}
