@@ -12,6 +12,7 @@ package lapse_test
 import (
 	"testing"
 
+	"lapse"
 	"lapse/internal/harness"
 	"lapse/internal/kv"
 	"lapse/internal/loc"
@@ -136,6 +137,59 @@ func BenchmarkAblation(b *testing.B) {
 		a := harness.Ablation(par)
 		b.Log("\n" + harness.RenderAblation(a, par))
 		b.ReportMetric(a.LapseCachedEpoch.Seconds()/a.LapseEpoch.Seconds(), "cached/uncached")
+	}
+}
+
+// BenchmarkBatching quantifies the per-destination batching of the unified
+// server runtime: the same multi-key pull/push workload with batching on and
+// off, on the paper's simulated testbed network. The msgs/epoch metric shows
+// the message-count reduction; wall-clock time shows its latency effect.
+func BenchmarkBatching(b *testing.B) {
+	const (
+		nodes, workers = 4, 2
+		keysPerOp      = 32
+		opsPerWorker   = 50
+	)
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"batched", false}, {"unbatched", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cl, err := lapse.NewCluster(lapse.Config{
+					Nodes:           nodes,
+					WorkersPerNode:  workers,
+					Keys:            4096,
+					ValueLength:     8,
+					Network:         lapse.DefaultNetwork(),
+					DisableBatching: mode.disable,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				err = cl.Run(func(w *lapse.Worker) error {
+					keys := make([]lapse.Key, keysPerOp)
+					buf := make([]float32, keysPerOp*8)
+					for op := 0; op < opsPerWorker; op++ {
+						for j := range keys {
+							keys[j] = lapse.Key((w.ID()*1021 + op*137 + j*31) % 4096)
+						}
+						if err := w.Pull(keys, buf); err != nil {
+							return err
+						}
+						if err := w.Push(keys, buf); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(cl.Stats().NetworkMessages), "msgs/epoch")
+				cl.Close()
+			}
+		})
 	}
 }
 

@@ -1,0 +1,3 @@
+module lapse
+
+go 1.24

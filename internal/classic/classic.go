@@ -18,17 +18,22 @@
 // asynchronous operations (Table 1): per-link FIFO delivery preserves each
 // worker's program order, and the single owning server serializes all
 // operations on a key.
+//
+// The message loop, pending-operation matching, future tracking, and
+// per-destination batching live in the shared runtime of package server;
+// this package contributes only the static-partitioning policy: route every
+// key to its assigned server, serve from the shard store.
 package classic
 
 import (
 	"fmt"
-	"sync"
 
 	"lapse/internal/cluster"
 	"lapse/internal/kv"
 	"lapse/internal/metrics"
 	"lapse/internal/msg"
 	"lapse/internal/partition"
+	"lapse/internal/server"
 	"lapse/internal/store"
 )
 
@@ -44,26 +49,28 @@ type Config struct {
 	Latches int
 	// SparseStore selects the sparse map store instead of dense arrays.
 	SparseStore bool
+	// Unbatched disables per-destination message batching (measurement
+	// only).
+	Unbatched bool
 }
 
 // System is a classic parameter server running on a cluster: one server
 // (goroutine) per node plus client handles for worker threads.
 type System struct {
-	cl      *cluster.Cluster
-	layout  kv.Layout
-	cfg     Config
-	part    partition.Partitioner
-	servers []*server
-	stats   []*metrics.ServerStats
-	wg      sync.WaitGroup
+	cl     *cluster.Cluster
+	layout kv.Layout
+	cfg    Config
+	part   partition.Partitioner
+	g      *server.Group
+	nodes  []*node
 }
 
-type server struct {
-	sys     *System
-	node    int
-	store   store.Store
-	pending *pendingTable
-	stats   *metrics.ServerStats
+// node is the per-node policy: the server shard store. Everything else is
+// the shared runtime's.
+type node struct {
+	sys   *System
+	rt    *server.Runtime
+	store store.Store
 }
 
 // New creates a classic PS on cl and starts one server goroutine per node.
@@ -73,12 +80,12 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 		cfg.Partitioner = partition.NewRange(layout.NumKeys(), cl.Nodes())
 	}
 	s := &System{
-		cl:      cl,
-		layout:  layout,
-		cfg:     cfg,
-		part:    cfg.Partitioner,
-		servers: make([]*server, cl.Nodes()),
-		stats:   make([]*metrics.ServerStats, cl.Nodes()),
+		cl:     cl,
+		layout: layout,
+		cfg:    cfg,
+		part:   cfg.Partitioner,
+		g:      server.NewGroup(cl, layout, server.Config{Unbatched: cfg.Unbatched}),
+		nodes:  make([]*node, cl.Nodes()),
 	}
 	for n := 0; n < cl.Nodes(); n++ {
 		var st store.Store
@@ -87,18 +94,14 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 		} else {
 			st = store.NewDense(layout, cfg.Latches)
 		}
-		s.stats[n] = &metrics.ServerStats{}
-		s.servers[n] = &server{sys: s, node: n, store: st, pending: newPendingTable(), stats: s.stats[n]}
+		s.nodes[n] = &node{sys: s, rt: s.g.Runtime(n), store: st}
 	}
 	// Zero-initialize every key at its server.
 	for k := kv.Key(0); k < layout.NumKeys(); k++ {
 		n := s.part.NodeOf(k)
-		s.servers[n].store.Set(k, make([]float32, layout.Len(k)))
+		s.nodes[n].store.Set(k, make([]float32, layout.Len(k)))
 	}
-	for n := 0; n < cl.Nodes(); n++ {
-		s.wg.Add(1)
-		go s.servers[n].loop()
-	}
+	s.g.Start(func(n int) server.Policy { return s.nodes[n] })
 	return s
 }
 
@@ -106,7 +109,7 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 func (s *System) Layout() kv.Layout { return s.layout }
 
 // Stats returns the per-node server statistics.
-func (s *System) Stats() []*metrics.ServerStats { return s.stats }
+func (s *System) Stats() []*metrics.ServerStats { return s.g.Stats() }
 
 // Init sets initial parameter values: fn fills the value of each key. It must
 // be called before training starts (it writes server stores directly).
@@ -122,7 +125,7 @@ func (s *System) Init(fn func(k kv.Key, val []float32)) {
 			v[i] = 0
 		}
 		fn(k, v)
-		s.servers[s.part.NodeOf(k)].store.Set(k, v)
+		s.nodes[s.part.NodeOf(k)].store.Set(k, v)
 	}
 }
 
@@ -130,143 +133,68 @@ func (s *System) Init(fn func(k kv.Key, val []float32)) {
 // store, bypassing the network. Intended for evaluation/loss computation
 // after training rounds, not for worker use.
 func (s *System) ReadParameter(k kv.Key, dst []float32) {
-	s.servers[s.part.NodeOf(k)].store.Read(k, dst)
+	s.nodes[s.part.NodeOf(k)].store.Read(k, dst)
 }
 
 // Shutdown waits for server goroutines to exit. The cluster's network must be
 // closed first (cluster.Close), which drains and closes the inboxes.
-func (s *System) Shutdown() { s.wg.Wait() }
+func (s *System) Shutdown() { s.g.Wait() }
 
 // Handle returns a KV client for the given worker thread. Handles must not
 // be shared across goroutines.
 func (s *System) Handle(worker int) kv.KV {
-	node := s.cl.NodeOfWorker(worker)
-	return &handle{sys: s, srv: s.servers[node], node: node, worker: worker}
+	n := s.cl.NodeOfWorker(worker)
+	return &handle{Handle: server.NewHandle(s.g.Runtime(n), worker), sys: s, nd: s.nodes[n]}
 }
 
-func (sv *server) loop() {
-	defer sv.sys.wg.Done()
-	for env := range sv.sys.cl.Net().Inbox(sv.node) {
-		switch m := env.Msg.(type) {
-		case *msg.Op:
-			sv.handleOp(m)
-		case *msg.OpResp:
-			sv.pending.complete(sv.sys.layout, m)
-		default:
-			panic(fmt.Sprintf("classic: unexpected message %T at node %d", env.Msg, sv.node))
-		}
+// OnOpResp implements server.Policy (nothing to observe).
+func (nd *node) OnOpResp(*msg.OpResp) {}
+
+// HandleMessage implements server.Policy: the classic server only ever
+// receives operation requests, which it serves from its shard store.
+func (nd *node) HandleMessage(src int, m any) {
+	op, ok := m.(*msg.Op)
+	if !ok {
+		panic(fmt.Sprintf("classic: unexpected message %T at node %d", m, nd.rt.Node()))
 	}
+	nd.handleOp(op)
 }
 
-func (sv *server) handleOp(m *msg.Op) {
+func (nd *node) handleOp(m *msg.Op) {
 	switch m.Type {
 	case msg.OpPull:
-		vals := make([]float32, kv.BufferLen(sv.sys.layout, m.Keys))
+		vals := make([]float32, kv.BufferLen(nd.sys.layout, m.Keys))
 		off := 0
 		for _, k := range m.Keys {
-			l := sv.sys.layout.Len(k)
-			if !sv.store.Read(k, vals[off:off+l]) {
-				panic(fmt.Sprintf("classic: pull of key %d at node %d: not in store", k, sv.node))
+			l := nd.sys.layout.Len(k)
+			if !nd.store.Read(k, vals[off:off+l]) {
+				panic(fmt.Sprintf("classic: pull of key %d at node %d: not in store", k, nd.rt.Node()))
 			}
 			off += l
 		}
-		resp := &msg.OpResp{Type: msg.OpPull, ID: m.ID, Responder: int32(sv.node), Keys: m.Keys, Vals: vals}
-		sv.sys.cl.Net().Send(sv.node, int(m.Origin), resp, msg.Size(resp))
+		resp := &msg.OpResp{Type: msg.OpPull, ID: m.ID, Responder: int32(nd.rt.Node()), Keys: m.Keys, Vals: vals}
+		nd.rt.Send(int(m.Origin), resp)
 	case msg.OpPush:
 		off := 0
 		for _, k := range m.Keys {
-			l := sv.sys.layout.Len(k)
-			if !sv.store.Add(k, m.Vals[off:off+l]) {
-				panic(fmt.Sprintf("classic: push of key %d at node %d: not in store", k, sv.node))
+			l := nd.sys.layout.Len(k)
+			if !nd.store.Add(k, m.Vals[off:off+l]) {
+				panic(fmt.Sprintf("classic: push of key %d at node %d: not in store", k, nd.rt.Node()))
 			}
 			off += l
 		}
-		resp := &msg.OpResp{Type: msg.OpPush, ID: m.ID, Responder: int32(sv.node), Keys: m.Keys}
-		sv.sys.cl.Net().Send(sv.node, int(m.Origin), resp, msg.Size(resp))
+		resp := &msg.OpResp{Type: msg.OpPush, ID: m.ID, Responder: int32(nd.rt.Node()), Keys: m.Keys}
+		nd.rt.Send(int(m.Origin), resp)
 	}
 }
 
-// pendingTable tracks outstanding operations issued by a node's workers.
-type pendingTable struct {
-	mu   sync.Mutex
-	next uint64
-	ops  map[uint64]*pendingOp
-}
-
-type pendingOp struct {
-	fut       *kv.Future
-	remaining int // number of keys still outstanding
-	dst       []float32
-	dstOff    map[kv.Key]int
-}
-
-func newPendingTable() *pendingTable {
-	return &pendingTable{ops: make(map[uint64]*pendingOp)}
-}
-
-// register allocates an operation slot expecting responses for nKeys keys.
-func (p *pendingTable) register(nKeys int, dst []float32, dstOff map[kv.Key]int) (uint64, *kv.Future) {
-	fut := kv.NewFuture()
-	p.mu.Lock()
-	p.next++
-	id := p.next
-	p.ops[id] = &pendingOp{fut: fut, remaining: nKeys, dst: dst, dstOff: dstOff}
-	p.mu.Unlock()
-	return id, fut
-}
-
-// complete applies a response, filling pull destinations and completing the
-// future when all keys have been answered.
-func (p *pendingTable) complete(layout kv.Layout, m *msg.OpResp) {
-	p.mu.Lock()
-	op, ok := p.ops[m.ID]
-	if !ok {
-		p.mu.Unlock()
-		panic(fmt.Sprintf("classic: response for unknown op %d", m.ID))
-	}
-	p.mu.Unlock()
-	// Fill the caller's buffer before accounting the keys as answered, so
-	// the future can only complete after all copies finished.
-	if m.Type == msg.OpPull && op.dst != nil {
-		src := 0
-		for _, k := range m.Keys {
-			l := layout.Len(k)
-			copy(op.dst[op.dstOff[k]:op.dstOff[k]+l], m.Vals[src:src+l])
-			src += l
-		}
-	}
-	p.mu.Lock()
-	op.remaining -= len(m.Keys)
-	done := op.remaining <= 0
-	if done {
-		delete(p.ops, m.ID)
-	}
-	p.mu.Unlock()
-	if done {
-		op.fut.Complete(nil)
-	}
-}
-
-// handle is the per-worker client.
+// handle is the per-worker client: identity, barrier, and WaitAll come from
+// the shared runtime handle; this type adds the static-partitioning router.
 type handle struct {
-	sys         *System
-	srv         *server
-	node        int
-	worker      int
-	outstanding []*kv.Future
+	server.Handle
+	sys *System
+	nd  *node
 }
-
-// NodeID implements kv.KV.
-func (h *handle) NodeID() int { return h.node }
-
-// WorkerID implements kv.KV.
-func (h *handle) WorkerID() int { return h.worker }
-
-// Barrier implements kv.KV.
-func (h *handle) Barrier() { h.sys.cl.Barrier().Wait() }
-
-// Clock implements kv.KV (no-op: classic PSs have no staleness clock).
-func (h *handle) Clock() {}
 
 // Localize implements kv.KV: classic PSs allocate statically.
 func (h *handle) Localize([]kv.Key) error { return kv.ErrUnsupported }
@@ -291,8 +219,8 @@ func (h *handle) PullAsync(keys []kv.Key, dst []float32) *kv.Future {
 	if want := kv.BufferLen(h.sys.layout, keys); len(dst) != want {
 		return kv.CompletedFuture(fmt.Errorf("classic: pull buffer has %d values, want %d", len(dst), want))
 	}
-	fut := h.dispatch(msg.OpPull, keys, nil, dst)
-	h.track(fut)
+	fut := h.nd.rt.DispatchOp(h, msg.OpPull, keys, dst, nil)
+	h.Track(fut)
 	return fut
 }
 
@@ -301,112 +229,46 @@ func (h *handle) PushAsync(keys []kv.Key, vals []float32) *kv.Future {
 	if want := kv.BufferLen(h.sys.layout, keys); len(vals) != want {
 		return kv.CompletedFuture(fmt.Errorf("classic: push buffer has %d values, want %d", len(vals), want))
 	}
-	fut := h.dispatch(msg.OpPush, keys, vals, nil)
-	h.track(fut)
+	fut := h.nd.rt.DispatchOp(h, msg.OpPush, keys, nil, vals)
+	h.Track(fut)
 	return fut
 }
 
-// dispatch groups keys by server node, serves the local group through shared
-// memory when FastLocalAccess is on, and sends one message per remote group
-// (message grouping, Section 3.7).
-func (h *handle) dispatch(t msg.OpType, keys []kv.Key, vals []float32, dst []float32) *kv.Future {
-	if len(keys) == 0 {
-		return kv.CompletedFuture(nil)
-	}
-	layout := h.sys.layout
-	// Compute per-key offsets into the caller's buffer.
-	dstOff := make(map[kv.Key]int, len(keys))
-	off := 0
-	for _, k := range keys {
-		dstOff[k] = off
-		off += layout.Len(k)
-	}
-	// Group keys by target server.
-	groups := make(map[int][]kv.Key)
-	for _, k := range keys {
-		n := h.sys.part.NodeOf(k)
-		groups[n] = append(groups[n], k)
-	}
-	// Fast local path.
-	remoteKeys := len(keys)
-	if h.sys.cfg.FastLocalAccess {
-		if local, ok := groups[h.node]; ok {
-			delete(groups, h.node)
-			remoteKeys -= len(local)
-			for _, k := range local {
-				l := layout.Len(k)
-				switch t {
-				case msg.OpPull:
-					h.srv.store.Read(k, dst[dstOff[k]:dstOff[k]+l])
-					h.srv.stats.LocalReads.Inc()
-					h.srv.stats.ReadValues.Add(int64(l))
-				case msg.OpPush:
-					h.srv.store.Add(k, vals[dstOff[k]:dstOff[k]+l])
-					h.srv.stats.LocalWrites.Inc()
-				}
-			}
+// RouteKey implements server.Router: every key goes to its statically
+// assigned server, except that with fast local access enabled, keys assigned
+// to this node are served through shared memory immediately.
+func (h *handle) RouteKey(t msg.OpType, _ uint64, k kv.Key, dst, vals []float32) server.KeyRoute {
+	n := h.sys.part.NodeOf(k)
+	local := n == h.NodeID()
+	st := h.nd.rt.Stats()
+	if local && h.sys.cfg.FastLocalAccess {
+		switch t {
+		case msg.OpPull:
+			h.nd.store.Read(k, dst)
+			st.LocalReads.Inc()
+			st.ReadValues.Add(int64(len(dst)))
+		case msg.OpPush:
+			h.nd.store.Add(k, vals)
+			st.LocalWrites.Inc()
 		}
+		return server.KeyRoute{Served: true}
 	}
-	if remoteKeys == 0 {
-		return kv.CompletedFuture(nil)
+	countAccess(st, t, local, 1)
+	if t == msg.OpPull {
+		st.ReadValues.Add(int64(h.sys.layout.Len(k)))
 	}
-	id, fut := h.srv.pending.register(remoteKeys, dst, dstOff)
-	for n, gk := range groups {
-		var gv []float32
-		if t == msg.OpPush {
-			gv = make([]float32, 0, kv.BufferLen(layout, gk))
-			for _, k := range gk {
-				l := layout.Len(k)
-				gv = append(gv, vals[dstOff[k]:dstOff[k]+l]...)
-			}
-		}
-		countAccess(h.srv.stats, t, n == h.node, len(gk))
-		if t == msg.OpPull {
-			h.srv.stats.ReadValues.Add(int64(kv.BufferLen(layout, gk)))
-		}
-		op := &msg.Op{Type: t, ID: id, Origin: int32(h.node), Keys: gk, Vals: gv}
-		h.sys.cl.Net().Send(h.node, n, op, msg.Size(op))
-	}
-	return fut
+	return server.KeyRoute{Dest: n}
 }
 
 // PullIfLocal implements kv.KV: succeeds only if every key is assigned to the
 // caller's node.
 func (h *handle) PullIfLocal(keys []kv.Key, dst []float32) (bool, error) {
 	for _, k := range keys {
-		if h.sys.part.NodeOf(k) != h.node {
+		if h.sys.part.NodeOf(k) != h.NodeID() {
 			return false, nil
 		}
 	}
 	return true, h.Pull(keys, dst)
-}
-
-// WaitAll implements kv.KV.
-func (h *handle) WaitAll() error {
-	var first error
-	for _, f := range h.outstanding {
-		if err := f.Wait(); err != nil && first == nil {
-			first = err
-		}
-	}
-	h.outstanding = h.outstanding[:0]
-	return first
-}
-
-func (h *handle) track(f *kv.Future) {
-	if done, _ := f.TryWait(); done {
-		return
-	}
-	h.outstanding = append(h.outstanding, f)
-	if len(h.outstanding) > 4096 {
-		kept := h.outstanding[:0]
-		for _, f := range h.outstanding {
-			if done, _ := f.TryWait(); !done {
-				kept = append(kept, f)
-			}
-		}
-		h.outstanding = kept
-	}
 }
 
 // countAccess attributes an access to the local/remote read/write counters.
@@ -425,4 +287,8 @@ func countAccess(s *metrics.ServerStats, t msg.OpType, local bool, n int) {
 	}
 }
 
-var _ kv.KV = (*handle)(nil)
+var (
+	_ kv.KV         = (*handle)(nil)
+	_ server.Policy = (*node)(nil)
+	_ server.Router = (*handle)(nil)
+)

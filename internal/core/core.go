@@ -29,19 +29,27 @@
 // consistent per key; asynchronous operations are sequentially consistent
 // when location caches are off (per-link FIFO preserves program order through
 // home and owner) and only eventually consistent when caches are on.
+//
+// The message loop, pending-operation matching, future tracking, and
+// per-destination batching live in the shared runtime of package server;
+// this package contributes the DPA policy: the per-key locality state
+// machine, home/owner routing, relocation queues, and the relocation
+// protocol itself. Operations this node forwards onward (as home, or as a
+// stale-cache fallback) are likewise batched into one message per
+// destination.
 package core
 
 import (
 	"fmt"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"lapse/internal/cluster"
 	"lapse/internal/kv"
 	"lapse/internal/metrics"
 	"lapse/internal/msg"
 	"lapse/internal/partition"
+	"lapse/internal/server"
 	"lapse/internal/store"
 )
 
@@ -68,26 +76,31 @@ type Config struct {
 	Latches int
 	// SparseStore selects sparse map stores instead of dense arrays.
 	SparseStore bool
+	// Unbatched disables per-destination message batching (measurement
+	// only).
+	Unbatched bool
 }
 
 // System is a running Lapse instance on a cluster.
 type System struct {
-	cl      *cluster.Cluster
-	layout  kv.Layout
-	cfg     Config
-	home    partition.Partitioner
-	servers []*server
-	stats   []*metrics.ServerStats
-	wg      sync.WaitGroup
+	cl     *cluster.Cluster
+	layout kv.Layout
+	cfg    Config
+	home   partition.Partitioner
+	g      *server.Group
+	nodes  []*node
 }
 
-// server holds the per-node state: the local parameter store, the locality
-// state of every key, the owner table for keys homed here, relocation queues,
-// and the pending-operation table for ops issued by this node's workers.
-type server struct {
-	sys   *System
-	node  int
+// node holds the per-node policy state: the local parameter store, the
+// locality state of every key, the owner table for keys homed here, and the
+// relocation queues. The message loop and pending-operation table are the
+// shared runtime's.
+type node struct {
+	sys *System
+	rt  *server.Runtime
+
 	store store.Store
+	stats *metrics.ServerStats
 	// state[k] is the locality state of key k at this node.
 	state []atomic.Uint32
 	// owner[k] is the current owner of key k; meaningful only when this
@@ -99,8 +112,6 @@ type server struct {
 	// queueMu guards queues and the Incoming<->Owned transitions.
 	queueMu sync.Mutex
 	queues  map[kv.Key]*keyQueue
-	pending *pendingTable
-	stats   *metrics.ServerStats
 }
 
 // keyQueue buffers operations that arrived for a key while it is relocating
@@ -135,12 +146,12 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 		cfg.HomePartitioner = partition.NewRange(layout.NumKeys(), cl.Nodes())
 	}
 	s := &System{
-		cl:      cl,
-		layout:  layout,
-		cfg:     cfg,
-		home:    cfg.HomePartitioner,
-		servers: make([]*server, cl.Nodes()),
-		stats:   make([]*metrics.ServerStats, cl.Nodes()),
+		cl:     cl,
+		layout: layout,
+		cfg:    cfg,
+		home:   cfg.HomePartitioner,
+		g:      server.NewGroup(cl, layout, server.Config{Unbatched: cfg.Unbatched}),
+		nodes:  make([]*node, cl.Nodes()),
 	}
 	nk := int(layout.NumKeys())
 	for n := 0; n < cl.Nodes(); n++ {
@@ -150,38 +161,33 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 		} else {
 			st = store.NewDense(layout, cfg.Latches)
 		}
-		sv := &server{
-			sys:     s,
-			node:    n,
-			store:   st,
-			state:   make([]atomic.Uint32, nk),
-			owner:   make([]atomic.Int32, nk),
-			queues:  make(map[kv.Key]*keyQueue),
-			pending: newPendingTable(),
-			stats:   &metrics.ServerStats{},
+		nd := &node{
+			sys:    s,
+			rt:     s.g.Runtime(n),
+			store:  st,
+			stats:  s.g.Stats()[n],
+			state:  make([]atomic.Uint32, nk),
+			owner:  make([]atomic.Int32, nk),
+			queues: make(map[kv.Key]*keyQueue),
 		}
 		if cfg.LocationCaches {
-			sv.cache = make([]atomic.Int32, nk)
-			for i := range sv.cache {
-				sv.cache[i].Store(-1)
+			nd.cache = make([]atomic.Int32, nk)
+			for i := range nd.cache {
+				nd.cache[i].Store(-1)
 			}
 		}
-		s.stats[n] = sv.stats
-		s.servers[n] = sv
+		s.nodes[n] = nd
 	}
 	// Initial allocation: every key lives at its home node.
 	for k := kv.Key(0); k < layout.NumKeys(); k++ {
 		h := s.home.NodeOf(k)
-		s.servers[h].store.Set(k, make([]float32, layout.Len(k)))
-		s.servers[h].state[k].Store(stateOwned)
+		s.nodes[h].store.Set(k, make([]float32, layout.Len(k)))
+		s.nodes[h].state[k].Store(stateOwned)
 		for n := 0; n < cl.Nodes(); n++ {
-			s.servers[n].owner[k].Store(int32(h))
+			s.nodes[n].owner[k].Store(int32(h))
 		}
 	}
-	for n := 0; n < cl.Nodes(); n++ {
-		s.wg.Add(1)
-		go s.servers[n].loop()
-	}
+	s.g.Start(func(n int) server.Policy { return s.nodes[n] })
 	return s
 }
 
@@ -189,11 +195,11 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 func (s *System) Layout() kv.Layout { return s.layout }
 
 // Stats returns per-node server statistics (Table 5 instrumentation).
-func (s *System) Stats() []*metrics.ServerStats { return s.stats }
+func (s *System) Stats() []*metrics.ServerStats { return s.g.Stats() }
 
 // ResetStats zeroes all per-node statistics (e.g. after warm-up).
 func (s *System) ResetStats() {
-	for _, st := range s.stats {
+	for _, st := range s.g.Stats() {
 		st.Reset()
 	}
 }
@@ -204,7 +210,7 @@ func (s *System) HomeOf(k kv.Key) int { return s.home.NodeOf(k) }
 // OwnerOf returns the current owner of k according to its home node. Only
 // meaningful in quiescent states (tests, evaluation).
 func (s *System) OwnerOf(k kv.Key) int {
-	return int(s.servers[s.home.NodeOf(k)].owner[k].Load())
+	return int(s.nodes[s.home.NodeOf(k)].owner[k].Load())
 }
 
 // Init sets initial parameter values before training; it writes the stores
@@ -221,63 +227,68 @@ func (s *System) Init(fn func(k kv.Key, val []float32)) {
 			v[i] = 0
 		}
 		fn(k, v)
-		s.servers[s.OwnerOf(k)].store.Set(k, v)
+		s.nodes[s.OwnerOf(k)].store.Set(k, v)
 	}
 }
 
 // ReadParameter reads the current value of k from its owner's store,
 // bypassing the network. Only valid in quiescent states.
 func (s *System) ReadParameter(k kv.Key, dst []float32) {
-	if !s.servers[s.OwnerOf(k)].store.Read(k, dst) {
+	if !s.nodes[s.OwnerOf(k)].store.Read(k, dst) {
 		panic(fmt.Sprintf("core: ReadParameter(%d): key not at its registered owner", k))
 	}
 }
 
 // Shutdown waits for the server goroutines to exit; the cluster network must
 // be closed first.
-func (s *System) Shutdown() { s.wg.Wait() }
+func (s *System) Shutdown() { s.g.Wait() }
 
 // Handle returns the KV client for a worker thread.
 func (s *System) Handle(worker int) kv.KV {
-	node := s.cl.NodeOfWorker(worker)
-	return &handle{sys: s, srv: s.servers[node], node: node, worker: worker}
+	n := s.cl.NodeOfWorker(worker)
+	return &handle{Handle: server.NewHandle(s.g.Runtime(n), worker), sys: s, nd: s.nodes[n]}
 }
 
-// loop is the server thread: it processes incoming messages in arrival order
-// with no prioritization (Section 3.7: prioritizing relocation messages would
-// break consistency for asynchronous operations).
-func (sv *server) loop() {
-	defer sv.sys.wg.Done()
-	for env := range sv.sys.cl.Net().Inbox(sv.node) {
-		switch m := env.Msg.(type) {
-		case *msg.Op:
-			sv.handleOp(m)
-		case *msg.OpResp:
-			sv.handleResp(m)
-		case *msg.Localize:
-			sv.handleLocalize(m)
-		case *msg.RelocInstruct:
-			sv.handleInstruct(m)
-		case *msg.RelocTransfer:
-			sv.handleTransfer(m)
-		default:
-			panic(fmt.Sprintf("core: unexpected message %T at node %d", env.Msg, sv.node))
+// OnOpResp implements server.Policy: refresh the location cache with the
+// responder's identity before the runtime completes the pending operation.
+func (nd *node) OnOpResp(m *msg.OpResp) {
+	if nd.cache != nil {
+		for _, k := range m.Keys {
+			nd.cache[k].Store(m.Responder)
 		}
+	}
+}
+
+// HandleMessage implements server.Policy.
+func (nd *node) HandleMessage(src int, m any) {
+	switch t := m.(type) {
+	case *msg.Op:
+		nd.handleOp(t)
+	case *msg.Localize:
+		nd.handleLocalize(t)
+	case *msg.RelocInstruct:
+		nd.handleInstruct(t)
+	case *msg.RelocTransfer:
+		nd.handleTransfer(t)
+	default:
+		panic(fmt.Sprintf("core: unexpected message %T at node %d", m, nd.rt.Node()))
 	}
 }
 
 // handleOp processes a pull/push that arrived over the network. Keys are
 // handled individually because their states can diverge; answerable keys are
-// grouped into a single response.
-func (sv *server) handleOp(m *msg.Op) {
+// grouped into a single response, and keys that must travel onward are
+// batched into one forward message per destination node.
+func (nd *node) handleOp(m *msg.Op) {
 	if m.Hops > maxHops {
 		panic(fmt.Sprintf("core: op %d exceeded %d hops (routing loop?)", m.ID, maxHops))
 	}
 	var ansKeys []kv.Key
 	var ansVals []float32
+	var fwd map[int]*msg.Op
 	src := 0
 	for _, k := range m.Keys {
-		l := sv.sys.layout.Len(k)
+		l := nd.sys.layout.Len(k)
 		var upd []float32
 		if m.Type == msg.OpPush {
 			upd = m.Vals[src : src+l]
@@ -287,31 +298,34 @@ func (sv *server) handleOp(m *msg.Op) {
 		// queue drain the value is already present but queued operations
 		// (which arrived earlier) must be processed first, or program
 		// order of asynchronous operations would break.
-		if sv.state[k].Load() == stateOwned {
+		if nd.state[k].Load() == stateOwned {
 			switch m.Type {
 			case msg.OpPull:
 				buf := make([]float32, l)
-				if sv.store.Read(k, buf) {
+				if nd.store.Read(k, buf) {
 					ansKeys = append(ansKeys, k)
 					ansVals = append(ansVals, buf...)
 					continue
 				}
 			case msg.OpPush:
-				if sv.store.Add(k, upd) {
+				if nd.store.Add(k, upd) {
 					ansKeys = append(ansKeys, k)
 					continue
 				}
 			}
 		}
 		// Not owned here: queue if incoming, otherwise route onward.
-		sv.queueOrRoute(m, k, upd)
+		fwd = nd.queueOrRoute(m, k, upd, fwd)
 	}
 	if len(ansKeys) > 0 {
 		if m.Type == msg.OpPush {
 			ansVals = nil
 		}
-		resp := &msg.OpResp{Type: m.Type, ID: m.ID, Responder: int32(sv.node), Keys: ansKeys, Vals: ansVals}
-		sv.send(int(m.Origin), resp)
+		resp := &msg.OpResp{Type: m.Type, ID: m.ID, Responder: int32(nd.rt.Node()), Keys: ansKeys, Vals: ansVals}
+		nd.rt.SendOrDispatch(int(m.Origin), resp)
+	}
+	for dest, sub := range fwd {
+		nd.rt.SendOrDispatch(dest, sub)
 	}
 }
 
@@ -319,34 +333,56 @@ func (sv *server) handleOp(m *msg.Op) {
 // it queues the key if a relocation to this node is in flight, forwards it to
 // the current owner if this node is the key's home, and double-forwards it to
 // the home node otherwise (stale cache or post-relocation rerouting).
-func (sv *server) queueOrRoute(m *msg.Op, k kv.Key, upd []float32) {
-	sv.queueMu.Lock()
-	if q, ok := sv.queues[k]; ok {
+// Forwards accumulate in fwd, one message per destination.
+func (nd *node) queueOrRoute(m *msg.Op, k kv.Key, upd []float32, fwd map[int]*msg.Op) map[int]*msg.Op {
+	nd.queueMu.Lock()
+	if q, ok := nd.queues[k]; ok {
 		sub := &msg.Op{Type: m.Type, ID: m.ID, Origin: m.Origin, Hops: m.Hops, Keys: []kv.Key{k}, Vals: upd}
 		q.entries = append(q.entries, queueEntry{remote: sub})
-		sv.queueMu.Unlock()
-		sv.stats.QueuedOps.Inc()
-		return
+		nd.queueMu.Unlock()
+		nd.stats.QueuedOps.Inc()
+		return fwd
 	}
-	sv.queueMu.Unlock()
-	sub := &msg.Op{Type: m.Type, ID: m.ID, Origin: m.Origin, Hops: m.Hops + 1, Keys: []kv.Key{k}, Vals: upd}
-	if sv.sys.home.NodeOf(k) == sv.node {
-		dest := int(sv.owner[k].Load())
-		if dest == sv.node {
+	nd.queueMu.Unlock()
+	if nd.sys.home.NodeOf(k) == nd.rt.Node() {
+		dest := int(nd.owner[k].Load())
+		if dest == nd.rt.Node() {
 			// The owner table says "here" but the store said no: the
 			// key is mid-arrival; the queue check above raced with the
 			// transfer. Retry through the queue path.
-			sv.requeueRacedOp(sub, k)
-			return
+			sub := &msg.Op{Type: m.Type, ID: m.ID, Origin: m.Origin, Hops: m.Hops + 1, Keys: []kv.Key{k}, Vals: upd}
+			nd.requeueRacedOp(sub, k)
+			return fwd
 		}
-		sv.stats.Forwards.Inc()
-		sv.send(dest, sub)
-		return
+		nd.stats.Forwards.Inc()
+		return nd.addForward(fwd, m, dest, k, upd)
 	}
 	// Not home, not owner: the sender used a stale location cache, or the
 	// key left while this op was queued. Route via the home node.
-	sv.stats.DoubleForwards.Inc()
-	sv.send(sv.sys.home.NodeOf(k), sub)
+	nd.stats.DoubleForwards.Inc()
+	return nd.addForward(fwd, m, nd.sys.home.NodeOf(k), k, upd)
+}
+
+// addForward appends key k (with its push update term, if any) to the
+// forward group headed to dest; with batching disabled it sends a single-key
+// message immediately, as the original per-key protocol did.
+func (nd *node) addForward(fwd map[int]*msg.Op, m *msg.Op, dest int, k kv.Key, upd []float32) map[int]*msg.Op {
+	if !nd.rt.Batched() {
+		sub := &msg.Op{Type: m.Type, ID: m.ID, Origin: m.Origin, Hops: m.Hops + 1, Keys: []kv.Key{k}, Vals: upd}
+		nd.rt.SendOrDispatch(dest, sub)
+		return fwd
+	}
+	if fwd == nil {
+		fwd = make(map[int]*msg.Op)
+	}
+	sub := fwd[dest]
+	if sub == nil {
+		sub = &msg.Op{Type: m.Type, ID: m.ID, Origin: m.Origin, Hops: m.Hops + 1}
+		fwd[dest] = sub
+	}
+	sub.Keys = append(sub.Keys, k)
+	sub.Vals = append(sub.Vals, upd...)
+	return fwd
 }
 
 // requeueRacedOp re-examines a key whose owner table points at this node but
@@ -354,60 +390,49 @@ func (sv *server) queueOrRoute(m *msg.Op, k kv.Key, upd []float32) {
 // impossible since the server goroutine processes messages serially, but the
 // state can be Incoming when the op raced with a local relocation bookkeeping
 // step). It queues if Incoming and otherwise retries the store access.
-func (sv *server) requeueRacedOp(m *msg.Op, k kv.Key) {
-	sv.queueMu.Lock()
-	defer sv.queueMu.Unlock()
-	if q, ok := sv.queues[k]; ok {
+func (nd *node) requeueRacedOp(m *msg.Op, k kv.Key) {
+	nd.queueMu.Lock()
+	defer nd.queueMu.Unlock()
+	if q, ok := nd.queues[k]; ok {
 		q.entries = append(q.entries, queueEntry{remote: m})
-		sv.stats.QueuedOps.Inc()
+		nd.stats.QueuedOps.Inc()
 		return
 	}
 	// Owned after all (worker marked it between our store probe and now).
-	l := sv.sys.layout.Len(k)
+	l := nd.sys.layout.Len(k)
 	switch m.Type {
 	case msg.OpPull:
 		buf := make([]float32, l)
-		if !sv.store.Read(k, buf) {
-			panic(fmt.Sprintf("core: key %d claimed by owner table at node %d but absent", k, sv.node))
+		if !nd.store.Read(k, buf) {
+			panic(fmt.Sprintf("core: key %d claimed by owner table at node %d but absent", k, nd.rt.Node()))
 		}
-		resp := &msg.OpResp{Type: msg.OpPull, ID: m.ID, Responder: int32(sv.node), Keys: []kv.Key{k}, Vals: buf}
-		sv.send(int(m.Origin), resp)
+		resp := &msg.OpResp{Type: msg.OpPull, ID: m.ID, Responder: int32(nd.rt.Node()), Keys: []kv.Key{k}, Vals: buf}
+		nd.rt.SendOrDispatch(int(m.Origin), resp)
 	case msg.OpPush:
-		if !sv.store.Add(k, m.Vals) {
-			panic(fmt.Sprintf("core: key %d claimed by owner table at node %d but absent", k, sv.node))
+		if !nd.store.Add(k, m.Vals) {
+			panic(fmt.Sprintf("core: key %d claimed by owner table at node %d but absent", k, nd.rt.Node()))
 		}
-		resp := &msg.OpResp{Type: msg.OpPush, ID: m.ID, Responder: int32(sv.node), Keys: []kv.Key{k}}
-		sv.send(int(m.Origin), resp)
+		resp := &msg.OpResp{Type: msg.OpPush, ID: m.ID, Responder: int32(nd.rt.Node()), Keys: []kv.Key{k}}
+		nd.rt.SendOrDispatch(int(m.Origin), resp)
 	}
-}
-
-// handleResp completes pending client operations and refreshes the location
-// cache with the responder's identity.
-func (sv *server) handleResp(m *msg.OpResp) {
-	if sv.cache != nil {
-		for _, k := range m.Keys {
-			sv.cache[k].Store(m.Responder)
-		}
-	}
-	sv.pending.completeResp(sv.sys.layout, m)
 }
 
 // handleLocalize runs at the home node (message 1 of the relocation
 // protocol): update the owner table immediately, then instruct each previous
 // owner to hand the keys over to the requester. Keys are grouped per previous
 // owner (message grouping, Section 3.7).
-func (sv *server) handleLocalize(m *msg.Localize) {
+func (nd *node) handleLocalize(m *msg.Localize) {
 	groups := make(map[int][]kv.Key)
 	for _, k := range m.Keys {
-		if sv.sys.home.NodeOf(k) != sv.node {
-			panic(fmt.Sprintf("core: localize for key %d reached non-home node %d", k, sv.node))
+		if nd.sys.home.NodeOf(k) != nd.rt.Node() {
+			panic(fmt.Sprintf("core: localize for key %d reached non-home node %d", k, nd.rt.Node()))
 		}
-		prev := int(sv.owner[k].Swap(m.Origin))
+		prev := int(nd.owner[k].Swap(m.Origin))
 		groups[prev] = append(groups[prev], k)
 	}
 	for prev, keys := range groups {
 		instr := &msg.RelocInstruct{ID: m.ID, Dest: m.Origin, Keys: keys}
-		sv.send(prev, instr)
+		nd.rt.SendOrDispatch(prev, instr)
 	}
 }
 
@@ -415,43 +440,43 @@ func (sv *server) handleLocalize(m *msg.Localize) {
 // the keys from the local store, and transfer them to the new owner. Keys
 // still in flight toward this node are chained: the instruct is queued and
 // re-executed when the transfer arrives.
-func (sv *server) handleInstruct(m *msg.RelocInstruct) {
-	if int(m.Dest) == sv.node {
+func (nd *node) handleInstruct(m *msg.RelocInstruct) {
+	if int(m.Dest) == nd.rt.Node() {
 		// Localize raced with a relocation that already made this node
 		// the owner; nothing to move. Confirm arrival to the pending
 		// localize directly.
-		sv.pending.completeLocalizeKeys(m.ID, m.Keys, sv.stats)
+		nd.rt.Pending().CompleteLocalizeKeys(m.Keys, nd.stats)
 		return
 	}
 	var moveKeys []kv.Key
 	var moveVals []float32
 	for _, k := range m.Keys {
-		sv.queueMu.Lock()
-		if q, ok := sv.queues[k]; ok {
+		nd.queueMu.Lock()
+		if q, ok := nd.queues[k]; ok {
 			sub := &msg.RelocInstruct{ID: m.ID, Dest: m.Dest, Keys: []kv.Key{k}}
 			q.entries = append(q.entries, queueEntry{instr: sub})
-			sv.queueMu.Unlock()
+			nd.queueMu.Unlock()
 			continue
 		}
-		sv.queueMu.Unlock()
-		v := sv.takeOwned(k)
+		nd.queueMu.Unlock()
+		v := nd.takeOwned(k)
 		moveKeys = append(moveKeys, k)
 		moveVals = append(moveVals, v...)
 	}
 	if len(moveKeys) > 0 {
 		tr := &msg.RelocTransfer{ID: m.ID, Keys: moveKeys, Vals: moveVals}
-		sv.send(int(m.Dest), tr)
+		nd.rt.SendOrDispatch(int(m.Dest), tr)
 	}
 }
 
 // takeOwned removes an owned key from the local store, flipping the locality
 // state first so worker fast paths that lose the race fall through to the
 // remote path.
-func (sv *server) takeOwned(k kv.Key) []float32 {
-	sv.state[k].Store(stateNotHere)
-	v := sv.store.Take(k)
+func (nd *node) takeOwned(k kv.Key) []float32 {
+	nd.state[k].Store(stateNotHere)
+	v := nd.store.Take(k)
 	if v == nil {
-		panic(fmt.Sprintf("core: instruct for key %d at node %d: not owned and not incoming", k, sv.node))
+		panic(fmt.Sprintf("core: instruct for key %d at node %d: not owned and not incoming", k, nd.rt.Node()))
 	}
 	return v
 }
@@ -459,13 +484,13 @@ func (sv *server) takeOwned(k kv.Key) []float32 {
 // handleTransfer runs at the new owner (message 3): insert the values, drain
 // the per-key queues in arrival order, and only then open the shared-memory
 // fast path. A queued instruct chains the key to its next owner.
-func (sv *server) handleTransfer(m *msg.RelocTransfer) {
+func (nd *node) handleTransfer(m *msg.RelocTransfer) {
 	src := 0
 	for _, k := range m.Keys {
-		l := sv.sys.layout.Len(k)
-		sv.store.Set(k, m.Vals[src:src+l])
+		l := nd.sys.layout.Len(k)
+		nd.store.Set(k, m.Vals[src:src+l])
 		src += l
-		sv.drainQueue(m.ID, k)
+		nd.drainQueue(k)
 	}
 }
 
@@ -473,38 +498,38 @@ func (sv *server) handleTransfer(m *msg.RelocTransfer) {
 // It completes the pending localize for the key, then applies queued
 // operations; if an instruct is encountered the key immediately moves on and
 // any remaining queued entries are re-routed through the home node.
-func (sv *server) drainQueue(transferID uint64, k kv.Key) {
-	sv.stats.Relocations.Inc()
-	sv.pending.completeLocalizeKeys(transferID, []kv.Key{k}, sv.stats)
+func (nd *node) drainQueue(k kv.Key) {
+	nd.stats.Relocations.Inc()
+	nd.rt.Pending().CompleteLocalizeKeys([]kv.Key{k}, nd.stats)
 
 	for {
-		sv.queueMu.Lock()
-		q, ok := sv.queues[k]
+		nd.queueMu.Lock()
+		q, ok := nd.queues[k]
 		if !ok || len(q.entries) == 0 {
 			// Queue empty: transition to Owned and stop. The
 			// transition happens under queueMu so worker slow paths
 			// cannot enqueue after the queue is deleted. Waiters
 			// registered during the drain are notified here.
-			delete(sv.queues, k)
-			sv.state[k].Store(stateOwned)
-			if sv.cache != nil {
-				sv.cache[k].Store(int32(sv.node))
+			delete(nd.queues, k)
+			nd.state[k].Store(stateOwned)
+			if nd.cache != nil {
+				nd.cache[k].Store(int32(nd.rt.Node()))
 			}
-			sv.pending.completeLocalizeKeys(transferID, []kv.Key{k}, sv.stats)
-			sv.queueMu.Unlock()
+			nd.rt.Pending().CompleteLocalizeKeys([]kv.Key{k}, nd.stats)
+			nd.queueMu.Unlock()
 			return
 		}
 		e := q.entries[0]
 		q.entries = q.entries[1:]
-		sv.queueMu.Unlock()
+		nd.queueMu.Unlock()
 
 		switch {
 		case e.local != nil:
-			sv.applyQueuedLocal(k, e.local)
+			nd.applyQueuedLocal(k, e.local)
 		case e.remote != nil:
-			sv.applyQueuedRemote(k, e.remote)
+			nd.applyQueuedRemote(k, e.remote)
 		case e.instr != nil:
-			sv.chainRelocation(k, e.instr)
+			nd.chainRelocation(k, e.instr)
 			return
 		}
 	}
@@ -512,41 +537,41 @@ func (sv *server) drainQueue(transferID uint64, k kv.Key) {
 
 // applyQueuedLocal executes a queued local worker op against the store and
 // completes it through the pending table (no network involved).
-func (sv *server) applyQueuedLocal(k kv.Key, op *localOp) {
+func (nd *node) applyQueuedLocal(k kv.Key, op *localOp) {
 	switch op.t {
 	case msg.OpPull:
-		if !sv.store.Read(k, op.dst) {
+		if !nd.store.Read(k, op.dst) {
 			panic(fmt.Sprintf("core: queued local pull of %d failed after transfer", k))
 		}
-		sv.stats.LocalReads.Inc()
-		sv.stats.ReadValues.Add(int64(len(op.dst)))
+		nd.stats.LocalReads.Inc()
+		nd.stats.ReadValues.Add(int64(len(op.dst)))
 	case msg.OpPush:
-		if !sv.store.Add(k, op.vals) {
+		if !nd.store.Add(k, op.vals) {
 			panic(fmt.Sprintf("core: queued local push of %d failed after transfer", k))
 		}
-		sv.stats.LocalWrites.Inc()
+		nd.stats.LocalWrites.Inc()
 	}
-	sv.pending.completeLocalKey(sv.sys.layout, op)
+	nd.rt.Pending().FinishKeys(op.id, 1)
 }
 
 // applyQueuedRemote executes a queued forwarded op and responds to its
 // origin.
-func (sv *server) applyQueuedRemote(k kv.Key, m *msg.Op) {
-	l := sv.sys.layout.Len(k)
+func (nd *node) applyQueuedRemote(k kv.Key, m *msg.Op) {
+	l := nd.sys.layout.Len(k)
 	switch m.Type {
 	case msg.OpPull:
 		buf := make([]float32, l)
-		if !sv.store.Read(k, buf) {
+		if !nd.store.Read(k, buf) {
 			panic(fmt.Sprintf("core: queued remote pull of %d failed after transfer", k))
 		}
-		resp := &msg.OpResp{Type: msg.OpPull, ID: m.ID, Responder: int32(sv.node), Keys: []kv.Key{k}, Vals: buf}
-		sv.send(int(m.Origin), resp)
+		resp := &msg.OpResp{Type: msg.OpPull, ID: m.ID, Responder: int32(nd.rt.Node()), Keys: []kv.Key{k}, Vals: buf}
+		nd.rt.SendOrDispatch(int(m.Origin), resp)
 	case msg.OpPush:
-		if !sv.store.Add(k, m.Vals) {
+		if !nd.store.Add(k, m.Vals) {
 			panic(fmt.Sprintf("core: queued remote push of %d failed after transfer", k))
 		}
-		resp := &msg.OpResp{Type: msg.OpPush, ID: m.ID, Responder: int32(sv.node), Keys: []kv.Key{k}}
-		sv.send(int(m.Origin), resp)
+		resp := &msg.OpResp{Type: msg.OpPush, ID: m.ID, Responder: int32(nd.rt.Node()), Keys: []kv.Key{k}}
+		nd.rt.SendOrDispatch(int(m.Origin), resp)
 	}
 }
 
@@ -554,81 +579,50 @@ func (sv *server) applyQueuedRemote(k kv.Key, m *msg.Op) {
 // overtook the in-flight transfer). Entries that remain queued behind the
 // instruct are re-routed: local ops go back through the remote path, remote
 // ops double-forward via the home node.
-func (sv *server) chainRelocation(k kv.Key, instr *msg.RelocInstruct) {
-	v := sv.store.Take(k)
+func (nd *node) chainRelocation(k kv.Key, instr *msg.RelocInstruct) {
+	v := nd.store.Take(k)
 	if v == nil {
-		panic(fmt.Sprintf("core: chained instruct for key %d at node %d: value missing", k, sv.node))
+		panic(fmt.Sprintf("core: chained instruct for key %d at node %d: value missing", k, nd.rt.Node()))
 	}
 	// Collect the remainder of the queue, then release it. Localize
 	// waiters that registered during the drain are notified here: the key
 	// did arrive, it just moves on immediately (localization conflict).
-	sv.queueMu.Lock()
-	q := sv.queues[k]
+	nd.queueMu.Lock()
+	q := nd.queues[k]
 	rest := q.entries
-	delete(sv.queues, k)
-	sv.state[k].Store(stateNotHere)
-	sv.pending.completeLocalizeKeys(instr.ID, []kv.Key{k}, sv.stats)
-	sv.queueMu.Unlock()
+	delete(nd.queues, k)
+	nd.state[k].Store(stateNotHere)
+	nd.rt.Pending().CompleteLocalizeKeys([]kv.Key{k}, nd.stats)
+	nd.queueMu.Unlock()
 
 	tr := &msg.RelocTransfer{ID: instr.ID, Keys: []kv.Key{k}, Vals: v}
-	sv.send(int(instr.Dest), tr)
+	nd.rt.SendOrDispatch(int(instr.Dest), tr)
 
 	for _, e := range rest {
 		switch {
 		case e.local != nil:
-			sv.reissueLocal(k, e.local)
+			nd.reissueLocal(k, e.local)
 		case e.remote != nil:
 			e.remote.Hops++
-			sv.stats.DoubleForwards.Inc()
-			sv.send(sv.sys.home.NodeOf(k), e.remote)
+			nd.stats.DoubleForwards.Inc()
+			nd.rt.SendOrDispatch(nd.sys.home.NodeOf(k), e.remote)
 		case e.instr != nil:
-			panic(fmt.Sprintf("core: two instructs queued for key %d at node %d", k, sv.node))
+			panic(fmt.Sprintf("core: two instructs queued for key %d at node %d", k, nd.rt.Node()))
 		}
 	}
 }
 
 // reissueLocal converts a queued local op whose key moved away into a remote
 // op routed through the home node.
-func (sv *server) reissueLocal(k kv.Key, op *localOp) {
-	m := &msg.Op{Type: op.t, ID: op.id, Origin: int32(sv.node), Keys: []kv.Key{k}, Vals: op.vals}
+func (nd *node) reissueLocal(k kv.Key, op *localOp) {
+	m := &msg.Op{Type: op.t, ID: op.id, Origin: int32(nd.rt.Node()), Keys: []kv.Key{k}, Vals: op.vals}
 	if op.t == msg.OpPull {
-		sv.stats.RemoteReads.Inc()
-		sv.stats.ReadValues.Add(int64(sv.sys.layout.Len(k)))
+		nd.stats.RemoteReads.Inc()
+		nd.stats.ReadValues.Add(int64(nd.sys.layout.Len(k)))
 	} else {
-		sv.stats.RemoteWrites.Inc()
+		nd.stats.RemoteWrites.Inc()
 	}
-	sv.send(sv.sys.home.NodeOf(k), m)
+	nd.rt.SendOrDispatch(nd.sys.home.NodeOf(k), m)
 }
 
-// send transmits m, using direct local dispatch when the destination is this
-// node (Lapse never talks to itself over the network: the server simply
-// processes the message inline, preserving arrival order because it is the
-// only goroutine that dispatches to itself mid-loop).
-func (sv *server) send(dest int, m any) {
-	if dest == sv.node {
-		switch t := m.(type) {
-		case *msg.Op:
-			sv.handleOp(t)
-		case *msg.OpResp:
-			sv.handleResp(t)
-		case *msg.Localize:
-			sv.handleLocalize(t)
-		case *msg.RelocInstruct:
-			sv.handleInstruct(t)
-		case *msg.RelocTransfer:
-			sv.handleTransfer(t)
-		}
-		return
-	}
-	sv.sys.cl.Net().Send(sv.node, dest, m, msg.Size(m))
-}
-
-// sendFromWorker transmits a message on behalf of a worker thread of this
-// node. Worker threads must not call server handlers directly (that would
-// race with the server goroutine), so node-local destinations are delivered
-// through the network's loopback with zero configured latency semantics.
-func (sv *server) sendFromWorker(dest int, m any) {
-	sv.sys.cl.Net().Send(sv.node, dest, m, msg.Size(m))
-}
-
-var nowFunc = time.Now
+var _ server.Policy = (*node)(nil)

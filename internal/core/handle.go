@@ -5,30 +5,19 @@ import (
 
 	"lapse/internal/kv"
 	"lapse/internal/msg"
+	"lapse/internal/server"
 )
 
 // handle is the per-worker-thread Lapse client. It implements the full API of
 // Table 2: pull, push, and localize, each synchronous and asynchronous, plus
-// PullIfLocal used by latency-hiding applications.
+// PullIfLocal used by latency-hiding applications. Identity, barrier, and
+// WaitAll come from the shared runtime handle; operations dispatch through
+// the runtime's batched per-destination path with this type as the router.
 type handle struct {
-	sys         *System
-	srv         *server
-	node        int
-	worker      int
-	outstanding []*kv.Future
+	server.Handle
+	sys *System
+	nd  *node
 }
-
-// NodeID implements kv.KV.
-func (h *handle) NodeID() int { return h.node }
-
-// WorkerID implements kv.KV.
-func (h *handle) WorkerID() int { return h.worker }
-
-// Barrier implements kv.KV.
-func (h *handle) Barrier() { h.sys.cl.Barrier().Wait() }
-
-// Clock implements kv.KV (no-op: Lapse has no staleness clock).
-func (h *handle) Clock() {}
 
 // Pull implements kv.KV.
 func (h *handle) Pull(keys []kv.Key, dst []float32) error {
@@ -50,8 +39,8 @@ func (h *handle) PullAsync(keys []kv.Key, dst []float32) *kv.Future {
 	if want := kv.BufferLen(h.sys.layout, keys); len(dst) != want {
 		return kv.CompletedFuture(fmt.Errorf("core: pull buffer has %d values, want %d", len(dst), want))
 	}
-	f := h.dispatch(msg.OpPull, keys, nil, dst)
-	h.track(f)
+	f := h.nd.rt.DispatchOp(h, msg.OpPull, keys, dst, nil)
+	h.Track(f)
 	return f
 }
 
@@ -60,85 +49,38 @@ func (h *handle) PushAsync(keys []kv.Key, vals []float32) *kv.Future {
 	if want := kv.BufferLen(h.sys.layout, keys); len(vals) != want {
 		return kv.CompletedFuture(fmt.Errorf("core: push buffer has %d values, want %d", len(vals), want))
 	}
-	f := h.dispatch(msg.OpPush, keys, vals, nil)
-	h.track(f)
+	f := h.nd.rt.DispatchOp(h, msg.OpPush, keys, nil, vals)
+	h.Track(f)
 	return f
 }
 
-// routeDest identifies a network destination for a key group: the home node
-// (ViaCache false) or a cached owner (ViaCache true).
+// RouteKey implements server.Router: serve each key through the fastest
+// admissible path — shared-memory access for owned keys, the relocation
+// queue for keys currently arriving at this node, and the network
+// (home-routed, or cache-direct when location caches are on) for everything
+// else.
+func (h *handle) RouteKey(t msg.OpType, id uint64, k kv.Key, dst, vals []float32) server.KeyRoute {
+	if h.tryFast(t, k, dst, vals) {
+		return server.KeyRoute{Served: true}
+	}
+	dest, enqueued := h.slowRoute(t, id, k, dst, vals)
+	if enqueued {
+		return server.KeyRoute{Enqueued: true}
+	}
+	if t == msg.OpPull {
+		h.nd.stats.RemoteReads.Inc()
+		h.nd.stats.ReadValues.Add(int64(h.sys.layout.Len(k)))
+	} else {
+		h.nd.stats.RemoteWrites.Inc()
+	}
+	return server.KeyRoute{Dest: dest.node, ViaCache: dest.viaCache}
+}
+
+// routeDest identifies a network destination for a key: the home node
+// (viaCache false) or a cached owner (viaCache true).
 type routeDest struct {
 	node     int
 	viaCache bool
-}
-
-// dispatch serves each key through the fastest admissible path: shared-memory
-// access for owned keys, the relocation queue for keys currently arriving at
-// this node, and the network (home-routed, or cache-direct when location
-// caches are on) for everything else. Remote keys are grouped per destination
-// (message grouping, Section 3.7).
-//
-// The pending-op slot is registered for all keys up front and the keys served
-// by the fast path are immediately accounted as done; this way queued entries
-// always carry a valid op ID even if the server drains them concurrently.
-func (h *handle) dispatch(t msg.OpType, keys []kv.Key, vals []float32, dst []float32) *kv.Future {
-	if len(keys) == 0 {
-		return kv.CompletedFuture(nil)
-	}
-	layout := h.sys.layout
-	dstOff := make(map[kv.Key]int, len(keys))
-	off := 0
-	for _, k := range keys {
-		dstOff[k] = off
-		off += layout.Len(k)
-	}
-	id, fut := h.srv.pending.registerOp(len(keys), dst, dstOff)
-
-	var groups map[routeDest][]kv.Key
-	fastDone := 0
-	for _, k := range keys {
-		l := layout.Len(k)
-		var kdst, kvals []float32
-		if t == msg.OpPull {
-			kdst = dst[dstOff[k] : dstOff[k]+l]
-		} else {
-			kvals = vals[dstOff[k] : dstOff[k]+l]
-		}
-		if h.tryFast(t, k, kdst, kvals) {
-			fastDone++
-			continue
-		}
-		dest, enqueued := h.slowRoute(t, id, k, kdst, kvals)
-		if enqueued {
-			continue
-		}
-		if groups == nil {
-			groups = make(map[routeDest][]kv.Key)
-		}
-		groups[dest] = append(groups[dest], k)
-		if t == msg.OpPull {
-			h.srv.stats.RemoteReads.Inc()
-			h.srv.stats.ReadValues.Add(int64(l))
-		} else {
-			h.srv.stats.RemoteWrites.Inc()
-		}
-	}
-	for dest, gk := range groups {
-		var gv []float32
-		if t == msg.OpPush {
-			gv = make([]float32, 0, kv.BufferLen(layout, gk))
-			for _, k := range gk {
-				l := layout.Len(k)
-				gv = append(gv, vals[dstOff[k]:dstOff[k]+l]...)
-			}
-		}
-		op := &msg.Op{Type: t, ID: id, Origin: int32(h.node), ViaCache: dest.viaCache, Keys: gk, Vals: gv}
-		h.srv.sendFromWorker(dest.node, op)
-	}
-	if fastDone > 0 {
-		h.srv.pending.finishKeys(id, fastDone)
-	}
-	return fut
 }
 
 // tryFast attempts the shared-memory fast path: allowed only for keys in
@@ -147,22 +89,22 @@ func (h *handle) dispatch(t msg.OpType, keys []kv.Key, vals []float32, dst []flo
 // order — which the Owned gate guarantees, because the state only flips to
 // Owned after the drain completes.
 func (h *handle) tryFast(t msg.OpType, k kv.Key, dst, vals []float32) bool {
-	if h.srv.state[k].Load() != stateOwned {
+	if h.nd.state[k].Load() != stateOwned {
 		return false
 	}
 	switch t {
 	case msg.OpPull:
-		if !h.srv.store.Read(k, dst) {
+		if !h.nd.store.Read(k, dst) {
 			return false // lost the race against a transfer-out
 		}
-		h.srv.stats.LocalReads.Inc()
-		h.srv.stats.ReadValues.Add(int64(len(dst)))
+		h.nd.stats.LocalReads.Inc()
+		h.nd.stats.ReadValues.Add(int64(len(dst)))
 		return true
 	default:
-		if !h.srv.store.Add(k, vals) {
+		if !h.nd.store.Add(k, vals) {
 			return false
 		}
-		h.srv.stats.LocalWrites.Inc()
+		h.nd.stats.LocalWrites.Inc()
 		return true
 	}
 }
@@ -172,20 +114,20 @@ func (h *handle) tryFast(t msg.OpType, k kv.Key, dst, vals []float32) bool {
 // (enqueued=true), and otherwise returns the network destination — the cached
 // owner on a location-cache hit, the home node otherwise.
 func (h *handle) slowRoute(t msg.OpType, id uint64, k kv.Key, dst, vals []float32) (routeDest, bool) {
-	h.srv.queueMu.Lock()
-	if q, ok := h.srv.queues[k]; ok {
+	h.nd.queueMu.Lock()
+	if q, ok := h.nd.queues[k]; ok {
 		q.entries = append(q.entries, queueEntry{local: &localOp{t: t, id: id, k: k, dst: dst, vals: vals}})
-		h.srv.queueMu.Unlock()
-		h.srv.stats.QueuedOps.Inc()
+		h.nd.queueMu.Unlock()
+		h.nd.stats.QueuedOps.Inc()
 		return routeDest{}, true
 	}
-	h.srv.queueMu.Unlock()
-	if h.srv.cache != nil {
-		if c := h.srv.cache[k].Load(); c >= 0 && int(c) != h.node {
-			h.srv.stats.CacheHits.Inc()
+	h.nd.queueMu.Unlock()
+	if h.nd.cache != nil {
+		if c := h.nd.cache[k].Load(); c >= 0 && int(c) != h.NodeID() {
+			h.nd.stats.CacheHits.Inc()
 			return routeDest{node: int(c), viaCache: true}, false
 		}
-		h.srv.stats.CacheMisses.Inc()
+		h.nd.stats.CacheMisses.Inc()
 	}
 	return routeDest{node: h.sys.home.NodeOf(k)}, false
 }
@@ -211,38 +153,40 @@ func (h *handle) PullIfLocal(keys []kv.Key, dst []float32) (bool, error) {
 // LocalizeAsync implements kv.KV: it requests relocation of all non-local
 // keys to this node and returns a future that completes when every key has
 // arrived (Section 3.2). Keys already relocating here (requested by a
-// co-located worker) are waited on without sending additional messages.
+// co-located worker) are waited on without sending additional messages;
+// keys that do need a request are batched into one message per home node.
 func (h *handle) LocalizeAsync(keys []kv.Key) *kv.Future {
 	if len(keys) == 0 {
 		return kv.CompletedFuture(nil)
 	}
+	pending := h.nd.rt.Pending()
 	var sendKeys, waitKeys []kv.Key
-	h.srv.queueMu.Lock()
+	h.nd.queueMu.Lock()
 	for _, k := range keys {
-		switch h.srv.state[k].Load() {
+		switch h.nd.state[k].Load() {
 		case stateOwned:
 			continue // already local
 		case stateIncoming:
 			waitKeys = append(waitKeys, k)
 		default:
-			h.srv.state[k].Store(stateIncoming)
-			h.srv.queues[k] = &keyQueue{}
+			h.nd.state[k].Store(stateIncoming)
+			h.nd.queues[k] = &keyQueue{}
 			sendKeys = append(sendKeys, k)
 		}
 	}
 	total := len(sendKeys) + len(waitKeys)
 	if total == 0 {
-		h.srv.queueMu.Unlock()
+		h.nd.queueMu.Unlock()
 		return kv.CompletedFuture(nil)
 	}
-	id, fut := h.srv.pending.registerLocalize(total, len(sendKeys) > 0)
+	id, fut := pending.RegisterLocalize(total, len(sendKeys) > 0)
 	for _, k := range sendKeys {
-		h.srv.pending.addWaiter(k, id)
+		pending.AddWaiter(k, id)
 	}
 	for _, k := range waitKeys {
-		h.srv.pending.addWaiter(k, id)
+		pending.AddWaiter(k, id)
 	}
-	h.srv.queueMu.Unlock()
+	h.nd.queueMu.Unlock()
 
 	if len(sendKeys) > 0 {
 		groups := make(map[int][]kv.Key)
@@ -251,40 +195,20 @@ func (h *handle) LocalizeAsync(keys []kv.Key) *kv.Future {
 			groups[home] = append(groups[home], k)
 		}
 		for home, gk := range groups {
-			m := &msg.Localize{ID: id, Origin: int32(h.node), Keys: gk}
-			h.srv.sendFromWorker(home, m)
+			if h.nd.rt.Batched() {
+				h.nd.rt.Send(home, &msg.Localize{ID: id, Origin: int32(h.NodeID()), Keys: gk})
+				continue
+			}
+			for _, k := range gk {
+				h.nd.rt.Send(home, &msg.Localize{ID: id, Origin: int32(h.NodeID()), Keys: []kv.Key{k}})
+			}
 		}
 	}
-	h.track(fut)
+	h.Track(fut)
 	return fut
 }
 
-// WaitAll implements kv.KV.
-func (h *handle) WaitAll() error {
-	var first error
-	for _, f := range h.outstanding {
-		if err := f.Wait(); err != nil && first == nil {
-			first = err
-		}
-	}
-	h.outstanding = h.outstanding[:0]
-	return first
-}
-
-func (h *handle) track(f *kv.Future) {
-	if done, _ := f.TryWait(); done {
-		return
-	}
-	h.outstanding = append(h.outstanding, f)
-	if len(h.outstanding) > 4096 {
-		kept := h.outstanding[:0]
-		for _, f := range h.outstanding {
-			if done, _ := f.TryWait(); !done {
-				kept = append(kept, f)
-			}
-		}
-		h.outstanding = kept
-	}
-}
-
-var _ kv.KV = (*handle)(nil)
+var (
+	_ kv.KV         = (*handle)(nil)
+	_ server.Router = (*handle)(nil)
+)

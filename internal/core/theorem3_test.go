@@ -42,7 +42,7 @@ func TestTheorem3CacheReordering(t *testing.T) {
 
 	h0 := sys.Handle(0)
 	// Plant a stale cache entry at node 0: it claims node 3 owns k.
-	sys.servers[0].cache[k].Store(3)
+	sys.nodes[0].cache[k].Store(3)
 
 	// O1: asynchronous push via the stale cache. Route: 0 -> 3 (cache),
 	// 3 -> 1 (double-forward to home), 1 -> 2 (forward to owner): the
@@ -51,7 +51,7 @@ func TestTheorem3CacheReordering(t *testing.T) {
 
 	// "The location cache is updated (by another returning operation)":
 	// plant the correct owner.
-	sys.servers[0].cache[k].Store(2)
+	sys.nodes[0].cache[k].Store(2)
 
 	// O2: pull issued after O1 in program order, routed directly to the
 	// owner (~1 latency). It overtakes O1.

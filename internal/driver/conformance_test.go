@@ -1,0 +1,218 @@
+package driver
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"lapse/internal/cluster"
+	"lapse/internal/kv"
+	"lapse/internal/simnet"
+)
+
+// The conformance suite runs the same multi-worker workload against every
+// parameter-server variant and checks that all of them (a) converge to the
+// same parameter values through the unified server runtime and (b) honor the
+// kv.KV contract, including the ErrUnsupported paths of variants without
+// dynamic parameter allocation.
+
+const (
+	confNodes   = 2
+	confWorkers = 2 // per node
+	confKeys    = 40
+	confValLen  = 2
+	confIters   = 3
+)
+
+func confLayout() kv.Layout { return kv.NewUniformLayout(confKeys, confValLen) }
+
+func TestConformanceConvergence(t *testing.T) {
+	for _, kind := range Kinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			cl := cluster.New(cluster.Config{Nodes: confNodes, WorkersPerNode: confWorkers, Net: simnet.Config{}})
+			ps := Build(kind, cl, confLayout(), Options{Staleness: 1})
+			defer func() { cl.Close(); ps.Shutdown() }()
+
+			keys := make([]kv.Key, confKeys)
+			ones := make([]float32, confKeys*confValLen)
+			for i := range keys {
+				keys[i] = kv.Key(i)
+			}
+			for i := range ones {
+				ones[i] = 1
+			}
+
+			// Phase 1: every worker pushes 1 to every value confIters
+			// times, advancing its clock (flushes the stale PS's
+			// write-back cache; no-op elsewhere) and synchronizing on
+			// the barrier each round.
+			errs := make([]error, cl.TotalWorkers())
+			cl.RunWorkers(func(_, worker int) {
+				h := ps.Handle(worker)
+				for iter := 0; iter < confIters; iter++ {
+					if err := h.Push(keys, ones); err != nil {
+						errs[worker] = err
+						return
+					}
+					h.Clock()
+					h.Barrier()
+				}
+			})
+			if err := errors.Join(errs...); err != nil {
+				t.Fatal(err)
+			}
+
+			// All variants must agree on the authoritative final values.
+			want := float32(cl.TotalWorkers() * confIters)
+			buf := make([]float32, confValLen)
+			for _, k := range keys {
+				ps.ReadParameter(k, buf)
+				for i, v := range buf {
+					if v != want {
+						t.Fatalf("key %d value %d = %v, want %v", k, i, v, want)
+					}
+				}
+			}
+
+			// Phase 2: a fresh handle pulls everything through the
+			// regular read path and must observe the converged state
+			// (the stale PS fetches at required clock 0, which every
+			// server serves immediately with current values).
+			cl.RunWorkers(func(_, worker int) {
+				if worker != 0 {
+					return
+				}
+				h := ps.Handle(worker)
+				dst := make([]float32, confKeys*confValLen)
+				if err := h.Pull(keys, dst); err != nil {
+					errs[worker] = err
+					return
+				}
+				for i, v := range dst {
+					if v != want {
+						t.Errorf("pulled value %d = %v, want %v", i, v, want)
+						return
+					}
+				}
+				if err := h.WaitAll(); err != nil {
+					errs[worker] = err
+				}
+			})
+			if err := errors.Join(errs...); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestConformanceAsyncAndWaitAll(t *testing.T) {
+	for _, kind := range Kinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			cl := cluster.New(cluster.Config{Nodes: confNodes, WorkersPerNode: confWorkers, Net: simnet.Config{}})
+			ps := Build(kind, cl, confLayout(), Options{Staleness: 1})
+			defer func() { cl.Close(); ps.Shutdown() }()
+
+			keys := []kv.Key{0, confKeys / 2, confKeys - 1} // spans both nodes
+			vals := make([]float32, len(keys)*confValLen)
+			for i := range vals {
+				vals[i] = 2
+			}
+			errs := make([]error, cl.TotalWorkers())
+			cl.RunWorkers(func(_, worker int) {
+				h := ps.Handle(worker)
+				for iter := 0; iter < confIters; iter++ {
+					h.PushAsync(keys, vals)
+				}
+				if err := h.WaitAll(); err != nil {
+					errs[worker] = err
+					return
+				}
+				h.Clock()
+				h.Barrier()
+				// Asynchronous pull after the barrier; WaitAll must
+				// block until dst is filled.
+				dst := make([]float32, len(keys)*confValLen)
+				h.PullAsync(keys, dst)
+				if err := h.WaitAll(); err != nil {
+					errs[worker] = err
+					return
+				}
+				for _, v := range dst {
+					if v == 0 {
+						errs[worker] = errors.New("async pull observed zero after WaitAll")
+						return
+					}
+				}
+			})
+			if err := errors.Join(errs...); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestConformanceKVContract(t *testing.T) {
+	for _, kind := range Kinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			cl := cluster.New(cluster.Config{Nodes: confNodes, WorkersPerNode: 1, Net: simnet.Config{}})
+			ps := Build(kind, cl, confLayout(), Options{Staleness: 1})
+			defer func() { cl.Close(); ps.Shutdown() }()
+
+			var mu sync.Mutex
+			fail := func(format string, args ...any) {
+				mu.Lock()
+				defer mu.Unlock()
+				t.Errorf(format, args...)
+			}
+			cl.RunWorkers(func(node, worker int) {
+				if worker != 0 {
+					// Keep the barrier population complete but idle.
+					return
+				}
+				h := ps.Handle(worker)
+				if h.WorkerID() != worker || h.NodeID() != node {
+					fail("%s: handle identity = (%d,%d), want (%d,%d)", kind, h.NodeID(), h.WorkerID(), node, worker)
+				}
+				// Buffer-size validation, sync and async.
+				short := make([]float32, 1)
+				if err := h.Pull([]kv.Key{0, 1}, short); err == nil {
+					fail("%s: Pull with short buffer succeeded", kind)
+				}
+				if err := h.Push([]kv.Key{0, 1}, short); err == nil {
+					fail("%s: Push with short buffer succeeded", kind)
+				}
+				if err := h.PullAsync([]kv.Key{0, 1}, short).Wait(); err == nil {
+					fail("%s: PullAsync with short buffer succeeded", kind)
+				}
+				// Localize support matches the declared capability.
+				locErr := h.Localize([]kv.Key{1})
+				asyncLocErr := h.LocalizeAsync([]kv.Key{1}).Wait()
+				if SupportsLocalize(kind) {
+					if locErr != nil || asyncLocErr != nil {
+						fail("%s: Localize = %v / %v, want nil", kind, locErr, asyncLocErr)
+					}
+					// After localization the key is readable with no
+					// network communication.
+					dst := make([]float32, confValLen)
+					ok, err := h.PullIfLocal([]kv.Key{1}, dst)
+					if err != nil || !ok {
+						fail("%s: PullIfLocal after Localize = (%v, %v), want (true, nil)", kind, ok, err)
+					}
+				} else {
+					if !errors.Is(locErr, kv.ErrUnsupported) {
+						fail("%s: Localize = %v, want ErrUnsupported", kind, locErr)
+					}
+					if !errors.Is(asyncLocErr, kv.ErrUnsupported) {
+						fail("%s: LocalizeAsync = %v, want ErrUnsupported", kind, asyncLocErr)
+					}
+				}
+				// A key assigned to the remote node is not local (for
+				// the stale PS nothing is local before the first pull).
+				dst := make([]float32, confValLen)
+				if ok, err := h.PullIfLocal([]kv.Key{confKeys - 1}, dst); err != nil || ok {
+					fail("%s: PullIfLocal of remote key = (%v, %v), want (false, nil)", kind, ok, err)
+				}
+			})
+		})
+	}
+}

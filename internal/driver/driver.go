@@ -63,23 +63,26 @@ type PS interface {
 type Options struct {
 	// Staleness is the SSP staleness bound (stale variants only).
 	Staleness int
+	// Unbatched disables per-destination message batching in the shared
+	// server runtime (measurement only; all variants).
+	Unbatched bool
 }
 
 // Build constructs the variant on cl.
 func Build(kind Kind, cl *cluster.Cluster, layout kv.Layout, opt Options) PS {
 	switch kind {
 	case ClassicPS:
-		return classic.New(cl, layout, classic.Config{})
+		return classic.New(cl, layout, classic.Config{Unbatched: opt.Unbatched})
 	case ClassicFast:
-		return classic.New(cl, layout, classic.Config{FastLocalAccess: true})
+		return classic.New(cl, layout, classic.Config{FastLocalAccess: true, Unbatched: opt.Unbatched})
 	case Lapse:
-		return core.New(cl, layout, core.Config{})
+		return core.New(cl, layout, core.Config{Unbatched: opt.Unbatched})
 	case LapseCached:
-		return core.New(cl, layout, core.Config{LocationCaches: true})
+		return core.New(cl, layout, core.Config{LocationCaches: true, Unbatched: opt.Unbatched})
 	case SSPClient:
-		return ssp.New(cl, layout, ssp.Config{Staleness: opt.Staleness})
+		return ssp.New(cl, layout, ssp.Config{Staleness: opt.Staleness, Unbatched: opt.Unbatched})
 	case SSPServer:
-		return ssp.New(cl, layout, ssp.Config{Staleness: opt.Staleness, ServerSync: true})
+		return ssp.New(cl, layout, ssp.Config{Staleness: opt.Staleness, ServerSync: true, Unbatched: opt.Unbatched})
 	default:
 		panic(fmt.Sprintf("driver: unknown PS kind %q", kind))
 	}

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"lapse/internal/kv"
+	"lapse/internal/msg"
+)
+
+// KeyRoute is a Router's verdict for one key of a worker operation.
+type KeyRoute struct {
+	// Served marks the key as already served through the variant's
+	// shared-memory fast path; no message is sent and the key counts as
+	// done immediately.
+	Served bool
+	// Enqueued marks the key as queued by the variant (e.g. on a Lapse
+	// relocation queue); the queued entry completes the key through the
+	// operation ID later.
+	Enqueued bool
+	// Dest is the node the key's request must be sent to (when neither
+	// Served nor Enqueued).
+	Dest int
+	// ViaCache marks requests routed via a location-cache entry, which the
+	// receiver uses for stale-cache handling.
+	ViaCache bool
+}
+
+// Router is the variant's per-key routing policy for worker operations: it
+// may serve a key locally, queue it, or name the node to contact. Routers
+// run on the issuing worker's goroutine and do their own stats accounting,
+// since what counts as a "local" access differs between variants.
+type Router interface {
+	RouteKey(t msg.OpType, id uint64, k kv.Key, dst, vals []float32) KeyRoute
+}
+
+// destination identifies one outgoing message group.
+type destination struct {
+	node     int
+	viaCache bool
+}
+
+// DispatchOp issues one multi-key pull or push on behalf of a worker thread:
+// it registers a pending-operation slot covering every key, routes each key
+// through the variant's Router, and sends the keys that need the network
+// batched into one msg.Op envelope per destination node (or one envelope
+// per key when batching is disabled). The returned future completes when
+// every key has been served, whether by the fast path, a queued entry, or a
+// response message.
+//
+// The pending slot is registered before any routing so queued entries always
+// carry a valid operation ID even if the server drains them concurrently;
+// fast-path keys are accounted as done at the end in a single step.
+func (rt *Runtime) DispatchOp(r Router, t msg.OpType, keys []kv.Key, dst, vals []float32) *kv.Future {
+	if len(keys) == 0 {
+		return kv.CompletedFuture(nil)
+	}
+	layout := rt.g.layout
+	dstOff := make(map[kv.Key]int, len(keys))
+	off := 0
+	for _, k := range keys {
+		dstOff[k] = off
+		off += layout.Len(k)
+	}
+	id, fut := rt.pending.RegisterOp(len(keys), dst, dstOff)
+
+	var groups map[destination][]kv.Key
+	served := 0
+	for _, k := range keys {
+		l := layout.Len(k)
+		o := dstOff[k]
+		var kdst, kvals []float32
+		if t == msg.OpPull {
+			kdst = dst[o : o+l]
+		} else {
+			kvals = vals[o : o+l]
+		}
+		route := r.RouteKey(t, id, k, kdst, kvals)
+		switch {
+		case route.Served:
+			served++
+		case route.Enqueued:
+			// The queued entry completes the key via the pending table.
+		case rt.g.cfg.Unbatched:
+			var kval []float32
+			if t == msg.OpPush {
+				kval = append([]float32(nil), kvals...)
+			}
+			op := &msg.Op{Type: t, ID: id, Origin: int32(rt.node), ViaCache: route.ViaCache, Keys: []kv.Key{k}, Vals: kval}
+			rt.Send(route.Dest, op)
+		default:
+			if groups == nil {
+				groups = make(map[destination][]kv.Key)
+			}
+			d := destination{node: route.Dest, viaCache: route.ViaCache}
+			groups[d] = append(groups[d], k)
+		}
+	}
+	for d, gk := range groups {
+		var gv []float32
+		if t == msg.OpPush {
+			gv = make([]float32, 0, kv.BufferLen(layout, gk))
+			for _, k := range gk {
+				o := dstOff[k]
+				gv = append(gv, vals[o:o+layout.Len(k)]...)
+			}
+		}
+		op := &msg.Op{Type: t, ID: id, Origin: int32(rt.node), ViaCache: d.viaCache, Keys: gk, Vals: gv}
+		rt.Send(d.node, op)
+	}
+	if served > 0 {
+		rt.pending.FinishKeys(id, served)
+	}
+	return fut
+}

@@ -1,0 +1,66 @@
+package server
+
+import (
+	"lapse/internal/kv"
+)
+
+// Handle implements the variant-independent portion of a kv.KV client:
+// identity, the cluster barrier, and the outstanding-future tracking behind
+// WaitAll. Variants embed it and add their operation methods. Like any kv.KV
+// handle, it is bound to one worker thread and must not be shared between
+// goroutines.
+type Handle struct {
+	rt          *Runtime
+	worker      int
+	outstanding []*kv.Future
+}
+
+// NewHandle returns a handle for the given worker bound to rt's node.
+func NewHandle(rt *Runtime, worker int) Handle {
+	return Handle{rt: rt, worker: worker}
+}
+
+// NodeID implements kv.KV.
+func (h *Handle) NodeID() int { return h.rt.node }
+
+// WorkerID implements kv.KV.
+func (h *Handle) WorkerID() int { return h.worker }
+
+// Barrier implements kv.KV.
+func (h *Handle) Barrier() { h.rt.g.cl.Barrier().Wait() }
+
+// Clock implements kv.KV as a no-op; the stale PS overrides it.
+func (h *Handle) Clock() {}
+
+// WaitAll implements kv.KV: it blocks until all tracked asynchronous
+// operations completed and returns the first error.
+func (h *Handle) WaitAll() error {
+	var first error
+	for _, f := range h.outstanding {
+		if err := f.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	h.outstanding = h.outstanding[:0]
+	return first
+}
+
+// Track registers an asynchronous operation with WaitAll. Already-completed
+// futures are skipped, and the tracking list is compacted once it grows
+// large so long-running fully-asynchronous workers don't accumulate it
+// unboundedly.
+func (h *Handle) Track(f *kv.Future) {
+	if done, _ := f.TryWait(); done {
+		return
+	}
+	h.outstanding = append(h.outstanding, f)
+	if len(h.outstanding) > 4096 {
+		kept := h.outstanding[:0]
+		for _, f := range h.outstanding {
+			if done, _ := f.TryWait(); !done {
+				kept = append(kept, f)
+			}
+		}
+		h.outstanding = kept
+	}
+}

@@ -1,0 +1,201 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lapse/internal/kv"
+	"lapse/internal/metrics"
+	"lapse/internal/msg"
+)
+
+// nowFunc is stubbed in tests that exercise relocation timing.
+var nowFunc = time.Now
+
+// Pending tracks the asynchronous operations issued by one node's workers:
+// pulls/pushes awaiting responses (possibly split across several
+// responders), localizes awaiting key arrivals, and stale-PS fetches
+// awaiting sync replies.
+//
+// Localize waiting uses per-key waiter lists rather than transfer IDs: every
+// localize call registers as a waiter on each key it still needs, and key
+// arrival notifies all waiters. This naturally de-duplicates concurrent
+// localizes of the same key by co-located workers (only the first sends a
+// message; the rest piggy-back).
+type Pending struct {
+	mu      sync.Mutex
+	next    uint64
+	ops     map[uint64]*pendingOp
+	locs    map[uint64]*pendingLoc
+	waiters map[kv.Key][]uint64 // key -> localize IDs waiting for arrival
+	syncs   map[uint64]*pendingSync
+}
+
+type pendingOp struct {
+	fut       *kv.Future
+	remaining int
+	dst       []float32
+	dstOff    map[kv.Key]int
+}
+
+type pendingLoc struct {
+	fut       *kv.Future
+	remaining int
+	start     time.Time
+	measure   bool // true for the localize that sent the network message
+}
+
+type pendingSync struct {
+	fut       *kv.Future
+	remaining int // number of server replies expected
+}
+
+// NewPending returns an empty pending-operation table.
+func NewPending() *Pending {
+	return &Pending{
+		ops:     make(map[uint64]*pendingOp),
+		locs:    make(map[uint64]*pendingLoc),
+		waiters: make(map[kv.Key][]uint64),
+		syncs:   make(map[uint64]*pendingSync),
+	}
+}
+
+// RegisterOp allocates a slot for a pull/push expecting nKeys key answers.
+// For pulls, dst and dstOff describe where each key's response values land.
+func (p *Pending) RegisterOp(nKeys int, dst []float32, dstOff map[kv.Key]int) (uint64, *kv.Future) {
+	fut := kv.NewFuture()
+	p.mu.Lock()
+	p.next++
+	id := p.next
+	p.ops[id] = &pendingOp{fut: fut, remaining: nKeys, dst: dst, dstOff: dstOff}
+	p.mu.Unlock()
+	return id, fut
+}
+
+// CompleteResp applies a pull/push response, filling the destination buffer
+// and completing the future once all keys are answered.
+func (p *Pending) CompleteResp(layout kv.Layout, m *msg.OpResp) {
+	p.mu.Lock()
+	op, ok := p.ops[m.ID]
+	p.mu.Unlock()
+	if !ok {
+		panic(fmt.Sprintf("server: response for unknown op %d", m.ID))
+	}
+	// Fill the caller's buffer before accounting the keys as answered, so
+	// the future can only complete after all copies finished.
+	if m.Type == msg.OpPull && op.dst != nil {
+		src := 0
+		for _, k := range m.Keys {
+			l := layout.Len(k)
+			copy(op.dst[op.dstOff[k]:op.dstOff[k]+l], m.Vals[src:src+l])
+			src += l
+		}
+	}
+	p.FinishKeys(m.ID, len(m.Keys))
+}
+
+// FinishKeys accounts n keys of operation id as done, completing its future
+// when none remain.
+func (p *Pending) FinishKeys(id uint64, n int) {
+	p.mu.Lock()
+	op, ok := p.ops[id]
+	if !ok {
+		p.mu.Unlock()
+		panic(fmt.Sprintf("server: completion for unknown op %d", id))
+	}
+	op.remaining -= n
+	done := op.remaining <= 0
+	if done {
+		delete(p.ops, id)
+	}
+	p.mu.Unlock()
+	if done {
+		op.fut.Complete(nil)
+	}
+}
+
+// RegisterLocalize allocates a localize slot expecting nKeys arrivals.
+// measure marks the slot whose relocation time should be recorded.
+func (p *Pending) RegisterLocalize(nKeys int, measure bool) (uint64, *kv.Future) {
+	fut := kv.NewFuture()
+	p.mu.Lock()
+	p.next++
+	id := p.next
+	p.locs[id] = &pendingLoc{fut: fut, remaining: nKeys, start: nowFunc(), measure: measure}
+	p.mu.Unlock()
+	return id, fut
+}
+
+// AddWaiter registers localize id as waiting for key k. Must be called while
+// the caller holds the key in its incoming state (under the variant's queue
+// lock) so that arrival notifications cannot be missed.
+func (p *Pending) AddWaiter(k kv.Key, id uint64) {
+	p.mu.Lock()
+	p.waiters[k] = append(p.waiters[k], id)
+	p.mu.Unlock()
+}
+
+// CompleteLocalizeKeys notifies all localize waiters of the given keys that
+// the keys arrived (or already reside) at this node. Relocation times are
+// observed on the measuring slot when it completes.
+func (p *Pending) CompleteLocalizeKeys(keys []kv.Key, stats *metrics.ServerStats) {
+	var completed []*pendingLoc
+	p.mu.Lock()
+	for _, k := range keys {
+		ids := p.waiters[k]
+		if len(ids) == 0 {
+			continue
+		}
+		delete(p.waiters, k)
+		for _, id := range ids {
+			loc, ok := p.locs[id]
+			if !ok {
+				continue
+			}
+			loc.remaining--
+			if loc.remaining <= 0 {
+				delete(p.locs, id)
+				completed = append(completed, loc)
+			}
+		}
+	}
+	p.mu.Unlock()
+	for _, loc := range completed {
+		if loc.measure && stats != nil {
+			stats.RelocationTime.Observe(nowFunc().Sub(loc.start))
+		}
+		loc.fut.Complete(nil)
+	}
+}
+
+// RegisterSync allocates a stale-PS fetch slot expecting nReplies sync
+// replies (one per contacted server shard).
+func (p *Pending) RegisterSync(nReplies int) (uint64, *kv.Future) {
+	fut := kv.NewFuture()
+	p.mu.Lock()
+	p.next++
+	id := p.next
+	p.syncs[id] = &pendingSync{fut: fut, remaining: nReplies}
+	p.mu.Unlock()
+	return id, fut
+}
+
+// CompleteSync accounts one sync reply for fetch id.
+func (p *Pending) CompleteSync(id uint64) {
+	p.mu.Lock()
+	s, ok := p.syncs[id]
+	if !ok {
+		p.mu.Unlock()
+		panic(fmt.Sprintf("server: reply for unknown sync %d", id))
+	}
+	s.remaining--
+	done := s.remaining <= 0
+	if done {
+		delete(p.syncs, id)
+	}
+	p.mu.Unlock()
+	if done {
+		s.fut.Complete(nil)
+	}
+}

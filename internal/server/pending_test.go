@@ -1,0 +1,112 @@
+package server
+
+import (
+	"errors"
+	"testing"
+
+	"lapse/internal/kv"
+	"lapse/internal/metrics"
+	"lapse/internal/msg"
+)
+
+func TestPendingOpCompletesAfterAllKeys(t *testing.T) {
+	p := NewPending()
+	layout := kv.NewUniformLayout(4, 2)
+	dst := make([]float32, 8)
+	dstOff := map[kv.Key]int{0: 0, 1: 2, 2: 4, 3: 6}
+	id, fut := p.RegisterOp(4, dst, dstOff)
+
+	// First response answers two keys (out of order).
+	p.CompleteResp(layout, &msg.OpResp{Type: msg.OpPull, ID: id, Keys: []kv.Key{2, 0}, Vals: []float32{5, 6, 1, 2}})
+	if done, _ := fut.TryWait(); done {
+		t.Fatal("future completed with keys outstanding")
+	}
+	// Second response answers the rest.
+	p.CompleteResp(layout, &msg.OpResp{Type: msg.OpPull, ID: id, Keys: []kv.Key{1, 3}, Vals: []float32{3, 4, 7, 8}})
+	if err := fut.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{1, 2, 3, 4, 5, 6, 7, 8}
+	for i, v := range want {
+		if dst[i] != v {
+			t.Fatalf("dst = %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestPendingFinishKeysMixedWithResponses(t *testing.T) {
+	p := NewPending()
+	layout := kv.NewUniformLayout(4, 1)
+	id, fut := p.RegisterOp(3, nil, nil)
+	p.CompleteResp(layout, &msg.OpResp{Type: msg.OpPush, ID: id, Keys: []kv.Key{1}})
+	p.FinishKeys(id, 2) // e.g. two fast-path keys
+	if err := fut.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPendingLocalizeWaiters(t *testing.T) {
+	p := NewPending()
+	st := &metrics.ServerStats{}
+	// Two localizes wait on overlapping keys; key arrival notifies both.
+	id1, fut1 := p.RegisterLocalize(2, true)
+	p.AddWaiter(7, id1)
+	p.AddWaiter(9, id1)
+	id2, fut2 := p.RegisterLocalize(1, false)
+	p.AddWaiter(9, id2)
+
+	p.CompleteLocalizeKeys([]kv.Key{9}, st)
+	if err := fut2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if done, _ := fut1.TryWait(); done {
+		t.Fatal("localize 1 completed before key 7 arrived")
+	}
+	p.CompleteLocalizeKeys([]kv.Key{7}, st)
+	if err := fut1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if st.RelocationTime.Snapshot().Count != 1 {
+		t.Fatalf("relocation time observations = %d, want 1 (only the measuring slot)",
+			st.RelocationTime.Snapshot().Count)
+	}
+}
+
+func TestPendingSync(t *testing.T) {
+	p := NewPending()
+	id, fut := p.RegisterSync(2)
+	p.CompleteSync(id)
+	if done, _ := fut.TryWait(); done {
+		t.Fatal("sync completed after one of two replies")
+	}
+	p.CompleteSync(id)
+	if err := fut.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandleWaitAllReturnsFirstError(t *testing.T) {
+	var h Handle
+	f1 := kv.NewFuture()
+	f2 := kv.NewFuture()
+	h.Track(f1)
+	h.Track(f2)
+	wantErr := errors.New("boom")
+	f1.Complete(wantErr)
+	f2.Complete(nil)
+	if err := h.WaitAll(); !errors.Is(err, wantErr) {
+		t.Fatalf("WaitAll = %v, want %v", err, wantErr)
+	}
+	// The tracking list is consumed; a second WaitAll is clean.
+	if err := h.WaitAll(); err != nil {
+		t.Fatalf("second WaitAll = %v, want nil", err)
+	}
+}
+
+func TestHandleTrackSkipsCompleted(t *testing.T) {
+	var h Handle
+	h.Track(kv.CompletedFuture(nil))
+	if len(h.outstanding) != 0 {
+		t.Fatalf("completed future tracked: %d outstanding", len(h.outstanding))
+	}
+}

@@ -1,0 +1,161 @@
+// Package server provides the unified per-node server runtime shared by all
+// parameter-server variants in this repository (classic, stale/SSP, and
+// Lapse). The runtime owns everything the variants previously each
+// implemented for themselves:
+//
+//   - the server message loop that drains a node's network inbox and
+//     dispatches messages,
+//   - the pending-operation table that matches responses, key arrivals, and
+//     sync replies to the futures workers wait on,
+//   - the per-worker future tracking behind WaitAll,
+//   - the worker-side operation dispatch with per-destination message
+//     batching: all keys of one multi-key Pull/Push that route to the same
+//     node travel in a single msg.Op envelope (message grouping,
+//     Section 3.7 of the paper).
+//
+// A variant supplies only its policy: a Policy that handles the variant's
+// wire messages on the server goroutine (home-node serving for the classic
+// PS, replica/clock logic for the stale PS, routing and relocation for
+// Lapse), and a Router that decides per key how a worker operation is
+// served (shared-memory fast path, relocation queue, or a destination
+// node). Operation responses (msg.OpResp) are consumed by the runtime
+// itself and complete pending operations uniformly across variants.
+package server
+
+import (
+	"lapse/internal/cluster"
+	"lapse/internal/kv"
+	"lapse/internal/metrics"
+	"lapse/internal/msg"
+	"sync"
+)
+
+// Config parameterizes the shared runtime.
+type Config struct {
+	// Unbatched disables per-destination message batching: every key of a
+	// multi-key worker operation travels in its own message. Only used to
+	// quantify the batching win in tests and benchmarks.
+	Unbatched bool
+}
+
+// Policy is the variant-specific part of a node's server: it handles every
+// wire message except msg.OpResp, which the runtime consumes itself. All
+// methods run on the node's single server goroutine.
+type Policy interface {
+	// HandleMessage processes one variant message from node src.
+	HandleMessage(src int, m any)
+	// OnOpResp observes an operation response before the runtime completes
+	// the pending operation (e.g. Lapse refreshes its location cache with
+	// the responder's identity). Most variants do nothing here.
+	OnOpResp(m *msg.OpResp)
+}
+
+// Group manages the per-node runtimes of one parameter-server instance.
+type Group struct {
+	cl       *cluster.Cluster
+	layout   kv.Layout
+	cfg      Config
+	runtimes []*Runtime
+	stats    []*metrics.ServerStats
+	wg       sync.WaitGroup
+}
+
+// NewGroup creates one Runtime per cluster node. The runtimes are inert
+// until Start binds their policies and spawns the message loops, so variants
+// can wire their per-node state to the runtimes in between.
+func NewGroup(cl *cluster.Cluster, layout kv.Layout, cfg Config) *Group {
+	g := &Group{
+		cl:       cl,
+		layout:   layout,
+		cfg:      cfg,
+		runtimes: make([]*Runtime, cl.Nodes()),
+		stats:    make([]*metrics.ServerStats, cl.Nodes()),
+	}
+	for n := 0; n < cl.Nodes(); n++ {
+		g.stats[n] = &metrics.ServerStats{}
+		g.runtimes[n] = &Runtime{g: g, node: n, pending: NewPending(), stats: g.stats[n]}
+	}
+	return g
+}
+
+// Runtime returns node n's runtime.
+func (g *Group) Runtime(n int) *Runtime { return g.runtimes[n] }
+
+// Stats returns the per-node server statistics.
+func (g *Group) Stats() []*metrics.ServerStats { return g.stats }
+
+// Start binds each node's policy and spawns the server goroutines. policy is
+// invoked once per node, in node order.
+func (g *Group) Start(policy func(node int) Policy) {
+	for n, rt := range g.runtimes {
+		rt.policy = policy(n)
+		g.wg.Add(1)
+		go rt.loop()
+	}
+}
+
+// Wait blocks until all server goroutines exited. The cluster network must
+// be closed first (closing drains the inboxes the loops range over).
+func (g *Group) Wait() { g.wg.Wait() }
+
+// Runtime is the shared server runtime of one node.
+type Runtime struct {
+	g       *Group
+	node    int
+	policy  Policy
+	pending *Pending
+	stats   *metrics.ServerStats
+}
+
+// Node returns the node this runtime serves.
+func (rt *Runtime) Node() int { return rt.node }
+
+// Pending returns the node's pending-operation table.
+func (rt *Runtime) Pending() *Pending { return rt.pending }
+
+// Stats returns the node's statistics counters.
+func (rt *Runtime) Stats() *metrics.ServerStats { return rt.stats }
+
+// Batched reports whether per-destination message batching is enabled.
+func (rt *Runtime) Batched() bool { return !rt.g.cfg.Unbatched }
+
+// Send transmits m over the simulated network, even when dest is this node
+// (the loopback link models PS-Lite's IPC path). It is safe to call from
+// worker threads and from the server goroutine.
+func (rt *Runtime) Send(dest int, m any) {
+	rt.g.cl.Net().Send(rt.node, dest, m, msg.Size(m))
+}
+
+// SendOrDispatch transmits m, handling node-local destinations inline on the
+// calling goroutine instead of looping them through the network (Lapse never
+// talks to itself over the network). It must only be called from the server
+// goroutine: inline dispatch preserves arrival order precisely because that
+// goroutine is the only one that processes messages.
+func (rt *Runtime) SendOrDispatch(dest int, m any) {
+	if dest == rt.node {
+		rt.handle(rt.node, m)
+		return
+	}
+	rt.Send(dest, m)
+}
+
+// loop is the node's server goroutine: it processes incoming messages in
+// arrival order with no prioritization (Section 3.7: prioritizing relocation
+// messages would break consistency for asynchronous operations).
+func (rt *Runtime) loop() {
+	defer rt.g.wg.Done()
+	for env := range rt.g.cl.Net().Inbox(rt.node) {
+		rt.handle(env.Src, env.Msg)
+	}
+}
+
+// handle dispatches one message: operation responses complete pending
+// operations here; everything else is the variant's business.
+func (rt *Runtime) handle(src int, m any) {
+	if resp, ok := m.(*msg.OpResp); ok {
+		rt.policy.OnOpResp(resp)
+		rt.pending.CompleteResp(rt.g.layout, resp)
+		return
+	}
+	rt.policy.HandleMessage(src, m)
+}

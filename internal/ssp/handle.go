@@ -3,32 +3,22 @@ package ssp
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"lapse/internal/kv"
 	"lapse/internal/msg"
+	"lapse/internal/server"
 )
 
 // handle is the per-worker stale-PS client: a worker clock, a write-back
-// update cache, and replica-first reads.
+// update cache, and replica-first reads. Identity, barrier, and WaitAll come
+// from the shared runtime handle.
 type handle struct {
+	server.Handle
 	sys        *System
 	nd         *node
-	node       int
-	worker     int
 	clock      int32
 	writeCache map[kv.Key][]float32
-	flushes    []*kv.Future
 }
-
-// NodeID implements kv.KV.
-func (h *handle) NodeID() int { return h.node }
-
-// WorkerID implements kv.KV.
-func (h *handle) WorkerID() int { return h.worker }
-
-// Barrier implements kv.KV.
-func (h *handle) Barrier() { h.sys.cl.Barrier().Wait() }
 
 // Localize implements kv.KV: stale PSs allocate statically.
 func (h *handle) Localize([]kv.Key) error { return kv.ErrUnsupported }
@@ -56,7 +46,7 @@ func (h *handle) Push(keys []kv.Key, vals []float32) error {
 			c[i] += x
 		}
 		off += l
-		h.nd.stats.LocalWrites.Inc()
+		h.nd.rt.Stats().LocalWrites.Inc()
 	}
 	return nil
 }
@@ -83,38 +73,36 @@ func (h *handle) PullAsync(keys []kv.Key, dst []float32) *kv.Future {
 	if required < 0 {
 		required = 0
 	}
-	// Serve what we can from replicas; collect stale keys per server.
+	// Serve what we can from replicas; collect stale keys per server (one
+	// fetch message per contacted shard).
 	var staleBy map[int][]kv.Key
 	dstOff := make(map[kv.Key]int, len(keys))
 	off := 0
+	st := h.nd.rt.Stats()
 	for _, k := range keys {
 		dstOff[k] = off
 		l := h.sys.layout.Len(k)
 		if h.readReplica(k, required, dst[off:off+l]) {
-			h.nd.stats.LocalReads.Inc()
+			st.LocalReads.Inc()
 		} else {
 			if staleBy == nil {
 				staleBy = make(map[int][]kv.Key)
 			}
 			srv := h.sys.part.NodeOf(k)
 			staleBy[srv] = append(staleBy[srv], k)
-			h.nd.stats.RemoteReads.Inc()
+			st.RemoteReads.Inc()
 		}
-		h.nd.stats.ReadValues.Add(int64(l))
+		st.ReadValues.Add(int64(l))
 		off += l
 	}
 	if staleBy == nil {
 		h.addOwnWrites(keys, dst, dstOff)
 		return kv.CompletedFuture(nil)
 	}
-	nStale := 0
-	for _, ks := range staleBy {
-		nStale += len(ks)
-	}
-	id, fut := h.nd.pending.registerSync(len(staleBy))
+	id, fut := h.nd.rt.Pending().RegisterSync(len(staleBy))
 	for srv, ks := range staleBy {
 		m := &msg.SspSync{ID: id, Clock: required, Keys: ks}
-		h.nd.send(srv, m)
+		h.nd.rt.Send(srv, m)
 	}
 	// Completion fills replicas (via applyRefresh); read them afterwards.
 	out := kv.NewFuture()
@@ -136,7 +124,7 @@ func (h *handle) PullAsync(keys []kv.Key, dst []float32) *kv.Future {
 		}
 		out.Complete(err)
 	}()
-	_ = nStale
+	h.Track(out)
 	return out
 }
 
@@ -193,35 +181,34 @@ func (h *handle) PullIfLocal(keys []kv.Key, dst []float32) (bool, error) {
 	return true, nil
 }
 
+// RouteKey implements server.Router for the clock flush: flushed updates
+// always go to the key's server shard over the message path (even node-local
+// shards use the loopback link, as in Petuum), so no key is served or queued
+// locally.
+func (h *handle) RouteKey(_ msg.OpType, _ uint64, k kv.Key, _, _ []float32) server.KeyRoute {
+	return server.KeyRoute{Dest: h.sys.part.NodeOf(k)}
+}
+
 // Clock implements kv.KV: flush the write cache to the servers, then advance
 // this worker's clock at every server. Clock waits for the flush
 // acknowledgements so a subsequent global-clock advance is guaranteed to
 // include this worker's updates.
 func (h *handle) Clock() {
-	// Flush buffered updates, grouped per server shard.
+	// Flush buffered updates through the shared dispatch path, which
+	// batches them into one message per server shard.
 	if len(h.writeCache) > 0 {
-		groups := make(map[int][]kv.Key)
+		ks := make([]kv.Key, 0, len(h.writeCache))
 		for k := range h.writeCache {
-			srv := h.sys.part.NodeOf(k)
-			groups[srv] = append(groups[srv], k)
+			ks = append(ks, k)
 		}
-		var wg sync.WaitGroup
-		for srv, ks := range groups {
-			sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
-			vals := make([]float32, 0, kv.BufferLen(h.sys.layout, ks))
-			for _, k := range ks {
-				vals = append(vals, h.writeCache[k]...)
-			}
-			id, fut := h.nd.pending.registerOp(len(ks))
-			m := &msg.Op{Type: msg.OpPush, ID: id, Origin: int32(h.node), Keys: ks, Vals: vals}
-			h.nd.send(srv, m)
-			wg.Add(1)
-			go func(f *kv.Future) {
-				defer wg.Done()
-				f.Wait()
-			}(fut)
+		sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+		vals := make([]float32, 0, kv.BufferLen(h.sys.layout, ks))
+		for _, k := range ks {
+			vals = append(vals, h.writeCache[k]...)
 		}
-		wg.Wait()
+		if err := h.nd.rt.DispatchOp(h, msg.OpPush, ks, nil, vals).Wait(); err != nil {
+			panic(fmt.Sprintf("ssp: flush failed: %v", err))
+		}
 		// Fold the flushed deltas into existing local replicas, as
 		// Petuum's process cache does: the worker's own writes stay
 		// visible locally even though the write buffer is now empty
@@ -242,13 +229,12 @@ func (h *handle) Clock() {
 	}
 	h.clock++
 	for n := 0; n < h.sys.cl.Nodes(); n++ {
-		m := &msg.SspClock{Worker: int32(h.worker), Clock: h.clock}
-		h.nd.send(n, m)
+		m := &msg.SspClock{Worker: int32(h.WorkerID()), Clock: h.clock}
+		h.nd.rt.Send(n, m)
 	}
 }
 
-// WaitAll implements kv.KV: pushes buffer locally and Clock flushes
-// synchronously, so there is never outstanding work.
-func (h *handle) WaitAll() error { return nil }
-
-var _ kv.KV = (*handle)(nil)
+var (
+	_ kv.KV         = (*handle)(nil)
+	_ server.Router = (*handle)(nil)
+)

@@ -26,6 +26,11 @@
 // Consistency (Table 1): eventual and client-centric (reads observe the
 // worker's own buffered writes; replica clocks advance monotonically), but
 // neither causal nor sequential consistency.
+//
+// The message loop, pending-operation matching, future tracking, and
+// per-destination batching live in the shared runtime of package server;
+// this package contributes only the staleness policy: shard serving, clock
+// bookkeeping, and replica management.
 package ssp
 
 import (
@@ -38,6 +43,7 @@ import (
 	"lapse/internal/metrics"
 	"lapse/internal/msg"
 	"lapse/internal/partition"
+	"lapse/internal/server"
 	"lapse/internal/store"
 )
 
@@ -52,6 +58,9 @@ type Config struct {
 	Partitioner partition.Partitioner
 	// Latches is the store latch-list size (0 = default).
 	Latches int
+	// Unbatched disables per-destination message batching (measurement
+	// only).
+	Unbatched bool
 }
 
 // System is a running stale PS.
@@ -60,18 +69,16 @@ type System struct {
 	layout  kv.Layout
 	cfg     Config
 	part    partition.Partitioner
+	g       *server.Group
 	nodes   []*node
-	stats   []*metrics.ServerStats
-	wg      sync.WaitGroup
 	workers int
 }
 
 // node combines the server shard and the client-side replica manager of one
 // simulated machine (they share the node's single message loop).
 type node struct {
-	sys   *System
-	id    int
-	stats *metrics.ServerStats
+	sys *System
+	rt  *server.Runtime
 
 	// Server-side state (shard).
 	shard        store.Store
@@ -84,7 +91,6 @@ type node struct {
 	// Client-side state (replicas).
 	repMu    sync.RWMutex
 	replicas map[kv.Key]*replica
-	pending  *pendingTable
 }
 
 type replica struct {
@@ -113,31 +119,24 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 		layout:  layout,
 		cfg:     cfg,
 		part:    cfg.Partitioner,
+		g:       server.NewGroup(cl, layout, server.Config{Unbatched: cfg.Unbatched}),
 		nodes:   make([]*node, cl.Nodes()),
-		stats:   make([]*metrics.ServerStats, cl.Nodes()),
 		workers: cl.TotalWorkers(),
 	}
 	for n := 0; n < cl.Nodes(); n++ {
-		nd := &node{
+		s.nodes[n] = &node{
 			sys:          s,
-			id:           n,
-			stats:        &metrics.ServerStats{},
+			rt:           s.g.Runtime(n),
 			shard:        store.NewDense(layout, cfg.Latches),
 			workerClocks: make([]int32, cl.TotalWorkers()),
 			subs:         make(map[int]map[kv.Key]struct{}),
 			replicas:     make(map[kv.Key]*replica),
-			pending:      newPendingTable(),
 		}
-		s.stats[n] = nd.stats
-		s.nodes[n] = nd
 	}
 	for k := kv.Key(0); k < layout.NumKeys(); k++ {
 		s.nodes[s.part.NodeOf(k)].shard.Set(k, make([]float32, layout.Len(k)))
 	}
-	for n := 0; n < cl.Nodes(); n++ {
-		s.wg.Add(1)
-		go s.nodes[n].loop()
-	}
+	s.g.Start(func(n int) server.Policy { return s.nodes[n] })
 	return s
 }
 
@@ -145,7 +144,7 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 func (s *System) Layout() kv.Layout { return s.layout }
 
 // Stats returns per-node statistics.
-func (s *System) Stats() []*metrics.ServerStats { return s.stats }
+func (s *System) Stats() []*metrics.ServerStats { return s.g.Stats() }
 
 // Init sets initial parameter values at the server shards.
 func (s *System) Init(fn func(k kv.Key, val []float32)) {
@@ -178,35 +177,34 @@ func (s *System) GlobalClock(n int) int32 {
 }
 
 // Shutdown waits for the node loops to exit; close the cluster network first.
-func (s *System) Shutdown() { s.wg.Wait() }
+func (s *System) Shutdown() { s.g.Wait() }
 
 // Handle returns the KV client of a worker thread.
 func (s *System) Handle(worker int) kv.KV {
 	n := s.cl.NodeOfWorker(worker)
 	return &handle{
+		Handle:     server.NewHandle(s.g.Runtime(n), worker),
 		sys:        s,
 		nd:         s.nodes[n],
-		node:       n,
-		worker:     worker,
 		writeCache: make(map[kv.Key][]float32),
 	}
 }
 
-func (nd *node) loop() {
-	defer nd.sys.wg.Done()
-	for env := range nd.sys.cl.Net().Inbox(nd.id) {
-		switch m := env.Msg.(type) {
-		case *msg.Op:
-			nd.handleFlush(m)
-		case *msg.SspClock:
-			nd.handleClock(m)
-		case *msg.SspSync:
-			nd.handleSync(env.Src, m)
-		case *msg.OpResp:
-			nd.pending.complete(nd.sys.layout, m)
-		default:
-			panic(fmt.Sprintf("ssp: unexpected message %T at node %d", env.Msg, nd.id))
-		}
+// OnOpResp implements server.Policy (nothing to observe; the runtime
+// completes flush acknowledgements).
+func (nd *node) OnOpResp(*msg.OpResp) {}
+
+// HandleMessage implements server.Policy.
+func (nd *node) HandleMessage(src int, m any) {
+	switch t := m.(type) {
+	case *msg.Op:
+		nd.handleFlush(t)
+	case *msg.SspClock:
+		nd.handleClock(t)
+	case *msg.SspSync:
+		nd.handleSync(src, t)
+	default:
+		panic(fmt.Sprintf("ssp: unexpected message %T at node %d", m, nd.rt.Node()))
 	}
 }
 
@@ -221,12 +219,12 @@ func (nd *node) handleFlush(m *msg.Op) {
 	for _, k := range m.Keys {
 		l := nd.sys.layout.Len(k)
 		if !nd.shard.Add(k, m.Vals[off:off+l]) {
-			panic(fmt.Sprintf("ssp: flush for key %d not in shard of node %d", k, nd.id))
+			panic(fmt.Sprintf("ssp: flush for key %d not in shard of node %d", k, nd.rt.Node()))
 		}
 		off += l
 	}
-	resp := &msg.OpResp{Type: msg.OpPush, ID: m.ID, Responder: int32(nd.id), Keys: m.Keys}
-	nd.send(int(m.Origin), resp)
+	resp := &msg.OpResp{Type: msg.OpPush, ID: m.ID, Responder: int32(nd.rt.Node()), Keys: m.Keys}
+	nd.rt.Send(int(m.Origin), resp)
 }
 
 // handleClock advances a worker's clock at this server and, if the global
@@ -298,7 +296,7 @@ func (nd *node) eagerPush(global int32) {
 			vals = append(vals, b...)
 		}
 		m := &msg.SspSync{ID: 0, Clock: global, Keys: ks, Vals: vals}
-		nd.send(sub, m)
+		nd.rt.Send(sub, m)
 	}
 }
 
@@ -324,7 +322,7 @@ func (nd *node) handleSync(src int, m *msg.SspSync) {
 		global := nd.globalClock
 		if !ready {
 			nd.waiting = append(nd.waiting, waitingSync{required: m.Clock, origin: int32(src), id: m.ID, keys: m.Keys})
-			nd.stats.SyncWaits.Inc()
+			nd.rt.Stats().SyncWaits.Inc()
 		}
 		nd.clockMu.Unlock()
 		if ready {
@@ -335,7 +333,7 @@ func (nd *node) handleSync(src int, m *msg.SspSync) {
 	// Replica refresh at a client.
 	nd.applyRefresh(m)
 	if m.ID != 0 {
-		nd.pending.completeSync(m.ID)
+		nd.rt.Pending().CompleteSync(m.ID)
 	}
 }
 
@@ -350,12 +348,12 @@ func (nd *node) replySync(origin int32, id uint64, keys []kv.Key, global int32) 
 		}
 		b := buf[:l]
 		if !nd.shard.Read(k, b) {
-			panic(fmt.Sprintf("ssp: sync for key %d not in shard of node %d", k, nd.id))
+			panic(fmt.Sprintf("ssp: sync for key %d not in shard of node %d", k, nd.rt.Node()))
 		}
 		vals = append(vals, b...)
 	}
 	m := &msg.SspSync{ID: id, Clock: global, Keys: keys, Vals: vals}
-	nd.send(int(origin), m)
+	nd.rt.Send(int(origin), m)
 }
 
 // applyRefresh installs newer replica values; older refreshes are ignored so
@@ -380,9 +378,4 @@ func (nd *node) applyRefresh(m *msg.SspSync) {
 	}
 }
 
-// send delivers a message, dispatching locally when the destination is this
-// node (the server and client sides share the node loop, so a self-send is
-// an ordinary loopback network message to preserve ordering).
-func (nd *node) send(dest int, m any) {
-	nd.sys.cl.Net().Send(nd.id, dest, m, msg.Size(m))
-}
+var _ server.Policy = (*node)(nil)

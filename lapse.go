@@ -109,6 +109,11 @@ type Config struct {
 	// with caches on, asynchronous operations are only eventually
 	// consistent (Theorem 3 of the paper).
 	LocationCaches bool
+	// DisableBatching turns off per-destination message batching: every
+	// key of a multi-key operation travels in its own network message.
+	// Only useful to measure the batching win (see Stats); leave it off
+	// in real workloads.
+	DisableBatching bool
 }
 
 func (c Config) layout() (kv.Layout, error) {
@@ -160,7 +165,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			BytesPerSecond:  cfg.Network.BytesPerSecond,
 		},
 	})
-	sys := core.New(cl, layout, core.Config{LocationCaches: cfg.LocationCaches})
+	sys := core.New(cl, layout, core.Config{
+		LocationCaches: cfg.LocationCaches,
+		Unbatched:      cfg.DisableBatching,
+	})
 	return &Cluster{cfg: cfg, cl: cl, sys: sys}, nil
 }
 
@@ -179,25 +187,18 @@ func (c *Cluster) Init(fn func(k Key, val []float32)) { c.sys.Init(fn) }
 func (c *Cluster) Read(k Key, dst []float32) { c.sys.ReadParameter(k, dst) }
 
 // Run spawns one goroutine per worker thread executing fn and waits for all
-// of them. It returns the first non-nil error. Run may be called multiple
+// of them. It returns the errors of every failed worker, joined with
+// errors.Join (nil if all workers succeeded). Run may be called multiple
 // times (e.g. once per training phase).
 func (c *Cluster) Run(fn func(w *Worker) error) error {
-	errs := make(chan error, c.cl.TotalWorkers())
+	errs := make([]error, c.cl.TotalWorkers())
 	c.cl.RunWorkers(func(node, worker int) {
 		w := &Worker{c: c, kv: c.sys.Handle(worker)}
 		if err := fn(w); err != nil {
-			select {
-			case errs <- fmt.Errorf("worker %d: %w", worker, err):
-			default:
-			}
+			errs[worker] = fmt.Errorf("worker %d: %w", worker, err)
 		}
 	})
-	select {
-	case err := <-errs:
-		return err
-	default:
-		return nil
-	}
+	return errors.Join(errs...)
 }
 
 // Stats summarizes the cluster-wide server counters.
