@@ -1,0 +1,176 @@
+// Command lapse-node runs one cluster node as an OS process, so a parameter
+// server can be deployed as N communicating processes over real TCP — the
+// deployment mode of the paper's actual system — instead of the in-process
+// simulation of cmd/lapse-sim.
+//
+// Every process is started with the same topology (the full address list and
+// shared workload parameters) plus its own node index; the processes find
+// each other over TCP (dials retry while peers are still starting), run the
+// quickstart workload, and node 0 verifies that the cluster converged to the
+// analytically known result before everyone tears down.
+//
+// Usage (3 nodes on one machine):
+//
+//	lapse-node -node 0 -addrs 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 &
+//	lapse-node -node 1 -addrs 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 &
+//	lapse-node -node 2 -addrs 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
+//
+// The workload mirrors the quickstart example across processes: each worker
+// localizes a disjoint share of the keys (on variants with dynamic parameter
+// allocation), then every worker pushes 1 to every value for -iters rounds,
+// synchronizing on the cluster-wide barrier after each round; finally worker
+// 0 of node 0 pulls everything back through the regular read path and checks
+// each value equals workers × nodes × iters. Exit status 0 means this node —
+// and, on node 0, the whole cluster's converged state — checked out.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"lapse/internal/cluster"
+	"lapse/internal/driver"
+	"lapse/internal/kv"
+)
+
+func main() {
+	var (
+		node      = flag.Int("node", -1, "this process's node index (required)")
+		addrList  = flag.String("addrs", "", "comma-separated listen addresses of all nodes (required)")
+		workers   = flag.Int("workers", 2, "worker threads per node")
+		variant   = flag.String("variant", "lapse", "parameter-server variant (classic, classic-fast, lapse, lapse-cached, ssp-client, ssp-server)")
+		keys      = flag.Int("keys", 64, "number of parameters")
+		valLen    = flag.Int("vallen", 2, "values per parameter")
+		iters     = flag.Int("iters", 3, "push rounds")
+		staleness = flag.Int("staleness", 1, "SSP staleness bound (stale variants)")
+		quiet     = flag.Bool("q", false, "suppress the per-node summary")
+	)
+	flag.Parse()
+	addrs := strings.Split(*addrList, ",")
+	if *addrList == "" || *node < 0 || *node >= len(addrs) {
+		fmt.Fprintln(os.Stderr, "lapse-node: -node and -addrs are required; -node must index -addrs")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*node, addrs, *workers, driver.Kind(*variant), *keys, *valLen, *iters, *staleness, *quiet); err != nil {
+		fmt.Fprintf(os.Stderr, "lapse-node %d: %v\n", *node, err)
+		os.Exit(1)
+	}
+}
+
+func run(node int, addrs []string, workers int, kind driver.Kind, nKeys, valLen, iters, staleness int, quiet bool) error {
+	cl, err := driver.NewCluster(driver.Deployment{
+		Nodes:          len(addrs),
+		WorkersPerNode: workers,
+		TCP:            &driver.TCPDeployment{Addrs: addrs, Node: node},
+	})
+	if err != nil {
+		return err
+	}
+	layout := kv.NewUniformLayout(kv.Key(nKeys), valLen)
+	ps := driver.Build(kind, cl, layout, driver.Options{Staleness: staleness})
+
+	// A failed link (peer crashed, wrong address) silently drops its
+	// messages, which would leave workers blocked on futures or barriers
+	// forever. Watch the transport and fail the whole process instead.
+	go func() {
+		for range time.Tick(200 * time.Millisecond) {
+			if err := cl.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "lapse-node %d: transport failed: %v\n", node, err)
+				os.Exit(1)
+			}
+		}
+	}()
+
+	var failure atomic.Value
+	cl.RunWorkers(func(_, worker int) {
+		if err := runWorker(cl, ps, kind, worker, nKeys, valLen, iters); err != nil {
+			failure.Store(fmt.Errorf("worker %d: %w", worker, err))
+		}
+	})
+
+	cl.Close()
+	ps.Shutdown()
+	if err, ok := failure.Load().(error); ok {
+		return err
+	}
+	if err := cl.Err(); err != nil {
+		return fmt.Errorf("transport: %w", err)
+	}
+	if !quiet {
+		s := cl.Net().Stats()
+		fmt.Printf("lapse-node %d (%s): converged; sent %d remote msgs / %d bytes, %d loopback msgs\n",
+			node, kind, s.RemoteMessages, s.RemoteBytes, s.LoopbackMessages)
+	}
+	return nil
+}
+
+// runWorker is the per-worker quickstart workload; worker 0 (on node 0)
+// additionally verifies the converged values between the last two barriers,
+// while every other worker is parked on the final barrier keeping its node's
+// server responsive.
+//
+// The workload crosses iters+1 cluster-wide barriers. A worker that fails
+// must still participate in the remaining ones (clocking so the stale PS's
+// global clock keeps advancing), otherwise its error would deadlock every
+// other worker — across all processes — instead of being reported.
+func runWorker(cl *cluster.Cluster, ps driver.PS, kind driver.Kind, worker, nKeys, valLen, iters int) error {
+	h := ps.Handle(worker)
+	barriersLeft := iters + 1
+	defer func() {
+		for ; barriersLeft > 0; barriersLeft-- {
+			h.Clock()
+			h.Barrier()
+		}
+	}()
+	barrier := func() {
+		h.Barrier()
+		barriersLeft--
+	}
+
+	allKeys := make([]kv.Key, nKeys)
+	for i := range allKeys {
+		allKeys[i] = kv.Key(i)
+	}
+	ones := make([]float32, nKeys*valLen)
+	for i := range ones {
+		ones[i] = 1
+	}
+
+	if driver.SupportsLocalize(kind) {
+		// Localize a disjoint per-worker share, exercising the
+		// relocation protocol across process boundaries.
+		total := cl.TotalWorkers()
+		lo, hi := worker*nKeys/total, (worker+1)*nKeys/total
+		if err := h.Localize(allKeys[lo:hi]); err != nil {
+			return fmt.Errorf("localize: %w", err)
+		}
+	}
+	for iter := 0; iter < iters; iter++ {
+		if err := h.Push(allKeys, ones); err != nil {
+			return fmt.Errorf("push round %d: %w", iter, err)
+		}
+		h.Clock()
+		barrier()
+	}
+	if worker == 0 {
+		want := float32(cl.TotalWorkers() * iters)
+		dst := make([]float32, nKeys*valLen)
+		if err := h.Pull(allKeys, dst); err != nil {
+			return fmt.Errorf("verification pull: %w", err)
+		}
+		for i, v := range dst {
+			if v != want {
+				return fmt.Errorf("value %d = %v, want %v: cluster did not converge", i, v, want)
+			}
+		}
+	}
+	// Hold every node up until verification finished, so no process
+	// tears its transport down while node 0 is still pulling.
+	barrier()
+	return h.WaitAll()
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// reservePorts picks n distinct loopback ports by briefly binding them. The
+// tiny window between release and the node binding again is the standard
+// test-only compromise; production deployments pass fixed ports.
+func reservePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("reserve port: %v", err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	return addrs
+}
+
+// TestThreeProcessCluster is the end-to-end deployment check: build the real
+// binary, start a 3-node cluster as 3 OS processes, and require every
+// process to exit 0 — which, for node 0, includes verifying the converged
+// parameter values pulled across process boundaries.
+func TestThreeProcessCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and launches subprocesses")
+	}
+	bin := filepath.Join(t.TempDir(), "lapse-node")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	addrs := reservePorts(t, 3)
+	addrList := strings.Join(addrs, ",")
+
+	type result struct {
+		node int
+		out  []byte
+		err  error
+	}
+	results := make(chan result, 3)
+	for node := 0; node < 3; node++ {
+		go func(node int) {
+			cmd := exec.Command(bin,
+				"-node", fmt.Sprint(node),
+				"-addrs", addrList,
+				"-workers", "2",
+				"-variant", "lapse",
+				"-keys", "48",
+				"-iters", "3",
+			)
+			out, err := cmd.CombinedOutput()
+			results <- result{node, out, err}
+		}(node)
+	}
+	for i := 0; i < 3; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Errorf("node %d failed: %v\n%s", r.node, r.err, r.out)
+		} else if !strings.Contains(string(r.out), "converged") {
+			t.Errorf("node %d output missing convergence line:\n%s", r.node, r.out)
+		}
+	}
+}

@@ -87,7 +87,12 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 		g:      server.NewGroup(cl, layout, server.Config{Unbatched: cfg.Unbatched}),
 		nodes:  make([]*node, cl.Nodes()),
 	}
+	// Only nodes hosted by this process get shard stores; remote shards
+	// live with their own process.
 	for n := 0; n < cl.Nodes(); n++ {
+		if !cl.Local(n) {
+			continue
+		}
 		var st store.Store
 		if cfg.SparseStore {
 			st = store.NewSparse(layout, cfg.Latches)
@@ -96,10 +101,11 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 		}
 		s.nodes[n] = &node{sys: s, rt: s.g.Runtime(n), store: st}
 	}
-	// Zero-initialize every key at its server.
+	// Zero-initialize every locally served key at its server.
 	for k := kv.Key(0); k < layout.NumKeys(); k++ {
-		n := s.part.NodeOf(k)
-		s.nodes[n].store.Set(k, make([]float32, layout.Len(k)))
+		if nd := s.nodes[s.part.NodeOf(k)]; nd != nil {
+			nd.store.Set(k, make([]float32, layout.Len(k)))
+		}
 	}
 	s.g.Start(func(n int) server.Policy { return s.nodes[n] })
 	return s
@@ -112,7 +118,9 @@ func (s *System) Layout() kv.Layout { return s.layout }
 func (s *System) Stats() []*metrics.ServerStats { return s.g.Stats() }
 
 // Init sets initial parameter values: fn fills the value of each key. It must
-// be called before training starts (it writes server stores directly).
+// be called before training starts (it writes server stores directly). fn is
+// invoked for every key — so stateful initializers produce identical
+// sequences in every process — but only locally served keys are stored.
 func (s *System) Init(fn func(k kv.Key, val []float32)) {
 	buf := make([]float32, 0)
 	for k := kv.Key(0); k < s.layout.NumKeys(); k++ {
@@ -125,15 +133,22 @@ func (s *System) Init(fn func(k kv.Key, val []float32)) {
 			v[i] = 0
 		}
 		fn(k, v)
-		s.nodes[s.part.NodeOf(k)].store.Set(k, v)
+		if nd := s.nodes[s.part.NodeOf(k)]; nd != nil {
+			nd.store.Set(k, v)
+		}
 	}
 }
 
 // ReadParameter reads the current value of k directly from its server's
 // store, bypassing the network. Intended for evaluation/loss computation
-// after training rounds, not for worker use.
+// after training rounds, not for worker use; only valid for keys served by
+// a node of this process.
 func (s *System) ReadParameter(k kv.Key, dst []float32) {
-	s.nodes[s.part.NodeOf(k)].store.Read(k, dst)
+	n := s.part.NodeOf(k)
+	if s.nodes[n] == nil {
+		panic(fmt.Sprintf("classic: ReadParameter(%d): server node %d is not hosted by this process", k, n))
+	}
+	s.nodes[n].store.Read(k, dst)
 }
 
 // Shutdown waits for server goroutines to exit. The cluster's network must be

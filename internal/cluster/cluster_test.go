@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"lapse/internal/msg"
 	"lapse/internal/simnet"
 )
 
@@ -60,9 +61,9 @@ func TestBarrierSynchronizes(t *testing.T) {
 				if cur < int64(r) {
 					t.Errorf("phase regressed: %d < %d", cur, r)
 				}
-				b.Wait()
+				b.Wait(0)
 				phase.CompareAndSwap(int64(r), int64(r+1))
-				b.Wait()
+				b.Wait(0)
 			}
 		}()
 	}
@@ -77,12 +78,12 @@ func TestBarrierReusable(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		for i := 0; i < 100; i++ {
-			b.Wait()
+			b.Wait(0)
 		}
 		close(done)
 	}()
 	for i := 0; i < 100; i++ {
-		b.Wait()
+		b.Wait(0)
 	}
 	<-done
 }
@@ -93,9 +94,9 @@ func TestClusterUsesNetworkConfig(t *testing.T) {
 	if c.Net().Nodes() != 2 {
 		t.Fatalf("network nodes = %d, want 2", c.Net().Nodes())
 	}
-	c.Net().Send(0, 1, "hello", 5)
+	c.Net().Send(0, 1, &msg.Barrier{Enter: true, Seq: 7, Worker: 1})
 	env := <-c.Net().Inbox(1)
-	if env.Msg.(string) != "hello" {
+	if b, ok := env.Msg.(*msg.Barrier); !ok || b.Seq != 7 {
 		t.Fatalf("got %v", env.Msg)
 	}
 }

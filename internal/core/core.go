@@ -154,7 +154,12 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 		nodes:  make([]*node, cl.Nodes()),
 	}
 	nk := int(layout.NumKeys())
+	// Only nodes hosted by this process get stores and bookkeeping; in a
+	// multi-process deployment the remote nodes' state lives with them.
 	for n := 0; n < cl.Nodes(); n++ {
+		if !cl.Local(n) {
+			continue
+		}
 		var st store.Store
 		if cfg.SparseStore {
 			st = store.NewSparse(layout, cfg.Latches)
@@ -178,13 +183,19 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 		}
 		s.nodes[n] = nd
 	}
-	// Initial allocation: every key lives at its home node.
+	// Initial allocation: every key lives at its home node. Every process
+	// derives the same global picture from the shared partitioner but
+	// materializes only its local share.
 	for k := kv.Key(0); k < layout.NumKeys(); k++ {
 		h := s.home.NodeOf(k)
-		s.nodes[h].store.Set(k, make([]float32, layout.Len(k)))
-		s.nodes[h].state[k].Store(stateOwned)
-		for n := 0; n < cl.Nodes(); n++ {
-			s.nodes[n].owner[k].Store(int32(h))
+		if nd := s.nodes[h]; nd != nil {
+			nd.store.Set(k, make([]float32, layout.Len(k)))
+			nd.state[k].Store(stateOwned)
+		}
+		for _, nd := range s.nodes {
+			if nd != nil {
+				nd.owner[k].Store(int32(h))
+			}
 		}
 	}
 	s.g.Start(func(n int) server.Policy { return s.nodes[n] })
@@ -208,13 +219,21 @@ func (s *System) ResetStats() {
 func (s *System) HomeOf(k kv.Key) int { return s.home.NodeOf(k) }
 
 // OwnerOf returns the current owner of k according to its home node. Only
-// meaningful in quiescent states (tests, evaluation).
+// meaningful in quiescent states (tests, evaluation), and only for keys
+// whose home node is hosted by this process.
 func (s *System) OwnerOf(k kv.Key) int {
-	return int(s.nodes[s.home.NodeOf(k)].owner[k].Load())
+	h := s.home.NodeOf(k)
+	if s.nodes[h] == nil {
+		panic(fmt.Sprintf("core: OwnerOf(%d): home node %d is not hosted by this process", k, h))
+	}
+	return int(s.nodes[h].owner[k].Load())
 }
 
 // Init sets initial parameter values before training; it writes the stores
-// directly and must not run concurrently with workers.
+// directly and must not run concurrently with workers. fn is invoked for
+// every key of the layout — so stateful initializers produce identical
+// sequences in every process — but only keys resident on this process's
+// nodes are stored.
 func (s *System) Init(fn func(k kv.Key, val []float32)) {
 	var buf []float32
 	for k := kv.Key(0); k < s.layout.NumKeys(); k++ {
@@ -227,14 +246,25 @@ func (s *System) Init(fn func(k kv.Key, val []float32)) {
 			v[i] = 0
 		}
 		fn(k, v)
-		s.nodes[s.OwnerOf(k)].store.Set(k, v)
+		h := s.home.NodeOf(k)
+		if s.nodes[h] == nil {
+			continue // homed (and, pre-training, owned) remotely
+		}
+		if nd := s.nodes[int(s.nodes[h].owner[k].Load())]; nd != nil {
+			nd.store.Set(k, v)
+		}
 	}
 }
 
 // ReadParameter reads the current value of k from its owner's store,
-// bypassing the network. Only valid in quiescent states.
+// bypassing the network. Only valid in quiescent states, for keys currently
+// owned by a node of this process (use a worker Pull otherwise).
 func (s *System) ReadParameter(k kv.Key, dst []float32) {
-	if !s.nodes[s.OwnerOf(k)].store.Read(k, dst) {
+	owner := s.OwnerOf(k)
+	if s.nodes[owner] == nil {
+		panic(fmt.Sprintf("core: ReadParameter(%d): owner node %d is not hosted by this process", k, owner))
+	}
+	if !s.nodes[owner].store.Read(k, dst) {
 		panic(fmt.Sprintf("core: ReadParameter(%d): key not at its registered owner", k))
 	}
 }

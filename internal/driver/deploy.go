@@ -1,0 +1,70 @@
+package driver
+
+import (
+	"fmt"
+
+	"lapse/internal/cluster"
+	"lapse/internal/simnet"
+	"lapse/internal/transport/tcp"
+)
+
+// Deployment describes where a cluster runs: on the in-process simulated
+// network (the default, reproducing the paper's testbed timing model) or on
+// a real TCP transport, optionally spread over multiple OS processes (one
+// per node, each running cmd/lapse-node or an equivalent embedding).
+type Deployment struct {
+	// Nodes is the cluster-wide node count.
+	Nodes int
+	// WorkersPerNode is the number of worker threads per node.
+	WorkersPerNode int
+	// Net configures the simulated network; ignored when TCP is set.
+	Net simnet.Config
+	// TCP, when non-nil, runs the cluster over real TCP sockets.
+	TCP *TCPDeployment
+}
+
+// TCPDeployment selects the TCP transport.
+type TCPDeployment struct {
+	// Addrs is every node's listen address, indexed by node.
+	Addrs []string
+	// Node is the single node hosted by this process; -1 hosts all nodes
+	// in-process (loopback sockets, used by tests and single-machine
+	// runs).
+	Node int
+	// MaxMessage overrides the transport's per-message size bound
+	// (0 = default). Raise it for layouts where one batched envelope can
+	// exceed the default.
+	MaxMessage int
+}
+
+// NewCluster builds and starts a cluster for d. The caller owns the cluster
+// and must Close it; with TCP the underlying transport is closed through the
+// cluster.
+func NewCluster(d Deployment) (*cluster.Cluster, error) {
+	if d.TCP == nil {
+		return cluster.New(cluster.Config{
+			Nodes:          d.Nodes,
+			WorkersPerNode: d.WorkersPerNode,
+			Net:            d.Net,
+		}), nil
+	}
+	if len(d.TCP.Addrs) != d.Nodes {
+		return nil, fmt.Errorf("driver: %d TCP addresses for %d nodes", len(d.TCP.Addrs), d.Nodes)
+	}
+	var local []int
+	if d.TCP.Node >= 0 {
+		if d.TCP.Node >= d.Nodes {
+			return nil, fmt.Errorf("driver: node %d out of range [0,%d)", d.TCP.Node, d.Nodes)
+		}
+		local = []int{d.TCP.Node}
+	}
+	net, err := tcp.New(tcp.Config{Addrs: d.TCP.Addrs, Local: local, MaxMessage: d.TCP.MaxMessage})
+	if err != nil {
+		return nil, err
+	}
+	return cluster.New(cluster.Config{
+		Nodes:          d.Nodes,
+		WorkersPerNode: d.WorkersPerNode,
+		Transport:      net,
+	}), nil
+}

@@ -8,6 +8,7 @@ import (
 	"lapse/internal/cluster"
 	"lapse/internal/data"
 	"lapse/internal/kv"
+	"lapse/internal/msg"
 )
 
 // LowLevel implements the specialized, hand-tuned DSGD baseline of
@@ -25,7 +26,10 @@ type LowLevel struct {
 	hBlocks  [][]float32 // column-factor blocks, indexed by block id
 }
 
-// blockMsg hands a column block to a worker on another node.
+// blockMsg hands a column block to a worker. Same-node hand-offs pass the
+// slice directly (in-place, no copies — the point of this baseline);
+// cross-node hand-offs travel as msg.Block through the transport, which
+// copies via the wire codec exactly like real MPI ring communication would.
 type blockMsg struct {
 	block     int
 	dstWorker int
@@ -75,8 +79,8 @@ func (ll *LowLevel) Run(m *data.Matrix) *Result {
 	for n := 0; n < ll.cl.Nodes(); n++ {
 		go func(n int) {
 			for env := range ll.cl.Net().Inbox(n) {
-				bm := env.Msg.(blockMsg)
-				mailboxes[bm.dstWorker] <- bm
+				bm := env.Msg.(*msg.Block)
+				mailboxes[bm.Worker] <- blockMsg{block: int(bm.ID), dstWorker: int(bm.Worker), vals: bm.Vals}
 			}
 		}(n)
 	}
@@ -103,7 +107,7 @@ func (ll *LowLevel) workerEpoch(grid [][][]data.Entry, mailboxes []chan blockMsg
 	// rotations every block is back).
 	block := ll.hBlocks[worker]
 	blockID := worker
-	ll.cl.Barrier().Wait()
+	ll.cl.Barrier().Wait(node)
 
 	for s := 0; s < P; s++ {
 		wantBlock := (worker + s) % P
@@ -139,20 +143,19 @@ func (ll *LowLevel) workerEpoch(grid [][][]data.Entry, mailboxes []chan blockMsg
 		// Pass the block to the previous worker in the ring (who needs
 		// it next subepoch). Same-node hand-offs skip the network.
 		dst := (worker - 1 + P) % P
-		bm := blockMsg{block: blockID, dstWorker: dst, vals: block}
 		dstNode := ll.cl.NodeOfWorker(dst)
 		if dstNode == node {
-			mailboxes[dst] <- bm
+			mailboxes[dst] <- blockMsg{block: blockID, dstWorker: dst, vals: block}
 		} else {
-			ll.cl.Net().Send(node, dstNode, bm, len(block)*4+16)
+			ll.cl.Net().Send(node, dstNode, &msg.Block{ID: int32(blockID), Worker: int32(dst), Vals: block})
 		}
 		blockID = -1 // handed off
-		ll.cl.Barrier().Wait()
+		ll.cl.Barrier().Wait(node)
 	}
 	// Drain the final hand-off so blocks rest at their starting workers.
 	bm := <-mailboxes[worker]
 	ll.hBlocks[bm.block] = bm.vals
-	ll.cl.Barrier().Wait()
+	ll.cl.Barrier().Wait(node)
 }
 
 // evalRMSE estimates RMSE on the evaluation sample from the plain arrays.

@@ -2,10 +2,19 @@
 // parameter server and a compact binary codec for them.
 //
 // The real Lapse implementation uses ZeroMQ with protocol-buffer payloads;
-// here messages travel through the simulated network of package simnet, but
-// the codec is used to (1) compute realistic on-the-wire sizes for the
-// latency/bandwidth model and (2) validate that every message round-trips
-// losslessly, so the system could be ported to a real transport unchanged.
+// here the codec is the actual message path: every transport (the simulated
+// network of internal/simnet as well as the TCP transport of
+// internal/transport/tcp) encodes messages on Send and hands receivers a
+// freshly decoded copy, so no pointer ever crosses a node boundary and the
+// encoded length doubles as the on-the-wire size for the latency/bandwidth
+// model.
+//
+// Wire format: each message is [kind:1][payloadLen:4][payload], little
+// endian throughout. Nil and zero-length slices are indistinguishable on the
+// wire (both encode a zero count) and canonically decode to nil. Decode
+// never panics on malformed input — every field read is bounds-checked and
+// the payload must be consumed exactly — making it safe to feed bytes
+// straight off a socket (fuzzed by FuzzCodecRoundTrip).
 package msg
 
 import (
@@ -32,6 +41,7 @@ const (
 	KindSspClock
 	KindSspSync
 	KindBarrier
+	KindBlock
 )
 
 func (k Kind) String() string {
@@ -52,6 +62,8 @@ func (k Kind) String() string {
 		return "SspSync"
 	case KindBarrier:
 		return "Barrier"
+	case KindBlock:
+		return "Block"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -150,6 +162,16 @@ type Barrier struct {
 	Worker int32
 }
 
+// Block hands a raw float32 block from worker to worker. It is used by the
+// low-level DSGD baseline's MPI-style ring communication (Section 4.4), not
+// by any parameter-server protocol: ID names the column-factor block and
+// Worker the global index of the receiving worker thread.
+type Block struct {
+	ID     int32
+	Worker int32
+	Vals   []float32
+}
+
 const (
 	headerBytes = 1 + 4 // kind + payload length prefix used by Encode
 	keyBytes    = 8
@@ -176,6 +198,8 @@ func Size(m any) int {
 		return headerBytes + 8 + 4 + 4 + 4 + len(t.Keys)*keyBytes + len(t.Vals)*valBytes
 	case *Barrier:
 		return headerBytes + 1 + 4 + 4
+	case *Block:
+		return headerBytes + 4 + 4 + 4 + len(t.Vals)*valBytes
 	default:
 		panic(fmt.Sprintf("msg: Size on unknown message type %T", m))
 	}
@@ -238,6 +262,12 @@ func Encode(m any) []byte {
 		buf = append(buf, boolByte(t.Enter))
 		buf = binary.LittleEndian.AppendUint32(buf, t.Seq)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Worker))
+	case *Block:
+		buf = append(buf, byte(KindBlock))
+		buf = appendLen(buf, Size(m)-headerBytes)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.ID))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Worker))
+		buf = appendVals(buf, t.Vals)
 	default:
 		panic(fmt.Sprintf("msg: Encode on unknown message type %T", m))
 	}
@@ -245,116 +275,143 @@ func Encode(m any) []byte {
 }
 
 // Decode parses one encoded message and returns it together with the number
-// of bytes consumed.
+// of bytes consumed. Every field read is bounds-checked and the payload must
+// be consumed exactly, so Decode never panics and malformed input — from a
+// socket or the fuzzer — yields an error.
 func Decode(buf []byte) (any, int, error) {
 	if len(buf) < headerBytes {
 		return nil, 0, fmt.Errorf("msg: short buffer (%d bytes)", len(buf))
 	}
 	kind := Kind(buf[0])
 	plen := int(binary.LittleEndian.Uint32(buf[1:5]))
-	if len(buf) < headerBytes+plen {
+	if plen < 0 || len(buf)-headerBytes < plen {
 		return nil, 0, fmt.Errorf("msg: truncated %v payload: have %d, want %d", kind, len(buf)-headerBytes, plen)
 	}
-	p := buf[headerBytes : headerBytes+plen]
+	d := &decoder{p: buf[headerBytes : headerBytes+plen]}
 	total := headerBytes + plen
+	var m any
 	switch kind {
 	case KindOp:
-		m := &Op{}
-		m.Type = OpType(p[0])
-		m.ID = binary.LittleEndian.Uint64(p[1:9])
-		m.Origin = int32(binary.LittleEndian.Uint32(p[9:13]))
-		m.Hops = p[13]
-		m.ViaCache = p[14] != 0
-		var err error
-		p = p[15:]
-		m.Keys, p, err = readKeys(p)
-		if err != nil {
-			return nil, 0, err
-		}
-		m.Vals, _, err = readVals(p)
-		if err != nil {
-			return nil, 0, err
-		}
-		return m, total, nil
+		m = &Op{Type: OpType(d.u8()), ID: d.u64(), Origin: int32(d.u32()),
+			Hops: d.u8(), ViaCache: d.bool(), Keys: d.keys(), Vals: d.vals()}
 	case KindOpResp:
-		m := &OpResp{}
-		m.Type = OpType(p[0])
-		m.ID = binary.LittleEndian.Uint64(p[1:9])
-		m.Responder = int32(binary.LittleEndian.Uint32(p[9:13]))
-		var err error
-		p = p[13:]
-		m.Keys, p, err = readKeys(p)
-		if err != nil {
-			return nil, 0, err
-		}
-		m.Vals, _, err = readVals(p)
-		if err != nil {
-			return nil, 0, err
-		}
-		return m, total, nil
+		m = &OpResp{Type: OpType(d.u8()), ID: d.u64(), Responder: int32(d.u32()),
+			Keys: d.keys(), Vals: d.vals()}
 	case KindLocalize:
-		m := &Localize{}
-		m.ID = binary.LittleEndian.Uint64(p[0:8])
-		m.Origin = int32(binary.LittleEndian.Uint32(p[8:12]))
-		var err error
-		m.Keys, _, err = readKeys(p[12:])
-		if err != nil {
-			return nil, 0, err
-		}
-		return m, total, nil
+		m = &Localize{ID: d.u64(), Origin: int32(d.u32()), Keys: d.keys()}
 	case KindRelocInstruct:
-		m := &RelocInstruct{}
-		m.ID = binary.LittleEndian.Uint64(p[0:8])
-		m.Dest = int32(binary.LittleEndian.Uint32(p[8:12]))
-		var err error
-		m.Keys, _, err = readKeys(p[12:])
-		if err != nil {
-			return nil, 0, err
-		}
-		return m, total, nil
+		m = &RelocInstruct{ID: d.u64(), Dest: int32(d.u32()), Keys: d.keys()}
 	case KindRelocTransfer:
-		m := &RelocTransfer{}
-		m.ID = binary.LittleEndian.Uint64(p[0:8])
-		var err error
-		p = p[8:]
-		m.Keys, p, err = readKeys(p)
-		if err != nil {
-			return nil, 0, err
-		}
-		m.Vals, _, err = readVals(p)
-		if err != nil {
-			return nil, 0, err
-		}
-		return m, total, nil
+		m = &RelocTransfer{ID: d.u64(), Keys: d.keys(), Vals: d.vals()}
 	case KindSspClock:
-		m := &SspClock{}
-		m.Worker = int32(binary.LittleEndian.Uint32(p[0:4]))
-		m.Clock = int32(binary.LittleEndian.Uint32(p[4:8]))
-		return m, total, nil
+		m = &SspClock{Worker: int32(d.u32()), Clock: int32(d.u32())}
 	case KindSspSync:
-		m := &SspSync{}
-		m.ID = binary.LittleEndian.Uint64(p[0:8])
-		m.Clock = int32(binary.LittleEndian.Uint32(p[8:12]))
-		var err error
-		p = p[12:]
-		m.Keys, p, err = readKeys(p)
-		if err != nil {
-			return nil, 0, err
-		}
-		m.Vals, _, err = readVals(p)
-		if err != nil {
-			return nil, 0, err
-		}
-		return m, total, nil
+		m = &SspSync{ID: d.u64(), Clock: int32(d.u32()), Keys: d.keys(), Vals: d.vals()}
 	case KindBarrier:
-		m := &Barrier{}
-		m.Enter = p[0] != 0
-		m.Seq = binary.LittleEndian.Uint32(p[1:5])
-		m.Worker = int32(binary.LittleEndian.Uint32(p[5:9]))
-		return m, total, nil
+		m = &Barrier{Enter: d.bool(), Seq: d.u32(), Worker: int32(d.u32())}
+	case KindBlock:
+		m = &Block{ID: int32(d.u32()), Worker: int32(d.u32()), Vals: d.vals()}
 	default:
 		return nil, 0, fmt.Errorf("msg: unknown message kind %d", kind)
 	}
+	if d.err != nil {
+		return nil, 0, fmt.Errorf("msg: decoding %v: %w", kind, d.err)
+	}
+	if len(d.p) != 0 {
+		return nil, 0, fmt.Errorf("msg: %d trailing payload bytes in %v", len(d.p), kind)
+	}
+	return m, total, nil
+}
+
+// decoder is a bounds-checked cursor over a message payload. The first
+// failed read latches err and all subsequent reads return zero values, so
+// decode expressions can be written straight-line.
+type decoder struct {
+	p   []byte
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("truncated %s (%d bytes left)", what, len(d.p))
+	}
+}
+
+func (d *decoder) u8() byte {
+	if d.err != nil || len(d.p) < 1 {
+		d.fail("byte")
+		return 0
+	}
+	v := d.p[0]
+	d.p = d.p[1:]
+	return v
+}
+
+func (d *decoder) bool() bool { return d.u8() != 0 }
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || len(d.p) < 4 {
+		d.fail("uint32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.p)
+	d.p = d.p[4:]
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || len(d.p) < 8 {
+		d.fail("uint64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.p)
+	d.p = d.p[8:]
+	return v
+}
+
+// keys reads a count-prefixed key list; a zero count decodes to nil. The
+// count is validated against the remaining payload before any allocation
+// (overflow-safe on 32-bit ints).
+func (d *decoder) keys() []kv.Key {
+	n := int(d.u32())
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.p)/keyBytes {
+		d.fail("keys")
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	keys := make([]kv.Key, n)
+	for i := range keys {
+		keys[i] = kv.Key(binary.LittleEndian.Uint64(d.p[i*keyBytes:]))
+	}
+	d.p = d.p[n*keyBytes:]
+	return keys
+}
+
+// vals reads a count-prefixed float32 list; a zero count decodes to nil.
+// Like keys, the count is validated overflow-safely before allocating.
+func (d *decoder) vals() []float32 {
+	n := int(d.u32())
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.p)/valBytes {
+		d.fail("values")
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	vals := make([]float32, n)
+	for i := range vals {
+		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(d.p[i*valBytes:]))
+	}
+	d.p = d.p[n*valBytes:]
+	return vals
 }
 
 func boolByte(b bool) byte {
@@ -382,42 +439,4 @@ func appendVals(buf []byte, vals []float32) []byte {
 		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
 	}
 	return buf
-}
-
-func readKeys(p []byte) ([]kv.Key, []byte, error) {
-	if len(p) < 4 {
-		return nil, nil, fmt.Errorf("msg: truncated key count")
-	}
-	n := int(binary.LittleEndian.Uint32(p))
-	p = p[4:]
-	if len(p) < n*keyBytes {
-		return nil, nil, fmt.Errorf("msg: truncated keys: want %d, have %d bytes", n*keyBytes, len(p))
-	}
-	if n == 0 {
-		return nil, p, nil
-	}
-	keys := make([]kv.Key, n)
-	for i := range keys {
-		keys[i] = kv.Key(binary.LittleEndian.Uint64(p[i*keyBytes:]))
-	}
-	return keys, p[n*keyBytes:], nil
-}
-
-func readVals(p []byte) ([]float32, []byte, error) {
-	if len(p) < 4 {
-		return nil, nil, fmt.Errorf("msg: truncated value count")
-	}
-	n := int(binary.LittleEndian.Uint32(p))
-	p = p[4:]
-	if len(p) < n*valBytes {
-		return nil, nil, fmt.Errorf("msg: truncated values: want %d, have %d bytes", n*valBytes, len(p))
-	}
-	if n == 0 {
-		return nil, p, nil
-	}
-	vals := make([]float32, n)
-	for i := range vals {
-		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(p[i*valBytes:]))
-	}
-	return vals, p[n*valBytes:], nil
 }

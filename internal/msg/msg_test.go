@@ -40,6 +40,8 @@ func TestRoundTripAllKinds(t *testing.T) {
 		&SspSync{ID: 3, Clock: 12, Keys: []kv.Key{4}, Vals: []float32{9}},
 		&Barrier{Enter: true, Seq: 4, Worker: 17},
 		&Barrier{Enter: false, Seq: 5, Worker: -1},
+		&Block{ID: 3, Worker: 6, Vals: []float32{1, -2, 0.5}},
+		&Block{ID: 0, Worker: 0},
 	}
 	for _, m := range msgs {
 		dec := roundTrip(t, m)
@@ -78,6 +80,10 @@ func normalize(m any) any {
 	case *SspSync:
 		c := *t
 		c.Keys = nilIfEmptyKeys(c.Keys)
+		c.Vals = nilIfEmptyVals(c.Vals)
+		return &c
+	case *Block:
+		c := *t
 		c.Vals = nilIfEmptyVals(c.Vals)
 		return &c
 	default:
@@ -185,7 +191,7 @@ func TestQuickTransferRoundTrip(t *testing.T) {
 }
 
 func TestKindString(t *testing.T) {
-	for k := KindOp; k <= KindBarrier; k++ {
+	for k := KindOp; k <= KindBlock; k++ {
 		if s := k.String(); s == "" || s[0] == 'K' {
 			t.Errorf("Kind(%d).String() = %q", k, s)
 		}

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"fmt"
+
 	"lapse/internal/kv"
 )
 
@@ -15,8 +17,13 @@ type Handle struct {
 	outstanding []*kv.Future
 }
 
-// NewHandle returns a handle for the given worker bound to rt's node.
+// NewHandle returns a handle for the given worker bound to rt's node. The
+// node must be hosted by this process: a handle issues Sends with the node
+// as source, which only local nodes may do.
 func NewHandle(rt *Runtime, worker int) Handle {
+	if !rt.g.cl.Local(rt.node) {
+		panic(fmt.Sprintf("server: handle for worker %d of non-local node %d", worker, rt.node))
+	}
 	return Handle{rt: rt, worker: worker}
 }
 
@@ -27,7 +34,7 @@ func (h *Handle) NodeID() int { return h.rt.node }
 func (h *Handle) WorkerID() int { return h.worker }
 
 // Barrier implements kv.KV.
-func (h *Handle) Barrier() { h.rt.g.cl.Barrier().Wait() }
+func (h *Handle) Barrier() { h.rt.g.cl.Barrier().Wait(h.rt.node) }
 
 // Clock implements kv.KV as a no-op; the stale PS overrides it.
 func (h *Handle) Clock() {}

@@ -85,10 +85,15 @@ func (g *Group) Runtime(n int) *Runtime { return g.runtimes[n] }
 func (g *Group) Stats() []*metrics.ServerStats { return g.stats }
 
 // Start binds each node's policy and spawns the server goroutines. policy is
-// invoked once per node, in node order.
+// invoked once per node, in node order. Message loops run only for nodes
+// hosted by this process; in a multi-process deployment every process serves
+// its own share of the nodes.
 func (g *Group) Start(policy func(node int) Policy) {
 	for n, rt := range g.runtimes {
 		rt.policy = policy(n)
+		if !g.cl.Local(n) {
+			continue
+		}
 		g.wg.Add(1)
 		go rt.loop()
 	}
@@ -119,11 +124,13 @@ func (rt *Runtime) Stats() *metrics.ServerStats { return rt.stats }
 // Batched reports whether per-destination message batching is enabled.
 func (rt *Runtime) Batched() bool { return !rt.g.cfg.Unbatched }
 
-// Send transmits m over the simulated network, even when dest is this node
-// (the loopback link models PS-Lite's IPC path). It is safe to call from
-// worker threads and from the server goroutine.
+// Send transmits m over the cluster transport, even when dest is this node
+// (the loopback link models PS-Lite's IPC path). The transport encodes m
+// through the wire codec immediately, so the caller may keep mutating m and
+// its slices afterwards. Safe to call from worker threads and from the
+// server goroutine.
 func (rt *Runtime) Send(dest int, m any) {
-	rt.g.cl.Net().Send(rt.node, dest, m, msg.Size(m))
+	rt.g.cl.Net().Send(rt.node, dest, m)
 }
 
 // SendOrDispatch transmits m, handling node-local destinations inline on the
@@ -150,12 +157,16 @@ func (rt *Runtime) loop() {
 }
 
 // handle dispatches one message: operation responses complete pending
-// operations here; everything else is the variant's business.
+// operations and barrier protocol messages drive the cluster barrier, both
+// variant-independently; everything else is the variant's business.
 func (rt *Runtime) handle(src int, m any) {
-	if resp, ok := m.(*msg.OpResp); ok {
-		rt.policy.OnOpResp(resp)
-		rt.pending.CompleteResp(rt.g.layout, resp)
-		return
+	switch t := m.(type) {
+	case *msg.OpResp:
+		rt.policy.OnOpResp(t)
+		rt.pending.CompleteResp(rt.g.layout, t)
+	case *msg.Barrier:
+		rt.g.cl.HandleBarrier(rt.node, t)
+	default:
+		rt.policy.HandleMessage(src, m)
 	}
-	rt.policy.HandleMessage(src, m)
 }

@@ -1,5 +1,9 @@
 // Package simnet simulates the cluster network of the paper's testbed in a
-// single process.
+// single process. It is one implementation of transport.Network; the other,
+// internal/transport/tcp, runs over real sockets. Like every transport,
+// simnet moves messages through the wire codec of internal/msg: Send encodes
+// and the receiver observes a decoded copy, so sender and receiver can never
+// alias the same message memory even though both live in one process.
 //
 // The network consists of one directed link per ordered node pair. Each link
 // delivers messages in FIFO order — the property the paper's consistency
@@ -37,6 +41,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"lapse/internal/msg"
+	"lapse/internal/transport"
 )
 
 // Config parameterizes a simulated network.
@@ -53,9 +60,6 @@ type Config struct {
 	BytesPerSecond float64
 	// InboxSize bounds the per-node inbox (default 1<<16).
 	InboxSize int
-	// LinkSize is retained for compatibility; unused by the central
-	// scheduler.
-	LinkSize int
 }
 
 // DefaultTestbed mirrors the paper's cluster: 10 GBit Ethernet with ~100 µs
@@ -71,25 +75,16 @@ func DefaultTestbed(nodes int) Config {
 	}
 }
 
-// Envelope is a message in flight.
-type Envelope struct {
-	Src, Dst int
-	Msg      any
-	Bytes    int
-}
+// Envelope is a message in flight (the shared transport envelope).
+type Envelope = transport.Envelope
+
+// Stats aggregates network traffic counters (the shared transport type).
+type Stats = transport.Stats
 
 // link tracks per-link FIFO delivery state.
 type link struct {
 	mu   sync.Mutex
 	last time.Time // delivery time of the previous message
-}
-
-// Stats aggregates network traffic counters.
-type Stats struct {
-	RemoteMessages   int64
-	RemoteBytes      int64
-	LoopbackMessages int64
-	LoopbackBytes    int64
 }
 
 // event is a scheduled occurrence: a message delivery or a sleeper wakeup.
@@ -174,14 +169,31 @@ func New(cfg Config) *Network {
 // Nodes returns the number of nodes.
 func (n *Network) Nodes() int { return n.cfg.Nodes }
 
+// Local reports whether node is hosted here: the simulated network hosts
+// every node of the cluster in this process.
+func (n *Network) Local(node int) bool { return node >= 0 && node < n.cfg.Nodes }
+
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
 
-// Send transmits msg of the given encoded size from src to dst. Messages sent
-// after Close are dropped (reported by Dropped), mirroring sends on a closing
-// TCP connection; this lets server loops answer their final in-flight
-// messages during teardown.
-func (n *Network) Send(src, dst int, m any, bytes int) {
+// Send transmits m from src to dst. The message crosses the simulated wire
+// through the msg codec: it is encoded here and the receiver gets a freshly
+// decoded copy, never the sender's pointer — so mutating m (or its slices)
+// after Send cannot affect the receiver, exactly as on a real network. The
+// encoded length feeds the bandwidth model and the traffic counters.
+//
+// Messages sent after Close are dropped (reported by Dropped), mirroring
+// sends on a closing TCP connection; this lets server loops answer their
+// final in-flight messages during teardown.
+func (n *Network) Send(src, dst int, m any) {
+	buf := msg.Encode(m)
+	copied, _, err := msg.Decode(buf)
+	if err != nil {
+		panic(fmt.Sprintf("simnet: message %T does not round-trip: %v", m, err))
+	}
+	m = copied
+	bytes := len(buf)
+
 	n.sendMu.RLock()
 	defer n.sendMu.RUnlock()
 	if n.closed.Load() {
@@ -356,6 +368,9 @@ func (n *Network) Stats() Stats {
 // after Close (teardown traffic).
 func (n *Network) Dropped() int64 { return n.dropped.Load() }
 
+// Err implements transport.Network; the simulated network cannot fail.
+func (n *Network) Err() error { return nil }
+
 // PairMessages returns the number of messages sent from src to dst.
 func (n *Network) PairMessages(src, dst int) int64 {
 	return n.pairMsgs[src*n.cfg.Nodes+dst].Load()
@@ -371,3 +386,5 @@ func (n *Network) ResetStats() {
 		n.pairMsgs[i].Store(0)
 	}
 }
+
+var _ transport.Network = (*Network)(nil)

@@ -4,19 +4,36 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"lapse/internal/kv"
+	"lapse/internal/msg"
 )
+
+// clockMsg is the smallest wire message, used as a sequence-numbered probe.
+func clockMsg(worker, seq int) *msg.SspClock {
+	return &msg.SspClock{Worker: int32(worker), Clock: int32(seq)}
+}
+
+func seqOf(t *testing.T, m any) int {
+	t.Helper()
+	c, ok := m.(*msg.SspClock)
+	if !ok {
+		t.Fatalf("unexpected message %T", m)
+	}
+	return int(c.Clock)
+}
 
 func TestFIFOPerLink(t *testing.T) {
 	n := New(Config{Nodes: 2})
 	defer n.Close()
 	const msgs = 1000
 	for i := 0; i < msgs; i++ {
-		n.Send(0, 1, i, 8)
+		n.Send(0, 1, clockMsg(0, i))
 	}
 	for i := 0; i < msgs; i++ {
 		env := <-n.Inbox(1)
-		if env.Msg.(int) != i {
-			t.Fatalf("message %d arrived out of order (got %v)", i, env.Msg)
+		if got := seqOf(t, env.Msg); got != i {
+			t.Fatalf("message %d arrived out of order (got %v)", i, got)
 		}
 		if env.Src != 0 || env.Dst != 1 {
 			t.Fatalf("bad envelope routing: %+v", env)
@@ -29,12 +46,12 @@ func TestFIFOWithLatency(t *testing.T) {
 	defer n.Close()
 	const msgs = 50
 	for i := 0; i < msgs; i++ {
-		n.Send(0, 1, i, 8)
+		n.Send(0, 1, clockMsg(0, i))
 	}
 	for i := 0; i < msgs; i++ {
 		env := <-n.Inbox(1)
-		if env.Msg.(int) != i {
-			t.Fatalf("message %d out of order (got %v)", i, env.Msg)
+		if got := seqOf(t, env.Msg); got != i {
+			t.Fatalf("message %d out of order (got %v)", i, got)
 		}
 	}
 }
@@ -44,7 +61,7 @@ func TestLatencyIsApplied(t *testing.T) {
 	n := New(Config{Nodes: 2, Latency: lat})
 	defer n.Close()
 	start := time.Now()
-	n.Send(0, 1, "x", 8)
+	n.Send(0, 1, clockMsg(0, 0))
 	<-n.Inbox(1)
 	if got := time.Since(start); got < lat {
 		t.Fatalf("message delivered after %v, want >= %v", got, lat)
@@ -56,7 +73,7 @@ func TestLoopbackLatencyDistinct(t *testing.T) {
 	n := New(Config{Nodes: 2, Latency: 50 * time.Millisecond, LoopbackLatency: loop})
 	defer n.Close()
 	start := time.Now()
-	n.Send(1, 1, "x", 8)
+	n.Send(1, 1, clockMsg(0, 0))
 	<-n.Inbox(1)
 	got := time.Since(start)
 	if got < loop {
@@ -68,11 +85,12 @@ func TestLoopbackLatencyDistinct(t *testing.T) {
 }
 
 func TestBandwidthSerialization(t *testing.T) {
-	// 1 MB at 100 MB/s should take >= 10ms on top of zero latency.
+	// ~1 MB at 100 MB/s should take >= 10ms on top of zero latency.
 	n := New(Config{Nodes: 2, BytesPerSecond: 100e6})
 	defer n.Close()
+	big := &msg.RelocTransfer{ID: 1, Keys: []kv.Key{1}, Vals: make([]float32, 250_000)}
 	start := time.Now()
-	n.Send(0, 1, "big", 1_000_000)
+	n.Send(0, 1, big)
 	<-n.Inbox(1)
 	if got := time.Since(start); got < 9*time.Millisecond {
 		t.Fatalf("1MB at 100MB/s delivered in %v, want >= ~10ms", got)
@@ -82,18 +100,21 @@ func TestBandwidthSerialization(t *testing.T) {
 func TestStats(t *testing.T) {
 	n := New(Config{Nodes: 3})
 	defer n.Close()
-	n.Send(0, 1, "a", 100)
-	n.Send(0, 2, "b", 50)
-	n.Send(1, 1, "c", 25) // loopback
+	a := &msg.Localize{ID: 1, Origin: 0, Keys: []kv.Key{1, 2}}
+	b := &msg.SspClock{Worker: 1, Clock: 2}
+	c := &msg.Barrier{Enter: true, Seq: 1, Worker: 3}
+	n.Send(0, 1, a)
+	n.Send(0, 2, b)
+	n.Send(1, 1, c) // loopback
 	<-n.Inbox(1)
 	<-n.Inbox(2)
 	<-n.Inbox(1)
 	s := n.Stats()
-	if s.RemoteMessages != 2 || s.RemoteBytes != 150 {
-		t.Fatalf("remote stats = %+v, want 2 msgs / 150 bytes", s)
+	if want := int64(msg.Size(a) + msg.Size(b)); s.RemoteMessages != 2 || s.RemoteBytes != want {
+		t.Fatalf("remote stats = %+v, want 2 msgs / %d bytes", s, want)
 	}
-	if s.LoopbackMessages != 1 || s.LoopbackBytes != 25 {
-		t.Fatalf("loopback stats = %+v, want 1 msg / 25 bytes", s)
+	if want := int64(msg.Size(c)); s.LoopbackMessages != 1 || s.LoopbackBytes != want {
+		t.Fatalf("loopback stats = %+v, want 1 msg / %d bytes", s, want)
 	}
 	if got := n.PairMessages(0, 1); got != 1 {
 		t.Fatalf("PairMessages(0,1) = %d, want 1", got)
@@ -104,11 +125,24 @@ func TestStats(t *testing.T) {
 	}
 }
 
+// TestEnvelopeCarriesEncodedSize pins Bytes to the codec's view of the
+// message, which the bandwidth model charges for.
+func TestEnvelopeCarriesEncodedSize(t *testing.T) {
+	n := New(Config{Nodes: 2})
+	defer n.Close()
+	m := &msg.Op{Type: msg.OpPush, ID: 9, Keys: []kv.Key{1, 2}, Vals: []float32{1, 2}}
+	n.Send(0, 1, m)
+	env := <-n.Inbox(1)
+	if env.Bytes != msg.Size(m) {
+		t.Fatalf("envelope bytes = %d, want %d", env.Bytes, msg.Size(m))
+	}
+}
+
 func TestCloseDrainsInFlight(t *testing.T) {
 	n := New(Config{Nodes: 2, Latency: time.Millisecond})
 	const msgs = 20
 	for i := 0; i < msgs; i++ {
-		n.Send(0, 1, i, 8)
+		n.Send(0, 1, clockMsg(0, i))
 	}
 	done := make(chan int)
 	go func() {
@@ -134,7 +168,7 @@ func TestConcurrentSenders(t *testing.T) {
 		go func(src int) {
 			defer wg.Done()
 			for i := 0; i < perSender; i++ {
-				n.Send(src, 3, [2]int{src, i}, 16)
+				n.Send(src, 3, clockMsg(src, i))
 			}
 		}(src)
 	}
@@ -143,18 +177,18 @@ func TestConcurrentSenders(t *testing.T) {
 	next := [4]int{}
 	for i := 0; i < 4*perSender; i++ {
 		env := <-n.Inbox(3)
-		p := env.Msg.([2]int)
-		if p[1] != next[p[0]] {
-			t.Fatalf("source %d: got seq %d, want %d", p[0], p[1], next[p[0]])
+		c := env.Msg.(*msg.SspClock)
+		if int(c.Clock) != next[c.Worker] {
+			t.Fatalf("source %d: got seq %d, want %d", c.Worker, c.Clock, next[c.Worker])
 		}
-		next[p[0]]++
+		next[c.Worker]++
 	}
 }
 
 func TestSendOnClosedIsDropped(t *testing.T) {
 	n := New(Config{Nodes: 1})
 	n.Close()
-	n.Send(0, 0, "x", 1) // must not panic
+	n.Send(0, 0, clockMsg(0, 0)) // must not panic
 	if got := n.Dropped(); got != 1 {
 		t.Fatalf("Dropped = %d, want 1", got)
 	}

@@ -123,7 +123,12 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 		nodes:   make([]*node, cl.Nodes()),
 		workers: cl.TotalWorkers(),
 	}
+	// Only nodes hosted by this process get shards and replica managers;
+	// remote nodes' state lives with their own process.
 	for n := 0; n < cl.Nodes(); n++ {
+		if !cl.Local(n) {
+			continue
+		}
 		s.nodes[n] = &node{
 			sys:          s,
 			rt:           s.g.Runtime(n),
@@ -134,7 +139,9 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 		}
 	}
 	for k := kv.Key(0); k < layout.NumKeys(); k++ {
-		s.nodes[s.part.NodeOf(k)].shard.Set(k, make([]float32, layout.Len(k)))
+		if nd := s.nodes[s.part.NodeOf(k)]; nd != nil {
+			nd.shard.Set(k, make([]float32, layout.Len(k)))
+		}
 	}
 	s.g.Start(func(n int) server.Policy { return s.nodes[n] })
 	return s
@@ -146,7 +153,9 @@ func (s *System) Layout() kv.Layout { return s.layout }
 // Stats returns per-node statistics.
 func (s *System) Stats() []*metrics.ServerStats { return s.g.Stats() }
 
-// Init sets initial parameter values at the server shards.
+// Init sets initial parameter values at the server shards. fn is invoked
+// for every key — so stateful initializers produce identical sequences in
+// every process — but only locally sharded keys are stored.
 func (s *System) Init(fn func(k kv.Key, val []float32)) {
 	var buf []float32
 	for k := kv.Key(0); k < s.layout.NumKeys(); k++ {
@@ -159,18 +168,29 @@ func (s *System) Init(fn func(k kv.Key, val []float32)) {
 			v[i] = 0
 		}
 		fn(k, v)
-		s.nodes[s.part.NodeOf(k)].shard.Set(k, v)
+		if nd := s.nodes[s.part.NodeOf(k)]; nd != nil {
+			nd.shard.Set(k, v)
+		}
 	}
 }
 
-// ReadParameter reads the authoritative server value of k (quiescent only).
+// ReadParameter reads the authoritative server value of k (quiescent only;
+// the shard must be hosted by this process).
 func (s *System) ReadParameter(k kv.Key, dst []float32) {
-	s.nodes[s.part.NodeOf(k)].shard.Read(k, dst)
+	n := s.part.NodeOf(k)
+	if s.nodes[n] == nil {
+		panic(fmt.Sprintf("ssp: ReadParameter(%d): shard node %d is not hosted by this process", k, n))
+	}
+	s.nodes[n].shard.Read(k, dst)
 }
 
-// GlobalClock returns node n's view of the global clock (tests).
+// GlobalClock returns node n's view of the global clock (tests; n must be
+// hosted by this process).
 func (s *System) GlobalClock(n int) int32 {
 	nd := s.nodes[n]
+	if nd == nil {
+		panic(fmt.Sprintf("ssp: GlobalClock(%d): node is not hosted by this process", n))
+	}
 	nd.clockMu.Lock()
 	defer nd.clockMu.Unlock()
 	return nd.globalClock

@@ -1,0 +1,111 @@
+package transport_test
+
+import (
+	"testing"
+
+	"lapse/internal/kv"
+	"lapse/internal/msg"
+	"lapse/internal/simnet"
+	"lapse/internal/transport"
+	"lapse/internal/transport/tcp"
+)
+
+// transports returns one factory per Network implementation, so the
+// conformance checks below run identically against the simulated network and
+// real TCP loopback sockets.
+func transports(t *testing.T) map[string]func() transport.Network {
+	return map[string]func() transport.Network{
+		"simnet": func() transport.Network {
+			return simnet.New(simnet.Config{Nodes: 2})
+		},
+		"tcp": func() transport.Network {
+			n, err := tcp.New(tcp.Config{Addrs: []string{"127.0.0.1:0", "127.0.0.1:0"}})
+			if err != nil {
+				t.Fatalf("tcp.New: %v", err)
+			}
+			return n
+		},
+	}
+}
+
+// TestSendDoesNotAliasMessageMemory is the transport-boundary contract: a
+// message crosses every transport through the wire codec, so the receiver
+// observes a decoded copy and mutations the sender makes to the message — or
+// to its Keys/Vals slices — after Send cannot leak across. (Before the
+// transport layer, simnet handed the receiver the sender's pointer, so a
+// worker reusing its push buffer could corrupt the values a server was still
+// applying.)
+func TestSendDoesNotAliasMessageMemory(t *testing.T) {
+	for name, mk := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			net := mk()
+			defer net.Close()
+
+			op := &msg.Op{
+				Type:   msg.OpPush,
+				ID:     7,
+				Origin: 0,
+				Keys:   []kv.Key{1, 2},
+				Vals:   []float32{10, 20},
+			}
+			net.Send(0, 1, op)
+			// Sender reuses its buffers immediately after Send — the
+			// exact hazard: these writes must not reach the receiver.
+			op.Keys[0] = 99
+			op.Vals[0] = -1
+			op.ID = 1234
+
+			env := <-net.Inbox(1)
+			got, ok := env.Msg.(*msg.Op)
+			if !ok {
+				t.Fatalf("received %T, want *msg.Op", env.Msg)
+			}
+			if got == op {
+				t.Fatal("receiver got the sender's pointer; message did not cross the codec")
+			}
+			if got.ID != 7 || got.Keys[0] != 1 || got.Vals[0] != 10 {
+				t.Fatalf("receiver observed the sender's post-Send mutations: %+v", got)
+			}
+			if env.Bytes != msg.Size(got) {
+				t.Fatalf("envelope bytes = %d, want codec size %d", env.Bytes, msg.Size(got))
+			}
+
+			// And the reverse direction: receiver-side mutations must
+			// not reach the sender's message.
+			got.Vals[1] = 555
+			if op.Vals[1] != 20 {
+				t.Fatal("receiver mutation visible in the sender's slice")
+			}
+		})
+	}
+}
+
+// TestTransportFIFOAndLoopback checks the shared delivery contract on both
+// implementations: per-link FIFO order (including the src==dst loopback
+// link) and loopback/remote traffic accounting.
+func TestTransportFIFOAndLoopback(t *testing.T) {
+	for name, mk := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			net := mk()
+			defer net.Close()
+			const msgs = 200
+			for i := 0; i < msgs; i++ {
+				net.Send(0, 1, &msg.SspClock{Worker: 0, Clock: int32(i)})
+				net.Send(1, 1, &msg.SspClock{Worker: 1, Clock: int32(i)})
+			}
+			next := [2]int32{}
+			for i := 0; i < 2*msgs; i++ {
+				env := <-net.Inbox(1)
+				c := env.Msg.(*msg.SspClock)
+				if c.Clock != next[c.Worker] {
+					t.Fatalf("link %d->1: got seq %d, want %d", c.Worker, c.Clock, next[c.Worker])
+				}
+				next[c.Worker]++
+			}
+			s := net.Stats()
+			if s.RemoteMessages != msgs || s.LoopbackMessages != msgs {
+				t.Fatalf("stats = %+v, want %d remote / %d loopback", s, msgs, msgs)
+			}
+		})
+	}
+}

@@ -1,0 +1,188 @@
+package tcp
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"lapse/internal/kv"
+	"lapse/internal/msg"
+)
+
+// loopback starts an all-local network of n nodes on ephemeral ports.
+func loopback(t *testing.T, n int) *Network {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = "127.0.0.1:0"
+	}
+	net, err := New(Config{Addrs: addrs})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return net
+}
+
+func TestFIFOPerLinkConcurrentSenders(t *testing.T) {
+	net := loopback(t, 4)
+	defer net.Close()
+	const perSender = 300
+	var wg sync.WaitGroup
+	for src := 0; src < 4; src++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				net.Send(src, 3, &msg.SspClock{Worker: int32(src), Clock: int32(i)})
+			}
+		}(src)
+	}
+	go func() { wg.Wait() }()
+	next := [4]int32{}
+	for i := 0; i < 4*perSender; i++ {
+		env := <-net.Inbox(3)
+		c := env.Msg.(*msg.SspClock)
+		if c.Clock != next[c.Worker] {
+			t.Fatalf("source %d: got seq %d, want %d", c.Worker, c.Clock, next[c.Worker])
+		}
+		if env.Src != int(c.Worker) || env.Dst != 3 {
+			t.Fatalf("bad envelope routing: %+v", env)
+		}
+		next[c.Worker]++
+	}
+}
+
+func TestLargeMessage(t *testing.T) {
+	net := loopback(t, 2)
+	defer net.Close()
+	big := &msg.RelocTransfer{ID: 1, Keys: []kv.Key{1}, Vals: make([]float32, 1<<20)}
+	for i := range big.Vals {
+		big.Vals[i] = float32(i % 251)
+	}
+	net.Send(0, 1, big)
+	env := <-net.Inbox(1)
+	got := env.Msg.(*msg.RelocTransfer)
+	if len(got.Vals) != len(big.Vals) {
+		t.Fatalf("received %d values, want %d", len(got.Vals), len(big.Vals))
+	}
+	for i := range got.Vals {
+		if got.Vals[i] != big.Vals[i] {
+			t.Fatalf("value %d corrupted in transit: %v != %v", i, got.Vals[i], big.Vals[i])
+		}
+	}
+	if env.Bytes != msg.Size(big) {
+		t.Fatalf("envelope bytes = %d, want %d", env.Bytes, msg.Size(big))
+	}
+}
+
+func TestCloseDrainsInFlightLoopback(t *testing.T) {
+	net := loopback(t, 2)
+	const msgs = 50
+	for i := 0; i < msgs; i++ {
+		net.Send(0, 1, &msg.SspClock{Clock: int32(i)})
+	}
+	done := make(chan int)
+	go func() {
+		count := 0
+		for range net.Inbox(1) {
+			count++
+		}
+		done <- count
+	}()
+	net.Close()
+	if got := <-done; got != msgs {
+		t.Fatalf("received %d messages after Close, want %d", got, msgs)
+	}
+	if err := net.Err(); err != nil {
+		t.Fatalf("transport error: %v", err)
+	}
+}
+
+func TestSendAfterCloseIsDropped(t *testing.T) {
+	net := loopback(t, 1)
+	net.Close()
+	net.Send(0, 0, &msg.SspClock{}) // must not panic
+	if got := net.Dropped(); got != 1 {
+		t.Fatalf("Dropped = %d, want 1", got)
+	}
+	net.Close() // idempotent
+}
+
+// TestMultiProcessInstances wires two transport instances — each hosting one
+// node, exactly like two lapse-node processes — through SetAddr and checks
+// cross-instance delivery in both directions.
+func TestMultiProcessInstances(t *testing.T) {
+	addrs := []string{"127.0.0.1:0", "127.0.0.1:0"}
+	// Short drain: each instance's Close would otherwise wait the full
+	// default budget for the peer's still-open connections.
+	netA, err := New(Config{Addrs: addrs, Local: []int{0}, DrainTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("New(A): %v", err)
+	}
+	defer netA.Close()
+	netB, err := New(Config{Addrs: addrs, Local: []int{1}, DrainTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("New(B): %v", err)
+	}
+	defer netB.Close()
+	netA.SetAddr(1, netB.Addr(1))
+	netB.SetAddr(0, netA.Addr(0))
+
+	if netA.Local(1) || !netA.Local(0) || !netB.Local(1) {
+		t.Fatal("local node bookkeeping wrong")
+	}
+	const msgs = 100
+	for i := 0; i < msgs; i++ {
+		netA.Send(0, 1, &msg.SspClock{Worker: 0, Clock: int32(i)})
+		netB.Send(1, 0, &msg.SspClock{Worker: 1, Clock: int32(i)})
+	}
+	for i := 0; i < msgs; i++ {
+		if c := (<-netB.Inbox(1)).Msg.(*msg.SspClock); c.Clock != int32(i) {
+			t.Fatalf("A->B: got seq %d, want %d", c.Clock, i)
+		}
+		if c := (<-netA.Inbox(0)).Msg.(*msg.SspClock); c.Clock != int32(i) {
+			t.Fatalf("B->A: got seq %d, want %d", c.Clock, i)
+		}
+	}
+}
+
+// TestDialRetriesUntilPeerAppears checks the startup race: a process may
+// send to a peer whose listener is not up yet; the link must retry within
+// the dial budget rather than fail.
+func TestDialRetriesUntilPeerAppears(t *testing.T) {
+	addrs := []string{"127.0.0.1:0", "127.0.0.1:0"}
+	netA, err := New(Config{Addrs: addrs, Local: []int{0}, DialTimeout: 5 * time.Second, DrainTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("New(A): %v", err)
+	}
+	defer netA.Close()
+
+	// Reserve a port for B without listening yet.
+	probe, err := New(Config{Addrs: []string{"127.0.0.1:0"}, Local: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bAddr := probe.Addr(0)
+	probe.Close()
+	netA.SetAddr(1, bAddr)
+
+	netA.Send(0, 1, &msg.SspClock{Clock: 42}) // link starts dialing now
+	time.Sleep(150 * time.Millisecond)        // let a few dial attempts fail
+
+	netB, err := New(Config{Addrs: []string{addrs[0], bAddr}, Local: []int{1}, DrainTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("New(B) on %s: %v", bAddr, err)
+	}
+	defer netB.Close()
+	select {
+	case env := <-netB.Inbox(1):
+		if c := env.Msg.(*msg.SspClock); c.Clock != 42 {
+			t.Fatalf("got %+v", c)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("message never arrived after peer came up")
+	}
+	if err := netA.Err(); err != nil {
+		t.Fatalf("link recorded error despite successful retry: %v", err)
+	}
+}

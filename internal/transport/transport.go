@@ -1,0 +1,88 @@
+// Package transport defines the network abstraction every parameter-server
+// component runs on: a cluster-wide message fabric with per-link FIFO
+// delivery, per-node inboxes, traffic accounting, and a clock primitive.
+//
+// Two implementations exist:
+//
+//   - internal/simnet: the single-process simulated network with a
+//     latency/bandwidth timing model (the paper's testbed in one process);
+//   - internal/transport/tcp: real length-prefixed TCP connections, allowing
+//     a cluster to run as multiple OS processes (one or more nodes each).
+//
+// Every message crosses a transport through the wire codec of internal/msg:
+// Send encodes the message and the receiver observes a decoded copy, never
+// the sender's pointer. This holds on the simulated network too, so sender
+// and receiver can never alias the same Keys/Vals slices — the exact
+// semantics a real network imposes, verified by the transport conformance
+// tests.
+//
+// A transport instance hosts a set of local nodes. The simulated network
+// hosts all of them; a TCP transport typically hosts one node per OS process
+// (but can host all nodes over loopback sockets, which the conformance suite
+// uses). Send may only be called with a local src, and Inbox only for local
+// nodes.
+package transport
+
+import "time"
+
+// Envelope is a delivered message: the decoded wire message plus routing
+// metadata. Msg is always a freshly decoded copy owned by the receiver.
+type Envelope struct {
+	Src, Dst int
+	Msg      any
+	// Bytes is the on-the-wire size of the encoded message.
+	Bytes int
+}
+
+// Stats aggregates traffic counters of one transport instance. In
+// multi-process deployments each process observes only its own traffic.
+type Stats struct {
+	RemoteMessages   int64
+	RemoteBytes      int64
+	LoopbackMessages int64
+	LoopbackBytes    int64
+}
+
+// Network is the cluster message fabric. Implementations must preserve FIFO
+// order per directed (src, dst) link — the property the paper's consistency
+// proofs assume of TCP — and must deliver messages by value: Send encodes
+// through the internal/msg codec and receivers get a decoded copy.
+//
+// Send, Sleep, Inbox and the stats methods are safe for concurrent use.
+type Network interface {
+	// Nodes returns the cluster-wide node count.
+	Nodes() int
+	// Local reports whether node is hosted by this transport instance.
+	Local(node int) bool
+	// Send transmits m from src (which must be local) to dst. The message
+	// is encoded immediately; the caller may reuse m and its slices after
+	// Send returns. Sends after Close are dropped (see Dropped), mirroring
+	// writes on a closing TCP connection.
+	Send(src, dst int, m any)
+	// Inbox returns the receive channel of a local node. Messages from all
+	// sources are merged; per-source FIFO order is preserved. The channel
+	// is closed by Close after in-flight messages drain.
+	Inbox(node int) <-chan Envelope
+	// Sleep blocks the caller for d in the transport's time base: the
+	// simulated network drives it through its event scheduler (the
+	// virtual-compute primitive), real transports sleep in wall-clock
+	// time. Implementations may return immediately when timing is
+	// disabled.
+	Sleep(d time.Duration)
+	// Stats returns a snapshot of this instance's traffic counters.
+	Stats() Stats
+	// ResetStats zeroes the traffic counters (e.g. after a warm-up epoch).
+	ResetStats()
+	// Dropped returns the number of messages discarded because they were
+	// sent after Close (teardown traffic) or because their link failed.
+	Dropped() int64
+	// Err returns the first delivery failure this instance observed (a
+	// dead link, a malformed frame), or nil. The simulated network cannot
+	// fail and always returns nil. Messages lost to a failure are counted
+	// in Dropped; operations waiting on them never complete, so runtimes
+	// driving real transports should watch Err and abort on failure.
+	Err() error
+	// Close drains in-flight traffic, closes the local inboxes, and
+	// releases sockets. It is idempotent.
+	Close()
+}

@@ -48,6 +48,7 @@ import (
 
 	"lapse/internal/cluster"
 	"lapse/internal/core"
+	"lapse/internal/driver"
 	"lapse/internal/kv"
 	"lapse/internal/metrics"
 	"lapse/internal/simnet"
@@ -80,6 +81,22 @@ type NetworkConfig struct {
 	BytesPerSecond float64
 }
 
+// TCPDeployment runs the cluster over real TCP sockets. Addrs is every
+// node's listen address, indexed by node; Node is the single node hosted by
+// this process, or -1 to host all nodes in-process over loopback sockets.
+// MaxMessage optionally raises the per-message size bound (0 = transport
+// default). In multi-process mode (Node >= 0), Run executes the worker
+// function only for this node's workers, the cluster barrier spans
+// processes, and Init / Read are limited to keys owned by this process's
+// node — read converged values through Worker.Pull instead. Watch
+// Cluster.Err for link failures: operations whose messages were lost never
+// complete.
+type TCPDeployment struct {
+	Addrs      []string
+	Node       int
+	MaxMessage int
+}
+
 // DefaultNetwork mirrors the paper's cluster network.
 func DefaultNetwork() NetworkConfig {
 	d := simnet.DefaultTestbed(1)
@@ -103,8 +120,14 @@ type Config struct {
 	// Ranges declares a heterogeneous layout; mutually exclusive with
 	// Keys/ValueLength.
 	Ranges []Range
-	// Network configures the simulated interconnect.
+	// Network configures the simulated interconnect; ignored when TCP is
+	// set.
 	Network NetworkConfig
+	// TCP, when non-nil, deploys the cluster over real TCP sockets
+	// instead of the simulated network: either all nodes in this process
+	// (loopback) or one node per OS process. See cmd/lapse-node for the
+	// multi-process runner.
+	TCP *TCPDeployment
 	// LocationCaches enables Lapse's optional location caches. Note that
 	// with caches on, asynchronous operations are only eventually
 	// consistent (Theorem 3 of the paper).
@@ -156,7 +179,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	cl := cluster.New(cluster.Config{
+	deployment := driver.Deployment{
 		Nodes:          cfg.Nodes,
 		WorkersPerNode: cfg.WorkersPerNode,
 		Net: simnet.Config{
@@ -164,7 +187,14 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			LoopbackLatency: cfg.Network.LoopbackLatency,
 			BytesPerSecond:  cfg.Network.BytesPerSecond,
 		},
-	})
+	}
+	if cfg.TCP != nil {
+		deployment.TCP = &driver.TCPDeployment{Addrs: cfg.TCP.Addrs, Node: cfg.TCP.Node, MaxMessage: cfg.TCP.MaxMessage}
+	}
+	cl, err := driver.NewCluster(deployment)
+	if err != nil {
+		return nil, err
+	}
 	sys := core.New(cl, layout, core.Config{
 		LocationCaches: cfg.LocationCaches,
 		Unbatched:      cfg.DisableBatching,
@@ -223,6 +253,12 @@ func (c *Cluster) Stats() Stats {
 		NetworkBytes:       n.RemoteBytes,
 	}
 }
+
+// Err returns the first transport delivery failure (a dead TCP link, a
+// malformed frame), or nil. Operations whose messages were lost never
+// complete, so multi-process deployments should watch Err — see
+// cmd/lapse-node for the pattern. Simulated clusters never fail.
+func (c *Cluster) Err() error { return c.cl.Err() }
 
 // Close shuts the cluster down. It is idempotent.
 func (c *Cluster) Close() {

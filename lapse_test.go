@@ -197,3 +197,65 @@ func TestRunPropagatesWorkerError(t *testing.T) {
 		t.Fatal("worker error not propagated")
 	}
 }
+
+// TestQuickstartOverTCP runs the quickstart flow on the real TCP transport
+// (all nodes in-process over loopback sockets) through the public facade:
+// results must match the simulated network exactly.
+func TestQuickstartOverTCP(t *testing.T) {
+	cl, err := lapse.NewCluster(lapse.Config{
+		Nodes: 2, WorkersPerNode: 2, Keys: 16, ValueLength: 2,
+		TCP: &lapse.TCPDeployment{
+			Addrs: []string{"127.0.0.1:0", "127.0.0.1:0"},
+			Node:  -1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	err = cl.Run(func(w *lapse.Worker) error {
+		k := []lapse.Key{lapse.Key(w.ID())}
+		if err := w.Localize(k); err != nil {
+			return err
+		}
+		if err := w.Push(k, []float32{1, 2}); err != nil {
+			return err
+		}
+		buf := make([]float32, 2)
+		if err := w.Pull(k, buf); err != nil {
+			return err
+		}
+		if buf[0] != 1 || buf[1] != 2 {
+			return fmt.Errorf("pull = %v", buf)
+		}
+		w.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float32, 2)
+	cl.Read(3, buf)
+	if buf[0] != 1 || buf[1] != 2 {
+		t.Fatalf("Read = %v", buf)
+	}
+	if st := cl.Stats(); st.NetworkMessages == 0 {
+		t.Fatal("no network messages counted over TCP")
+	}
+}
+
+// TestTCPConfigValidation pins the facade's TCP deployment checks.
+func TestTCPConfigValidation(t *testing.T) {
+	if _, err := lapse.NewCluster(lapse.Config{
+		Nodes: 2, WorkersPerNode: 1, Keys: 1, ValueLength: 1,
+		TCP: &lapse.TCPDeployment{Addrs: []string{"127.0.0.1:0"}, Node: -1},
+	}); err == nil {
+		t.Fatal("address/node count mismatch accepted")
+	}
+	if _, err := lapse.NewCluster(lapse.Config{
+		Nodes: 1, WorkersPerNode: 1, Keys: 1, ValueLength: 1,
+		TCP: &lapse.TCPDeployment{Addrs: []string{"127.0.0.1:0"}, Node: 5},
+	}); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+}
