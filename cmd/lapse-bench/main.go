@@ -1,0 +1,142 @@
+// Command lapse-bench runs the repository's performance workloads and
+// writes a machine-readable BENCH_<rev>.json, giving the repo a perf
+// trajectory: CI runs it on every change and archives the JSON, so any two
+// revisions can be diffed for throughput, message counts, and bytes moved.
+//
+// The workloads are the hot-key suite of internal/harness — uniform,
+// Zipf-skewed, and word2vec-negative-sampling-like access patterns — each
+// run under every parameter-management technique (relocation-only,
+// localize-per-access, top-k replication).
+//
+// Usage:
+//
+//	lapse-bench [-quick] [-rev <id>] [-out <dir>]
+//
+// -quick shrinks the sweep for smoke runs (CI); -rev overrides the revision
+// id (default: git rev-parse --short HEAD, falling back to "dev").
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"lapse/internal/harness"
+)
+
+// Result is one measured (workload, mode, parallelism) cell.
+type Result struct {
+	Workload            string  `json:"workload"`
+	Mode                string  `json:"mode"`
+	Nodes               int     `json:"nodes"`
+	Workers             int     `json:"workers"`
+	Ops                 int64   `json:"ops"`
+	Seconds             float64 `json:"seconds"`
+	Throughput          float64 `json:"throughput_ops_per_sec"`
+	NetworkMessages     int64   `json:"network_messages"`
+	NetworkBytes        int64   `json:"network_bytes"`
+	LocalReads          int64   `json:"local_reads"`
+	RemoteReads         int64   `json:"remote_reads"`
+	ReplicaHits         int64   `json:"replica_hits"`
+	ReplicaSyncMessages int64   `json:"replica_sync_messages"`
+	Relocations         int64   `json:"relocations"`
+}
+
+// Report is the top-level BENCH_<rev>.json document.
+type Report struct {
+	Rev     string    `json:"rev"`
+	Time    time.Time `json:"time"`
+	Quick   bool      `json:"quick"`
+	Results []Result  `json:"results"`
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sweep for smoke runs")
+	rev := flag.String("rev", "", "revision id for the output file name (default: git short hash)")
+	out := flag.String("out", ".", "output directory")
+	flag.Parse()
+
+	if *rev == "" {
+		*rev = gitRev()
+	}
+	report := run(*quick, *rev)
+	path := filepath.Join(*out, fmt.Sprintf("BENCH_%s.json", *rev))
+	if err := write(report, path); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d results)\n", path, len(report.Results))
+	for _, r := range report.Results {
+		fmt.Printf("%-8s %-11s %dx%d  %9.0f ops/s  msgs=%-6d remote-reads=%-6d replica-hits=%d\n",
+			r.Workload, r.Mode, r.Nodes, r.Workers, r.Throughput, r.NetworkMessages, r.RemoteReads, r.ReplicaHits)
+	}
+}
+
+// run executes the sweep and assembles the report.
+func run(quick bool, rev string) Report {
+	pars := []harness.Parallelism{{Nodes: 2, Workers: 2}, {Nodes: 4, Workers: 4}}
+	if quick {
+		pars = pars[:1]
+	}
+	report := Report{Rev: rev, Time: time.Now().UTC(), Quick: quick}
+	// Deterministic iteration order for diffable output.
+	workloads := harness.HotKeyWorkloads()
+	for _, name := range []string{"uniform", "zipf", "w2vneg"} {
+		cfg := workloads[name]
+		if quick {
+			cfg.OpsPerWorker /= 4
+		} else {
+			// Full runs use the paper's simulated testbed network so
+			// latency effects show in throughput.
+			cfg.Net = harness.NetProfile(0) // Nodes filled in by RunHotKeys
+		}
+		for _, par := range pars {
+			for _, mode := range harness.HotKeyModes() {
+				pt := harness.RunHotKeys(par, cfg, mode)
+				report.Results = append(report.Results, Result{
+					Workload:            name,
+					Mode:                string(mode),
+					Nodes:               par.Nodes,
+					Workers:             par.Workers,
+					Ops:                 pt.Ops,
+					Seconds:             pt.Elapsed.Seconds(),
+					Throughput:          pt.Throughput(),
+					NetworkMessages:     pt.Net.RemoteMessages,
+					NetworkBytes:        pt.Net.RemoteBytes,
+					LocalReads:          pt.Stats.LocalReads,
+					RemoteReads:         pt.Stats.RemoteReads,
+					ReplicaHits:         pt.Stats.ReplicaHits,
+					ReplicaSyncMessages: pt.Stats.ReplicaSyncMessages,
+					Relocations:         pt.Stats.Relocations,
+				})
+			}
+		}
+	}
+	return report
+}
+
+// write marshals the report to path.
+func write(r Report, path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("lapse-bench: marshal: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("lapse-bench: %w", err)
+	}
+	return nil
+}
+
+// gitRev returns the short hash of HEAD, or "dev" outside a git checkout.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "dev"
+	}
+	return strings.TrimSpace(string(out))
+}

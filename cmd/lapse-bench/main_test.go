@@ -1,0 +1,59 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestQuickBenchWritesReport runs the quick sweep end to end and validates
+// the BENCH_<rev>.json schema CI archives.
+func TestQuickBenchWritesReport(t *testing.T) {
+	report := run(true, "test")
+	if len(report.Results) != 3*1*3 { // workloads × parallelisms × modes
+		t.Fatalf("quick sweep produced %d results, want 9", len(report.Results))
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_test.json")
+	if err := write(report, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Report
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if got.Rev != "test" || !got.Quick {
+		t.Fatalf("report header = rev %q quick %v", got.Rev, got.Quick)
+	}
+	var sawReplication bool
+	for _, r := range got.Results {
+		if r.Ops <= 0 || r.Seconds <= 0 || r.Throughput <= 0 {
+			t.Fatalf("degenerate result: %+v", r)
+		}
+		if r.Mode == "replication" {
+			sawReplication = true
+			if r.Workload != "uniform" && r.ReplicaHits == 0 {
+				t.Fatalf("skewed replication run recorded no replica hits: %+v", r)
+			}
+		}
+	}
+	if !sawReplication {
+		t.Fatal("no replication-mode results in the report")
+	}
+	// The headline: on the skewed workloads, replication needs far fewer
+	// remote reads than relocation-only management.
+	byKey := map[string]Result{}
+	for _, r := range got.Results {
+		byKey[r.Workload+"/"+r.Mode] = r
+	}
+	base, repl := byKey["w2vneg/relocation"], byKey["w2vneg/replication"]
+	if repl.RemoteReads*2 > base.RemoteReads {
+		t.Fatalf("w2vneg remote reads: replication %d vs relocation %d, expected a clear win",
+			repl.RemoteReads, base.RemoteReads)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"lapse/internal/kv"
 )
@@ -165,6 +166,56 @@ func CheckMonotonicReads(h History) error {
 		}
 	}
 	return nil
+}
+
+// CheckReplicasEventual verifies eventual consistency for one replicated
+// key: once pushes have stopped and the background sync cycle has run,
+// every replica must report the same merged value — the sum of all pushes
+// recorded in the history. replicas holds each node's current replica view
+// of k.
+func CheckReplicasEventual(h History, k kv.Key, replicas []float64) error {
+	if len(replicas) == 0 {
+		return fmt.Errorf("consistency: key %d: no replica views given", k)
+	}
+	var sum float64
+	for _, ops := range h.Workers {
+		for _, op := range ops {
+			if op.Key == k && op.Type == Push {
+				sum += op.Value
+			}
+		}
+	}
+	for n, v := range replicas {
+		if math.Abs(v-sum) > eps {
+			return fmt.Errorf("consistency: key %d: replica %d holds %v, want merged value %v (sum of pushes)",
+				k, n, v, sum)
+		}
+	}
+	return nil
+}
+
+// AwaitReplicasEventual polls until CheckReplicasEventual passes for key k
+// or timeout elapses: the replicated counterpart of the Theorem-3 checks,
+// which assert that eventual consistency survives even when stronger
+// guarantees are given up. read returns each node's current replica view;
+// sync, if non-nil, triggers one extra sync round per poll (on top of the
+// background interval) to speed tests up. The last error is returned on
+// timeout.
+func AwaitReplicasEventual(h History, k kv.Key, read func() []float64, sync func(), timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		err := CheckReplicasEventual(h, k, read())
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("consistency: key %d: replicas did not converge within %v: %w", k, timeout, err)
+		}
+		if sync != nil {
+			sync()
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // CheckSequential verifies per-key sequential consistency: for every key, the

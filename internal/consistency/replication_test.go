@@ -1,0 +1,61 @@
+package consistency
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCheckReplicasEventual(t *testing.T) {
+	r := NewRecorder(2)
+	r.Push(0, 1, 2)
+	r.Push(1, 1, 3)
+	r.Push(0, 2, 10) // other key, must not count
+	h := r.History()
+
+	if err := CheckReplicasEventual(h, 1, []float64{5, 5, 5}); err != nil {
+		t.Fatalf("converged replicas rejected: %v", err)
+	}
+	if err := CheckReplicasEventual(h, 1, []float64{5, 4}); err == nil {
+		t.Fatal("diverged replica accepted")
+	} else if !strings.Contains(err.Error(), "replica 1") {
+		t.Fatalf("error does not name the diverged replica: %v", err)
+	}
+	if err := CheckReplicasEventual(h, 1, nil); err == nil {
+		t.Fatal("empty replica set accepted")
+	}
+}
+
+func TestAwaitReplicasEventualConverges(t *testing.T) {
+	r := NewRecorder(1)
+	r.Push(0, 0, 4)
+	h := r.History()
+
+	// A replica that converges after a few "sync rounds".
+	val := 0.0
+	syncs := 0
+	sync := func() {
+		syncs++
+		if syncs >= 3 {
+			val = 4
+		}
+	}
+	read := func() []float64 { return []float64{val} }
+	if err := AwaitReplicasEventual(h, 0, read, sync, 2*time.Second); err != nil {
+		t.Fatalf("converging replica reported as diverged: %v", err)
+	}
+	if syncs < 3 {
+		t.Fatalf("sync ran %d times, want >= 3", syncs)
+	}
+}
+
+func TestAwaitReplicasEventualTimesOut(t *testing.T) {
+	r := NewRecorder(1)
+	r.Push(0, 0, 1)
+	h := r.History()
+	read := func() []float64 { return []float64{0} } // never converges
+	err := AwaitReplicasEventual(h, 0, read, nil, 10*time.Millisecond)
+	if err == nil {
+		t.Fatal("stuck replica passed the convergence check")
+	}
+}

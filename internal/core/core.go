@@ -43,12 +43,14 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lapse/internal/cluster"
 	"lapse/internal/kv"
 	"lapse/internal/metrics"
 	"lapse/internal/msg"
 	"lapse/internal/partition"
+	"lapse/internal/replication"
 	"lapse/internal/server"
 	"lapse/internal/store"
 )
@@ -79,6 +81,16 @@ type Config struct {
 	// Unbatched disables per-destination message batching (measurement
 	// only).
 	Unbatched bool
+	// Replicate designates hot keys managed by eventually-consistent
+	// replication instead of relocation: every node holds a local replica,
+	// all reads and cumulative writes are shared-memory operations, and a
+	// background sync cycle merges updates via each key's home node (see
+	// internal/replication). Localize is a no-op for replicated keys. Must
+	// be identical on every node of a multi-process deployment.
+	Replicate []kv.Key
+	// ReplicaSyncEvery is the replication sync interval
+	// (0 = replication.DefaultSyncEvery).
+	ReplicaSyncEvery time.Duration
 }
 
 // System is a running Lapse instance on a cluster.
@@ -112,6 +124,13 @@ type node struct {
 	// queueMu guards queues and the Incoming<->Owned transitions.
 	queueMu sync.Mutex
 	queues  map[kv.Key]*keyQueue
+	// rep manages this node's replicated hot keys (nil when replication is
+	// not configured).
+	rep *replication.Manager
+	// tracker samples this node's key accesses for hot-key candidates.
+	// Per-node (like stats), so worker fast paths never contend on a
+	// process-wide counter.
+	tracker *replication.Tracker
 }
 
 // keyQueue buffers operations that arrived for a key while it is relocating
@@ -167,13 +186,14 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 			st = store.NewDense(layout, cfg.Latches)
 		}
 		nd := &node{
-			sys:    s,
-			rt:     s.g.Runtime(n),
-			store:  st,
-			stats:  s.g.Stats()[n],
-			state:  make([]atomic.Uint32, nk),
-			owner:  make([]atomic.Int32, nk),
-			queues: make(map[kv.Key]*keyQueue),
+			sys:     s,
+			rt:      s.g.Runtime(n),
+			store:   st,
+			stats:   s.g.Stats()[n],
+			state:   make([]atomic.Uint32, nk),
+			owner:   make([]atomic.Int32, nk),
+			queues:  make(map[kv.Key]*keyQueue),
+			tracker: replication.NewTracker(0),
 		}
 		if cfg.LocationCaches {
 			nd.cache = make([]atomic.Int32, nk)
@@ -181,12 +201,33 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 				nd.cache[i].Store(-1)
 			}
 		}
+		if len(cfg.Replicate) > 0 {
+			rt := nd.rt
+			nd.rep = replication.NewManager(replication.Config{
+				Node:      n,
+				Nodes:     cl.Nodes(),
+				Layout:    layout,
+				Home:      s.home,
+				Keys:      cfg.Replicate,
+				SyncEvery: cfg.ReplicaSyncEvery,
+				Stats:     nd.stats,
+				Send:      func(dest int, m any) { rt.Send(dest, m) },
+			})
+		}
 		s.nodes[n] = nd
 	}
-	// Initial allocation: every key lives at its home node. Every process
-	// derives the same global picture from the shared partitioner but
-	// materializes only its local share.
+	// Initial allocation: every key lives at its home node (replicated keys
+	// live in the replication managers instead and never enter the
+	// relocation machinery). Every process derives the same global picture
+	// from the shared partitioner but materializes only its local share.
+	replicated := make(map[kv.Key]bool, len(cfg.Replicate))
+	for _, k := range cfg.Replicate {
+		replicated[k] = true
+	}
 	for k := kv.Key(0); k < layout.NumKeys(); k++ {
+		if replicated[k] {
+			continue
+		}
 		h := s.home.NodeOf(k)
 		if nd := s.nodes[h]; nd != nil {
 			nd.store.Set(k, make([]float32, layout.Len(k)))
@@ -199,6 +240,11 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 		}
 	}
 	s.g.Start(func(n int) server.Policy { return s.nodes[n] })
+	for _, nd := range s.nodes {
+		if nd != nil && nd.rep != nil {
+			nd.rep.Start()
+		}
+	}
 	return s
 }
 
@@ -246,6 +292,16 @@ func (s *System) Init(fn func(k kv.Key, val []float32)) {
 			v[i] = 0
 		}
 		fn(k, v)
+		if s.replicated(k) {
+			// Replicated keys are seeded at every local replica (and the
+			// authoritative copy at the key's home).
+			for _, nd := range s.nodes {
+				if nd != nil {
+					nd.rep.InitKey(k, v)
+				}
+			}
+			continue
+		}
 		h := s.home.NodeOf(k)
 		if s.nodes[h] == nil {
 			continue // homed (and, pre-training, owned) remotely
@@ -256,10 +312,30 @@ func (s *System) Init(fn func(k kv.Key, val []float32)) {
 	}
 }
 
+// replicated reports whether k is managed by replication.
+func (s *System) replicated(k kv.Key) bool {
+	for _, nd := range s.nodes {
+		if nd != nil {
+			return nd.rep != nil && nd.rep.Replicated(k)
+		}
+	}
+	return false
+}
+
 // ReadParameter reads the current value of k from its owner's store,
 // bypassing the network. Only valid in quiescent states, for keys currently
-// owned by a node of this process (use a worker Pull otherwise).
+// owned by a node of this process (use a worker Pull otherwise). For a
+// replicated key it returns the authoritative merged value at the key's
+// home, which equals every replica once the sync cycle has converged.
 func (s *System) ReadParameter(k kv.Key, dst []float32) {
+	if s.replicated(k) {
+		h := s.home.NodeOf(k)
+		if s.nodes[h] == nil {
+			panic(fmt.Sprintf("core: ReadParameter(%d): home node %d of replicated key is not hosted by this process", k, h))
+		}
+		s.nodes[h].rep.ReadAuthoritative(k, dst)
+		return
+	}
 	owner := s.OwnerOf(k)
 	if s.nodes[owner] == nil {
 		panic(fmt.Sprintf("core: ReadParameter(%d): owner node %d is not hosted by this process", k, owner))
@@ -269,9 +345,52 @@ func (s *System) ReadParameter(k kv.Key, dst []float32) {
 	}
 }
 
-// Shutdown waits for the server goroutines to exit; the cluster network must
-// be closed first.
-func (s *System) Shutdown() { s.g.Wait() }
+// Shutdown stops the replica sync cycles and waits for the server
+// goroutines to exit; the cluster network must be closed first (sync
+// messages sent while closing are dropped by the transport).
+func (s *System) Shutdown() {
+	for _, nd := range s.nodes {
+		if nd != nil && nd.rep != nil {
+			nd.rep.Stop()
+		}
+	}
+	s.g.Wait()
+}
+
+// FlushReplicas runs one replica sync round on every node hosted by this
+// process, in addition to the background interval. Convergence of a pushed
+// value needs two rounds (deltas to the home, merged values back out) plus
+// message delivery.
+func (s *System) FlushReplicas() {
+	for _, nd := range s.nodes {
+		if nd != nil && nd.rep != nil {
+			nd.rep.Flush()
+		}
+	}
+}
+
+// HotKeys returns the n hottest keys by sampled access frequency across all
+// local nodes, hottest first — the candidates worth replicating (see
+// replication.Tracker).
+func (s *System) HotKeys(n int) []metrics.KeyFreq {
+	var trackers []*replication.Tracker
+	for _, nd := range s.nodes {
+		if nd != nil {
+			trackers = append(trackers, nd.tracker)
+		}
+	}
+	return replication.MergeHot(n, trackers...)
+}
+
+// ReadReplica reads node's current replica view of a replicated key (tests
+// and convergence checks; node must be hosted by this process).
+func (s *System) ReadReplica(node int, k kv.Key, dst []float32) {
+	nd := s.nodes[node]
+	if nd == nil || nd.rep == nil {
+		panic(fmt.Sprintf("core: ReadReplica(%d, %d): node has no replication manager", node, k))
+	}
+	nd.rep.ReadReplica(k, dst)
+}
 
 // Handle returns the KV client for a worker thread.
 func (s *System) Handle(worker int) kv.KV {
@@ -300,6 +419,10 @@ func (nd *node) HandleMessage(src int, m any) {
 		nd.handleInstruct(t)
 	case *msg.RelocTransfer:
 		nd.handleTransfer(t)
+	case *msg.ReplicaSync:
+		nd.rep.HandleSync(t)
+	case *msg.ReplicaRefresh:
+		nd.rep.HandleRefresh(t)
 	default:
 		panic(fmt.Sprintf("core: unexpected message %T at node %d", m, nd.rt.Node()))
 	}
@@ -318,6 +441,11 @@ func (nd *node) handleOp(m *msg.Op) {
 	var fwd map[int]*msg.Op
 	src := 0
 	for _, k := range m.Keys {
+		if nd.rep != nil && nd.rep.Replicated(k) {
+			// Replicated keys are served from the local replica at every
+			// node; no operation for them ever enters the network.
+			panic(fmt.Sprintf("core: remote op for replicated key %d at node %d (routing bug)", k, nd.rt.Node()))
+		}
 		l := nd.sys.layout.Len(k)
 		var upd []float32
 		if m.Type == msg.OpPush {

@@ -55,11 +55,12 @@ func (h *handle) PushAsync(keys []kv.Key, vals []float32) *kv.Future {
 }
 
 // RouteKey implements server.Router: serve each key through the fastest
-// admissible path — shared-memory access for owned keys, the relocation
-// queue for keys currently arriving at this node, and the network
-// (home-routed, or cache-direct when location caches are on) for everything
-// else.
+// admissible path — the node-local replica for replicated hot keys,
+// shared-memory access for owned keys, the relocation queue for keys
+// currently arriving at this node, and the network (home-routed, or
+// cache-direct when location caches are on) for everything else.
 func (h *handle) RouteKey(t msg.OpType, id uint64, k kv.Key, dst, vals []float32) server.KeyRoute {
+	h.nd.tracker.Observe(k)
 	if h.tryFast(t, k, dst, vals) {
 		return server.KeyRoute{Served: true}
 	}
@@ -83,12 +84,21 @@ type routeDest struct {
 	viaCache bool
 }
 
-// tryFast attempts the shared-memory fast path: allowed only for keys in
-// Owned state. Keys whose relocation queue is still draining must not be
-// served here — that would jump the queue and break the worker's program
-// order — which the Owned gate guarantees, because the state only flips to
-// Owned after the drain completes.
+// tryFast attempts the shared-memory fast path: replicated keys are always
+// served from the node-local replica; other keys are served only in Owned
+// state. Keys whose relocation queue is still draining must not be served
+// here — that would jump the queue and break the worker's program order —
+// which the Owned gate guarantees, because the state only flips to Owned
+// after the drain completes.
 func (h *handle) tryFast(t msg.OpType, k kv.Key, dst, vals []float32) bool {
+	if h.nd.rep != nil && h.nd.rep.Replicated(k) {
+		if t == msg.OpPull {
+			h.nd.rep.Pull(k, dst)
+		} else {
+			h.nd.rep.Push(k, vals)
+		}
+		return true
+	}
 	if h.nd.state[k].Load() != stateOwned {
 		return false
 	}
@@ -141,6 +151,7 @@ func (h *handle) PullIfLocal(keys []kv.Key, dst []float32) (bool, error) {
 	}
 	off := 0
 	for _, k := range keys {
+		h.nd.tracker.Observe(k)
 		l := h.sys.layout.Len(k)
 		if !h.tryFast(msg.OpPull, k, dst[off:off+l], nil) {
 			return false, nil
@@ -163,6 +174,9 @@ func (h *handle) LocalizeAsync(keys []kv.Key) *kv.Future {
 	var sendKeys, waitKeys []kv.Key
 	h.nd.queueMu.Lock()
 	for _, k := range keys {
+		if h.nd.rep != nil && h.nd.rep.Replicated(k) {
+			continue // replicated keys are local at every node already
+		}
 		switch h.nd.state[k].Load() {
 		case stateOwned:
 			continue // already local

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"lapse/internal/cluster"
+	"lapse/internal/consistency"
+	"lapse/internal/kv"
+	"lapse/internal/metrics"
+	"lapse/internal/simnet"
+)
+
+// replicationCluster builds a zero-latency cluster with the given keys
+// replicated and a long background interval, so tests drive sync rounds
+// deterministically through FlushReplicas.
+func replicationCluster(nodes, workers int, numKeys kv.Key, valLen int, replicate []kv.Key) (*cluster.Cluster, *System) {
+	cl := cluster.New(cluster.Config{Nodes: nodes, WorkersPerNode: workers, Net: simnet.Config{}})
+	sys := New(cl, kv.NewUniformLayout(numKeys, valLen), Config{
+		Replicate:        replicate,
+		ReplicaSyncEvery: time.Hour, // tests flush explicitly
+	})
+	return cl, sys
+}
+
+// awaitReplicaConvergence flushes sync rounds until every local node's
+// replica of k equals want, or the deadline passes.
+func awaitReplicaConvergence(t *testing.T, sys *System, k kv.Key, want []float32) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	buf := make([]float32, len(want))
+	for {
+		converged := true
+	check:
+		for _, n := range sys.cl.LocalNodes() {
+			sys.ReadReplica(n, k, buf)
+			for i := range want {
+				if buf[i] != want[i] {
+					converged = false
+					break check
+				}
+			}
+		}
+		if converged {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replicas of key %d did not converge to %v (last view %v)", k, want, buf)
+		}
+		sys.FlushReplicas()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestReplicatedKeysServeLocallyAndConverge(t *testing.T) {
+	const nodes, workers, valLen = 3, 2, 2
+	hot := []kv.Key{0, 5, 9}
+	cl, sys := replicationCluster(nodes, workers, 12, valLen, hot)
+	defer func() { cl.Close(); sys.Shutdown() }()
+
+	ones := make([]float32, len(hot)*valLen)
+	for i := range ones {
+		ones[i] = 1
+	}
+	errs := make([]error, cl.TotalWorkers())
+	cl.RunWorkers(func(_, worker int) {
+		h := sys.Handle(worker)
+		// Pushes and pulls of replicated keys must be purely local.
+		if err := h.Push(hot, ones); err != nil {
+			errs[worker] = err
+			return
+		}
+		dst := make([]float32, len(hot)*valLen)
+		if err := h.Pull(hot, dst); err != nil {
+			errs[worker] = err
+			return
+		}
+		// Read-your-writes: a worker sees at least its own co-located
+		// pushes (exact value depends on its neighbors' progress).
+		for i, v := range dst {
+			if v < 1 {
+				errs[worker] = fmt.Errorf("value %d = %v, want >= 1 (own push missing)", i, v)
+				return
+			}
+		}
+	})
+	if err := errors.Join(errs...); err != nil {
+		t.Fatal(err)
+	}
+
+	// No network traffic so far: every access was a replica hit.
+	if msgs := cl.Net().Stats().RemoteMessages; msgs != 0 {
+		t.Fatalf("replicated accesses sent %d network messages, want 0", msgs)
+	}
+	tot := metrics.Sum(sys.Stats())
+	if want := int64(nodes * workers * len(hot)); tot.ReplicaHits != want {
+		t.Fatalf("ReplicaHits = %d, want %d", tot.ReplicaHits, want)
+	}
+	if tot.RemoteReads != 0 || tot.Relocations != 0 {
+		t.Fatalf("replicated workload caused %d remote reads / %d relocations, want 0",
+			tot.RemoteReads, tot.Relocations)
+	}
+
+	// Eventual consistency: all replicas converge to the sum of all pushes.
+	want := make([]float32, valLen)
+	for i := range want {
+		want[i] = float32(nodes * workers)
+	}
+	for _, k := range hot {
+		awaitReplicaConvergence(t, sys, k, want)
+	}
+	// And the authoritative value readable through ReadParameter agrees.
+	buf := make([]float32, valLen)
+	for _, k := range hot {
+		sys.ReadParameter(k, buf)
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("ReadParameter(%d) = %v, want %v", k, buf, want)
+			}
+		}
+	}
+}
+
+// TestReplicaSyncRoundIsONodesMessages pins the batching property of the
+// sync cycle: one round moves every dirty key in O(nodes) network messages,
+// independent of the number of keys.
+func TestReplicaSyncRoundIsONodesMessages(t *testing.T) {
+	const nodes, numKeys = 4, 512
+	hot := make([]kv.Key, numKeys)
+	for i := range hot {
+		hot[i] = kv.Key(i)
+	}
+	cl, sys := replicationCluster(nodes, 1, numKeys, 1, hot)
+	defer func() { cl.Close(); sys.Shutdown() }()
+
+	ones := make([]float32, numKeys)
+	for i := range ones {
+		ones[i] = 1
+	}
+	cl.RunWorkers(func(_, worker int) {
+		if err := sys.Handle(worker).Push(hot, ones); err != nil {
+			t.Error(err)
+		}
+	})
+	// All nodes now hold numKeys dirty keys. One flush sends each node's
+	// deltas (one ReplicaSync per home) and broadcasts its self-homed
+	// merges (one ReplicaRefresh per other node): at most 2·(nodes-1)
+	// messages per node, with 512 dirty keys.
+	before := cl.Net().Stats().RemoteMessages
+	sys.FlushReplicas()
+	waitQuiesce(cl)
+	delta := cl.Net().Stats().RemoteMessages - before
+	if max := int64(nodes * 2 * (nodes - 1)); delta > max {
+		t.Fatalf("one sync round sent %d messages for %d dirty keys, want <= %d (O(nodes))", delta, numKeys, max)
+	}
+	// Convergence still completes (a few more O(nodes) rounds).
+	want := []float32{nodes}
+	for _, k := range []kv.Key{0, 255, 511} {
+		awaitReplicaConvergence(t, sys, k, want)
+	}
+	tot := metrics.Sum(sys.Stats())
+	if tot.ReplicaSyncMessages == 0 {
+		t.Fatal("ReplicaSyncMessages = 0 after sync rounds")
+	}
+}
+
+// waitQuiesce waits until the network message count is stable, i.e. all
+// in-flight sync traffic has been processed.
+func waitQuiesce(cl *cluster.Cluster) {
+	last := cl.Net().Stats().RemoteMessages
+	for i := 0; i < 100; i++ {
+		time.Sleep(2 * time.Millisecond)
+		cur := cl.Net().Stats().RemoteMessages
+		if cur == last {
+			return
+		}
+		last = cur
+	}
+}
+
+func TestLocalizeIsNoOpForReplicatedKeys(t *testing.T) {
+	hot := []kv.Key{1}
+	cl, sys := replicationCluster(2, 1, 4, 1, hot)
+	defer func() { cl.Close(); sys.Shutdown() }()
+
+	cl.RunWorkers(func(_, worker int) {
+		h := sys.Handle(worker)
+		// Localize of a replicated key succeeds without any message.
+		if err := h.Localize(hot); err != nil {
+			t.Errorf("worker %d: Localize(replicated) = %v", worker, err)
+		}
+		// Mixed localize still relocates the non-replicated keys.
+		if err := h.Localize([]kv.Key{1, 3}); err != nil {
+			t.Errorf("worker %d: Localize(mixed) = %v", worker, err)
+		}
+		dst := make([]float32, 2)
+		if ok, err := h.PullIfLocal([]kv.Key{1, 3}, dst); err != nil || !ok {
+			t.Errorf("worker %d: PullIfLocal after mixed localize = (%v, %v), want (true, nil)", worker, ok, err)
+		}
+	})
+	if tot := metrics.Sum(sys.Stats()); tot.Relocations == 0 {
+		t.Error("mixed localize relocated nothing (key 3 should relocate)")
+	}
+}
+
+func TestInitSeedsReplicatedKeys(t *testing.T) {
+	hot := []kv.Key{0, 2}
+	cl, sys := replicationCluster(2, 1, 4, 2, hot)
+	defer func() { cl.Close(); sys.Shutdown() }()
+
+	sys.Init(func(k kv.Key, val []float32) {
+		val[0] = float32(k) + 10
+		val[1] = float32(k) + 20
+	})
+	// Replicas on every node observe the seed; so does ReadParameter.
+	buf := make([]float32, 2)
+	for _, k := range hot {
+		for n := 0; n < 2; n++ {
+			sys.ReadReplica(n, k, buf)
+			if buf[0] != float32(k)+10 || buf[1] != float32(k)+20 {
+				t.Fatalf("node %d replica of %d = %v after Init", n, k, buf)
+			}
+		}
+		sys.ReadParameter(k, buf)
+		if buf[0] != float32(k)+10 || buf[1] != float32(k)+20 {
+			t.Fatalf("ReadParameter(%d) = %v after Init", k, buf)
+		}
+	}
+	// Pushes merge on top of the seed.
+	cl.RunWorkers(func(_, worker int) {
+		if err := sys.Handle(worker).Push([]kv.Key{0}, []float32{1, 1}); err != nil {
+			t.Error(err)
+		}
+	})
+	awaitReplicaConvergence(t, sys, 0, []float32{12, 22})
+}
+
+// TestReplicationEventualConsistencyChecker runs a concurrent push workload
+// with the background sync cycle live (no explicit flush control) and
+// verifies the Table-1 eventual-consistency guarantee with the
+// internal/consistency checker: once pushes stop, every replica converges
+// to the sum of all pushes. This is the replication counterpart of the
+// Theorem-3 location-cache checks.
+func TestReplicationEventualConsistencyChecker(t *testing.T) {
+	const nodes, workers = 3, 2
+	hot := []kv.Key{2}
+	cl := cluster.New(cluster.Config{Nodes: nodes, WorkersPerNode: workers, Net: simnet.Config{}})
+	sys := New(cl, kv.NewUniformLayout(4, 1), Config{
+		Replicate:        hot,
+		ReplicaSyncEvery: 100 * time.Microsecond,
+	})
+	defer func() { cl.Close(); sys.Shutdown() }()
+
+	rec := consistency.NewRecorder(cl.TotalWorkers())
+	cl.RunWorkers(func(_, worker int) {
+		h := sys.Handle(worker)
+		rng := rand.New(rand.NewSource(int64(worker)))
+		for i := 0; i < 50; i++ {
+			d := float64(rng.Intn(5))
+			if err := h.Push(hot, []float32{float32(d)}); err != nil {
+				t.Error(err)
+				return
+			}
+			rec.Push(worker, hot[0], d)
+		}
+	})
+
+	read := func() []float64 {
+		out := make([]float64, 0, nodes)
+		buf := make([]float32, 1)
+		for n := 0; n < nodes; n++ {
+			sys.ReadReplica(n, hot[0], buf)
+			out = append(out, float64(buf[0]))
+		}
+		return out
+	}
+	if err := consistency.AwaitReplicasEventual(rec.History(), hot[0], read, sys.FlushReplicas, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHotKeyTrackerFindsSkew(t *testing.T) {
+	cl, sys := replicationCluster(2, 1, 64, 1, []kv.Key{63})
+	defer func() { cl.Close(); sys.Shutdown() }()
+
+	cl.RunWorkers(func(_, worker int) {
+		h := sys.Handle(worker)
+		buf := make([]float32, 1)
+		for i := 0; i < 400; i++ {
+			if err := h.Pull([]kv.Key{7}, buf); err != nil { // hot
+				t.Error(err)
+				return
+			}
+			if i%40 == 0 {
+				if err := h.Pull([]kv.Key{kv.Key(i % 5)}, buf); err != nil { // cold
+					t.Error(err)
+					return
+				}
+			}
+		}
+	})
+	hot := sys.HotKeys(1)
+	if len(hot) != 1 || hot[0].Key != 7 {
+		t.Fatalf("HotKeys(1) = %v, want key 7", hot)
+	}
+}

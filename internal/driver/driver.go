@@ -5,6 +5,7 @@ package driver
 
 import (
 	"fmt"
+	"time"
 
 	"lapse/internal/classic"
 	"lapse/internal/cluster"
@@ -66,6 +67,12 @@ type Options struct {
 	// Unbatched disables per-destination message batching in the shared
 	// server runtime (measurement only; all variants).
 	Unbatched bool
+	// Replicate designates hot keys managed by eventually-consistent
+	// replication instead of relocation (Lapse variants only; ignored
+	// elsewhere).
+	Replicate []kv.Key
+	// ReplicaSyncEvery is the replica sync interval (0 = default).
+	ReplicaSyncEvery time.Duration
 }
 
 // Build constructs the variant on cl.
@@ -76,9 +83,11 @@ func Build(kind Kind, cl *cluster.Cluster, layout kv.Layout, opt Options) PS {
 	case ClassicFast:
 		return classic.New(cl, layout, classic.Config{FastLocalAccess: true, Unbatched: opt.Unbatched})
 	case Lapse:
-		return core.New(cl, layout, core.Config{Unbatched: opt.Unbatched})
+		return core.New(cl, layout, core.Config{Unbatched: opt.Unbatched,
+			Replicate: opt.Replicate, ReplicaSyncEvery: opt.ReplicaSyncEvery})
 	case LapseCached:
-		return core.New(cl, layout, core.Config{LocationCaches: true, Unbatched: opt.Unbatched})
+		return core.New(cl, layout, core.Config{LocationCaches: true, Unbatched: opt.Unbatched,
+			Replicate: opt.Replicate, ReplicaSyncEvery: opt.ReplicaSyncEvery})
 	case SSPClient:
 		return ssp.New(cl, layout, ssp.Config{Staleness: opt.Staleness, Unbatched: opt.Unbatched})
 	case SSPServer:

@@ -1,0 +1,186 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"lapse/internal/cluster"
+	"lapse/internal/driver"
+	"lapse/internal/kv"
+	"lapse/internal/metrics"
+	"lapse/internal/simnet"
+	"lapse/internal/transport"
+)
+
+// The hot-key workloads exercise the case the paper's future-work section
+// calls out (Sections 2 and 7): skewed access distributions where a small
+// set of keys is read constantly by every node — word2vec negative samples,
+// frequent KGE entities. Relocation thrashes on such keys (every node keeps
+// stealing them back); replication serves them from node-local replicas.
+// The workloads drive Lapse with either management technique so the benefit
+// is measurable: remote reads for the hot keys drop to ~zero, paid for by
+// O(nodes) sync messages per interval.
+
+// HotKeyMode selects how the workload's keys are managed.
+type HotKeyMode string
+
+// The management techniques compared by the hot-key workloads.
+const (
+	// HotKeyRelocation is relocation-only Lapse: keys stay at their home
+	// node unless localized, so hot keys are read over the network.
+	HotKeyRelocation HotKeyMode = "relocation"
+	// HotKeyLocalize localizes every key before accessing it — the
+	// paper's relocation pattern, which thrashes on shared hot keys.
+	HotKeyLocalize HotKeyMode = "localize"
+	// HotKeyReplication replicates the top-k hottest keys; the rest keep
+	// relocation management.
+	HotKeyReplication HotKeyMode = "replication"
+)
+
+// HotKeyModes lists the techniques compared by the hot-key workloads.
+func HotKeyModes() []HotKeyMode {
+	return []HotKeyMode{HotKeyRelocation, HotKeyLocalize, HotKeyReplication}
+}
+
+// HotKeyConfig parameterizes one hot-key workload.
+type HotKeyConfig struct {
+	// Keys and ValLen declare the uniform parameter layout.
+	Keys   kv.Key
+	ValLen int
+	// OpsPerWorker is the number of key accesses per worker.
+	OpsPerWorker int
+	// ZipfS is the Zipf skew exponent (> 1); 0 samples keys uniformly.
+	// Key i is the (i+1)-th most frequent key, so the hot set is simply
+	// the first HotK keys.
+	ZipfS float64
+	// HotK is the number of top keys replicated in HotKeyReplication mode.
+	HotK int
+	// PushEvery issues a push after every Nth pull (0 = pulls only).
+	PushEvery int
+	// Seed seeds the per-worker RNGs.
+	Seed int64
+	// SyncEvery is the replica sync interval (0 = default).
+	SyncEvery time.Duration
+	// Net is the simulated network profile (zero = instantaneous).
+	Net simnet.Config
+	// PointCost models computation per access via cluster.Compute.
+	PointCost time.Duration
+}
+
+// HotKeys returns the workload's hot set: the HotK hottest keys.
+func (c HotKeyConfig) HotKeys() []kv.Key {
+	hot := make([]kv.Key, c.HotK)
+	for i := range hot {
+		hot[i] = kv.Key(i)
+	}
+	return hot
+}
+
+// HotKeyWorkloads returns the named workload configurations of the
+// benchmark runner: a uniform baseline, a Zipf-skewed mix, and a
+// negative-sampling-like profile (heavier skew, read-mostly, larger
+// values — the word2vec access pattern).
+func HotKeyWorkloads() map[string]HotKeyConfig {
+	return map[string]HotKeyConfig{
+		"uniform": {
+			Keys: 2048, ValLen: 8, OpsPerWorker: 400,
+			ZipfS: 0, HotK: 32, PushEvery: 2, Seed: 11,
+		},
+		"zipf": {
+			Keys: 2048, ValLen: 8, OpsPerWorker: 400,
+			ZipfS: 1.3, HotK: 32, PushEvery: 2, Seed: 11,
+		},
+		"w2vneg": {
+			Keys: 4096, ValLen: 16, OpsPerWorker: 400,
+			ZipfS: 2.0, HotK: 64, PushEvery: 4, Seed: 11,
+		},
+	}
+}
+
+// HotKeyPoint is one measured hot-key workload run.
+type HotKeyPoint struct {
+	Par     Parallelism
+	Mode    HotKeyMode
+	Elapsed time.Duration
+	Ops     int64
+	// Stats carries the cluster-wide server-counter totals; Net the
+	// transport traffic counters.
+	Stats metrics.Totals
+	Net   transport.Stats
+}
+
+// Throughput returns key accesses per second of wall-clock time.
+func (p HotKeyPoint) Throughput() float64 {
+	if p.Elapsed <= 0 {
+		return 0
+	}
+	return float64(p.Ops) / p.Elapsed.Seconds()
+}
+
+// RunHotKeys executes the hot-key workload on Lapse with the given
+// management technique and returns the measured point.
+func RunHotKeys(par Parallelism, cfg HotKeyConfig, mode HotKeyMode) HotKeyPoint {
+	net := cfg.Net
+	net.Nodes = par.Nodes
+	cl := cluster.New(cluster.Config{Nodes: par.Nodes, WorkersPerNode: par.Workers, Net: net})
+	opt := driver.Options{ReplicaSyncEvery: cfg.SyncEvery}
+	if mode == HotKeyReplication {
+		opt.Replicate = cfg.HotKeys()
+	}
+	ps := driver.Build(driver.Lapse, cl, kv.NewUniformLayout(cfg.Keys, cfg.ValLen), opt)
+	defer func() {
+		cl.Close()
+		ps.Shutdown()
+	}()
+
+	start := time.Now()
+	cl.RunWorkers(func(_, worker int) {
+		h := ps.Handle(worker)
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(worker)))
+		var zipf *rand.Zipf
+		if cfg.ZipfS > 0 {
+			zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Keys-1))
+		}
+		buf := make([]float32, cfg.ValLen)
+		delta := make([]float32, cfg.ValLen)
+		for i := range delta {
+			delta[i] = 0.01
+		}
+		keys := make([]kv.Key, 1)
+		for op := 0; op < cfg.OpsPerWorker; op++ {
+			if zipf != nil {
+				keys[0] = kv.Key(zipf.Uint64())
+			} else {
+				keys[0] = kv.Key(rng.Int63n(int64(cfg.Keys)))
+			}
+			if mode == HotKeyLocalize {
+				if err := h.Localize(keys); err != nil {
+					panic(fmt.Sprintf("harness: hotkeys localize: %v", err))
+				}
+			}
+			if err := h.Pull(keys, buf); err != nil {
+				panic(fmt.Sprintf("harness: hotkeys pull: %v", err))
+			}
+			if cfg.PushEvery > 0 && op%cfg.PushEvery == 0 {
+				if err := h.Push(keys, delta); err != nil {
+					panic(fmt.Sprintf("harness: hotkeys push: %v", err))
+				}
+			}
+			if cfg.PointCost > 0 {
+				cl.Compute(cfg.PointCost)
+			}
+		}
+		if err := h.WaitAll(); err != nil {
+			panic(fmt.Sprintf("harness: hotkeys waitall: %v", err))
+		}
+	})
+	return HotKeyPoint{
+		Par:     par,
+		Mode:    mode,
+		Elapsed: time.Since(start),
+		Ops:     int64(par.Nodes * par.Workers * cfg.OpsPerWorker),
+		Stats:   metrics.Sum(ps.Stats()),
+		Net:     cl.Net().Stats(),
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"lapse/internal/kv"
 )
 
 // Counter is an atomic event counter.
@@ -109,6 +111,12 @@ type ServerStats struct {
 	CacheMisses Counter
 	// SyncWaits counts stale-PS reads that blocked on the staleness bound.
 	SyncWaits Counter
+	// ReplicaHits counts reads of replicated hot keys served from the
+	// node-local replica (shared-memory, no network).
+	ReplicaHits Counter
+	// ReplicaSyncMessages counts ReplicaSync/ReplicaRefresh messages sent
+	// by this node's background replica sync cycle.
+	ReplicaSyncMessages Counter
 }
 
 // Reset zeroes all counters and aggregates.
@@ -126,6 +134,8 @@ func (s *ServerStats) Reset() {
 	s.CacheHits.Reset()
 	s.CacheMisses.Reset()
 	s.SyncWaits.Reset()
+	s.ReplicaHits.Reset()
+	s.ReplicaSyncMessages.Reset()
 }
 
 // Sum aggregates a set of per-node stats into cluster totals. Relocation-time
@@ -145,6 +155,8 @@ func Sum(nodes []*ServerStats) Totals {
 		t.CacheHits += s.CacheHits.Load()
 		t.CacheMisses += s.CacheMisses.Load()
 		t.SyncWaits += s.SyncWaits.Load()
+		t.ReplicaHits += s.ReplicaHits.Load()
+		t.ReplicaSyncMessages += s.ReplicaSyncMessages.Load()
 		rt := s.RelocationTime.Snapshot()
 		if rt.Count > 0 {
 			if t.RelocationCalls == 0 || rt.Min < t.RelocationTimeMin {
@@ -170,14 +182,16 @@ type Totals struct {
 	Forwards, DoubleForwards  int64
 	CacheHits, CacheMisses    int64
 	SyncWaits                 int64
+	ReplicaHits               int64
+	ReplicaSyncMessages       int64
 	RelocationTimeSum         time.Duration
 	RelocationTimeMin         time.Duration
 	RelocationTimeMax         time.Duration
 	RelocationCalls           int64
 }
 
-// TotalReads returns local + remote key reads.
-func (t Totals) TotalReads() int64 { return t.LocalReads + t.RemoteReads }
+// TotalReads returns local + remote + replica key reads.
+func (t Totals) TotalReads() int64 { return t.LocalReads + t.RemoteReads + t.ReplicaHits }
 
 // MeanRelocationTime returns the mean per-localize relocation time.
 func (t Totals) MeanRelocationTime() time.Duration {
@@ -185,4 +199,12 @@ func (t Totals) MeanRelocationTime() time.Duration {
 		return 0
 	}
 	return time.Duration(int64(t.RelocationTimeSum) / t.RelocationCalls)
+}
+
+// KeyFreq is one hot-key candidate reported by an access-frequency sampler
+// (see replication.Tracker): an estimated access count for one key. Counts
+// are extrapolated from the sampling rate, so they are approximate.
+type KeyFreq struct {
+	Key   kv.Key
+	Count int64
 }

@@ -27,6 +27,10 @@ func seedMessages() []any {
 		&Barrier{Enter: false, Seq: 43, Worker: -1},
 		&Block{ID: 2, Worker: 5, Vals: []float32{1, 2, 3}},
 		&Block{ID: 3, Worker: 0},
+		&ReplicaSync{Origin: 1, Seq: 7, Keys: []kv.Key{3, 1 << 33}, Vals: []float32{0.5, -1.25}},
+		&ReplicaSync{Origin: 0, Seq: 0, Keys: nil, Vals: nil},
+		&ReplicaRefresh{Origin: 2, Ack: 9, Keys: []kv.Key{4}, Vals: []float32{42}},
+		&ReplicaRefresh{Origin: -1, Ack: 0, Keys: []kv.Key{}, Vals: []float32{}},
 	}
 }
 

@@ -30,7 +30,8 @@ type Kind uint8
 
 // Message kinds. The Op* kinds are client operations that may be forwarded
 // between nodes; the Reloc* kinds implement the relocation protocol of
-// Section 3.2; the Ssp* kinds implement the stale (Petuum-style) protocol.
+// Section 3.2; the Ssp* kinds implement the stale (Petuum-style) protocol;
+// the Replica* kinds implement the hot-key replication sync cycle.
 const (
 	KindInvalid Kind = iota
 	KindOp           // pull/push request (possibly forwarded)
@@ -42,6 +43,8 @@ const (
 	KindSspSync
 	KindBarrier
 	KindBlock
+	KindReplicaSync
+	KindReplicaRefresh
 )
 
 func (k Kind) String() string {
@@ -64,6 +67,10 @@ func (k Kind) String() string {
 		return "Barrier"
 	case KindBlock:
 		return "Block"
+	case KindReplicaSync:
+		return "ReplicaSync"
+	case KindReplicaRefresh:
+		return "ReplicaRefresh"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -172,6 +179,30 @@ type Block struct {
 	Vals   []float32
 }
 
+// ReplicaSync carries the cumulative update deltas node Origin accumulated
+// for replicated keys homed at the destination (phase 1 of the hot-key
+// replication sync cycle). Vals holds the deltas concatenated in Keys order.
+// Seq numbers Origin's sync rounds; the home acknowledges the highest
+// applied Seq in ReplicaRefresh.Ack so Origin can retire its in-flight
+// deltas.
+type ReplicaSync struct {
+	Origin int32
+	Seq    uint32
+	Keys   []kv.Key
+	Vals   []float32
+}
+
+// ReplicaRefresh fans the merged authoritative values of replicated keys
+// from their home node (Origin) back out to one replica node (phase 2 of
+// the sync cycle). Ack is the highest ReplicaSync.Seq received from the
+// destination whose deltas are reflected in Vals.
+type ReplicaRefresh struct {
+	Origin int32
+	Ack    uint32
+	Keys   []kv.Key
+	Vals   []float32
+}
+
 const (
 	headerBytes = 1 + 4 // kind + payload length prefix used by Encode
 	keyBytes    = 8
@@ -200,6 +231,10 @@ func Size(m any) int {
 		return headerBytes + 1 + 4 + 4
 	case *Block:
 		return headerBytes + 4 + 4 + 4 + len(t.Vals)*valBytes
+	case *ReplicaSync:
+		return headerBytes + 4 + 4 + 4 + 4 + len(t.Keys)*keyBytes + len(t.Vals)*valBytes
+	case *ReplicaRefresh:
+		return headerBytes + 4 + 4 + 4 + 4 + len(t.Keys)*keyBytes + len(t.Vals)*valBytes
 	default:
 		panic(fmt.Sprintf("msg: Size on unknown message type %T", m))
 	}
@@ -268,6 +303,20 @@ func Encode(m any) []byte {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.ID))
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Worker))
 		buf = appendVals(buf, t.Vals)
+	case *ReplicaSync:
+		buf = append(buf, byte(KindReplicaSync))
+		buf = appendLen(buf, Size(m)-headerBytes)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Origin))
+		buf = binary.LittleEndian.AppendUint32(buf, t.Seq)
+		buf = appendKeys(buf, t.Keys)
+		buf = appendVals(buf, t.Vals)
+	case *ReplicaRefresh:
+		buf = append(buf, byte(KindReplicaRefresh))
+		buf = appendLen(buf, Size(m)-headerBytes)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Origin))
+		buf = binary.LittleEndian.AppendUint32(buf, t.Ack)
+		buf = appendKeys(buf, t.Keys)
+		buf = appendVals(buf, t.Vals)
 	default:
 		panic(fmt.Sprintf("msg: Encode on unknown message type %T", m))
 	}
@@ -311,6 +360,10 @@ func Decode(buf []byte) (any, int, error) {
 		m = &Barrier{Enter: d.bool(), Seq: d.u32(), Worker: int32(d.u32())}
 	case KindBlock:
 		m = &Block{ID: int32(d.u32()), Worker: int32(d.u32()), Vals: d.vals()}
+	case KindReplicaSync:
+		m = &ReplicaSync{Origin: int32(d.u32()), Seq: d.u32(), Keys: d.keys(), Vals: d.vals()}
+	case KindReplicaRefresh:
+		m = &ReplicaRefresh{Origin: int32(d.u32()), Ack: d.u32(), Keys: d.keys(), Vals: d.vals()}
 	default:
 		return nil, 0, fmt.Errorf("msg: unknown message kind %d", kind)
 	}

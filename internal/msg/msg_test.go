@@ -42,6 +42,10 @@ func TestRoundTripAllKinds(t *testing.T) {
 		&Barrier{Enter: false, Seq: 5, Worker: -1},
 		&Block{ID: 3, Worker: 6, Vals: []float32{1, -2, 0.5}},
 		&Block{ID: 0, Worker: 0},
+		&ReplicaSync{Origin: 1, Seq: 5, Keys: []kv.Key{2, 7}, Vals: []float32{0.5, -3}},
+		&ReplicaSync{Origin: 0, Seq: 0},
+		&ReplicaRefresh{Origin: 3, Ack: 12, Keys: []kv.Key{9}, Vals: []float32{1, 2}},
+		&ReplicaRefresh{Origin: 0, Ack: 0},
 	}
 	for _, m := range msgs {
 		dec := roundTrip(t, m)
@@ -84,6 +88,16 @@ func normalize(m any) any {
 		return &c
 	case *Block:
 		c := *t
+		c.Vals = nilIfEmptyVals(c.Vals)
+		return &c
+	case *ReplicaSync:
+		c := *t
+		c.Keys = nilIfEmptyKeys(c.Keys)
+		c.Vals = nilIfEmptyVals(c.Vals)
+		return &c
+	case *ReplicaRefresh:
+		c := *t
+		c.Keys = nilIfEmptyKeys(c.Keys)
 		c.Vals = nilIfEmptyVals(c.Vals)
 		return &c
 	default:
@@ -191,7 +205,7 @@ func TestQuickTransferRoundTrip(t *testing.T) {
 }
 
 func TestKindString(t *testing.T) {
-	for k := KindOp; k <= KindBlock; k++ {
+	for k := KindOp; k <= KindReplicaRefresh; k++ {
 		if s := k.String(); s == "" || s[0] == 'K' {
 			t.Errorf("Kind(%d).String() = %q", k, s)
 		}

@@ -1,0 +1,422 @@
+// Package replication manages designated hot keys by eventually-consistent
+// replication, the second parameter-management technique next to the
+// relocation protocol of internal/core. The paper (Sections 2 and 7)
+// observes that skewed workloads have keys every node reads constantly —
+// word2vec negative samples, frequent KGE entities — for which relocation
+// thrashes: the key bounces between nodes and every bounce costs three
+// messages plus queued accesses. For such keys, replication is the right
+// technique; combining both per key is the paper's stated future-work
+// direction.
+//
+// Every node holds a full local replica of each replicated key, so reads
+// and cumulative writes are shared-memory operations (the server.Router
+// Served path — no network on any access). Updates propagate through a
+// background sync cycle with two wire messages:
+//
+//	replica --ReplicaSync(deltas)--> home --ReplicaRefresh(merged)--> replicas
+//
+// Each node accumulates its local pushes in a per-key pending buffer. Every
+// sync interval it drains the buffer and sends the deltas to each key's home
+// node, batched into one ReplicaSync per destination; the home folds them
+// into its authoritative value. Homes broadcast changed authoritative values
+// back out, batched into one ReplicaRefresh per node — so a sync round costs
+// O(nodes) messages regardless of how many keys are dirty.
+//
+// Consistency: replicated keys are eventually consistent. Reads always see
+// the node's own preceding writes (read-your-writes): a replica's local
+// value is "merged value + own unmerged deltas" at all times. This is
+// maintained across refreshes by the in-flight buffer: deltas that have been
+// sent to the home but are not yet reflected in a refresh stay in the
+// replica's view until a refresh acknowledges them (ReplicaSync.Seq /
+// ReplicaRefresh.Ack). Once pushes stop, every replica converges to the sum
+// of all pushes within two sync intervals plus message latency; the checker
+// in internal/consistency verifies this.
+package replication
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lapse/internal/kv"
+	"lapse/internal/metrics"
+	"lapse/internal/msg"
+	"lapse/internal/partition"
+	"lapse/internal/store"
+)
+
+// DefaultSyncEvery is the background sync interval used when the
+// configuration leaves SyncEvery zero.
+const DefaultSyncEvery = time.Millisecond
+
+// Config parameterizes one node's replication manager. Every node of a
+// cluster must be configured with the same Keys, Home partitioner, and
+// Layout (like the relocation home partitioner, they are shared static
+// state).
+type Config struct {
+	// Node is the node this manager serves; Nodes the cluster size.
+	Node  int
+	Nodes int
+	// Layout is the parameter layout (value lengths).
+	Layout kv.Layout
+	// Home assigns each replicated key's home node, which holds the
+	// authoritative merged value. Usually the same partitioner as the
+	// relocation protocol's.
+	Home partition.Partitioner
+	// Keys is the set of replicated keys.
+	Keys []kv.Key
+	// SyncEvery is the background sync interval (0 = DefaultSyncEvery).
+	SyncEvery time.Duration
+	// Stats receives the ReplicaHits / ReplicaSyncMessages counters.
+	Stats *metrics.ServerStats
+	// Send transmits a wire message to another node (the server runtime's
+	// Send). It must be safe to call from the manager's sync goroutine.
+	Send func(dest int, m any)
+}
+
+// inflightDelta is one sync round's worth of sent-but-unacknowledged deltas
+// for a single key.
+type inflightDelta struct {
+	seq   uint32
+	delta []float32
+}
+
+// Manager is one node's replication state: the local replica store, the
+// pending and in-flight update buffers, and — for keys homed at this node —
+// the authoritative merged values. HandleSync and HandleRefresh run on the
+// node's server goroutine; Pull/Push run on worker threads; the sync ticker
+// runs on its own goroutine. All mutable state except the replica store is
+// guarded by mu; the replica store is additionally written only under mu so
+// that refresh installs and pushes cannot interleave (reads stay lock-free
+// on the store's latches).
+type Manager struct {
+	cfg        Config
+	replicated map[kv.Key]bool
+	replica    *store.Sparse
+
+	// sendMu serializes whole sync rounds (build + send), so concurrent
+	// Flush calls (ticker + explicit) cannot interleave their messages and
+	// Seq stays monotonic per link. Messages are sent while holding sendMu
+	// but NOT mu: the receiving server goroutines need mu in
+	// HandleSync/HandleRefresh, so sending under mu could deadlock two
+	// nodes against each other once transport inboxes fill up.
+	sendMu sync.Mutex
+
+	mu       sync.Mutex
+	seq      uint32                     // sync rounds sent by this node
+	pending  map[kv.Key][]float32       // local deltas not yet sent
+	inflight map[kv.Key][]inflightDelta // sent, not yet acked by a refresh
+	auth     map[kv.Key][]float32       // home role: merged values
+	dirty    map[kv.Key]bool            // home role: changed since last broadcast
+	applied  map[int32]uint32           // home role: highest seq applied per origin
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// outMsg is one message assembled under mu and sent after its release.
+type outMsg struct {
+	dest int
+	m    any
+}
+
+// NewManager builds the manager for one node. Replicas (and, at each key's
+// home, the authoritative values) start at zero, matching the relocation
+// protocol's zero initialization; use InitKey to set starting values.
+func NewManager(cfg Config) *Manager {
+	if len(cfg.Keys) == 0 {
+		panic("replication: no keys to replicate")
+	}
+	if cfg.SyncEvery <= 0 {
+		cfg.SyncEvery = DefaultSyncEvery
+	}
+	m := &Manager{
+		cfg:        cfg,
+		replicated: make(map[kv.Key]bool, len(cfg.Keys)),
+		replica:    store.NewSparse(cfg.Layout, 0),
+		pending:    make(map[kv.Key][]float32),
+		inflight:   make(map[kv.Key][]inflightDelta),
+		auth:       make(map[kv.Key][]float32),
+		dirty:      make(map[kv.Key]bool),
+		applied:    make(map[int32]uint32),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	for _, k := range cfg.Keys {
+		if k >= cfg.Layout.NumKeys() {
+			panic(fmt.Sprintf("replication: key %d outside layout (%d keys)", k, cfg.Layout.NumKeys()))
+		}
+		m.replicated[k] = true
+		m.replica.Set(k, make([]float32, cfg.Layout.Len(k)))
+		if cfg.Home.NodeOf(k) == cfg.Node {
+			m.auth[k] = make([]float32, cfg.Layout.Len(k))
+		}
+	}
+	return m
+}
+
+// Start spawns the background sync goroutine. Call Stop to halt it.
+func (m *Manager) Start() {
+	go func() {
+		defer close(m.done)
+		t := time.NewTicker(m.cfg.SyncEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-t.C:
+				m.Flush()
+			}
+		}
+	}()
+}
+
+// Stop halts the background sync goroutine and waits for it to exit. It
+// must be called exactly once, after Start.
+func (m *Manager) Stop() {
+	close(m.stop)
+	<-m.done
+}
+
+// Replicated reports whether k is managed by replication on this cluster.
+func (m *Manager) Replicated(k kv.Key) bool { return m.replicated[k] }
+
+// Keys returns the replicated key set (shared slice; do not mutate).
+func (m *Manager) Keys() []kv.Key { return m.cfg.Keys }
+
+// InitKey sets the starting value of a replicated key: the local replica
+// and, if this node is k's home, the authoritative value. Like System.Init,
+// it must not run concurrently with workers or the sync cycle.
+func (m *Manager) InitKey(k kv.Key, val []float32) {
+	if !m.replicated[k] {
+		panic(fmt.Sprintf("replication: InitKey(%d): key is not replicated", k))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.replica.Set(k, val)
+	if a, ok := m.auth[k]; ok {
+		copy(a, val)
+	}
+}
+
+// Pull reads the local replica of k into dst. It never touches the network:
+// replicated keys are present at every node by construction.
+func (m *Manager) Pull(k kv.Key, dst []float32) {
+	if !m.replica.Read(k, dst) {
+		panic(fmt.Sprintf("replication: replica of key %d missing at node %d", k, m.cfg.Node))
+	}
+	m.cfg.Stats.ReplicaHits.Inc()
+	m.cfg.Stats.ReadValues.Add(int64(len(dst)))
+}
+
+// Push applies a cumulative update to the local replica and accumulates it
+// in the pending buffer for the next sync round.
+func (m *Manager) Push(k kv.Key, delta []float32) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.pending[k]
+	if !ok {
+		p = make([]float32, m.cfg.Layout.Len(k))
+		m.pending[k] = p
+	}
+	for i, d := range delta {
+		p[i] += d
+	}
+	if !m.replica.Add(k, delta) {
+		panic(fmt.Sprintf("replication: replica of key %d missing at node %d", k, m.cfg.Node))
+	}
+	m.cfg.Stats.LocalWrites.Inc()
+}
+
+// Flush runs one sync round immediately (in addition to the background
+// interval): it sends the pending deltas to each key's home node and, in
+// this node's home role, broadcasts refreshed values for keys whose merged
+// value changed. Safe to call concurrently with everything else. Messages
+// are assembled under mu but sent after its release (see sendMu).
+func (m *Manager) Flush() {
+	m.sendMu.Lock()
+	defer m.sendMu.Unlock()
+	m.mu.Lock()
+	out := m.syncLocked(nil)
+	out = m.broadcastLocked(out)
+	m.mu.Unlock()
+	for _, o := range out {
+		m.cfg.Send(o.dest, o.m)
+		m.cfg.Stats.ReplicaSyncMessages.Inc()
+	}
+}
+
+// syncLocked drains the pending buffer: deltas for keys homed here are
+// folded into the authoritative value directly; the rest are appended to
+// out as one ReplicaSync message per home node.
+func (m *Manager) syncLocked(out []outMsg) []outMsg {
+	if len(m.pending) == 0 {
+		return out
+	}
+	m.seq++
+	groups := make(map[int]*msg.ReplicaSync)
+	for k, delta := range m.pending {
+		home := m.cfg.Home.NodeOf(k)
+		if home == m.cfg.Node {
+			m.mergeLocked(k, delta)
+			continue
+		}
+		m.inflight[k] = append(m.inflight[k], inflightDelta{seq: m.seq, delta: delta})
+		g := groups[home]
+		if g == nil {
+			g = &msg.ReplicaSync{Origin: int32(m.cfg.Node), Seq: m.seq}
+			groups[home] = g
+		}
+		g.Keys = append(g.Keys, k)
+		g.Vals = append(g.Vals, delta...)
+	}
+	clear(m.pending)
+	for home, g := range groups {
+		out = append(out, outMsg{dest: home, m: g})
+	}
+	return out
+}
+
+// mergeLocked folds one delta into the authoritative value of a key homed at
+// this node and marks it for the next refresh broadcast.
+func (m *Manager) mergeLocked(k kv.Key, delta []float32) {
+	a, ok := m.auth[k]
+	if !ok {
+		panic(fmt.Sprintf("replication: node %d is not home of key %d", m.cfg.Node, k))
+	}
+	for i, d := range delta {
+		a[i] += d
+	}
+	m.dirty[k] = true
+}
+
+// broadcastLocked fans the merged values of all dirty keys homed at this
+// node out to every other node (appending one ReplicaRefresh per
+// destination to out) and installs them into the local replica directly.
+// The values are copied into the message, so sending after mu is released
+// cannot race with further merges.
+func (m *Manager) broadcastLocked(out []outMsg) []outMsg {
+	if len(m.dirty) == 0 {
+		return out
+	}
+	keys := make([]kv.Key, 0, len(m.dirty))
+	var vals []float32
+	for k := range m.dirty {
+		keys = append(keys, k)
+		vals = append(vals, m.auth[k]...)
+	}
+	clear(m.dirty)
+	for dest := 0; dest < m.cfg.Nodes; dest++ {
+		if dest == m.cfg.Node {
+			continue
+		}
+		out = append(out, outMsg{dest: dest, m: &msg.ReplicaRefresh{
+			Origin: int32(m.cfg.Node),
+			Ack:    m.applied[int32(dest)],
+			Keys:   keys,
+			Vals:   vals,
+		}})
+	}
+	// Install locally: this node's own deltas for its homed keys are merged
+	// at sync time (never in flight), so the replica view is simply the
+	// merged value plus any deltas pushed since.
+	for _, k := range keys {
+		m.installLocked(k, m.auth[k])
+	}
+	return out
+}
+
+// HandleSync runs at the home node on the server goroutine: fold the deltas
+// into the authoritative values, record the origin's sync round for
+// acknowledgment, and mark the keys for the next refresh broadcast.
+func (m *Manager) HandleSync(t *msg.ReplicaSync) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	src := 0
+	for _, k := range t.Keys {
+		l := m.cfg.Layout.Len(k)
+		m.mergeLocked(k, t.Vals[src:src+l])
+		src += l
+	}
+	if seqAfter(t.Seq, m.applied[t.Origin]) {
+		m.applied[t.Origin] = t.Seq
+	}
+}
+
+// seqAfter reports whether sync round a is later than b in serial-number
+// arithmetic, so comparisons stay correct across uint32 wraparound (at a
+// 1 ms interval the counter wraps after ~50 days).
+func seqAfter(a, b uint32) bool { return int32(a-b) > 0 }
+
+// HandleRefresh runs at a replica node on the server goroutine: retire the
+// in-flight deltas the home has acknowledged, then install each merged value
+// plus this node's still-unmerged deltas into the local replica.
+func (m *Manager) HandleRefresh(t *msg.ReplicaRefresh) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	src := 0
+	for _, k := range t.Keys {
+		l := m.cfg.Layout.Len(k)
+		m.retireLocked(k, t.Ack)
+		m.installLocked(k, t.Vals[src:src+l])
+		src += l
+	}
+}
+
+// retireLocked drops in-flight deltas of k that the home acknowledged
+// (seq <= ack): they are reflected in the refreshed value.
+func (m *Manager) retireLocked(k kv.Key, ack uint32) {
+	fl := m.inflight[k]
+	keep := fl[:0]
+	for _, e := range fl {
+		if seqAfter(e.seq, ack) {
+			keep = append(keep, e)
+		}
+	}
+	if len(keep) == 0 {
+		delete(m.inflight, k)
+		return
+	}
+	m.inflight[k] = keep
+}
+
+// installLocked sets the local replica of k to merged plus every local delta
+// not yet reflected in merged (in-flight and pending), preserving
+// read-your-writes across the install.
+func (m *Manager) installLocked(k kv.Key, merged []float32) {
+	v := make([]float32, len(merged))
+	copy(v, merged)
+	for _, e := range m.inflight[k] {
+		for i, d := range e.delta {
+			v[i] += d
+		}
+	}
+	if p, ok := m.pending[k]; ok {
+		for i, d := range p {
+			v[i] += d
+		}
+	}
+	m.replica.Set(k, v)
+}
+
+// ReadAuthoritative reads the merged value of a key homed at this node.
+// Only meaningful in quiescent states after the sync cycle converged
+// (deltas still pending or in flight elsewhere are not included).
+func (m *Manager) ReadAuthoritative(k kv.Key, dst []float32) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	a, ok := m.auth[k]
+	if !ok {
+		panic(fmt.Sprintf("replication: node %d is not home of key %d", m.cfg.Node, k))
+	}
+	copy(dst, a)
+}
+
+// ReadReplica reads this node's current replica view of k without touching
+// the access counters (for tests and convergence checks).
+func (m *Manager) ReadReplica(k kv.Key, dst []float32) {
+	if !m.replica.Read(k, dst) {
+		panic(fmt.Sprintf("replication: replica of key %d missing at node %d", k, m.cfg.Node))
+	}
+}

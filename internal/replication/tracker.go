@@ -1,0 +1,89 @@
+package replication
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"lapse/internal/kv"
+	"lapse/internal/metrics"
+)
+
+// DefaultSampleEvery is the default sampling rate of a Tracker: one in every
+// DefaultSampleEvery key accesses is recorded.
+const DefaultSampleEvery = 16
+
+// Tracker is a sampling access-frequency counter that surfaces hot-key
+// candidates — the keys worth managing by replication instead of relocation.
+// Worker threads call Observe on every key access; only every Nth access
+// takes the lock and updates a count, so the overhead on the operation fast
+// path is a single atomic increment. Hot returns the top candidates with
+// counts extrapolated to estimated total accesses.
+type Tracker struct {
+	every uint64
+	n     atomic.Uint64
+	mu    sync.Mutex
+	count map[kv.Key]int64
+}
+
+// NewTracker returns a tracker sampling one in every `every` accesses
+// (DefaultSampleEvery if every <= 0).
+func NewTracker(every int) *Tracker {
+	if every <= 0 {
+		every = DefaultSampleEvery
+	}
+	return &Tracker{every: uint64(every), count: make(map[kv.Key]int64)}
+}
+
+// Observe records one access of k, subject to sampling.
+func (t *Tracker) Observe(k kv.Key) {
+	if t.n.Add(1)%t.every != 0 {
+		return
+	}
+	t.mu.Lock()
+	t.count[k]++
+	t.mu.Unlock()
+}
+
+// Hot returns the n most frequently observed keys, hottest first, with
+// counts extrapolated by the sampling rate. Fewer entries are returned when
+// fewer keys were observed.
+func (t *Tracker) Hot(n int) []metrics.KeyFreq { return MergeHot(n, t) }
+
+// MergeHot merges the observations of several trackers (e.g. one per node,
+// so worker fast paths never contend across nodes) and returns the n
+// hottest keys overall, hottest first.
+func MergeHot(n int, trackers ...*Tracker) []metrics.KeyFreq {
+	merged := make(map[kv.Key]int64)
+	for _, t := range trackers {
+		t.mu.Lock()
+		for k, c := range t.count {
+			merged[k] += c * int64(t.every)
+		}
+		t.mu.Unlock()
+	}
+	out := make([]metrics.KeyFreq, 0, len(merged))
+	for k, c := range merged {
+		out = append(out, metrics.KeyFreq{Key: k, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if n < 0 {
+		n = 0
+	}
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// Reset clears all observations (e.g. after a warm-up epoch).
+func (t *Tracker) Reset() {
+	t.mu.Lock()
+	clear(t.count)
+	t.mu.Unlock()
+}

@@ -1,0 +1,44 @@
+package replication
+
+import (
+	"testing"
+
+	"lapse/internal/kv"
+)
+
+func TestTrackerRanksHotKeys(t *testing.T) {
+	tr := NewTracker(1) // sample every access for determinism
+	for i := 0; i < 100; i++ {
+		tr.Observe(kv.Key(7))
+	}
+	for i := 0; i < 50; i++ {
+		tr.Observe(kv.Key(3))
+	}
+	tr.Observe(kv.Key(9))
+	hot := tr.Hot(2)
+	if len(hot) != 2 || hot[0].Key != 7 || hot[1].Key != 3 {
+		t.Fatalf("Hot(2) = %v, want keys 7 then 3", hot)
+	}
+	if hot[0].Count != 100 || hot[1].Count != 50 {
+		t.Fatalf("Hot(2) counts = %v, want 100 and 50", hot)
+	}
+	tr.Reset()
+	if got := tr.Hot(10); len(got) != 0 {
+		t.Fatalf("Hot after Reset = %v, want empty", got)
+	}
+}
+
+func TestTrackerSamplingExtrapolates(t *testing.T) {
+	tr := NewTracker(4)
+	for i := 0; i < 400; i++ {
+		tr.Observe(kv.Key(1))
+	}
+	hot := tr.Hot(1)
+	if len(hot) != 1 || hot[0].Key != 1 {
+		t.Fatalf("Hot(1) = %v, want key 1", hot)
+	}
+	// 400 accesses sampled 1-in-4 and extrapolated back: exactly 400.
+	if hot[0].Count != 400 {
+		t.Fatalf("extrapolated count = %d, want 400", hot[0].Count)
+	}
+}

@@ -12,6 +12,13 @@
 // locality — data clustering, parameter blocking, and latency hiding — and
 // turn most parameter accesses into shared-memory reads.
 //
+// For hot keys that every node reads constantly (word2vec negative samples,
+// frequent knowledge-graph entities) relocation thrashes; such keys can
+// instead be managed by eventually-consistent replication via
+// Config.Replicate: every node then holds a local replica and a background
+// sync cycle merges updates. See examples/hotkeys for a complete program
+// and Cluster.HotKeys for identifying candidates.
+//
 // # Quick start
 //
 //	cfg := lapse.Config{Nodes: 2, WorkersPerNode: 2, Keys: 100, ValueLength: 4}
@@ -137,6 +144,21 @@ type Config struct {
 	// Only useful to measure the batching win (see Stats); leave it off
 	// in real workloads.
 	DisableBatching bool
+	// Replicate designates hot keys managed by eventually-consistent
+	// replication instead of relocation: every node holds a local replica,
+	// so all reads and writes of these keys are shared-memory operations,
+	// and a background sync cycle merges the cumulative updates across
+	// nodes. Right for keys every node accesses constantly (word2vec
+	// negative samples, frequent KGE entities), where relocation would
+	// thrash; see examples/hotkeys and Cluster.HotKeys for picking them.
+	// Replicated keys are only eventually consistent: a node observes
+	// remote pushes after up to two sync intervals plus network latency
+	// (its own pushes are always visible immediately). Localize is a no-op
+	// for replicated keys. In multi-process deployments, Replicate must be
+	// identical in every process.
+	Replicate []Key
+	// ReplicaSyncEvery is the replica sync interval (0 = 1ms).
+	ReplicaSyncEvery time.Duration
 }
 
 func (c Config) layout() (kv.Layout, error) {
@@ -195,9 +217,17 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	for _, k := range cfg.Replicate {
+		if k >= layout.NumKeys() {
+			cl.Close()
+			return nil, fmt.Errorf("lapse: replicated key %d outside layout (%d keys)", k, layout.NumKeys())
+		}
+	}
 	sys := core.New(cl, layout, core.Config{
-		LocationCaches: cfg.LocationCaches,
-		Unbatched:      cfg.DisableBatching,
+		LocationCaches:   cfg.LocationCaches,
+		Unbatched:        cfg.DisableBatching,
+		Replicate:        cfg.Replicate,
+		ReplicaSyncEvery: cfg.ReplicaSyncEvery,
 	})
 	return &Cluster{cfg: cfg, cl: cl, sys: sys}, nil
 }
@@ -238,6 +268,11 @@ type Stats struct {
 	MeanRelocationTime      time.Duration
 	NetworkMessages         int64
 	NetworkBytes            int64
+	// ReplicaHits counts reads of replicated hot keys served from a
+	// node-local replica (no network); ReplicaSyncMessages counts the
+	// background sync-cycle messages that paid for them.
+	ReplicaHits         int64
+	ReplicaSyncMessages int64
 }
 
 // Stats returns a snapshot of the instrumentation counters.
@@ -245,14 +280,41 @@ func (c *Cluster) Stats() Stats {
 	t := metrics.Sum(c.sys.Stats())
 	n := c.cl.Net().Stats()
 	return Stats{
-		LocalReads:         t.LocalReads,
-		RemoteReads:        t.RemoteReads,
-		Relocations:        t.Relocations,
-		MeanRelocationTime: t.MeanRelocationTime(),
-		NetworkMessages:    n.RemoteMessages,
-		NetworkBytes:       n.RemoteBytes,
+		LocalReads:          t.LocalReads,
+		RemoteReads:         t.RemoteReads,
+		Relocations:         t.Relocations,
+		MeanRelocationTime:  t.MeanRelocationTime(),
+		NetworkMessages:     n.RemoteMessages,
+		NetworkBytes:        n.RemoteBytes,
+		ReplicaHits:         t.ReplicaHits,
+		ReplicaSyncMessages: t.ReplicaSyncMessages,
 	}
 }
+
+// HotKey is one hot-key candidate: a key and its estimated access count.
+type HotKey struct {
+	Key   Key
+	Count int64
+}
+
+// HotKeys returns the n most frequently accessed keys, hottest first, from
+// the built-in sampling access tracker — the candidates worth listing in
+// Config.Replicate on the next run. Counts are extrapolated estimates.
+func (c *Cluster) HotKeys(n int) []HotKey {
+	freq := c.sys.HotKeys(n)
+	out := make([]HotKey, len(freq))
+	for i, f := range freq {
+		out[i] = HotKey{Key: f.Key, Count: f.Count}
+	}
+	return out
+}
+
+// SyncReplicas triggers one replica sync round immediately, in addition to
+// the background ReplicaSyncEvery interval. Replicas converge after the
+// deltas reach their home nodes and the merged values fan back out — i.e.
+// eventually; poll reads (or call this again) rather than assuming
+// completion on return.
+func (c *Cluster) SyncReplicas() { c.sys.FlushReplicas() }
 
 // Err returns the first transport delivery failure (a dead TCP link, a
 // malformed frame), or nil. Operations whose messages were lost never
@@ -335,5 +397,12 @@ type Async struct{ f *kv.Future }
 // Wait blocks until the operation completes and returns its error.
 func (a *Async) Wait() error { return a.f.Wait() }
 
-// Done reports whether the operation has completed, without blocking.
+// Done reports whether the operation has completed, without blocking. It
+// discards the operation's error: a failed operation is "done" too. Use
+// TryWait (or Wait / WaitAll) when the error matters.
 func (a *Async) Done() bool { done, _ := a.f.TryWait(); return done }
+
+// TryWait reports whether the operation has completed, without blocking,
+// and returns its error if it has. Unlike Done, a failure is not silently
+// discarded.
+func (a *Async) TryWait() (done bool, err error) { return a.f.TryWait() }
