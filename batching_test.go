@@ -20,6 +20,7 @@ func pullRemote(t *testing.T, disableBatching bool) int64 {
 		Keys:            99, // range-partitioned: node 1 homes 33–65, node 2 homes 66–98
 		ValueLength:     2,
 		DisableBatching: disableBatching,
+		ServerShards:    1, // exact message counts assume one message per destination
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -70,6 +71,7 @@ func TestBatchedPushMatchesUnbatchedValues(t *testing.T) {
 			Keys:            20,
 			ValueLength:     2,
 			DisableBatching: disable,
+			ServerShards:    1, // message-count comparison assumes one message per destination
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -135,6 +137,7 @@ func localizeThenForward(t *testing.T, disableBatching bool) (locMsgs, fwdMsgs i
 		Keys:            99, // range-partitioned: node 1 homes 33–65
 		ValueLength:     2,
 		DisableBatching: disableBatching,
+		ServerShards:    1, // exact message counts assume one message per destination
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -142,8 +142,11 @@ func BenchmarkAblation(b *testing.B) {
 
 // BenchmarkBatching quantifies the per-destination batching of the unified
 // server runtime: the same multi-key pull/push workload with batching on and
-// off, on the paper's simulated testbed network. The msgs/epoch metric shows
-// the message-count reduction; wall-clock time shows its latency effect.
+// off, on the paper's simulated testbed network, at server shard counts 1
+// and 4. The msgs/epoch metric shows the message-count reduction (and the
+// per-shard message split at shards=4); wall-clock time shows the latency
+// effect — and, on multi-core hosts, the sharded runtime's server-side
+// speedup.
 func BenchmarkBatching(b *testing.B) {
 	const (
 		nodes, workers = 4, 2
@@ -153,7 +156,12 @@ func BenchmarkBatching(b *testing.B) {
 	for _, mode := range []struct {
 		name    string
 		disable bool
-	}{{"batched", false}, {"unbatched", true}} {
+		shards  int
+	}{
+		{"batched", false, 1},
+		{"batched-shards=4", false, 4},
+		{"unbatched", true, 1},
+	} {
 		b.Run(mode.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cl, err := lapse.NewCluster(lapse.Config{
@@ -163,6 +171,7 @@ func BenchmarkBatching(b *testing.B) {
 					ValueLength:     8,
 					Network:         lapse.DefaultNetwork(),
 					DisableBatching: mode.disable,
+					ServerShards:    mode.shards,
 				})
 				if err != nil {
 					b.Fatal(err)

@@ -1,19 +1,24 @@
 // Command lapse-bench runs the repository's performance workloads and
 // writes a machine-readable BENCH_<rev>.json, giving the repo a perf
-// trajectory: CI runs it on every change and archives the JSON, so any two
-// revisions can be diffed for throughput, message counts, and bytes moved.
+// trajectory: CI runs it on every change, compares against the committed
+// BENCH_baseline.json, and archives the JSON, so any two revisions can be
+// diffed for throughput, message counts, and bytes moved.
 //
 // The workloads are the hot-key suite of internal/harness — uniform,
 // Zipf-skewed, and word2vec-negative-sampling-like access patterns — each
 // run under every parameter-management technique (relocation-only,
-// localize-per-access, top-k replication).
+// localize-per-access, top-k replication). The uniform and Zipf workloads
+// additionally sweep the server shard count (1 and 4), measuring the
+// multi-core server scaling of the sharded runtime.
 //
 // Usage:
 //
-//	lapse-bench [-quick] [-rev <id>] [-out <dir>]
+//	lapse-bench [-quick] [-rev <id>] [-out <dir>] [-compare <file>]
 //
 // -quick shrinks the sweep for smoke runs (CI); -rev overrides the revision
-// id (default: git rev-parse --short HEAD, falling back to "dev").
+// id (default: git rev-parse --short HEAD, falling back to "dev");
+// -compare loads a previous report and exits nonzero if any matching cell
+// regressed by more than 20% throughput.
 package main
 
 import (
@@ -29,12 +34,17 @@ import (
 	"lapse/internal/harness"
 )
 
-// Result is one measured (workload, mode, parallelism) cell.
+// regressionTolerance is the fractional throughput drop against the
+// comparison baseline that fails the run.
+const regressionTolerance = 0.20
+
+// Result is one measured (workload, mode, parallelism, shards) cell.
 type Result struct {
 	Workload            string  `json:"workload"`
 	Mode                string  `json:"mode"`
 	Nodes               int     `json:"nodes"`
 	Workers             int     `json:"workers"`
+	Shards              int     `json:"shards"`
 	Ops                 int64   `json:"ops"`
 	Seconds             float64 `json:"seconds"`
 	Throughput          float64 `json:"throughput_ops_per_sec"`
@@ -45,6 +55,19 @@ type Result struct {
 	ReplicaHits         int64   `json:"replica_hits"`
 	ReplicaSyncMessages int64   `json:"replica_sync_messages"`
 	Relocations         int64   `json:"relocations"`
+}
+
+// cell identifies a result across reports for regression comparison.
+type cell struct {
+	Workload string
+	Mode     string
+	Nodes    int
+	Workers  int
+	Shards   int
+}
+
+func (r Result) cell() cell {
+	return cell{Workload: r.Workload, Mode: r.Mode, Nodes: r.Nodes, Workers: r.Workers, Shards: r.Shards}
 }
 
 // Report is the top-level BENCH_<rev>.json document.
@@ -59,6 +82,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sweep for smoke runs")
 	rev := flag.String("rev", "", "revision id for the output file name (default: git short hash)")
 	out := flag.String("out", ".", "output directory")
+	compareWith := flag.String("compare", "", "baseline BENCH_*.json to compare against; exit nonzero on >20% throughput regression")
 	flag.Parse()
 
 	if *rev == "" {
@@ -72,8 +96,15 @@ func main() {
 	}
 	fmt.Printf("wrote %s (%d results)\n", path, len(report.Results))
 	for _, r := range report.Results {
-		fmt.Printf("%-8s %-11s %dx%d  %9.0f ops/s  msgs=%-6d remote-reads=%-6d replica-hits=%d\n",
-			r.Workload, r.Mode, r.Nodes, r.Workers, r.Throughput, r.NetworkMessages, r.RemoteReads, r.ReplicaHits)
+		fmt.Printf("%-8s %-11s %dx%ds%d  %9.0f ops/s  msgs=%-6d remote-reads=%-6d replica-hits=%d\n",
+			r.Workload, r.Mode, r.Nodes, r.Workers, r.Shards, r.Throughput, r.NetworkMessages, r.RemoteReads, r.ReplicaHits)
+	}
+	if *compareWith != "" {
+		if err := compare(report, *compareWith); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("no cell regressed more than %.0f%% vs %s\n", regressionTolerance*100, *compareWith)
 	}
 }
 
@@ -89,35 +120,106 @@ func run(quick bool, rev string) Report {
 	for _, name := range []string{"uniform", "zipf", "w2vneg"} {
 		cfg := workloads[name]
 		if quick {
-			cfg.OpsPerWorker /= 4
+			cfg.OpsPerWorker /= 2
 		} else {
 			// Full runs use the paper's simulated testbed network so
 			// latency effects show in throughput.
 			cfg.Net = harness.NetProfile(0) // Nodes filled in by RunHotKeys
 		}
+		// The uniform and Zipf workloads sweep the server shard count;
+		// w2vneg keeps the single-shard layout as a fixed reference.
+		shardCounts := []int{1}
+		if name == "uniform" || name == "zipf" {
+			shardCounts = []int{1, 4}
+		}
 		for _, par := range pars {
-			for _, mode := range harness.HotKeyModes() {
-				pt := harness.RunHotKeys(par, cfg, mode)
-				report.Results = append(report.Results, Result{
-					Workload:            name,
-					Mode:                string(mode),
-					Nodes:               par.Nodes,
-					Workers:             par.Workers,
-					Ops:                 pt.Ops,
-					Seconds:             pt.Elapsed.Seconds(),
-					Throughput:          pt.Throughput(),
-					NetworkMessages:     pt.Net.RemoteMessages,
-					NetworkBytes:        pt.Net.RemoteBytes,
-					LocalReads:          pt.Stats.LocalReads,
-					RemoteReads:         pt.Stats.RemoteReads,
-					ReplicaHits:         pt.Stats.ReplicaHits,
-					ReplicaSyncMessages: pt.Stats.ReplicaSyncMessages,
-					Relocations:         pt.Stats.Relocations,
-				})
+			for _, shards := range shardCounts {
+				par := par
+				par.Shards = shards
+				for _, mode := range harness.HotKeyModes() {
+					// Quick (CI) cells are short enough that scheduler
+					// noise dwarfs real effects: measure best-of-3, so
+					// the -compare gate trips on genuine regressions,
+					// not on one descheduled run.
+					attempts := 1
+					if quick {
+						attempts = 3
+					}
+					pt := harness.RunHotKeys(par, cfg, mode)
+					for a := 1; a < attempts; a++ {
+						if again := harness.RunHotKeys(par, cfg, mode); again.Throughput() > pt.Throughput() {
+							pt = again
+						}
+					}
+					report.Results = append(report.Results, Result{
+						Workload:            name,
+						Mode:                string(mode),
+						Nodes:               par.Nodes,
+						Workers:             par.Workers,
+						Shards:              shards,
+						Ops:                 pt.Ops,
+						Seconds:             pt.Elapsed.Seconds(),
+						Throughput:          pt.Throughput(),
+						NetworkMessages:     pt.Net.RemoteMessages,
+						NetworkBytes:        pt.Net.RemoteBytes,
+						LocalReads:          pt.Stats.LocalReads,
+						RemoteReads:         pt.Stats.RemoteReads,
+						ReplicaHits:         pt.Stats.ReplicaHits,
+						ReplicaSyncMessages: pt.Stats.ReplicaSyncMessages,
+						Relocations:         pt.Stats.Relocations,
+					})
+				}
 			}
 		}
 	}
 	return report
+}
+
+// compare fails if any cell of the current report that also exists in the
+// baseline report lost more than regressionTolerance of its throughput.
+// Cells only present on one side (new workloads, removed sweeps) are
+// ignored, so the baseline does not have to be regenerated for every sweep
+// change.
+func compare(cur Report, baselinePath string) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("lapse-bench: compare: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("lapse-bench: compare: parse %s: %w", baselinePath, err)
+	}
+	if base.Quick != cur.Quick {
+		return fmt.Errorf("lapse-bench: compare: baseline %s is a quick=%v sweep, current run is quick=%v — throughputs are not comparable",
+			baselinePath, base.Quick, cur.Quick)
+	}
+	baseBy := make(map[cell]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[r.cell()] = r
+	}
+	var regressions []string
+	matched := 0
+	for _, r := range cur.Results {
+		b, ok := baseBy[r.cell()]
+		if !ok || b.Throughput <= 0 {
+			continue
+		}
+		matched++
+		drop := 1 - r.Throughput/b.Throughput
+		if drop > regressionTolerance {
+			regressions = append(regressions,
+				fmt.Sprintf("  %-8s %-11s %dx%ds%d: %.0f -> %.0f ops/s (-%.0f%%)",
+					r.Workload, r.Mode, r.Nodes, r.Workers, r.Shards, b.Throughput, r.Throughput, drop*100))
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("lapse-bench: compare: no cells of %s match the current sweep", baselinePath)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("lapse-bench: throughput regressed more than %.0f%% vs %s (rev %s):\n%s",
+			regressionTolerance*100, baselinePath, base.Rev, strings.Join(regressions, "\n"))
+	}
+	return nil
 }
 
 // write marshals the report to path.

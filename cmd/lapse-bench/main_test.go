@@ -4,15 +4,17 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
 // TestQuickBenchWritesReport runs the quick sweep end to end and validates
 // the BENCH_<rev>.json schema CI archives.
 func TestQuickBenchWritesReport(t *testing.T) {
+	// uniform and zipf sweep shards {1,4}; w2vneg runs single-shard.
 	report := run(true, "test")
-	if len(report.Results) != 3*1*3 { // workloads × parallelisms × modes
-		t.Fatalf("quick sweep produced %d results, want 9", len(report.Results))
+	if want := (2*2 + 1) * 1 * 3; len(report.Results) != want { // (workloads × shard counts) × parallelisms × modes
+		t.Fatalf("quick sweep produced %d results, want %d", len(report.Results), want)
 	}
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH_test.json")
@@ -55,5 +57,46 @@ func TestQuickBenchWritesReport(t *testing.T) {
 	if repl.RemoteReads*2 > base.RemoteReads {
 		t.Fatalf("w2vneg remote reads: replication %d vs relocation %d, expected a clear win",
 			repl.RemoteReads, base.RemoteReads)
+	}
+}
+
+// TestCompareFlagsRegressions pins the -compare contract: a report compared
+// against itself passes, a >20% throughput drop against the baseline fails
+// and names the cell, and unmatched cells are ignored.
+func TestCompareFlagsRegressions(t *testing.T) {
+	mk := func(workload string, shards int, throughput float64) Result {
+		return Result{Workload: workload, Mode: "relocation", Nodes: 2, Workers: 2,
+			Shards: shards, Ops: 100, Seconds: 1, Throughput: throughput}
+	}
+	dir := t.TempDir()
+	baseline := Report{Rev: "base", Results: []Result{
+		mk("uniform", 1, 1000),
+		mk("uniform", 4, 2000),
+		mk("removed", 1, 9999), // only in baseline: must be ignored
+	}}
+	path := filepath.Join(dir, "BENCH_base.json")
+	if err := write(baseline, path); err != nil {
+		t.Fatal(err)
+	}
+
+	same := Report{Rev: "cur", Results: baseline.Results[:2]}
+	if err := compare(same, path); err != nil {
+		t.Fatalf("identical report flagged as regression: %v", err)
+	}
+	within := Report{Rev: "cur", Results: []Result{mk("uniform", 1, 850), mk("uniform", 4, 1700)}}
+	if err := compare(within, path); err != nil {
+		t.Fatalf("15%% drop flagged as regression: %v", err)
+	}
+	regressed := Report{Rev: "cur", Results: []Result{mk("uniform", 1, 1000), mk("uniform", 4, 1000)}}
+	err := compare(regressed, path)
+	if err == nil {
+		t.Fatal("50% drop passed the comparison")
+	}
+	if !strings.Contains(err.Error(), "uniform") || !strings.Contains(err.Error(), "2x2s4") {
+		t.Fatalf("regression error does not name the cell: %v", err)
+	}
+	// A baseline with no matching cells is an error, not a silent pass.
+	if err := compare(Report{Rev: "cur", Results: []Result{mk("other", 1, 1)}}, path); err == nil {
+		t.Fatal("comparison with zero matched cells passed")
 	}
 }

@@ -42,6 +42,7 @@ func main() {
 		node      = flag.Int("node", -1, "this process's node index (required)")
 		addrList  = flag.String("addrs", "", "comma-separated listen addresses of all nodes (required)")
 		workers   = flag.Int("workers", 2, "worker threads per node")
+		shards    = flag.Int("shards", 1, "server shards per node (must be identical in every process)")
 		variant   = flag.String("variant", "lapse", "parameter-server variant (classic, classic-fast, lapse, lapse-cached, ssp-client, ssp-server)")
 		keys      = flag.Int("keys", 64, "number of parameters")
 		valLen    = flag.Int("vallen", 2, "values per parameter")
@@ -56,16 +57,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*node, addrs, *workers, driver.Kind(*variant), *keys, *valLen, *iters, *staleness, *quiet); err != nil {
+	if err := run(*node, addrs, *workers, *shards, driver.Kind(*variant), *keys, *valLen, *iters, *staleness, *quiet); err != nil {
 		fmt.Fprintf(os.Stderr, "lapse-node %d: %v\n", *node, err)
 		os.Exit(1)
 	}
 }
 
-func run(node int, addrs []string, workers int, kind driver.Kind, nKeys, valLen, iters, staleness int, quiet bool) error {
+func run(node int, addrs []string, workers, shards int, kind driver.Kind, nKeys, valLen, iters, staleness int, quiet bool) error {
 	cl, err := driver.NewCluster(driver.Deployment{
 		Nodes:          len(addrs),
 		WorkersPerNode: workers,
+		Shards:         shards,
 		TCP:            &driver.TCPDeployment{Addrs: addrs, Node: node},
 	})
 	if err != nil {

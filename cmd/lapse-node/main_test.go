@@ -31,9 +31,10 @@ func reservePorts(t *testing.T, n int) []string {
 }
 
 // TestThreeProcessCluster is the end-to-end deployment check: build the real
-// binary, start a 3-node cluster as 3 OS processes, and require every
-// process to exit 0 — which, for node 0, includes verifying the converged
-// parameter values pulled across process boundaries.
+// binary, start a 3-node cluster as 3 OS processes — once with a single
+// server shard per node and once with 4 — and require every process to exit
+// 0, which, for node 0, includes verifying the converged parameter values
+// pulled across process boundaries.
 func TestThreeProcessCluster(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and launches subprocesses")
@@ -42,35 +43,40 @@ func TestThreeProcessCluster(t *testing.T) {
 	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
 		t.Fatalf("go build: %v\n%s", err, out)
 	}
-	addrs := reservePorts(t, 3)
-	addrList := strings.Join(addrs, ",")
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			addrs := reservePorts(t, 3)
+			addrList := strings.Join(addrs, ",")
 
-	type result struct {
-		node int
-		out  []byte
-		err  error
-	}
-	results := make(chan result, 3)
-	for node := 0; node < 3; node++ {
-		go func(node int) {
-			cmd := exec.Command(bin,
-				"-node", fmt.Sprint(node),
-				"-addrs", addrList,
-				"-workers", "2",
-				"-variant", "lapse",
-				"-keys", "48",
-				"-iters", "3",
-			)
-			out, err := cmd.CombinedOutput()
-			results <- result{node, out, err}
-		}(node)
-	}
-	for i := 0; i < 3; i++ {
-		r := <-results
-		if r.err != nil {
-			t.Errorf("node %d failed: %v\n%s", r.node, r.err, r.out)
-		} else if !strings.Contains(string(r.out), "converged") {
-			t.Errorf("node %d output missing convergence line:\n%s", r.node, r.out)
-		}
+			type result struct {
+				node int
+				out  []byte
+				err  error
+			}
+			results := make(chan result, 3)
+			for node := 0; node < 3; node++ {
+				go func(node int) {
+					cmd := exec.Command(bin,
+						"-node", fmt.Sprint(node),
+						"-addrs", addrList,
+						"-workers", "2",
+						"-shards", fmt.Sprint(shards),
+						"-variant", "lapse",
+						"-keys", "48",
+						"-iters", "3",
+					)
+					out, err := cmd.CombinedOutput()
+					results <- result{node, out, err}
+				}(node)
+			}
+			for i := 0; i < 3; i++ {
+				r := <-results
+				if r.err != nil {
+					t.Errorf("node %d failed: %v\n%s", r.node, r.err, r.out)
+				} else if !strings.Contains(string(r.out), "converged") {
+					t.Errorf("node %d output missing convergence line:\n%s", r.node, r.out)
+				}
+			}
+		})
 	}
 }

@@ -65,12 +65,21 @@ type System struct {
 	nodes  []*node
 }
 
-// node is the per-node policy: the server shard store. Everything else is
-// the shared runtime's.
+// node holds the per-node policy state: the server's store. The message
+// loops, pending-operation tables, and batching are the shared runtime's;
+// the runtime's shards each serve their static slice of the store through a
+// policyShard.
 type node struct {
 	sys   *System
-	rt    *server.Runtime
+	srv   *server.Node
 	store store.Store
+}
+
+// policyShard is one shard's view of the node policy: all messages it
+// handles carry only keys of its shard.
+type policyShard struct {
+	nd *node
+	rt *server.Runtime
 }
 
 // New creates a classic PS on cl and starts one server goroutine per node.
@@ -99,7 +108,7 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 		} else {
 			st = store.NewDense(layout, cfg.Latches)
 		}
-		s.nodes[n] = &node{sys: s, rt: s.g.Runtime(n), store: st}
+		s.nodes[n] = &node{sys: s, srv: s.g.Node(n), store: st}
 	}
 	// Zero-initialize every locally served key at its server.
 	for k := kv.Key(0); k < layout.NumKeys(); k++ {
@@ -107,7 +116,9 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 			nd.store.Set(k, make([]float32, layout.Len(k)))
 		}
 	}
-	s.g.Start(func(n int) server.Policy { return s.nodes[n] })
+	s.g.Start(func(n, shard int) server.Policy {
+		return &policyShard{nd: s.nodes[n], rt: s.g.Runtime(n, shard)}
+	})
 	return s
 }
 
@@ -159,23 +170,25 @@ func (s *System) Shutdown() { s.g.Wait() }
 // be shared across goroutines.
 func (s *System) Handle(worker int) kv.KV {
 	n := s.cl.NodeOfWorker(worker)
-	return &handle{Handle: server.NewHandle(s.g.Runtime(n), worker), sys: s, nd: s.nodes[n]}
+	return &handle{Handle: server.NewHandle(s.g.Node(n), worker), sys: s, nd: s.nodes[n]}
 }
 
 // OnOpResp implements server.Policy (nothing to observe).
-func (nd *node) OnOpResp(*msg.OpResp) {}
+func (sh *policyShard) OnOpResp(*msg.OpResp) {}
 
 // HandleMessage implements server.Policy: the classic server only ever
-// receives operation requests, which it serves from its shard store.
-func (nd *node) HandleMessage(src int, m any) {
+// receives operation requests, which it serves from the store (the message's
+// keys all belong to this shard, so no other shard goroutine touches them).
+func (sh *policyShard) HandleMessage(src int, m any) {
 	op, ok := m.(*msg.Op)
 	if !ok {
-		panic(fmt.Sprintf("classic: unexpected message %T at node %d", m, nd.rt.Node()))
+		panic(fmt.Sprintf("classic: unexpected message %T at node %d", m, sh.rt.Node()))
 	}
-	nd.handleOp(op)
+	sh.handleOp(op)
 }
 
-func (nd *node) handleOp(m *msg.Op) {
+func (sh *policyShard) handleOp(m *msg.Op) {
+	nd := sh.nd
 	switch m.Type {
 	case msg.OpPull:
 		vals := make([]float32, kv.BufferLen(nd.sys.layout, m.Keys))
@@ -183,23 +196,23 @@ func (nd *node) handleOp(m *msg.Op) {
 		for _, k := range m.Keys {
 			l := nd.sys.layout.Len(k)
 			if !nd.store.Read(k, vals[off:off+l]) {
-				panic(fmt.Sprintf("classic: pull of key %d at node %d: not in store", k, nd.rt.Node()))
+				panic(fmt.Sprintf("classic: pull of key %d at node %d: not in store", k, sh.rt.Node()))
 			}
 			off += l
 		}
-		resp := &msg.OpResp{Type: msg.OpPull, ID: m.ID, Responder: int32(nd.rt.Node()), Keys: m.Keys, Vals: vals}
-		nd.rt.Send(int(m.Origin), resp)
+		resp := &msg.OpResp{Type: msg.OpPull, ID: m.ID, Responder: int32(sh.rt.Node()), Keys: m.Keys, Vals: vals}
+		sh.rt.Send(int(m.Origin), resp)
 	case msg.OpPush:
 		off := 0
 		for _, k := range m.Keys {
 			l := nd.sys.layout.Len(k)
 			if !nd.store.Add(k, m.Vals[off:off+l]) {
-				panic(fmt.Sprintf("classic: push of key %d at node %d: not in store", k, nd.rt.Node()))
+				panic(fmt.Sprintf("classic: push of key %d at node %d: not in store", k, sh.rt.Node()))
 			}
 			off += l
 		}
-		resp := &msg.OpResp{Type: msg.OpPush, ID: m.ID, Responder: int32(nd.rt.Node()), Keys: m.Keys}
-		nd.rt.Send(int(m.Origin), resp)
+		resp := &msg.OpResp{Type: msg.OpPush, ID: m.ID, Responder: int32(sh.rt.Node()), Keys: m.Keys}
+		sh.rt.Send(int(m.Origin), resp)
 	}
 }
 
@@ -234,7 +247,7 @@ func (h *handle) PullAsync(keys []kv.Key, dst []float32) *kv.Future {
 	if want := kv.BufferLen(h.sys.layout, keys); len(dst) != want {
 		return kv.CompletedFuture(fmt.Errorf("classic: pull buffer has %d values, want %d", len(dst), want))
 	}
-	fut := h.nd.rt.DispatchOp(h, msg.OpPull, keys, dst, nil)
+	fut := h.nd.srv.DispatchOp(h, msg.OpPull, keys, dst, nil)
 	h.Track(fut)
 	return fut
 }
@@ -244,7 +257,7 @@ func (h *handle) PushAsync(keys []kv.Key, vals []float32) *kv.Future {
 	if want := kv.BufferLen(h.sys.layout, keys); len(vals) != want {
 		return kv.CompletedFuture(fmt.Errorf("classic: push buffer has %d values, want %d", len(vals), want))
 	}
-	fut := h.nd.rt.DispatchOp(h, msg.OpPush, keys, nil, vals)
+	fut := h.nd.srv.DispatchOp(h, msg.OpPush, keys, nil, vals)
 	h.Track(fut)
 	return fut
 }
@@ -255,7 +268,7 @@ func (h *handle) PushAsync(keys []kv.Key, vals []float32) *kv.Future {
 func (h *handle) RouteKey(t msg.OpType, _ uint64, k kv.Key, dst, vals []float32) server.KeyRoute {
 	n := h.sys.part.NodeOf(k)
 	local := n == h.NodeID()
-	st := h.nd.rt.Stats()
+	st := h.nd.srv.ShardOf(k).Stats()
 	if local && h.sys.cfg.FastLocalAccess {
 		switch t {
 		case msg.OpPull:
@@ -304,6 +317,6 @@ func countAccess(s *metrics.ServerStats, t msg.OpType, local bool, n int) {
 
 var (
 	_ kv.KV         = (*handle)(nil)
-	_ server.Policy = (*node)(nil)
+	_ server.Policy = (*policyShard)(nil)
 	_ server.Router = (*handle)(nil)
 )

@@ -95,7 +95,7 @@ func TestClusterUsesNetworkConfig(t *testing.T) {
 		t.Fatalf("network nodes = %d, want 2", c.Net().Nodes())
 	}
 	c.Net().Send(0, 1, &msg.Barrier{Enter: true, Seq: 7, Worker: 1})
-	env := <-c.Net().Inbox(1)
+	env := <-c.Net().Inbox(1, 0)
 	if b, ok := env.Msg.(*msg.Barrier); !ok || b.Seq != 7 {
 		t.Fatalf("got %v", env.Msg)
 	}

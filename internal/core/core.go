@@ -1,10 +1,13 @@
 // Package core implements Lapse, the paper's parameter server with dynamic
 // parameter allocation (DPA).
 //
-// Architecture (Figure 2): each node runs one server goroutine and serves
-// several co-located worker threads. Workers access node-local parameters
-// directly through shared memory (striped latches); everything else flows
-// through the simulated network.
+// Architecture (Figure 2, sharded): each node runs S server shard goroutines
+// (S = the transport's shard count) and serves several co-located worker
+// threads. Workers access node-local parameters directly through shared
+// memory (striped latches); everything else flows through the network. Each
+// shard owns the interleaved static key slice k ≡ s (mod S): it is the only
+// goroutine on its node that serves, queues, or relocates those keys, so the
+// paper's per-key ordering arguments carry over shard by shard.
 //
 // Location management (Section 3.5) uses the decentralized home-node
 // strategy: each key has a statically assigned home node that tracks the
@@ -23,17 +26,25 @@
 // (its workers' and forwarded ones) until the transfer arrives, then drains
 // the queue in arrival order. The old owner keeps processing accesses until
 // the instruct arrives, which bounds blocking time by roughly one message
-// latency.
+// latency. All three messages concern keys of one shard and travel between
+// the same shard index on every node involved.
 //
 // Consistency (Section 3.4): synchronous operations are sequentially
-// consistent per key; asynchronous operations are sequentially consistent
-// when location caches are off (per-link FIFO preserves program order through
-// home and owner) and only eventually consistent when caches are on.
+// consistent per key at every shard count. For asynchronous operations,
+// per-(link, shard) FIFO preserves a worker's program order through home
+// and owner only *within* a shard: with a single shard and location caches
+// off they are sequentially consistent exactly as the paper states; with
+// multiple shards, two async operations on keys of different shards travel
+// independent message loops and may apply out of program order, so the
+// guarantee weakens to sequential consistency per shard (and, as always,
+// per key) — eventual across shards. Location caches weaken async
+// operations to eventual consistency regardless of shard count. Run with
+// ServerShards = 1 to reproduce the paper's exact asynchronous guarantees.
 //
-// The message loop, pending-operation matching, future tracking, and
-// per-destination batching live in the shared runtime of package server;
-// this package contributes the DPA policy: the per-key locality state
-// machine, home/owner routing, relocation queues, and the relocation
+// The message loops, pending-operation matching, future tracking, and
+// per-(destination, shard) batching live in the shared runtime of package
+// server; this package contributes the DPA policy: the per-key locality
+// state machine, home/owner routing, relocation queues, and the relocation
 // protocol itself. Operations this node forwards onward (as home, or as a
 // stale-cache fallback) are likewise batched into one message per
 // destination.
@@ -104,33 +115,46 @@ type System struct {
 }
 
 // node holds the per-node policy state: the local parameter store, the
-// locality state of every key, the owner table for keys homed here, and the
-// relocation queues. The message loop and pending-operation table are the
-// shared runtime's.
+// locality state of every key, the owner table for keys homed here, and one
+// policyShard per server shard with that shard's relocation queues. The
+// message loops and pending-operation tables are the shared runtime's.
 type node struct {
 	sys *System
-	rt  *server.Runtime
+	srv *server.Node
 
 	store store.Store
-	stats *metrics.ServerStats
 	// state[k] is the locality state of key k at this node.
 	state []atomic.Uint32
 	// owner[k] is the current owner of key k; meaningful only when this
-	// node is k's home.
+	// node is k's home. Only shard(k)'s goroutine writes it.
 	owner []atomic.Int32
 	// cache[k] is the cached location of key k (-1 = unknown); only used
 	// when location caches are enabled.
 	cache []atomic.Int32
-	// queueMu guards queues and the Incoming<->Owned transitions.
-	queueMu sync.Mutex
-	queues  map[kv.Key]*keyQueue
+	// sh[s] is the policy of server shard s.
+	sh []*policyShard
 	// rep manages this node's replicated hot keys (nil when replication is
-	// not configured).
+	// not configured). Its wire messages are pinned to shard 0.
 	rep *replication.Manager
 	// tracker samples this node's key accesses for hot-key candidates.
 	// Per-node (like stats), so worker fast paths never contend on a
 	// process-wide counter.
 	tracker *replication.Tracker
+}
+
+// policyShard is one server shard's policy state: the relocation queues of
+// the shard's keys. Everything it touches by key — store values, locality
+// states, owner entries, queues — belongs to its static key slice, so shard
+// goroutines never race on per-key state; queueMu exists because worker
+// threads enqueue into the shard's relocation queues.
+type policyShard struct {
+	nd    *node
+	rt    *server.Runtime
+	stats *metrics.ServerStats
+	// queueMu guards queues and the Incoming<->Owned transitions of the
+	// shard's keys.
+	queueMu sync.Mutex
+	queues  map[kv.Key]*keyQueue
 }
 
 // keyQueue buffers operations that arrived for a key while it is relocating
@@ -152,14 +176,15 @@ type queueEntry struct {
 // localOp is a single-key slice of a worker operation that had to be queued.
 type localOp struct {
 	t    msg.OpType
-	id   uint64 // pending-op ID at this node
+	id   uint64 // pending-op ID at this node (the key's shard's part)
 	k    kv.Key
 	dst  []float32 // pull destination (sub-slice of the worker's buffer)
 	vals []float32 // push update term
 }
 
 // New creates a Lapse instance on cl with all parameters zero-initialized at
-// their home nodes, and starts one server goroutine per node.
+// their home nodes, and starts the per-shard server goroutines of every
+// local node.
 func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 	if cfg.HomePartitioner == nil {
 		cfg.HomePartitioner = partition.NewRange(layout.NumKeys(), cl.Nodes())
@@ -185,15 +210,19 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 		} else {
 			st = store.NewDense(layout, cfg.Latches)
 		}
+		srv := s.g.Node(n)
 		nd := &node{
 			sys:     s,
-			rt:      s.g.Runtime(n),
+			srv:     srv,
 			store:   st,
-			stats:   s.g.Stats()[n],
 			state:   make([]atomic.Uint32, nk),
 			owner:   make([]atomic.Int32, nk),
-			queues:  make(map[kv.Key]*keyQueue),
+			sh:      make([]*policyShard, srv.Shards()),
 			tracker: replication.NewTracker(0),
+		}
+		for sh := range nd.sh {
+			rt := srv.Shard(sh)
+			nd.sh[sh] = &policyShard{nd: nd, rt: rt, stats: rt.Stats(), queues: make(map[kv.Key]*keyQueue)}
 		}
 		if cfg.LocationCaches {
 			nd.cache = make([]atomic.Int32, nk)
@@ -202,16 +231,16 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 			}
 		}
 		if len(cfg.Replicate) > 0 {
-			rt := nd.rt
 			nd.rep = replication.NewManager(replication.Config{
 				Node:      n,
 				Nodes:     cl.Nodes(),
+				Shards:    srv.Shards(),
 				Layout:    layout,
 				Home:      s.home,
 				Keys:      cfg.Replicate,
 				SyncEvery: cfg.ReplicaSyncEvery,
-				Stats:     nd.stats,
-				Send:      func(dest int, m any) { rt.Send(dest, m) },
+				Stats:     srv.Shard(0).Stats(),
+				Send:      srv.Send,
 			})
 		}
 		s.nodes[n] = nd
@@ -239,7 +268,12 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 			}
 		}
 	}
-	s.g.Start(func(n int) server.Policy { return s.nodes[n] })
+	s.g.Start(func(n, shard int) server.Policy {
+		if s.nodes[n] == nil {
+			return nil // non-local node: no message loop runs
+		}
+		return s.nodes[n].sh[shard]
+	})
 	for _, nd := range s.nodes {
 		if nd != nil && nd.rep != nil {
 			nd.rep.Start()
@@ -248,13 +282,22 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 	return s
 }
 
+// shardOf returns the policy shard owning key k at this node.
+func (nd *node) shardOf(k kv.Key) *policyShard {
+	return nd.sh[msg.ShardOfKey(k, len(nd.sh))]
+}
+
 // Layout returns the parameter layout.
 func (s *System) Layout() kv.Layout { return s.layout }
 
-// Stats returns per-node server statistics (Table 5 instrumentation).
+// Stats returns per-shard server statistics, node-major (Table 5
+// instrumentation; aggregate with metrics.Sum).
 func (s *System) Stats() []*metrics.ServerStats { return s.g.Stats() }
 
-// ResetStats zeroes all per-node statistics (e.g. after warm-up).
+// NodeStats returns the per-shard statistics of one node.
+func (s *System) NodeStats(n int) []*metrics.ServerStats { return s.g.NodeStats(n) }
+
+// ResetStats zeroes all per-shard statistics (e.g. after warm-up).
 func (s *System) ResetStats() {
 	for _, st := range s.g.Stats() {
 		st.Reset()
@@ -395,44 +438,49 @@ func (s *System) ReadReplica(node int, k kv.Key, dst []float32) {
 // Handle returns the KV client for a worker thread.
 func (s *System) Handle(worker int) kv.KV {
 	n := s.cl.NodeOfWorker(worker)
-	return &handle{Handle: server.NewHandle(s.g.Runtime(n), worker), sys: s, nd: s.nodes[n]}
+	return &handle{Handle: server.NewHandle(s.g.Node(n), worker), sys: s, nd: s.nodes[n]}
 }
 
 // OnOpResp implements server.Policy: refresh the location cache with the
 // responder's identity before the runtime completes the pending operation.
-func (nd *node) OnOpResp(m *msg.OpResp) {
-	if nd.cache != nil {
+// The response's keys all belong to this shard.
+func (sh *policyShard) OnOpResp(m *msg.OpResp) {
+	if sh.nd.cache != nil {
 		for _, k := range m.Keys {
-			nd.cache[k].Store(m.Responder)
+			sh.nd.cache[k].Store(m.Responder)
 		}
 	}
 }
 
 // HandleMessage implements server.Policy.
-func (nd *node) HandleMessage(src int, m any) {
+func (sh *policyShard) HandleMessage(src int, m any) {
 	switch t := m.(type) {
 	case *msg.Op:
-		nd.handleOp(t)
+		sh.handleOp(t)
 	case *msg.Localize:
-		nd.handleLocalize(t)
+		sh.handleLocalize(t)
 	case *msg.RelocInstruct:
-		nd.handleInstruct(t)
+		sh.handleInstruct(t)
 	case *msg.RelocTransfer:
-		nd.handleTransfer(t)
+		sh.handleTransfer(t)
 	case *msg.ReplicaSync:
-		nd.rep.HandleSync(t)
+		// Replication wire traffic is pinned to shard 0 (msg.ShardOf), so
+		// successive sync rounds keep their per-link order.
+		sh.nd.rep.HandleSync(t)
 	case *msg.ReplicaRefresh:
-		nd.rep.HandleRefresh(t)
+		sh.nd.rep.HandleRefresh(t)
 	default:
-		panic(fmt.Sprintf("core: unexpected message %T at node %d", m, nd.rt.Node()))
+		panic(fmt.Sprintf("core: unexpected message %T at node %d", m, sh.rt.Node()))
 	}
 }
 
 // handleOp processes a pull/push that arrived over the network. Keys are
 // handled individually because their states can diverge; answerable keys are
 // grouped into a single response, and keys that must travel onward are
-// batched into one forward message per destination node.
-func (nd *node) handleOp(m *msg.Op) {
+// batched into one forward message per destination node (staying within this
+// shard's key slice, so forwards remain shard-pure).
+func (sh *policyShard) handleOp(m *msg.Op) {
+	nd := sh.nd
 	if m.Hops > maxHops {
 		panic(fmt.Sprintf("core: op %d exceeded %d hops (routing loop?)", m.ID, maxHops))
 	}
@@ -444,7 +492,7 @@ func (nd *node) handleOp(m *msg.Op) {
 		if nd.rep != nil && nd.rep.Replicated(k) {
 			// Replicated keys are served from the local replica at every
 			// node; no operation for them ever enters the network.
-			panic(fmt.Sprintf("core: remote op for replicated key %d at node %d (routing bug)", k, nd.rt.Node()))
+			panic(fmt.Sprintf("core: remote op for replicated key %d at node %d (routing bug)", k, sh.rt.Node()))
 		}
 		l := nd.sys.layout.Len(k)
 		var upd []float32
@@ -473,17 +521,17 @@ func (nd *node) handleOp(m *msg.Op) {
 			}
 		}
 		// Not owned here: queue if incoming, otherwise route onward.
-		fwd = nd.queueOrRoute(m, k, upd, fwd)
+		fwd = sh.queueOrRoute(m, k, upd, fwd)
 	}
 	if len(ansKeys) > 0 {
 		if m.Type == msg.OpPush {
 			ansVals = nil
 		}
-		resp := &msg.OpResp{Type: m.Type, ID: m.ID, Responder: int32(nd.rt.Node()), Keys: ansKeys, Vals: ansVals}
-		nd.rt.SendOrDispatch(int(m.Origin), resp)
+		resp := &msg.OpResp{Type: m.Type, ID: m.ID, Responder: int32(sh.rt.Node()), Keys: ansKeys, Vals: ansVals}
+		sh.rt.SendOrDispatch(int(m.Origin), resp)
 	}
 	for dest, sub := range fwd {
-		nd.rt.SendOrDispatch(dest, sub)
+		sh.rt.SendOrDispatch(dest, sub)
 	}
 }
 
@@ -492,42 +540,43 @@ func (nd *node) handleOp(m *msg.Op) {
 // the current owner if this node is the key's home, and double-forwards it to
 // the home node otherwise (stale cache or post-relocation rerouting).
 // Forwards accumulate in fwd, one message per destination.
-func (nd *node) queueOrRoute(m *msg.Op, k kv.Key, upd []float32, fwd map[int]*msg.Op) map[int]*msg.Op {
-	nd.queueMu.Lock()
-	if q, ok := nd.queues[k]; ok {
+func (sh *policyShard) queueOrRoute(m *msg.Op, k kv.Key, upd []float32, fwd map[int]*msg.Op) map[int]*msg.Op {
+	nd := sh.nd
+	sh.queueMu.Lock()
+	if q, ok := sh.queues[k]; ok {
 		sub := &msg.Op{Type: m.Type, ID: m.ID, Origin: m.Origin, Hops: m.Hops, Keys: []kv.Key{k}, Vals: upd}
 		q.entries = append(q.entries, queueEntry{remote: sub})
-		nd.queueMu.Unlock()
-		nd.stats.QueuedOps.Inc()
+		sh.queueMu.Unlock()
+		sh.stats.QueuedOps.Inc()
 		return fwd
 	}
-	nd.queueMu.Unlock()
-	if nd.sys.home.NodeOf(k) == nd.rt.Node() {
+	sh.queueMu.Unlock()
+	if nd.sys.home.NodeOf(k) == sh.rt.Node() {
 		dest := int(nd.owner[k].Load())
-		if dest == nd.rt.Node() {
+		if dest == sh.rt.Node() {
 			// The owner table says "here" but the store said no: the
 			// key is mid-arrival; the queue check above raced with the
 			// transfer. Retry through the queue path.
 			sub := &msg.Op{Type: m.Type, ID: m.ID, Origin: m.Origin, Hops: m.Hops + 1, Keys: []kv.Key{k}, Vals: upd}
-			nd.requeueRacedOp(sub, k)
+			sh.requeueRacedOp(sub, k)
 			return fwd
 		}
-		nd.stats.Forwards.Inc()
-		return nd.addForward(fwd, m, dest, k, upd)
+		sh.stats.Forwards.Inc()
+		return sh.addForward(fwd, m, dest, k, upd)
 	}
 	// Not home, not owner: the sender used a stale location cache, or the
 	// key left while this op was queued. Route via the home node.
-	nd.stats.DoubleForwards.Inc()
-	return nd.addForward(fwd, m, nd.sys.home.NodeOf(k), k, upd)
+	sh.stats.DoubleForwards.Inc()
+	return sh.addForward(fwd, m, nd.sys.home.NodeOf(k), k, upd)
 }
 
 // addForward appends key k (with its push update term, if any) to the
 // forward group headed to dest; with batching disabled it sends a single-key
 // message immediately, as the original per-key protocol did.
-func (nd *node) addForward(fwd map[int]*msg.Op, m *msg.Op, dest int, k kv.Key, upd []float32) map[int]*msg.Op {
-	if !nd.rt.Batched() {
+func (sh *policyShard) addForward(fwd map[int]*msg.Op, m *msg.Op, dest int, k kv.Key, upd []float32) map[int]*msg.Op {
+	if !sh.rt.Batched() {
 		sub := &msg.Op{Type: m.Type, ID: m.ID, Origin: m.Origin, Hops: m.Hops + 1, Keys: []kv.Key{k}, Vals: upd}
-		nd.rt.SendOrDispatch(dest, sub)
+		sh.rt.SendOrDispatch(dest, sub)
 		return fwd
 	}
 	if fwd == nil {
@@ -545,15 +594,17 @@ func (nd *node) addForward(fwd map[int]*msg.Op, m *msg.Op, dest int, k kv.Key, u
 
 // requeueRacedOp re-examines a key whose owner table points at this node but
 // whose value is not in the store yet (transfer arriving concurrently is
-// impossible since the server goroutine processes messages serially, but the
-// state can be Incoming when the op raced with a local relocation bookkeeping
-// step). It queues if Incoming and otherwise retries the store access.
-func (nd *node) requeueRacedOp(m *msg.Op, k kv.Key) {
-	nd.queueMu.Lock()
-	defer nd.queueMu.Unlock()
-	if q, ok := nd.queues[k]; ok {
+// impossible since the shard goroutine processes its keys' messages
+// serially, but the state can be Incoming when the op raced with a local
+// relocation bookkeeping step). It queues if Incoming and otherwise retries
+// the store access.
+func (sh *policyShard) requeueRacedOp(m *msg.Op, k kv.Key) {
+	nd := sh.nd
+	sh.queueMu.Lock()
+	defer sh.queueMu.Unlock()
+	if q, ok := sh.queues[k]; ok {
 		q.entries = append(q.entries, queueEntry{remote: m})
-		nd.stats.QueuedOps.Inc()
+		sh.stats.QueuedOps.Inc()
 		return
 	}
 	// Owned after all (worker marked it between our store probe and now).
@@ -562,16 +613,16 @@ func (nd *node) requeueRacedOp(m *msg.Op, k kv.Key) {
 	case msg.OpPull:
 		buf := make([]float32, l)
 		if !nd.store.Read(k, buf) {
-			panic(fmt.Sprintf("core: key %d claimed by owner table at node %d but absent", k, nd.rt.Node()))
+			panic(fmt.Sprintf("core: key %d claimed by owner table at node %d but absent", k, sh.rt.Node()))
 		}
-		resp := &msg.OpResp{Type: msg.OpPull, ID: m.ID, Responder: int32(nd.rt.Node()), Keys: []kv.Key{k}, Vals: buf}
-		nd.rt.SendOrDispatch(int(m.Origin), resp)
+		resp := &msg.OpResp{Type: msg.OpPull, ID: m.ID, Responder: int32(sh.rt.Node()), Keys: []kv.Key{k}, Vals: buf}
+		sh.rt.SendOrDispatch(int(m.Origin), resp)
 	case msg.OpPush:
 		if !nd.store.Add(k, m.Vals) {
-			panic(fmt.Sprintf("core: key %d claimed by owner table at node %d but absent", k, nd.rt.Node()))
+			panic(fmt.Sprintf("core: key %d claimed by owner table at node %d but absent", k, sh.rt.Node()))
 		}
-		resp := &msg.OpResp{Type: msg.OpPush, ID: m.ID, Responder: int32(nd.rt.Node()), Keys: []kv.Key{k}}
-		nd.rt.SendOrDispatch(int(m.Origin), resp)
+		resp := &msg.OpResp{Type: msg.OpPush, ID: m.ID, Responder: int32(sh.rt.Node()), Keys: []kv.Key{k}}
+		sh.rt.SendOrDispatch(int(m.Origin), resp)
 	}
 }
 
@@ -579,18 +630,19 @@ func (nd *node) requeueRacedOp(m *msg.Op, k kv.Key) {
 // protocol): update the owner table immediately, then instruct each previous
 // owner to hand the keys over to the requester. Keys are grouped per previous
 // owner (message grouping, Section 3.7).
-func (nd *node) handleLocalize(m *msg.Localize) {
+func (sh *policyShard) handleLocalize(m *msg.Localize) {
+	nd := sh.nd
 	groups := make(map[int][]kv.Key)
 	for _, k := range m.Keys {
-		if nd.sys.home.NodeOf(k) != nd.rt.Node() {
-			panic(fmt.Sprintf("core: localize for key %d reached non-home node %d", k, nd.rt.Node()))
+		if nd.sys.home.NodeOf(k) != sh.rt.Node() {
+			panic(fmt.Sprintf("core: localize for key %d reached non-home node %d", k, sh.rt.Node()))
 		}
 		prev := int(nd.owner[k].Swap(m.Origin))
 		groups[prev] = append(groups[prev], k)
 	}
 	for prev, keys := range groups {
 		instr := &msg.RelocInstruct{ID: m.ID, Dest: m.Origin, Keys: keys}
-		nd.rt.SendOrDispatch(prev, instr)
+		sh.rt.SendOrDispatch(prev, instr)
 	}
 }
 
@@ -598,43 +650,43 @@ func (nd *node) handleLocalize(m *msg.Localize) {
 // the keys from the local store, and transfer them to the new owner. Keys
 // still in flight toward this node are chained: the instruct is queued and
 // re-executed when the transfer arrives.
-func (nd *node) handleInstruct(m *msg.RelocInstruct) {
-	if int(m.Dest) == nd.rt.Node() {
+func (sh *policyShard) handleInstruct(m *msg.RelocInstruct) {
+	if int(m.Dest) == sh.rt.Node() {
 		// Localize raced with a relocation that already made this node
 		// the owner; nothing to move. Confirm arrival to the pending
 		// localize directly.
-		nd.rt.Pending().CompleteLocalizeKeys(m.Keys, nd.stats)
+		sh.rt.Pending().CompleteLocalizeKeys(m.Keys, sh.stats)
 		return
 	}
 	var moveKeys []kv.Key
 	var moveVals []float32
 	for _, k := range m.Keys {
-		nd.queueMu.Lock()
-		if q, ok := nd.queues[k]; ok {
+		sh.queueMu.Lock()
+		if q, ok := sh.queues[k]; ok {
 			sub := &msg.RelocInstruct{ID: m.ID, Dest: m.Dest, Keys: []kv.Key{k}}
 			q.entries = append(q.entries, queueEntry{instr: sub})
-			nd.queueMu.Unlock()
+			sh.queueMu.Unlock()
 			continue
 		}
-		nd.queueMu.Unlock()
-		v := nd.takeOwned(k)
+		sh.queueMu.Unlock()
+		v := sh.takeOwned(k)
 		moveKeys = append(moveKeys, k)
 		moveVals = append(moveVals, v...)
 	}
 	if len(moveKeys) > 0 {
 		tr := &msg.RelocTransfer{ID: m.ID, Keys: moveKeys, Vals: moveVals}
-		nd.rt.SendOrDispatch(int(m.Dest), tr)
+		sh.rt.SendOrDispatch(int(m.Dest), tr)
 	}
 }
 
 // takeOwned removes an owned key from the local store, flipping the locality
 // state first so worker fast paths that lose the race fall through to the
 // remote path.
-func (nd *node) takeOwned(k kv.Key) []float32 {
-	nd.state[k].Store(stateNotHere)
-	v := nd.store.Take(k)
+func (sh *policyShard) takeOwned(k kv.Key) []float32 {
+	sh.nd.state[k].Store(stateNotHere)
+	v := sh.nd.store.Take(k)
 	if v == nil {
-		panic(fmt.Sprintf("core: instruct for key %d at node %d: not owned and not incoming", k, nd.rt.Node()))
+		panic(fmt.Sprintf("core: instruct for key %d at node %d: not owned and not incoming", k, sh.rt.Node()))
 	}
 	return v
 }
@@ -642,13 +694,13 @@ func (nd *node) takeOwned(k kv.Key) []float32 {
 // handleTransfer runs at the new owner (message 3): insert the values, drain
 // the per-key queues in arrival order, and only then open the shared-memory
 // fast path. A queued instruct chains the key to its next owner.
-func (nd *node) handleTransfer(m *msg.RelocTransfer) {
+func (sh *policyShard) handleTransfer(m *msg.RelocTransfer) {
 	src := 0
 	for _, k := range m.Keys {
-		l := nd.sys.layout.Len(k)
-		nd.store.Set(k, m.Vals[src:src+l])
+		l := sh.nd.sys.layout.Len(k)
+		sh.nd.store.Set(k, m.Vals[src:src+l])
 		src += l
-		nd.drainQueue(k)
+		sh.drainQueue(k)
 	}
 }
 
@@ -656,38 +708,39 @@ func (nd *node) handleTransfer(m *msg.RelocTransfer) {
 // It completes the pending localize for the key, then applies queued
 // operations; if an instruct is encountered the key immediately moves on and
 // any remaining queued entries are re-routed through the home node.
-func (nd *node) drainQueue(k kv.Key) {
-	nd.stats.Relocations.Inc()
-	nd.rt.Pending().CompleteLocalizeKeys([]kv.Key{k}, nd.stats)
+func (sh *policyShard) drainQueue(k kv.Key) {
+	nd := sh.nd
+	sh.stats.Relocations.Inc()
+	sh.rt.Pending().CompleteLocalizeKeys([]kv.Key{k}, sh.stats)
 
 	for {
-		nd.queueMu.Lock()
-		q, ok := nd.queues[k]
+		sh.queueMu.Lock()
+		q, ok := sh.queues[k]
 		if !ok || len(q.entries) == 0 {
 			// Queue empty: transition to Owned and stop. The
 			// transition happens under queueMu so worker slow paths
 			// cannot enqueue after the queue is deleted. Waiters
 			// registered during the drain are notified here.
-			delete(nd.queues, k)
+			delete(sh.queues, k)
 			nd.state[k].Store(stateOwned)
 			if nd.cache != nil {
-				nd.cache[k].Store(int32(nd.rt.Node()))
+				nd.cache[k].Store(int32(sh.rt.Node()))
 			}
-			nd.rt.Pending().CompleteLocalizeKeys([]kv.Key{k}, nd.stats)
-			nd.queueMu.Unlock()
+			sh.rt.Pending().CompleteLocalizeKeys([]kv.Key{k}, sh.stats)
+			sh.queueMu.Unlock()
 			return
 		}
 		e := q.entries[0]
 		q.entries = q.entries[1:]
-		nd.queueMu.Unlock()
+		sh.queueMu.Unlock()
 
 		switch {
 		case e.local != nil:
-			nd.applyQueuedLocal(k, e.local)
+			sh.applyQueuedLocal(k, e.local)
 		case e.remote != nil:
-			nd.applyQueuedRemote(k, e.remote)
+			sh.applyQueuedRemote(k, e.remote)
 		case e.instr != nil:
-			nd.chainRelocation(k, e.instr)
+			sh.chainRelocation(k, e.instr)
 			return
 		}
 	}
@@ -695,26 +748,28 @@ func (nd *node) drainQueue(k kv.Key) {
 
 // applyQueuedLocal executes a queued local worker op against the store and
 // completes it through the pending table (no network involved).
-func (nd *node) applyQueuedLocal(k kv.Key, op *localOp) {
+func (sh *policyShard) applyQueuedLocal(k kv.Key, op *localOp) {
+	nd := sh.nd
 	switch op.t {
 	case msg.OpPull:
 		if !nd.store.Read(k, op.dst) {
 			panic(fmt.Sprintf("core: queued local pull of %d failed after transfer", k))
 		}
-		nd.stats.LocalReads.Inc()
-		nd.stats.ReadValues.Add(int64(len(op.dst)))
+		sh.stats.LocalReads.Inc()
+		sh.stats.ReadValues.Add(int64(len(op.dst)))
 	case msg.OpPush:
 		if !nd.store.Add(k, op.vals) {
 			panic(fmt.Sprintf("core: queued local push of %d failed after transfer", k))
 		}
-		nd.stats.LocalWrites.Inc()
+		sh.stats.LocalWrites.Inc()
 	}
-	nd.rt.Pending().FinishKeys(op.id, 1)
+	sh.rt.Pending().FinishKeys(op.id, 1)
 }
 
 // applyQueuedRemote executes a queued forwarded op and responds to its
 // origin.
-func (nd *node) applyQueuedRemote(k kv.Key, m *msg.Op) {
+func (sh *policyShard) applyQueuedRemote(k kv.Key, m *msg.Op) {
+	nd := sh.nd
 	l := nd.sys.layout.Len(k)
 	switch m.Type {
 	case msg.OpPull:
@@ -722,14 +777,14 @@ func (nd *node) applyQueuedRemote(k kv.Key, m *msg.Op) {
 		if !nd.store.Read(k, buf) {
 			panic(fmt.Sprintf("core: queued remote pull of %d failed after transfer", k))
 		}
-		resp := &msg.OpResp{Type: msg.OpPull, ID: m.ID, Responder: int32(nd.rt.Node()), Keys: []kv.Key{k}, Vals: buf}
-		nd.rt.SendOrDispatch(int(m.Origin), resp)
+		resp := &msg.OpResp{Type: msg.OpPull, ID: m.ID, Responder: int32(sh.rt.Node()), Keys: []kv.Key{k}, Vals: buf}
+		sh.rt.SendOrDispatch(int(m.Origin), resp)
 	case msg.OpPush:
 		if !nd.store.Add(k, m.Vals) {
 			panic(fmt.Sprintf("core: queued remote push of %d failed after transfer", k))
 		}
-		resp := &msg.OpResp{Type: msg.OpPush, ID: m.ID, Responder: int32(nd.rt.Node()), Keys: []kv.Key{k}}
-		nd.rt.SendOrDispatch(int(m.Origin), resp)
+		resp := &msg.OpResp{Type: msg.OpPush, ID: m.ID, Responder: int32(sh.rt.Node()), Keys: []kv.Key{k}}
+		sh.rt.SendOrDispatch(int(m.Origin), resp)
 	}
 }
 
@@ -737,50 +792,51 @@ func (nd *node) applyQueuedRemote(k kv.Key, m *msg.Op) {
 // overtook the in-flight transfer). Entries that remain queued behind the
 // instruct are re-routed: local ops go back through the remote path, remote
 // ops double-forward via the home node.
-func (nd *node) chainRelocation(k kv.Key, instr *msg.RelocInstruct) {
+func (sh *policyShard) chainRelocation(k kv.Key, instr *msg.RelocInstruct) {
+	nd := sh.nd
 	v := nd.store.Take(k)
 	if v == nil {
-		panic(fmt.Sprintf("core: chained instruct for key %d at node %d: value missing", k, nd.rt.Node()))
+		panic(fmt.Sprintf("core: chained instruct for key %d at node %d: value missing", k, sh.rt.Node()))
 	}
 	// Collect the remainder of the queue, then release it. Localize
 	// waiters that registered during the drain are notified here: the key
 	// did arrive, it just moves on immediately (localization conflict).
-	nd.queueMu.Lock()
-	q := nd.queues[k]
+	sh.queueMu.Lock()
+	q := sh.queues[k]
 	rest := q.entries
-	delete(nd.queues, k)
+	delete(sh.queues, k)
 	nd.state[k].Store(stateNotHere)
-	nd.rt.Pending().CompleteLocalizeKeys([]kv.Key{k}, nd.stats)
-	nd.queueMu.Unlock()
+	sh.rt.Pending().CompleteLocalizeKeys([]kv.Key{k}, sh.stats)
+	sh.queueMu.Unlock()
 
 	tr := &msg.RelocTransfer{ID: instr.ID, Keys: []kv.Key{k}, Vals: v}
-	nd.rt.SendOrDispatch(int(instr.Dest), tr)
+	sh.rt.SendOrDispatch(int(instr.Dest), tr)
 
 	for _, e := range rest {
 		switch {
 		case e.local != nil:
-			nd.reissueLocal(k, e.local)
+			sh.reissueLocal(k, e.local)
 		case e.remote != nil:
 			e.remote.Hops++
-			nd.stats.DoubleForwards.Inc()
-			nd.rt.SendOrDispatch(nd.sys.home.NodeOf(k), e.remote)
+			sh.stats.DoubleForwards.Inc()
+			sh.rt.SendOrDispatch(nd.sys.home.NodeOf(k), e.remote)
 		case e.instr != nil:
-			panic(fmt.Sprintf("core: two instructs queued for key %d at node %d", k, nd.rt.Node()))
+			panic(fmt.Sprintf("core: two instructs queued for key %d at node %d", k, sh.rt.Node()))
 		}
 	}
 }
 
 // reissueLocal converts a queued local op whose key moved away into a remote
 // op routed through the home node.
-func (nd *node) reissueLocal(k kv.Key, op *localOp) {
-	m := &msg.Op{Type: op.t, ID: op.id, Origin: int32(nd.rt.Node()), Keys: []kv.Key{k}, Vals: op.vals}
+func (sh *policyShard) reissueLocal(k kv.Key, op *localOp) {
+	m := &msg.Op{Type: op.t, ID: op.id, Origin: int32(sh.rt.Node()), Keys: []kv.Key{k}, Vals: op.vals}
 	if op.t == msg.OpPull {
-		nd.stats.RemoteReads.Inc()
-		nd.stats.ReadValues.Add(int64(nd.sys.layout.Len(k)))
+		sh.stats.RemoteReads.Inc()
+		sh.stats.ReadValues.Add(int64(sh.nd.sys.layout.Len(k)))
 	} else {
-		nd.stats.RemoteWrites.Inc()
+		sh.stats.RemoteWrites.Inc()
 	}
-	nd.rt.SendOrDispatch(nd.sys.home.NodeOf(k), m)
+	sh.rt.SendOrDispatch(sh.nd.sys.home.NodeOf(k), m)
 }
 
-var _ server.Policy = (*node)(nil)
+var _ server.Policy = (*policyShard)(nil)

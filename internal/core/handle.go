@@ -12,7 +12,8 @@ import (
 // Table 2: pull, push, and localize, each synchronous and asynchronous, plus
 // PullIfLocal used by latency-hiding applications. Identity, barrier, and
 // WaitAll come from the shared runtime handle; operations dispatch through
-// the runtime's batched per-destination path with this type as the router.
+// the runtime's batched per-(destination, shard) path with this type as the
+// router.
 type handle struct {
 	server.Handle
 	sys *System
@@ -39,7 +40,7 @@ func (h *handle) PullAsync(keys []kv.Key, dst []float32) *kv.Future {
 	if want := kv.BufferLen(h.sys.layout, keys); len(dst) != want {
 		return kv.CompletedFuture(fmt.Errorf("core: pull buffer has %d values, want %d", len(dst), want))
 	}
-	f := h.nd.rt.DispatchOp(h, msg.OpPull, keys, dst, nil)
+	f := h.nd.srv.DispatchOp(h, msg.OpPull, keys, dst, nil)
 	h.Track(f)
 	return f
 }
@@ -49,7 +50,7 @@ func (h *handle) PushAsync(keys []kv.Key, vals []float32) *kv.Future {
 	if want := kv.BufferLen(h.sys.layout, keys); len(vals) != want {
 		return kv.CompletedFuture(fmt.Errorf("core: push buffer has %d values, want %d", len(vals), want))
 	}
-	f := h.nd.rt.DispatchOp(h, msg.OpPush, keys, nil, vals)
+	f := h.nd.srv.DispatchOp(h, msg.OpPush, keys, nil, vals)
 	h.Track(f)
 	return f
 }
@@ -61,18 +62,19 @@ func (h *handle) PushAsync(keys []kv.Key, vals []float32) *kv.Future {
 // cache-direct when location caches are on) for everything else.
 func (h *handle) RouteKey(t msg.OpType, id uint64, k kv.Key, dst, vals []float32) server.KeyRoute {
 	h.nd.tracker.Observe(k)
-	if h.tryFast(t, k, dst, vals) {
+	sh := h.nd.shardOf(k)
+	if h.tryFast(sh, t, k, dst, vals) {
 		return server.KeyRoute{Served: true}
 	}
-	dest, enqueued := h.slowRoute(t, id, k, dst, vals)
+	dest, enqueued := h.slowRoute(sh, t, id, k, dst, vals)
 	if enqueued {
 		return server.KeyRoute{Enqueued: true}
 	}
 	if t == msg.OpPull {
-		h.nd.stats.RemoteReads.Inc()
-		h.nd.stats.ReadValues.Add(int64(h.sys.layout.Len(k)))
+		sh.stats.RemoteReads.Inc()
+		sh.stats.ReadValues.Add(int64(h.sys.layout.Len(k)))
 	} else {
-		h.nd.stats.RemoteWrites.Inc()
+		sh.stats.RemoteWrites.Inc()
 	}
 	return server.KeyRoute{Dest: dest.node, ViaCache: dest.viaCache}
 }
@@ -90,7 +92,7 @@ type routeDest struct {
 // here — that would jump the queue and break the worker's program order —
 // which the Owned gate guarantees, because the state only flips to Owned
 // after the drain completes.
-func (h *handle) tryFast(t msg.OpType, k kv.Key, dst, vals []float32) bool {
+func (h *handle) tryFast(sh *policyShard, t msg.OpType, k kv.Key, dst, vals []float32) bool {
 	if h.nd.rep != nil && h.nd.rep.Replicated(k) {
 		if t == msg.OpPull {
 			h.nd.rep.Pull(k, dst)
@@ -107,14 +109,14 @@ func (h *handle) tryFast(t msg.OpType, k kv.Key, dst, vals []float32) bool {
 		if !h.nd.store.Read(k, dst) {
 			return false // lost the race against a transfer-out
 		}
-		h.nd.stats.LocalReads.Inc()
-		h.nd.stats.ReadValues.Add(int64(len(dst)))
+		sh.stats.LocalReads.Inc()
+		sh.stats.ReadValues.Add(int64(len(dst)))
 		return true
 	default:
 		if !h.nd.store.Add(k, vals) {
 			return false
 		}
-		h.nd.stats.LocalWrites.Inc()
+		sh.stats.LocalWrites.Inc()
 		return true
 	}
 }
@@ -123,21 +125,21 @@ func (h *handle) tryFast(t msg.OpType, k kv.Key, dst, vals []float32) bool {
 // operation to the key's relocation queue if the key is arriving at this node
 // (enqueued=true), and otherwise returns the network destination — the cached
 // owner on a location-cache hit, the home node otherwise.
-func (h *handle) slowRoute(t msg.OpType, id uint64, k kv.Key, dst, vals []float32) (routeDest, bool) {
-	h.nd.queueMu.Lock()
-	if q, ok := h.nd.queues[k]; ok {
+func (h *handle) slowRoute(sh *policyShard, t msg.OpType, id uint64, k kv.Key, dst, vals []float32) (routeDest, bool) {
+	sh.queueMu.Lock()
+	if q, ok := sh.queues[k]; ok {
 		q.entries = append(q.entries, queueEntry{local: &localOp{t: t, id: id, k: k, dst: dst, vals: vals}})
-		h.nd.queueMu.Unlock()
-		h.nd.stats.QueuedOps.Inc()
+		sh.queueMu.Unlock()
+		sh.stats.QueuedOps.Inc()
 		return routeDest{}, true
 	}
-	h.nd.queueMu.Unlock()
+	sh.queueMu.Unlock()
 	if h.nd.cache != nil {
 		if c := h.nd.cache[k].Load(); c >= 0 && int(c) != h.NodeID() {
-			h.nd.stats.CacheHits.Inc()
+			sh.stats.CacheHits.Inc()
 			return routeDest{node: int(c), viaCache: true}, false
 		}
-		h.nd.stats.CacheMisses.Inc()
+		sh.stats.CacheMisses.Inc()
 	}
 	return routeDest{node: h.sys.home.NodeOf(k)}, false
 }
@@ -153,7 +155,7 @@ func (h *handle) PullIfLocal(keys []kv.Key, dst []float32) (bool, error) {
 	for _, k := range keys {
 		h.nd.tracker.Observe(k)
 		l := h.sys.layout.Len(k)
-		if !h.tryFast(msg.OpPull, k, dst[off:off+l], nil) {
+		if !h.tryFast(h.nd.shardOf(k), msg.OpPull, k, dst[off:off+l], nil) {
 			return false, nil
 		}
 		off += l
@@ -164,60 +166,94 @@ func (h *handle) PullIfLocal(keys []kv.Key, dst []float32) (bool, error) {
 // LocalizeAsync implements kv.KV: it requests relocation of all non-local
 // keys to this node and returns a future that completes when every key has
 // arrived (Section 3.2). Keys already relocating here (requested by a
-// co-located worker) are waited on without sending additional messages;
-// keys that do need a request are batched into one message per home node.
+// co-located worker) are waited on without sending additional messages; keys
+// that do need a request are batched into one message per (home node, shard)
+// — relocation messages are shard-pure like operation messages. Arrival
+// tracking registers one pending part per shard under an aggregate that
+// completes when every shard's keys are in.
 func (h *handle) LocalizeAsync(keys []kv.Key) *kv.Future {
 	if len(keys) == 0 {
 		return kv.CompletedFuture(nil)
 	}
-	pending := h.nd.rt.Pending()
-	var sendKeys, waitKeys []kv.Key
-	h.nd.queueMu.Lock()
+	nd := h.nd
+	// Group keys by shard first; each shard's classification and waiter
+	// registration happen under that shard's queue lock.
+	byShard := make(map[*policyShard][]kv.Key)
 	for _, k := range keys {
-		if h.nd.rep != nil && h.nd.rep.Replicated(k) {
+		if nd.rep != nil && nd.rep.Replicated(k) {
 			continue // replicated keys are local at every node already
 		}
-		switch h.nd.state[k].Load() {
-		case stateOwned:
-			continue // already local
-		case stateIncoming:
-			waitKeys = append(waitKeys, k)
-		default:
-			h.nd.state[k].Store(stateIncoming)
-			h.nd.queues[k] = &keyQueue{}
-			sendKeys = append(sendKeys, k)
-		}
+		sh := nd.shardOf(k)
+		byShard[sh] = append(byShard[sh], k)
 	}
-	total := len(sendKeys) + len(waitKeys)
-	if total == 0 {
-		h.nd.queueMu.Unlock()
+	if len(byShard) == 0 {
 		return kv.CompletedFuture(nil)
 	}
-	id, fut := pending.RegisterLocalize(total, len(sendKeys) > 0)
-	for _, k := range sendKeys {
-		pending.AddWaiter(k, id)
+	a := server.NewAgg()
+	type sendGroup struct {
+		sh   *policyShard
+		id   uint64
+		home int
+		keys []kv.Key
 	}
-	for _, k := range waitKeys {
-		pending.AddWaiter(k, id)
-	}
-	h.nd.queueMu.Unlock()
-
-	if len(sendKeys) > 0 {
-		groups := make(map[int][]kv.Key)
+	var sends []sendGroup
+	registered := false
+	for sh, shKeys := range byShard {
+		pending := sh.rt.Pending()
+		var sendKeys, waitKeys []kv.Key
+		sh.queueMu.Lock()
+		for _, k := range shKeys {
+			switch nd.state[k].Load() {
+			case stateOwned:
+				continue // already local
+			case stateIncoming:
+				waitKeys = append(waitKeys, k)
+			default:
+				nd.state[k].Store(stateIncoming)
+				sh.queues[k] = &keyQueue{}
+				sendKeys = append(sendKeys, k)
+			}
+		}
+		total := len(sendKeys) + len(waitKeys)
+		if total == 0 {
+			sh.queueMu.Unlock()
+			continue
+		}
+		id := pending.RegisterLocalizePart(a, total)
+		registered = true
 		for _, k := range sendKeys {
-			home := h.sys.home.NodeOf(k)
-			groups[home] = append(groups[home], k)
+			pending.AddWaiter(k, id)
 		}
-		for home, gk := range groups {
-			if h.nd.rt.Batched() {
-				h.nd.rt.Send(home, &msg.Localize{ID: id, Origin: int32(h.NodeID()), Keys: gk})
-				continue
+		for _, k := range waitKeys {
+			pending.AddWaiter(k, id)
+		}
+		sh.queueMu.Unlock()
+
+		if len(sendKeys) > 0 {
+			a.Measure() // this localize sends network messages: time it
+			groups := make(map[int][]kv.Key)
+			for _, k := range sendKeys {
+				home := h.sys.home.NodeOf(k)
+				groups[home] = append(groups[home], k)
 			}
-			for _, k := range gk {
-				h.nd.rt.Send(home, &msg.Localize{ID: id, Origin: int32(h.NodeID()), Keys: []kv.Key{k}})
+			for home, gk := range groups {
+				sends = append(sends, sendGroup{sh: sh, id: id, home: home, keys: gk})
 			}
 		}
 	}
+	if !registered {
+		return kv.CompletedFuture(nil)
+	}
+	for _, sg := range sends {
+		if sg.sh.rt.Batched() {
+			nd.srv.Send(sg.home, &msg.Localize{ID: sg.id, Origin: int32(h.NodeID()), Keys: sg.keys})
+			continue
+		}
+		for _, k := range sg.keys {
+			nd.srv.Send(sg.home, &msg.Localize{ID: sg.id, Origin: int32(h.NodeID()), Keys: []kv.Key{k}})
+		}
+	}
+	fut := a.Seal(nd.shardOf(keys[0]).stats)
 	h.Track(fut)
 	return fut
 }

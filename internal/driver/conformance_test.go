@@ -14,12 +14,14 @@ import (
 )
 
 // The conformance suite runs the same multi-worker workload against every
-// parameter-server variant on every transport and checks that all of them
-// (a) converge to the same parameter values through the unified server
-// runtime and (b) honor the kv.KV contract, including the ErrUnsupported
-// paths of variants without dynamic parameter allocation. The simulated
-// network and TCP loopback sockets must be observationally identical here —
-// both carry every message through the msg codec.
+// parameter-server variant on every transport, at server shard counts 1 and
+// 4, and checks that all of them (a) converge to the same parameter values
+// through the unified server runtime and (b) honor the kv.KV contract,
+// including the ErrUnsupported paths of variants without dynamic parameter
+// allocation. The simulated network and TCP loopback sockets must be
+// observationally identical here — both carry every message through the msg
+// codec — and sharding the runtime must never change results, only spread
+// the serving work.
 
 const (
 	confNodes   = 2
@@ -29,23 +31,34 @@ const (
 	confIters   = 3
 )
 
-// confTransports names the transports every conformance test runs on.
-var confTransports = []string{"simnet", "tcp"}
+// confTransports names the transports every conformance test runs on;
+// confShards the server shard counts.
+var (
+	confTransports = []string{"simnet", "tcp"}
+	confShards     = []int{1, 4}
+)
 
 func confLayout() kv.Layout { return kv.NewUniformLayout(confKeys, confValLen) }
 
-// newConfCluster builds the conformance topology on the named transport.
-func newConfCluster(t *testing.T, transport string, workersPerNode int) *cluster.Cluster {
+// confName names one (transport, variant, shards) conformance cell.
+func confName(transport string, kind Kind, shards int) string {
+	return fmt.Sprintf("%s/%s/shards=%d", transport, kind, shards)
+}
+
+// newConfCluster builds the conformance topology on the named transport with
+// the given per-node server shard count.
+func newConfCluster(t *testing.T, transport string, workersPerNode, shards int) *cluster.Cluster {
 	t.Helper()
 	switch transport {
 	case "simnet":
-		return cluster.New(cluster.Config{Nodes: confNodes, WorkersPerNode: workersPerNode, Net: simnet.Config{}})
+		return cluster.New(cluster.Config{Nodes: confNodes, WorkersPerNode: workersPerNode,
+			Net: simnet.Config{Shards: shards}})
 	case "tcp":
 		addrs := make([]string, confNodes)
 		for i := range addrs {
 			addrs[i] = "127.0.0.1:0"
 		}
-		net, err := tcp.New(tcp.Config{Addrs: addrs})
+		net, err := tcp.New(tcp.Config{Addrs: addrs, Shards: shards})
 		if err != nil {
 			t.Fatalf("tcp.New: %v", err)
 		}
@@ -58,197 +71,203 @@ func newConfCluster(t *testing.T, transport string, workersPerNode int) *cluster
 
 func TestConformanceConvergence(t *testing.T) {
 	for _, tr := range confTransports {
-		for _, kind := range Kinds() {
-			t.Run(tr+"/"+string(kind), func(t *testing.T) {
-				cl := newConfCluster(t, tr, confWorkers)
-				ps := Build(kind, cl, confLayout(), Options{Staleness: 1})
-				defer func() { cl.Close(); ps.Shutdown() }()
+		for _, shards := range confShards {
+			for _, kind := range Kinds() {
+				t.Run(confName(tr, kind, shards), func(t *testing.T) {
+					cl := newConfCluster(t, tr, confWorkers, shards)
+					ps := Build(kind, cl, confLayout(), Options{Staleness: 1})
+					defer func() { cl.Close(); ps.Shutdown() }()
 
-				keys := make([]kv.Key, confKeys)
-				ones := make([]float32, confKeys*confValLen)
-				for i := range keys {
-					keys[i] = kv.Key(i)
-				}
-				for i := range ones {
-					ones[i] = 1
-				}
+					keys := make([]kv.Key, confKeys)
+					ones := make([]float32, confKeys*confValLen)
+					for i := range keys {
+						keys[i] = kv.Key(i)
+					}
+					for i := range ones {
+						ones[i] = 1
+					}
 
-				// Phase 1: every worker pushes 1 to every value confIters
-				// times, advancing its clock (flushes the stale PS's
-				// write-back cache; no-op elsewhere) and synchronizing on
-				// the barrier each round.
-				errs := make([]error, cl.TotalWorkers())
-				cl.RunWorkers(func(_, worker int) {
-					h := ps.Handle(worker)
-					for iter := 0; iter < confIters; iter++ {
-						if err := h.Push(keys, ones); err != nil {
+					// Phase 1: every worker pushes 1 to every value confIters
+					// times, advancing its clock (flushes the stale PS's
+					// write-back cache; no-op elsewhere) and synchronizing on
+					// the barrier each round.
+					errs := make([]error, cl.TotalWorkers())
+					cl.RunWorkers(func(_, worker int) {
+						h := ps.Handle(worker)
+						for iter := 0; iter < confIters; iter++ {
+							if err := h.Push(keys, ones); err != nil {
+								errs[worker] = err
+								return
+							}
+							h.Clock()
+							h.Barrier()
+						}
+					})
+					if err := errors.Join(errs...); err != nil {
+						t.Fatal(err)
+					}
+
+					// All variants must agree on the authoritative final values.
+					want := float32(cl.TotalWorkers() * confIters)
+					buf := make([]float32, confValLen)
+					for _, k := range keys {
+						ps.ReadParameter(k, buf)
+						for i, v := range buf {
+							if v != want {
+								t.Fatalf("key %d value %d = %v, want %v", k, i, v, want)
+							}
+						}
+					}
+
+					// Phase 2: a fresh handle pulls everything through the
+					// regular read path and must observe the converged state
+					// (the stale PS fetches at required clock 0, which every
+					// server serves immediately with current values).
+					cl.RunWorkers(func(_, worker int) {
+						if worker != 0 {
+							return
+						}
+						h := ps.Handle(worker)
+						dst := make([]float32, confKeys*confValLen)
+						if err := h.Pull(keys, dst); err != nil {
 							errs[worker] = err
 							return
 						}
-						h.Clock()
-						h.Barrier()
+						for i, v := range dst {
+							if v != want {
+								t.Errorf("pulled value %d = %v, want %v", i, v, want)
+								return
+							}
+						}
+						if err := h.WaitAll(); err != nil {
+							errs[worker] = err
+						}
+					})
+					if err := errors.Join(errs...); err != nil {
+						t.Fatal(err)
 					}
 				})
-				if err := errors.Join(errs...); err != nil {
-					t.Fatal(err)
-				}
-
-				// All variants must agree on the authoritative final values.
-				want := float32(cl.TotalWorkers() * confIters)
-				buf := make([]float32, confValLen)
-				for _, k := range keys {
-					ps.ReadParameter(k, buf)
-					for i, v := range buf {
-						if v != want {
-							t.Fatalf("key %d value %d = %v, want %v", k, i, v, want)
-						}
-					}
-				}
-
-				// Phase 2: a fresh handle pulls everything through the
-				// regular read path and must observe the converged state
-				// (the stale PS fetches at required clock 0, which every
-				// server serves immediately with current values).
-				cl.RunWorkers(func(_, worker int) {
-					if worker != 0 {
-						return
-					}
-					h := ps.Handle(worker)
-					dst := make([]float32, confKeys*confValLen)
-					if err := h.Pull(keys, dst); err != nil {
-						errs[worker] = err
-						return
-					}
-					for i, v := range dst {
-						if v != want {
-							t.Errorf("pulled value %d = %v, want %v", i, v, want)
-							return
-						}
-					}
-					if err := h.WaitAll(); err != nil {
-						errs[worker] = err
-					}
-				})
-				if err := errors.Join(errs...); err != nil {
-					t.Fatal(err)
-				}
-			})
+			}
 		}
 	}
 }
 
 func TestConformanceAsyncAndWaitAll(t *testing.T) {
 	for _, tr := range confTransports {
-		for _, kind := range Kinds() {
-			t.Run(tr+"/"+string(kind), func(t *testing.T) {
-				cl := newConfCluster(t, tr, confWorkers)
-				ps := Build(kind, cl, confLayout(), Options{Staleness: 1})
-				defer func() { cl.Close(); ps.Shutdown() }()
+		for _, shards := range confShards {
+			for _, kind := range Kinds() {
+				t.Run(confName(tr, kind, shards), func(t *testing.T) {
+					cl := newConfCluster(t, tr, confWorkers, shards)
+					ps := Build(kind, cl, confLayout(), Options{Staleness: 1})
+					defer func() { cl.Close(); ps.Shutdown() }()
 
-				keys := []kv.Key{0, confKeys / 2, confKeys - 1} // spans both nodes
-				vals := make([]float32, len(keys)*confValLen)
-				for i := range vals {
-					vals[i] = 2
-				}
-				errs := make([]error, cl.TotalWorkers())
-				cl.RunWorkers(func(_, worker int) {
-					h := ps.Handle(worker)
-					for iter := 0; iter < confIters; iter++ {
-						h.PushAsync(keys, vals)
+					keys := []kv.Key{0, confKeys / 2, confKeys - 1} // spans both nodes
+					vals := make([]float32, len(keys)*confValLen)
+					for i := range vals {
+						vals[i] = 2
 					}
-					if err := h.WaitAll(); err != nil {
-						errs[worker] = err
-						return
-					}
-					h.Clock()
-					h.Barrier()
-					// Asynchronous pull after the barrier; WaitAll must
-					// block until dst is filled.
-					dst := make([]float32, len(keys)*confValLen)
-					h.PullAsync(keys, dst)
-					if err := h.WaitAll(); err != nil {
-						errs[worker] = err
-						return
-					}
-					for _, v := range dst {
-						if v == 0 {
-							errs[worker] = errors.New("async pull observed zero after WaitAll")
+					errs := make([]error, cl.TotalWorkers())
+					cl.RunWorkers(func(_, worker int) {
+						h := ps.Handle(worker)
+						for iter := 0; iter < confIters; iter++ {
+							h.PushAsync(keys, vals)
+						}
+						if err := h.WaitAll(); err != nil {
+							errs[worker] = err
 							return
 						}
+						h.Clock()
+						h.Barrier()
+						// Asynchronous pull after the barrier; WaitAll must
+						// block until dst is filled.
+						dst := make([]float32, len(keys)*confValLen)
+						h.PullAsync(keys, dst)
+						if err := h.WaitAll(); err != nil {
+							errs[worker] = err
+							return
+						}
+						for _, v := range dst {
+							if v == 0 {
+								errs[worker] = errors.New("async pull observed zero after WaitAll")
+								return
+							}
+						}
+					})
+					if err := errors.Join(errs...); err != nil {
+						t.Fatal(err)
 					}
 				})
-				if err := errors.Join(errs...); err != nil {
-					t.Fatal(err)
-				}
-			})
+			}
 		}
 	}
 }
 
 func TestConformanceKVContract(t *testing.T) {
 	for _, tr := range confTransports {
-		for _, kind := range Kinds() {
-			t.Run(tr+"/"+string(kind), func(t *testing.T) {
-				cl := newConfCluster(t, tr, 1)
-				ps := Build(kind, cl, confLayout(), Options{Staleness: 1})
-				defer func() { cl.Close(); ps.Shutdown() }()
+		for _, shards := range confShards {
+			for _, kind := range Kinds() {
+				t.Run(confName(tr, kind, shards), func(t *testing.T) {
+					cl := newConfCluster(t, tr, 1, shards)
+					ps := Build(kind, cl, confLayout(), Options{Staleness: 1})
+					defer func() { cl.Close(); ps.Shutdown() }()
 
-				var mu sync.Mutex
-				fail := func(format string, args ...any) {
-					mu.Lock()
-					defer mu.Unlock()
-					t.Errorf(format, args...)
-				}
-				cl.RunWorkers(func(node, worker int) {
-					if worker != 0 {
-						// Keep the barrier population complete but idle.
-						return
+					var mu sync.Mutex
+					fail := func(format string, args ...any) {
+						mu.Lock()
+						defer mu.Unlock()
+						t.Errorf(format, args...)
 					}
-					h := ps.Handle(worker)
-					if h.WorkerID() != worker || h.NodeID() != node {
-						fail("%s: handle identity = (%d,%d), want (%d,%d)", kind, h.NodeID(), h.WorkerID(), node, worker)
-					}
-					// Buffer-size validation, sync and async.
-					short := make([]float32, 1)
-					if err := h.Pull([]kv.Key{0, 1}, short); err == nil {
-						fail("%s: Pull with short buffer succeeded", kind)
-					}
-					if err := h.Push([]kv.Key{0, 1}, short); err == nil {
-						fail("%s: Push with short buffer succeeded", kind)
-					}
-					if err := h.PullAsync([]kv.Key{0, 1}, short).Wait(); err == nil {
-						fail("%s: PullAsync with short buffer succeeded", kind)
-					}
-					// Localize support matches the declared capability.
-					locErr := h.Localize([]kv.Key{1})
-					asyncLocErr := h.LocalizeAsync([]kv.Key{1}).Wait()
-					if SupportsLocalize(kind) {
-						if locErr != nil || asyncLocErr != nil {
-							fail("%s: Localize = %v / %v, want nil", kind, locErr, asyncLocErr)
+					cl.RunWorkers(func(node, worker int) {
+						if worker != 0 {
+							// Keep the barrier population complete but idle.
+							return
 						}
-						// After localization the key is readable with no
-						// network communication.
+						h := ps.Handle(worker)
+						if h.WorkerID() != worker || h.NodeID() != node {
+							fail("%s: handle identity = (%d,%d), want (%d,%d)", kind, h.NodeID(), h.WorkerID(), node, worker)
+						}
+						// Buffer-size validation, sync and async.
+						short := make([]float32, 1)
+						if err := h.Pull([]kv.Key{0, 1}, short); err == nil {
+							fail("%s: Pull with short buffer succeeded", kind)
+						}
+						if err := h.Push([]kv.Key{0, 1}, short); err == nil {
+							fail("%s: Push with short buffer succeeded", kind)
+						}
+						if err := h.PullAsync([]kv.Key{0, 1}, short).Wait(); err == nil {
+							fail("%s: PullAsync with short buffer succeeded", kind)
+						}
+						// Localize support matches the declared capability.
+						locErr := h.Localize([]kv.Key{1})
+						asyncLocErr := h.LocalizeAsync([]kv.Key{1}).Wait()
+						if SupportsLocalize(kind) {
+							if locErr != nil || asyncLocErr != nil {
+								fail("%s: Localize = %v / %v, want nil", kind, locErr, asyncLocErr)
+							}
+							// After localization the key is readable with no
+							// network communication.
+							dst := make([]float32, confValLen)
+							ok, err := h.PullIfLocal([]kv.Key{1}, dst)
+							if err != nil || !ok {
+								fail("%s: PullIfLocal after Localize = (%v, %v), want (true, nil)", kind, ok, err)
+							}
+						} else {
+							if !errors.Is(locErr, kv.ErrUnsupported) {
+								fail("%s: Localize = %v, want ErrUnsupported", kind, locErr)
+							}
+							if !errors.Is(asyncLocErr, kv.ErrUnsupported) {
+								fail("%s: LocalizeAsync = %v, want ErrUnsupported", kind, asyncLocErr)
+							}
+						}
+						// A key assigned to the remote node is not local (for
+						// the stale PS nothing is local before the first pull).
 						dst := make([]float32, confValLen)
-						ok, err := h.PullIfLocal([]kv.Key{1}, dst)
-						if err != nil || !ok {
-							fail("%s: PullIfLocal after Localize = (%v, %v), want (true, nil)", kind, ok, err)
+						if ok, err := h.PullIfLocal([]kv.Key{confKeys - 1}, dst); err != nil || ok {
+							fail("%s: PullIfLocal of remote key = (%v, %v), want (false, nil)", kind, ok, err)
 						}
-					} else {
-						if !errors.Is(locErr, kv.ErrUnsupported) {
-							fail("%s: Localize = %v, want ErrUnsupported", kind, locErr)
-						}
-						if !errors.Is(asyncLocErr, kv.ErrUnsupported) {
-							fail("%s: LocalizeAsync = %v, want ErrUnsupported", kind, asyncLocErr)
-						}
-					}
-					// A key assigned to the remote node is not local (for
-					// the stale PS nothing is local before the first pull).
-					dst := make([]float32, confValLen)
-					if ok, err := h.PullIfLocal([]kv.Key{confKeys - 1}, dst); err != nil || ok {
-						fail("%s: PullIfLocal of remote key = (%v, %v), want (false, nil)", kind, ok, err)
-					}
+					})
 				})
-			})
+			}
 		}
 	}
 }
@@ -260,145 +279,158 @@ func TestConformanceKVContract(t *testing.T) {
 // distributed coordinator protocol. Worker 0 (hosted by the first instance)
 // verifies the converged values before anyone tears down.
 func TestConformanceMultiProcess(t *testing.T) {
-	for _, kind := range Kinds() {
-		t.Run(string(kind), func(t *testing.T) {
-			addrs := []string{"127.0.0.1:0", "127.0.0.1:0"}
-			mkNet := func(node int) *tcp.Network {
-				net, err := tcp.New(tcp.Config{Addrs: addrs, Local: []int{node}, DrainTimeout: 200 * time.Millisecond})
-				if err != nil {
-					t.Fatalf("tcp.New(node %d): %v", node, err)
+	for _, shards := range confShards {
+		for _, kind := range Kinds() {
+			t.Run(fmt.Sprintf("%s/shards=%d", kind, shards), func(t *testing.T) {
+				addrs := []string{"127.0.0.1:0", "127.0.0.1:0"}
+				mkNet := func(node int) *tcp.Network {
+					net, err := tcp.New(tcp.Config{Addrs: addrs, Local: []int{node}, Shards: shards,
+						DrainTimeout: 200 * time.Millisecond})
+					if err != nil {
+						t.Fatalf("tcp.New(node %d): %v", node, err)
+					}
+					return net
 				}
-				return net
-			}
-			netA, netB := mkNet(0), mkNet(1)
-			netA.SetAddr(1, netB.Addr(1))
-			netB.SetAddr(0, netA.Addr(0))
+				netA, netB := mkNet(0), mkNet(1)
+				netA.SetAddr(1, netB.Addr(1))
+				netB.SetAddr(0, netA.Addr(0))
 
-			mkCluster := func(net *tcp.Network) *cluster.Cluster {
-				return cluster.New(cluster.Config{Nodes: confNodes, WorkersPerNode: confWorkers, Transport: net})
-			}
-			clA, clB := mkCluster(netA), mkCluster(netB)
-			psA := Build(kind, clA, confLayout(), Options{Staleness: 1})
-			psB := Build(kind, clB, confLayout(), Options{Staleness: 1})
+				mkCluster := func(net *tcp.Network) *cluster.Cluster {
+					return cluster.New(cluster.Config{Nodes: confNodes, WorkersPerNode: confWorkers, Transport: net})
+				}
+				clA, clB := mkCluster(netA), mkCluster(netB)
+				psA := Build(kind, clA, confLayout(), Options{Staleness: 1})
+				psB := Build(kind, clB, confLayout(), Options{Staleness: 1})
 
-			keys := make([]kv.Key, confKeys)
-			ones := make([]float32, confKeys*confValLen)
-			for i := range keys {
-				keys[i] = kv.Key(i)
-			}
-			for i := range ones {
-				ones[i] = 1
-			}
-			want := float32(confNodes * confWorkers * confIters)
-			errs := make([]error, confNodes*confWorkers)
+				keys := make([]kv.Key, confKeys)
+				ones := make([]float32, confKeys*confValLen)
+				for i := range keys {
+					keys[i] = kv.Key(i)
+				}
+				for i := range ones {
+					ones[i] = 1
+				}
+				want := float32(confNodes * confWorkers * confIters)
+				errs := make([]error, confNodes*confWorkers)
 
-			workload := func(cl *cluster.Cluster, ps PS) {
-				cl.RunWorkers(func(_, worker int) {
-					h := ps.Handle(worker)
-					if SupportsLocalize(kind) {
-						total := cl.TotalWorkers()
-						lo, hi := worker*confKeys/total, (worker+1)*confKeys/total
-						if err := h.Localize(keys[lo:hi]); err != nil {
-							errs[worker] = fmt.Errorf("localize: %w", err)
-							return
+				workload := func(cl *cluster.Cluster, ps PS) {
+					cl.RunWorkers(func(_, worker int) {
+						h := ps.Handle(worker)
+						if SupportsLocalize(kind) {
+							total := cl.TotalWorkers()
+							lo, hi := worker*confKeys/total, (worker+1)*confKeys/total
+							if err := h.Localize(keys[lo:hi]); err != nil {
+								errs[worker] = fmt.Errorf("localize: %w", err)
+								return
+							}
 						}
-					}
-					for iter := 0; iter < confIters; iter++ {
-						if err := h.Push(keys, ones); err != nil {
-							errs[worker] = err
-							return
+						for iter := 0; iter < confIters; iter++ {
+							if err := h.Push(keys, ones); err != nil {
+								errs[worker] = err
+								return
+							}
+							h.Clock()
+							h.Barrier()
 						}
-						h.Clock()
-						h.Barrier()
-					}
-					if worker == 0 {
-						dst := make([]float32, confKeys*confValLen)
-						if err := h.Pull(keys, dst); err != nil {
-							errs[worker] = err
-						} else {
-							for i, v := range dst {
-								if v != want {
-									errs[worker] = fmt.Errorf("pulled value %d = %v, want %v", i, v, want)
-									break
+						if worker == 0 {
+							dst := make([]float32, confKeys*confValLen)
+							if err := h.Pull(keys, dst); err != nil {
+								errs[worker] = err
+							} else {
+								for i, v := range dst {
+									if v != want {
+										errs[worker] = fmt.Errorf("pulled value %d = %v, want %v", i, v, want)
+										break
+									}
 								}
 							}
 						}
-					}
-					// Keep every node serving until verification is done.
-					h.Barrier()
-				})
-			}
-			var wg sync.WaitGroup
-			wg.Add(2)
-			go func() { defer wg.Done(); workload(clA, psA) }()
-			go func() { defer wg.Done(); workload(clB, psB) }()
-			wg.Wait()
+						// Keep every node serving until verification is done.
+						h.Barrier()
+					})
+				}
+				var wg sync.WaitGroup
+				wg.Add(2)
+				go func() { defer wg.Done(); workload(clA, psA) }()
+				go func() { defer wg.Done(); workload(clB, psB) }()
+				wg.Wait()
 
-			clA.Close()
-			clB.Close()
-			psA.Shutdown()
-			psB.Shutdown()
-			if err := errors.Join(errs...); err != nil {
-				t.Fatal(err)
-			}
-			if err := netA.Err(); err != nil {
-				t.Fatalf("instance A transport error: %v", err)
-			}
-			if err := netB.Err(); err != nil {
-				t.Fatalf("instance B transport error: %v", err)
-			}
-		})
+				clA.Close()
+				clB.Close()
+				psA.Shutdown()
+				psB.Shutdown()
+				if err := errors.Join(errs...); err != nil {
+					t.Fatal(err)
+				}
+				if err := netA.Err(); err != nil {
+					t.Fatalf("instance A transport error: %v", err)
+				}
+				if err := netB.Err(); err != nil {
+					t.Fatalf("instance B transport error: %v", err)
+				}
+			})
+		}
 	}
 }
 
 // TestConformanceTCPMatchesSimnet runs the identical deterministic workload
-// once per transport and compares every parameter value: the transport layer
-// must not change results, only carry them.
+// once per (transport, shard count) and compares every parameter value: the
+// transport layer and the runtime sharding must not change results, only
+// carry and spread them.
 func TestConformanceTCPMatchesSimnet(t *testing.T) {
 	results := make(map[string][]float32)
+	var names []string
 	for _, tr := range confTransports {
-		cl := newConfCluster(t, tr, confWorkers)
-		ps := Build(Lapse, cl, confLayout(), Options{})
-		keys := make([]kv.Key, confKeys)
-		for i := range keys {
-			keys[i] = kv.Key(i)
-		}
-		vals := make([]float32, confKeys*confValLen)
-		for i := range vals {
-			vals[i] = float32(i%7) * 0.5
-		}
-		errs := make([]error, cl.TotalWorkers())
-		cl.RunWorkers(func(_, worker int) {
-			h := ps.Handle(worker)
-			if err := h.Localize(keys[worker : worker+4]); err != nil {
-				errs[worker] = err
-				return
+		for _, shards := range confShards {
+			name := fmt.Sprintf("%s/shards=%d", tr, shards)
+			names = append(names, name)
+			cl := newConfCluster(t, tr, confWorkers, shards)
+			ps := Build(Lapse, cl, confLayout(), Options{})
+			keys := make([]kv.Key, confKeys)
+			for i := range keys {
+				keys[i] = kv.Key(i)
 			}
-			for iter := 0; iter < confIters; iter++ {
-				if err := h.Push(keys, vals); err != nil {
+			vals := make([]float32, confKeys*confValLen)
+			for i := range vals {
+				vals[i] = float32(i%7) * 0.5
+			}
+			errs := make([]error, cl.TotalWorkers())
+			cl.RunWorkers(func(_, worker int) {
+				h := ps.Handle(worker)
+				if err := h.Localize(keys[worker : worker+4]); err != nil {
 					errs[worker] = err
 					return
 				}
-				h.Barrier()
+				for iter := 0; iter < confIters; iter++ {
+					if err := h.Push(keys, vals); err != nil {
+						errs[worker] = err
+						return
+					}
+					h.Barrier()
+				}
+			})
+			if err := errors.Join(errs...); err != nil {
+				t.Fatal(err)
 			}
-		})
-		if err := errors.Join(errs...); err != nil {
-			t.Fatal(err)
+			out := make([]float32, 0, confKeys*confValLen)
+			buf := make([]float32, confValLen)
+			for _, k := range keys {
+				ps.ReadParameter(k, buf)
+				out = append(out, buf...)
+			}
+			results[name] = out
+			cl.Close()
+			ps.Shutdown()
 		}
-		out := make([]float32, 0, confKeys*confValLen)
-		buf := make([]float32, confValLen)
-		for _, k := range keys {
-			ps.ReadParameter(k, buf)
-			out = append(out, buf...)
-		}
-		results[tr] = out
-		cl.Close()
-		ps.Shutdown()
 	}
-	a, b := results["simnet"], results["tcp"]
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatalf("value %d differs across transports: simnet %v, tcp %v", i, a[i], b[i])
+	ref := results[names[0]]
+	for _, name := range names[1:] {
+		got := results[name]
+		for i := range ref {
+			if ref[i] != got[i] {
+				t.Fatalf("value %d differs across deployments: %s %v, %s %v",
+					i, names[0], ref[i], name, got[i])
+			}
 		}
 	}
 }

@@ -17,7 +17,13 @@ type Deployment struct {
 	Nodes int
 	// WorkersPerNode is the number of worker threads per node.
 	WorkersPerNode int
-	// Net configures the simulated network; ignored when TCP is set.
+	// Shards is the per-node server shard count (0 = 1): each node runs
+	// one server message loop per shard over the interleaved static key
+	// slice k ≡ s (mod Shards). Every process of a deployment must use the
+	// same value, like Nodes.
+	Shards int
+	// Net configures the simulated network; ignored when TCP is set. Its
+	// Shards field is overwritten with Deployment.Shards.
 	Net simnet.Config
 	// TCP, when non-nil, runs the cluster over real TCP sockets.
 	TCP *TCPDeployment
@@ -42,10 +48,12 @@ type TCPDeployment struct {
 // cluster.
 func NewCluster(d Deployment) (*cluster.Cluster, error) {
 	if d.TCP == nil {
+		net := d.Net
+		net.Shards = d.Shards
 		return cluster.New(cluster.Config{
 			Nodes:          d.Nodes,
 			WorkersPerNode: d.WorkersPerNode,
-			Net:            d.Net,
+			Net:            net,
 		}), nil
 	}
 	if len(d.TCP.Addrs) != d.Nodes {
@@ -58,7 +66,7 @@ func NewCluster(d Deployment) (*cluster.Cluster, error) {
 		}
 		local = []int{d.TCP.Node}
 	}
-	net, err := tcp.New(tcp.Config{Addrs: d.TCP.Addrs, Local: local, MaxMessage: d.TCP.MaxMessage})
+	net, err := tcp.New(tcp.Config{Addrs: d.TCP.Addrs, Local: local, Shards: d.Shards, MaxMessage: d.TCP.MaxMessage})
 	if err != nil {
 		return nil, err
 	}

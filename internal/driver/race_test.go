@@ -1,0 +1,7 @@
+//go:build race
+
+package driver
+
+// raceEnabled reports whether the race detector instrumented this build;
+// throughput assertions are skipped under it.
+const raceEnabled = true

@@ -60,58 +60,60 @@ func awaitConvergedPulls(h kv.KV, keys []kv.Key, want float32) error {
 
 func TestReplicationConformanceConvergence(t *testing.T) {
 	for _, tr := range confTransports {
-		for _, kind := range []Kind{Lapse, LapseCached} {
-			t.Run(tr+"/"+string(kind), func(t *testing.T) {
-				cl := newConfCluster(t, tr, confWorkers)
-				ps := Build(kind, cl, confLayout(), confReplicationOptions())
-				defer func() { cl.Close(); ps.Shutdown() }()
+		for _, shards := range confShards {
+			for _, kind := range []Kind{Lapse, LapseCached} {
+				t.Run(confName(tr, kind, shards), func(t *testing.T) {
+					cl := newConfCluster(t, tr, confWorkers, shards)
+					ps := Build(kind, cl, confLayout(), confReplicationOptions())
+					defer func() { cl.Close(); ps.Shutdown() }()
 
-				keys := make([]kv.Key, confKeys)
-				ones := make([]float32, confKeys*confValLen)
-				for i := range keys {
-					keys[i] = kv.Key(i)
-				}
-				for i := range ones {
-					ones[i] = 1
-				}
-				// Mixed workload: every operation spans replicated and
-				// relocated keys.
-				errs := make([]error, cl.TotalWorkers())
-				cl.RunWorkers(func(_, worker int) {
-					h := ps.Handle(worker)
-					for iter := 0; iter < confIters; iter++ {
-						if err := h.Push(keys, ones); err != nil {
-							errs[worker] = err
-							return
-						}
-						h.Barrier()
+					keys := make([]kv.Key, confKeys)
+					ones := make([]float32, confKeys*confValLen)
+					for i := range keys {
+						keys[i] = kv.Key(i)
 					}
-					// One polling reader per node observes convergence of
-					// the replicated keys through the regular read path.
-					if worker%confWorkers == 0 {
-						want := float32(cl.TotalWorkers() * confIters)
-						if err := awaitConvergedPulls(h, confHotKeys, want); err != nil {
-							errs[worker] = err
+					for i := range ones {
+						ones[i] = 1
+					}
+					// Mixed workload: every operation spans replicated and
+					// relocated keys.
+					errs := make([]error, cl.TotalWorkers())
+					cl.RunWorkers(func(_, worker int) {
+						h := ps.Handle(worker)
+						for iter := 0; iter < confIters; iter++ {
+							if err := h.Push(keys, ones); err != nil {
+								errs[worker] = err
+								return
+							}
+							h.Barrier()
+						}
+						// One polling reader per node observes convergence of
+						// the replicated keys through the regular read path.
+						if worker%confWorkers == 0 {
+							want := float32(cl.TotalWorkers() * confIters)
+							if err := awaitConvergedPulls(h, confHotKeys, want); err != nil {
+								errs[worker] = err
+							}
+						}
+						h.Barrier() // keep all nodes serving until readers finish
+					})
+					if err := errors.Join(errs...); err != nil {
+						t.Fatal(err)
+					}
+					// Authoritative values agree for replicated and relocated
+					// keys alike.
+					want := float32(cl.TotalWorkers() * confIters)
+					buf := make([]float32, confValLen)
+					for _, k := range keys {
+						ps.ReadParameter(k, buf)
+						for i, v := range buf {
+							if v != want {
+								t.Fatalf("key %d value %d = %v, want %v", k, i, v, want)
+							}
 						}
 					}
-					h.Barrier() // keep all nodes serving until readers finish
 				})
-				if err := errors.Join(errs...); err != nil {
-					t.Fatal(err)
-				}
-				// Authoritative values agree for replicated and relocated
-				// keys alike.
-				want := float32(cl.TotalWorkers() * confIters)
-				buf := make([]float32, confValLen)
-				for _, k := range keys {
-					ps.ReadParameter(k, buf)
-					for i, v := range buf {
-						if v != want {
-							t.Fatalf("key %d value %d = %v, want %v", k, i, v, want)
-						}
-					}
-				}
-			})
+			}
 		}
 	}
 }
@@ -121,77 +123,80 @@ func TestReplicationConformanceConvergence(t *testing.T) {
 // deployment minus the process boundary — so sync and refresh messages
 // cross real sockets in both directions.
 func TestReplicationConformanceMultiProcess(t *testing.T) {
-	for _, kind := range []Kind{Lapse, LapseCached} {
-		t.Run(string(kind), func(t *testing.T) {
-			addrs := []string{"127.0.0.1:0", "127.0.0.1:0"}
-			mkNet := func(node int) *tcp.Network {
-				net, err := tcp.New(tcp.Config{Addrs: addrs, Local: []int{node}, DrainTimeout: 200 * time.Millisecond})
-				if err != nil {
-					t.Fatalf("tcp.New(node %d): %v", node, err)
+	for _, shards := range confShards {
+		for _, kind := range []Kind{Lapse, LapseCached} {
+			t.Run(fmt.Sprintf("%s/shards=%d", kind, shards), func(t *testing.T) {
+				addrs := []string{"127.0.0.1:0", "127.0.0.1:0"}
+				mkNet := func(node int) *tcp.Network {
+					net, err := tcp.New(tcp.Config{Addrs: addrs, Local: []int{node}, Shards: shards,
+						DrainTimeout: 200 * time.Millisecond})
+					if err != nil {
+						t.Fatalf("tcp.New(node %d): %v", node, err)
+					}
+					return net
 				}
-				return net
-			}
-			netA, netB := mkNet(0), mkNet(1)
-			netA.SetAddr(1, netB.Addr(1))
-			netB.SetAddr(0, netA.Addr(0))
+				netA, netB := mkNet(0), mkNet(1)
+				netA.SetAddr(1, netB.Addr(1))
+				netB.SetAddr(0, netA.Addr(0))
 
-			mkCluster := func(net *tcp.Network) *cluster.Cluster {
-				return cluster.New(cluster.Config{Nodes: confNodes, WorkersPerNode: confWorkers, Transport: net})
-			}
-			clA, clB := mkCluster(netA), mkCluster(netB)
-			psA := Build(kind, clA, confLayout(), confReplicationOptions())
-			psB := Build(kind, clB, confLayout(), confReplicationOptions())
+				mkCluster := func(net *tcp.Network) *cluster.Cluster {
+					return cluster.New(cluster.Config{Nodes: confNodes, WorkersPerNode: confWorkers, Transport: net})
+				}
+				clA, clB := mkCluster(netA), mkCluster(netB)
+				psA := Build(kind, clA, confLayout(), confReplicationOptions())
+				psB := Build(kind, clB, confLayout(), confReplicationOptions())
 
-			keys := make([]kv.Key, confKeys)
-			ones := make([]float32, confKeys*confValLen)
-			for i := range keys {
-				keys[i] = kv.Key(i)
-			}
-			for i := range ones {
-				ones[i] = 1
-			}
-			want := float32(confNodes * confWorkers * confIters)
-			errs := make([]error, confNodes*confWorkers)
+				keys := make([]kv.Key, confKeys)
+				ones := make([]float32, confKeys*confValLen)
+				for i := range keys {
+					keys[i] = kv.Key(i)
+				}
+				for i := range ones {
+					ones[i] = 1
+				}
+				want := float32(confNodes * confWorkers * confIters)
+				errs := make([]error, confNodes*confWorkers)
 
-			workload := func(cl *cluster.Cluster, ps PS) {
-				cl.RunWorkers(func(_, worker int) {
-					h := ps.Handle(worker)
-					for iter := 0; iter < confIters; iter++ {
-						if err := h.Push(keys, ones); err != nil {
-							errs[worker] = err
-							return
+				workload := func(cl *cluster.Cluster, ps PS) {
+					cl.RunWorkers(func(_, worker int) {
+						h := ps.Handle(worker)
+						for iter := 0; iter < confIters; iter++ {
+							if err := h.Push(keys, ones); err != nil {
+								errs[worker] = err
+								return
+							}
+							h.Barrier()
 						}
-						h.Barrier()
-					}
-					// Every process verifies convergence of its own
-					// replicas through the regular read path.
-					if worker%confWorkers == 0 {
-						if err := awaitConvergedPulls(h, confHotKeys, want); err != nil {
-							errs[worker] = fmt.Errorf("worker %d: %w", worker, err)
+						// Every process verifies convergence of its own
+						// replicas through the regular read path.
+						if worker%confWorkers == 0 {
+							if err := awaitConvergedPulls(h, confHotKeys, want); err != nil {
+								errs[worker] = fmt.Errorf("worker %d: %w", worker, err)
+							}
 						}
-					}
-					h.Barrier() // keep both processes serving until done
-				})
-			}
-			var wg sync.WaitGroup
-			wg.Add(2)
-			go func() { defer wg.Done(); workload(clA, psA) }()
-			go func() { defer wg.Done(); workload(clB, psB) }()
-			wg.Wait()
+						h.Barrier() // keep both processes serving until done
+					})
+				}
+				var wg sync.WaitGroup
+				wg.Add(2)
+				go func() { defer wg.Done(); workload(clA, psA) }()
+				go func() { defer wg.Done(); workload(clB, psB) }()
+				wg.Wait()
 
-			clA.Close()
-			clB.Close()
-			psA.Shutdown()
-			psB.Shutdown()
-			if err := errors.Join(errs...); err != nil {
-				t.Fatal(err)
-			}
-			if err := netA.Err(); err != nil {
-				t.Fatalf("instance A transport error: %v", err)
-			}
-			if err := netB.Err(); err != nil {
-				t.Fatalf("instance B transport error: %v", err)
-			}
-		})
+				clA.Close()
+				clB.Close()
+				psA.Shutdown()
+				psB.Shutdown()
+				if err := errors.Join(errs...); err != nil {
+					t.Fatal(err)
+				}
+				if err := netA.Err(); err != nil {
+					t.Fatalf("instance A transport error: %v", err)
+				}
+				if err := netB.Err(); err != nil {
+					t.Fatalf("instance B transport error: %v", err)
+				}
+			})
+		}
 	}
 }

@@ -1,0 +1,103 @@
+package driver
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"lapse/internal/cluster"
+	"lapse/internal/kv"
+	"lapse/internal/simnet"
+)
+
+// shardScalingOps runs a deliberately server-bound workload — every worker
+// pulls multi-key batches that are all homed on the other node, so all
+// serving work (store reads, response assembly, wire encoding) lands on the
+// remote node's server shards — and returns the measured operations per
+// second. The zero-latency simulated network contributes no modeled delay:
+// throughput is bounded by how many cores the server side can use.
+func shardScalingOps(t *testing.T, shards int) float64 {
+	t.Helper()
+	const (
+		nodes      = 2
+		workers    = 4 // per node
+		keysPer    = 64
+		valLen     = 128
+		nKeys      = 1024
+		opsPerWkr  = 300
+		totalIters = opsPerWkr
+	)
+	cl := cluster.New(cluster.Config{Nodes: nodes, WorkersPerNode: workers,
+		Net: simnet.Config{Shards: shards}})
+	ps := Build(ClassicPS, cl, kv.NewUniformLayout(nKeys, valLen), Options{})
+	defer func() { cl.Close(); ps.Shutdown() }()
+
+	errs := make([]error, cl.TotalWorkers())
+	start := time.Now()
+	cl.RunWorkers(func(node, worker int) {
+		h := ps.Handle(worker)
+		// Pull keys homed on the other node only: node 0 homes the first
+		// half of the key range, node 1 the second.
+		base := kv.Key(0)
+		if node == 0 {
+			base = nKeys / 2
+		}
+		keys := make([]kv.Key, keysPer)
+		dst := make([]float32, keysPer*valLen)
+		for it := 0; it < totalIters; it++ {
+			for i := range keys {
+				keys[i] = base + kv.Key((it*keysPer+i*7)%(nKeys/2))
+			}
+			if err := h.Pull(keys, dst); err != nil {
+				errs[worker] = err
+				return
+			}
+		}
+	})
+	if err := errors.Join(errs...); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	return float64(nodes*workers*totalIters) / elapsed.Seconds()
+}
+
+// TestShardedServerThroughputScales is the tentpole's acceptance check:
+// with 4 server shards per node, the server-bound workload must run at
+// least 1.3× the single-shard throughput. Multi-core scaling needs cores:
+// the test is skipped in -short mode and on hosts with fewer than 4 usable
+// CPUs (a single-core host runs all shard goroutines sequentially, so there
+// is nothing to measure).
+func TestShardedServerThroughputScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second throughput measurement")
+	}
+	if raceEnabled {
+		t.Skip("throughput measurement is meaningless under the race detector")
+	}
+	if runtime.NumCPU() < 4 || runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("multi-core server scaling needs >= 4 usable CPUs, have NumCPU=%d GOMAXPROCS=%d",
+			runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	}
+	// Warm up once (first run pays goroutine/allocator warm-up), then
+	// measure; take the best of three runs per shard count to damp noise.
+	shardScalingOps(t, 1)
+	best := func(shards int) float64 {
+		a := shardScalingOps(t, shards)
+		for i := 0; i < 2; i++ {
+			if b := shardScalingOps(t, shards); b > a {
+				a = b
+			}
+		}
+		return a
+	}
+	base := best(1)
+	sharded := best(4)
+	speedup := sharded / base
+	t.Logf("server-bound pull throughput: shards=1 %.0f ops/s, shards=4 %.0f ops/s (%.2fx)", base, sharded, speedup)
+	if speedup < 1.3 {
+		t.Fatalf("4-shard throughput is only %.2fx the single-shard baseline, want >= 1.3x (%s)",
+			speedup, fmt.Sprintf("%.0f vs %.0f ops/s", sharded, base))
+	}
+}

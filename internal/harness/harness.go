@@ -29,22 +29,30 @@ import (
 	"lapse/internal/simnet"
 )
 
-// Parallelism is one x-axis point of the scaling figures: nodes × workers.
+// Parallelism is one x-axis point of the scaling figures: nodes × workers,
+// optionally with a per-node server shard count (0 = 1 shard, the paper's
+// single-server-thread layout).
 type Parallelism struct {
 	Nodes   int
 	Workers int
+	Shards  int
 }
 
-func (p Parallelism) String() string { return fmt.Sprintf("%dx%d", p.Nodes, p.Workers) }
+func (p Parallelism) String() string {
+	if p.Shards > 1 {
+		return fmt.Sprintf("%dx%ds%d", p.Nodes, p.Workers, p.Shards)
+	}
+	return fmt.Sprintf("%dx%d", p.Nodes, p.Workers)
+}
 
 // PaperParallelism returns the paper's 1×4 … 8×4 sweep.
 func PaperParallelism() []Parallelism {
-	return []Parallelism{{1, 4}, {2, 4}, {4, 4}, {8, 4}}
+	return []Parallelism{{Nodes: 1, Workers: 4}, {Nodes: 2, Workers: 4}, {Nodes: 4, Workers: 4}, {Nodes: 8, Workers: 4}}
 }
 
 // ShortParallelism is the reduced sweep for -short runs.
 func ShortParallelism() []Parallelism {
-	return []Parallelism{{1, 2}, {2, 2}}
+	return []Parallelism{{Nodes: 1, Workers: 2}, {Nodes: 2, Workers: 2}}
 }
 
 // NetProfile returns the simulated-network configuration used by all

@@ -122,8 +122,8 @@ func TestMFLossSanityDecreases(t *testing.T) {
 
 func TestRenderOutputs(t *testing.T) {
 	s := []Series{{Label: "x", Points: []Point{
-		{Par: Parallelism{1, 4}, EpochTime: time.Second},
-		{Par: Parallelism{8, 4}, EpochTime: 250 * time.Millisecond},
+		{Par: Parallelism{Nodes: 1, Workers: 4}, EpochTime: time.Second},
+		{Par: Parallelism{Nodes: 8, Workers: 4}, EpochTime: 250 * time.Millisecond},
 	}}}
 	out := Render("title", s)
 	if !strings.Contains(out, "title") || !strings.Contains(out, "1x4") || !strings.Contains(out, "4.0x") {
@@ -135,7 +135,10 @@ func TestRenderOutputs(t *testing.T) {
 }
 
 func TestParallelismString(t *testing.T) {
-	if (Parallelism{8, 4}).String() != "8x4" {
+	if (Parallelism{Nodes: 8, Workers: 4}).String() != "8x4" {
 		t.Fatal("bad Parallelism string")
+	}
+	if (Parallelism{Nodes: 8, Workers: 4, Shards: 4}).String() != "8x4s4" {
+		t.Fatal("bad sharded Parallelism string")
 	}
 }

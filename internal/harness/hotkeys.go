@@ -123,6 +123,7 @@ func (p HotKeyPoint) Throughput() float64 {
 func RunHotKeys(par Parallelism, cfg HotKeyConfig, mode HotKeyMode) HotKeyPoint {
 	net := cfg.Net
 	net.Nodes = par.Nodes
+	net.Shards = par.Shards
 	cl := cluster.New(cluster.Config{Nodes: par.Nodes, WorkersPerNode: par.Workers, Net: net})
 	opt := driver.Options{ReplicaSyncEvery: cfg.SyncEvery}
 	if mode == HotKeyReplication {

@@ -78,7 +78,9 @@ func (ll *LowLevel) Run(m *data.Matrix) *Result {
 	}
 	for n := 0; n < ll.cl.Nodes(); n++ {
 		go func(n int) {
-			for env := range ll.cl.Net().Inbox(n) {
+			// Block messages are pinned to inbox shard 0 (msg.ShardOf),
+			// so the ring's transfers all arrive on one channel per node.
+			for env := range ll.cl.Net().Inbox(n, 0) {
 				bm := env.Msg.(*msg.Block)
 				mailboxes[bm.Worker] <- blockMsg{block: int(bm.ID), dstWorker: int(bm.Worker), vals: bm.Vals}
 			}

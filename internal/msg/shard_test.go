@@ -1,0 +1,73 @@
+package msg
+
+import (
+	"testing"
+
+	"lapse/internal/kv"
+)
+
+func TestShardOfKeyIsGlobalAndStable(t *testing.T) {
+	if got := ShardOfKey(7, 1); got != 0 {
+		t.Fatalf("single-shard mapping = %d, want 0", got)
+	}
+	for _, shards := range []int{2, 4, 7} {
+		for k := kv.Key(0); k < 100; k++ {
+			s := ShardOfKey(k, shards)
+			if s != int(uint64(k)%uint64(shards)) {
+				t.Fatalf("ShardOfKey(%d, %d) = %d, want interleaved slice k mod S", k, shards, s)
+			}
+			if s != ShardOfKey(k, shards) {
+				t.Fatalf("ShardOfKey(%d, %d) unstable", k, shards)
+			}
+		}
+	}
+}
+
+func TestShardOfDemuxRules(t *testing.T) {
+	const shards = 4
+	cases := []struct {
+		m    any
+		want int
+	}{
+		// Key-addressed messages route by first key.
+		{&Op{Keys: []kv.Key{6, 10}}, 2},
+		{&OpResp{Keys: []kv.Key{7}}, 3},
+		{&Localize{Keys: []kv.Key{5}}, 1},
+		{&RelocInstruct{Keys: []kv.Key{9}}, 1},
+		{&RelocTransfer{Keys: []kv.Key{8}}, 0},
+		{&SspSync{Keys: []kv.Key{3, 6}}, 3}, // by first key; need not be pure
+		// Zero-key and node-level messages pin to shard 0.
+		{&Op{}, 0},
+		{&SspClock{Worker: 1}, 0},
+		{&Barrier{Seq: 3}, 0},
+		{&Block{ID: 2}, 0},
+		{&ReplicaSync{Keys: []kv.Key{6}}, 0},
+		{&ReplicaRefresh{Keys: []kv.Key{7}}, 0},
+	}
+	for _, c := range cases {
+		if got := ShardOf(c.m, shards); got != c.want {
+			t.Fatalf("ShardOf(%T%+v) = %d, want %d", c.m, c.m, got, c.want)
+		}
+	}
+}
+
+func TestCheckShardPure(t *testing.T) {
+	const shards = 4
+	if err := CheckShardPure(&Op{Keys: []kv.Key{2, 6, 10}}, shards); err != nil {
+		t.Fatalf("pure Op rejected: %v", err)
+	}
+	if err := CheckShardPure(&Op{Keys: []kv.Key{2, 3}}, shards); err == nil {
+		t.Fatal("mixed-shard Op accepted")
+	}
+	// SspSync and node-level messages carry no purity requirement.
+	if err := CheckShardPure(&SspSync{Keys: []kv.Key{2, 3}}, shards); err != nil {
+		t.Fatalf("SspSync flagged: %v", err)
+	}
+	if err := CheckShardPure(&ReplicaSync{Keys: []kv.Key{2, 3}}, shards); err != nil {
+		t.Fatalf("ReplicaSync flagged: %v", err)
+	}
+	// With one shard everything is trivially pure.
+	if err := CheckShardPure(&Op{Keys: []kv.Key{2, 3}}, 1); err != nil {
+		t.Fatalf("single-shard Op flagged: %v", err)
+	}
+}

@@ -15,12 +15,16 @@
 //
 //	replica --ReplicaSync(deltas)--> home --ReplicaRefresh(merged)--> replicas
 //
-// Each node accumulates its local pushes in a per-key pending buffer. Every
-// sync interval it drains the buffer and sends the deltas to each key's home
-// node, batched into one ReplicaSync per destination; the home folds them
-// into its authoritative value. Homes broadcast changed authoritative values
-// back out, batched into one ReplicaRefresh per node — so a sync round costs
-// O(nodes) messages regardless of how many keys are dirty.
+// Each node accumulates its local pushes in per-key pending buffers,
+// striped by server shard (msg.ShardOfKey) so workers of a sharded runtime
+// pushing different hot keys do not contend on one mutex. Every sync
+// interval a round drains all stripes and sends the deltas to each key's
+// home node, merged into one ReplicaSync per destination — the per-shard
+// outputs are combined before dispatch, so a sync round still costs
+// O(nodes) messages regardless of shard count or how many keys are dirty.
+// Homes broadcast changed authoritative values back out, batched into one
+// ReplicaRefresh per node. Both message kinds are pinned to inbox shard 0
+// by the transport demux, preserving their per-link order.
 //
 // Consistency: replicated keys are eventually consistent. Reads always see
 // the node's own preceding writes (read-your-writes): a replica's local
@@ -28,9 +32,11 @@
 // maintained across refreshes by the in-flight buffer: deltas that have been
 // sent to the home but are not yet reflected in a refresh stay in the
 // replica's view until a refresh acknowledges them (ReplicaSync.Seq /
-// ReplicaRefresh.Ack). Once pushes stop, every replica converges to the sum
-// of all pushes within two sync intervals plus message latency; the checker
-// in internal/consistency verifies this.
+// ReplicaRefresh.Ack). The pending→in-flight hand-off happens atomically
+// under the key's stripe lock, so a concurrent refresh install can never
+// observe a delta in neither buffer. Once pushes stop, every replica
+// converges to the sum of all pushes within two sync intervals plus message
+// latency; the checker in internal/consistency verifies this.
 package replication
 
 import (
@@ -57,6 +63,9 @@ type Config struct {
 	// Node is the node this manager serves; Nodes the cluster size.
 	Node  int
 	Nodes int
+	// Shards is the server runtime's shard count; the pending/in-flight
+	// delta buffers are striped by it (0 = 1).
+	Shards int
 	// Layout is the parameter layout (value lengths).
 	Layout kv.Layout
 	// Home assigns each replicated key's home node, which holds the
@@ -81,40 +90,50 @@ type inflightDelta struct {
 	delta []float32
 }
 
+// stripe is one shard's slice of the delta buffers. Push (worker threads),
+// the sync round (ticker goroutine), and refresh installs (server shard 0)
+// all synchronize per stripe, so hot keys of different shards never contend.
+type stripe struct {
+	mu       sync.Mutex
+	pending  map[kv.Key][]float32       // local deltas not yet sent
+	inflight map[kv.Key][]inflightDelta // sent, not yet acked by a refresh
+}
+
 // Manager is one node's replication state: the local replica store, the
-// pending and in-flight update buffers, and — for keys homed at this node —
-// the authoritative merged values. HandleSync and HandleRefresh run on the
-// node's server goroutine; Pull/Push run on worker threads; the sync ticker
-// runs on its own goroutine. All mutable state except the replica store is
-// guarded by mu; the replica store is additionally written only under mu so
-// that refresh installs and pushes cannot interleave (reads stay lock-free
-// on the store's latches).
+// striped pending and in-flight update buffers, and — for keys homed at this
+// node — the authoritative merged values. HandleSync and HandleRefresh run
+// on the node's shard-0 server goroutine; Pull/Push run on worker threads;
+// the sync ticker runs on its own goroutine. Per-key replica writes happen
+// only under the key's stripe lock, so refresh installs and pushes cannot
+// interleave (reads stay lock-free on the store's latches); the home-role
+// state (auth, dirty, applied) is guarded by homeMu. Lock order: a stripe
+// lock may be held when taking homeMu, never the reverse.
 type Manager struct {
 	cfg        Config
 	replicated map[kv.Key]bool
 	replica    *store.Sparse
+	stripes    []stripe
 
 	// sendMu serializes whole sync rounds (build + send), so concurrent
 	// Flush calls (ticker + explicit) cannot interleave their messages and
 	// Seq stays monotonic per link. Messages are sent while holding sendMu
-	// but NOT mu: the receiving server goroutines need mu in
-	// HandleSync/HandleRefresh, so sending under mu could deadlock two
-	// nodes against each other once transport inboxes fill up.
+	// but NOT any stripe lock or homeMu: the receiving server goroutines
+	// need those in HandleSync/HandleRefresh, so sending under them could
+	// deadlock two nodes against each other once transport inboxes fill
+	// up.
 	sendMu sync.Mutex
+	seq    uint32 // sync rounds sent by this node; written under sendMu
 
-	mu       sync.Mutex
-	seq      uint32                     // sync rounds sent by this node
-	pending  map[kv.Key][]float32       // local deltas not yet sent
-	inflight map[kv.Key][]inflightDelta // sent, not yet acked by a refresh
-	auth     map[kv.Key][]float32       // home role: merged values
-	dirty    map[kv.Key]bool            // home role: changed since last broadcast
-	applied  map[int32]uint32           // home role: highest seq applied per origin
+	homeMu  sync.Mutex
+	auth    map[kv.Key][]float32 // home role: merged values
+	dirty   map[kv.Key]bool      // home role: changed since last broadcast
+	applied map[int32]uint32     // home role: highest seq applied per origin
 
 	stop chan struct{}
 	done chan struct{}
 }
 
-// outMsg is one message assembled under mu and sent after its release.
+// outMsg is one message assembled under the locks and sent after release.
 type outMsg struct {
 	dest int
 	m    any
@@ -130,17 +149,23 @@ func NewManager(cfg Config) *Manager {
 	if cfg.SyncEvery <= 0 {
 		cfg.SyncEvery = DefaultSyncEvery
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
 	m := &Manager{
 		cfg:        cfg,
 		replicated: make(map[kv.Key]bool, len(cfg.Keys)),
 		replica:    store.NewSparse(cfg.Layout, 0),
-		pending:    make(map[kv.Key][]float32),
-		inflight:   make(map[kv.Key][]inflightDelta),
+		stripes:    make([]stripe, cfg.Shards),
 		auth:       make(map[kv.Key][]float32),
 		dirty:      make(map[kv.Key]bool),
 		applied:    make(map[int32]uint32),
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
+	}
+	for i := range m.stripes {
+		m.stripes[i].pending = make(map[kv.Key][]float32)
+		m.stripes[i].inflight = make(map[kv.Key][]inflightDelta)
 	}
 	for _, k := range cfg.Keys {
 		if k >= cfg.Layout.NumKeys() {
@@ -153,6 +178,11 @@ func NewManager(cfg Config) *Manager {
 		}
 	}
 	return m
+}
+
+// stripeOf returns the stripe owning key k.
+func (m *Manager) stripeOf(k kv.Key) *stripe {
+	return &m.stripes[msg.ShardOfKey(k, len(m.stripes))]
 }
 
 // Start spawns the background sync goroutine. Call Stop to halt it.
@@ -192,12 +222,15 @@ func (m *Manager) InitKey(k kv.Key, val []float32) {
 	if !m.replicated[k] {
 		panic(fmt.Sprintf("replication: InitKey(%d): key is not replicated", k))
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	st := m.stripeOf(k)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	m.replica.Set(k, val)
+	m.homeMu.Lock()
 	if a, ok := m.auth[k]; ok {
 		copy(a, val)
 	}
+	m.homeMu.Unlock()
 }
 
 // Pull reads the local replica of k into dst. It never touches the network:
@@ -211,14 +244,15 @@ func (m *Manager) Pull(k kv.Key, dst []float32) {
 }
 
 // Push applies a cumulative update to the local replica and accumulates it
-// in the pending buffer for the next sync round.
+// in the key's stripe's pending buffer for the next sync round.
 func (m *Manager) Push(k kv.Key, delta []float32) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	p, ok := m.pending[k]
+	st := m.stripeOf(k)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	p, ok := st.pending[k]
 	if !ok {
 		p = make([]float32, m.cfg.Layout.Len(k))
-		m.pending[k] = p
+		st.pending[k] = p
 	}
 	for i, d := range delta {
 		p[i] += d
@@ -230,57 +264,75 @@ func (m *Manager) Push(k kv.Key, delta []float32) {
 }
 
 // Flush runs one sync round immediately (in addition to the background
-// interval): it sends the pending deltas to each key's home node and, in
-// this node's home role, broadcasts refreshed values for keys whose merged
-// value changed. Safe to call concurrently with everything else. Messages
-// are assembled under mu but sent after its release (see sendMu).
+// interval): it drains every stripe's pending deltas — merging the shard
+// outputs into one ReplicaSync per home node before dispatch, so the round
+// costs O(nodes) messages however many stripes contributed — and, in this
+// node's home role, broadcasts refreshed values for keys whose merged value
+// changed. Safe to call concurrently with everything else. Messages are
+// assembled under the stripe/home locks but sent after their release (see
+// sendMu).
 func (m *Manager) Flush() {
 	m.sendMu.Lock()
 	defer m.sendMu.Unlock()
-	m.mu.Lock()
-	out := m.syncLocked(nil)
-	out = m.broadcastLocked(out)
-	m.mu.Unlock()
+	out := m.syncRound(nil)
+	out = m.broadcast(out)
 	for _, o := range out {
 		m.cfg.Send(o.dest, o.m)
 		m.cfg.Stats.ReplicaSyncMessages.Inc()
 	}
 }
 
-// syncLocked drains the pending buffer: deltas for keys homed here are
-// folded into the authoritative value directly; the rest are appended to
-// out as one ReplicaSync message per home node.
-func (m *Manager) syncLocked(out []outMsg) []outMsg {
-	if len(m.pending) == 0 {
-		return out
-	}
-	m.seq++
-	groups := make(map[int]*msg.ReplicaSync)
-	for k, delta := range m.pending {
-		home := m.cfg.Home.NodeOf(k)
-		if home == m.cfg.Node {
-			m.mergeLocked(k, delta)
-			continue
+// syncRound drains the pending buffers of all stripes: deltas for keys
+// homed here are folded into the authoritative value directly; the rest
+// move — atomically per stripe — into the in-flight buffer and are appended
+// to out as one ReplicaSync message per home node, merged across stripes.
+func (m *Manager) syncRound(out []outMsg) []outMsg {
+	// seq is only read and written under sendMu (held for the whole
+	// round), so the round's number can be chosen up front and committed
+	// only if the round actually drained anything.
+	seq := m.seq + 1
+	drained := false
+	var groups map[int]*msg.ReplicaSync
+	for i := range m.stripes {
+		st := &m.stripes[i]
+		st.mu.Lock()
+		for k, delta := range st.pending {
+			drained = true
+			home := m.cfg.Home.NodeOf(k)
+			if home == m.cfg.Node {
+				m.homeMu.Lock()
+				m.mergeHomeLocked(k, delta)
+				m.homeMu.Unlock()
+				continue
+			}
+			st.inflight[k] = append(st.inflight[k], inflightDelta{seq: seq, delta: delta})
+			if groups == nil {
+				groups = make(map[int]*msg.ReplicaSync)
+			}
+			g := groups[home]
+			if g == nil {
+				g = &msg.ReplicaSync{Origin: int32(m.cfg.Node), Seq: seq}
+				groups[home] = g
+			}
+			g.Keys = append(g.Keys, k)
+			g.Vals = append(g.Vals, delta...)
 		}
-		m.inflight[k] = append(m.inflight[k], inflightDelta{seq: m.seq, delta: delta})
-		g := groups[home]
-		if g == nil {
-			g = &msg.ReplicaSync{Origin: int32(m.cfg.Node), Seq: m.seq}
-			groups[home] = g
-		}
-		g.Keys = append(g.Keys, k)
-		g.Vals = append(g.Vals, delta...)
+		clear(st.pending)
+		st.mu.Unlock()
 	}
-	clear(m.pending)
+	if drained {
+		m.seq = seq
+	}
 	for home, g := range groups {
 		out = append(out, outMsg{dest: home, m: g})
 	}
 	return out
 }
 
-// mergeLocked folds one delta into the authoritative value of a key homed at
-// this node and marks it for the next refresh broadcast.
-func (m *Manager) mergeLocked(k kv.Key, delta []float32) {
+// mergeHomeLocked folds one delta into the authoritative value of a key
+// homed at this node and marks it for the next refresh broadcast. homeMu
+// must be held.
+func (m *Manager) mergeHomeLocked(k kv.Key, delta []float32) {
 	a, ok := m.auth[k]
 	if !ok {
 		panic(fmt.Sprintf("replication: node %d is not home of key %d", m.cfg.Node, k))
@@ -291,13 +343,15 @@ func (m *Manager) mergeLocked(k kv.Key, delta []float32) {
 	m.dirty[k] = true
 }
 
-// broadcastLocked fans the merged values of all dirty keys homed at this
-// node out to every other node (appending one ReplicaRefresh per
-// destination to out) and installs them into the local replica directly.
-// The values are copied into the message, so sending after mu is released
-// cannot race with further merges.
-func (m *Manager) broadcastLocked(out []outMsg) []outMsg {
+// broadcast fans the merged values of all dirty keys homed at this node out
+// to every other node (appending one ReplicaRefresh per destination to out)
+// and installs them into the local replica directly. The values are copied
+// into the message under homeMu, so sending after release cannot race with
+// further merges.
+func (m *Manager) broadcast(out []outMsg) []outMsg {
+	m.homeMu.Lock()
 	if len(m.dirty) == 0 {
+		m.homeMu.Unlock()
 		return out
 	}
 	keys := make([]kv.Key, 0, len(m.dirty))
@@ -307,13 +361,18 @@ func (m *Manager) broadcastLocked(out []outMsg) []outMsg {
 		vals = append(vals, m.auth[k]...)
 	}
 	clear(m.dirty)
+	acks := make(map[int32]uint32, m.cfg.Nodes)
+	for dest := 0; dest < m.cfg.Nodes; dest++ {
+		acks[int32(dest)] = m.applied[int32(dest)]
+	}
+	m.homeMu.Unlock()
 	for dest := 0; dest < m.cfg.Nodes; dest++ {
 		if dest == m.cfg.Node {
 			continue
 		}
 		out = append(out, outMsg{dest: dest, m: &msg.ReplicaRefresh{
 			Origin: int32(m.cfg.Node),
-			Ack:    m.applied[int32(dest)],
+			Ack:    acks[int32(dest)],
 			Keys:   keys,
 			Vals:   vals,
 		}})
@@ -321,22 +380,28 @@ func (m *Manager) broadcastLocked(out []outMsg) []outMsg {
 	// Install locally: this node's own deltas for its homed keys are merged
 	// at sync time (never in flight), so the replica view is simply the
 	// merged value plus any deltas pushed since.
+	src := 0
 	for _, k := range keys {
-		m.installLocked(k, m.auth[k])
+		l := m.cfg.Layout.Len(k)
+		st := m.stripeOf(k)
+		st.mu.Lock()
+		m.installLocked(st, k, vals[src:src+l])
+		st.mu.Unlock()
+		src += l
 	}
 	return out
 }
 
-// HandleSync runs at the home node on the server goroutine: fold the deltas
-// into the authoritative values, record the origin's sync round for
+// HandleSync runs at the home node on the shard-0 server goroutine: fold the
+// deltas into the authoritative values, record the origin's sync round for
 // acknowledgment, and mark the keys for the next refresh broadcast.
 func (m *Manager) HandleSync(t *msg.ReplicaSync) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.homeMu.Lock()
+	defer m.homeMu.Unlock()
 	src := 0
 	for _, k := range t.Keys {
 		l := m.cfg.Layout.Len(k)
-		m.mergeLocked(k, t.Vals[src:src+l])
+		m.mergeHomeLocked(k, t.Vals[src:src+l])
 		src += l
 	}
 	if seqAfter(t.Seq, m.applied[t.Origin]) {
@@ -349,25 +414,28 @@ func (m *Manager) HandleSync(t *msg.ReplicaSync) {
 // 1 ms interval the counter wraps after ~50 days).
 func seqAfter(a, b uint32) bool { return int32(a-b) > 0 }
 
-// HandleRefresh runs at a replica node on the server goroutine: retire the
-// in-flight deltas the home has acknowledged, then install each merged value
-// plus this node's still-unmerged deltas into the local replica.
+// HandleRefresh runs at a replica node on the shard-0 server goroutine:
+// retire the in-flight deltas the home has acknowledged, then install each
+// merged value plus this node's still-unmerged deltas into the local
+// replica.
 func (m *Manager) HandleRefresh(t *msg.ReplicaRefresh) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	src := 0
 	for _, k := range t.Keys {
 		l := m.cfg.Layout.Len(k)
-		m.retireLocked(k, t.Ack)
-		m.installLocked(k, t.Vals[src:src+l])
+		st := m.stripeOf(k)
+		st.mu.Lock()
+		m.retireLocked(st, k, t.Ack)
+		m.installLocked(st, k, t.Vals[src:src+l])
+		st.mu.Unlock()
 		src += l
 	}
 }
 
 // retireLocked drops in-flight deltas of k that the home acknowledged
-// (seq <= ack): they are reflected in the refreshed value.
-func (m *Manager) retireLocked(k kv.Key, ack uint32) {
-	fl := m.inflight[k]
+// (seq <= ack): they are reflected in the refreshed value. The key's stripe
+// lock must be held.
+func (m *Manager) retireLocked(st *stripe, k kv.Key, ack uint32) {
+	fl := st.inflight[k]
 	keep := fl[:0]
 	for _, e := range fl {
 		if seqAfter(e.seq, ack) {
@@ -375,24 +443,24 @@ func (m *Manager) retireLocked(k kv.Key, ack uint32) {
 		}
 	}
 	if len(keep) == 0 {
-		delete(m.inflight, k)
+		delete(st.inflight, k)
 		return
 	}
-	m.inflight[k] = keep
+	st.inflight[k] = keep
 }
 
 // installLocked sets the local replica of k to merged plus every local delta
 // not yet reflected in merged (in-flight and pending), preserving
-// read-your-writes across the install.
-func (m *Manager) installLocked(k kv.Key, merged []float32) {
+// read-your-writes across the install. The key's stripe lock must be held.
+func (m *Manager) installLocked(st *stripe, k kv.Key, merged []float32) {
 	v := make([]float32, len(merged))
 	copy(v, merged)
-	for _, e := range m.inflight[k] {
+	for _, e := range st.inflight[k] {
 		for i, d := range e.delta {
 			v[i] += d
 		}
 	}
-	if p, ok := m.pending[k]; ok {
+	if p, ok := st.pending[k]; ok {
 		for i, d := range p {
 			v[i] += d
 		}
@@ -404,8 +472,8 @@ func (m *Manager) installLocked(k kv.Key, merged []float32) {
 // Only meaningful in quiescent states after the sync cycle converged
 // (deltas still pending or in flight elsewhere are not included).
 func (m *Manager) ReadAuthoritative(k kv.Key, dst []float32) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.homeMu.Lock()
+	defer m.homeMu.Unlock()
 	a, ok := m.auth[k]
 	if !ok {
 		panic(fmt.Sprintf("replication: node %d is not home of key %d", m.cfg.Node, k))

@@ -26,70 +26,87 @@ type KeyRoute struct {
 // Router is the variant's per-key routing policy for worker operations: it
 // may serve a key locally, queue it, or name the node to contact. Routers
 // run on the issuing worker's goroutine and do their own stats accounting,
-// since what counts as a "local" access differs between variants.
+// since what counts as a "local" access differs between variants. The id
+// passed to RouteKey is the pending-operation ID of the key's shard part.
 type Router interface {
 	RouteKey(t msg.OpType, id uint64, k kv.Key, dst, vals []float32) KeyRoute
 }
 
-// destination identifies one outgoing message group.
+// destination identifies one outgoing message group: a node, the server
+// shard every key of the group belongs to, and the cache-routing flag.
 type destination struct {
 	node     int
+	shard    int
 	viaCache bool
 }
 
 // DispatchOp issues one multi-key pull or push on behalf of a worker thread:
-// it registers a pending-operation slot covering every key, routes each key
-// through the variant's Router, and sends the keys that need the network
-// batched into one msg.Op envelope per destination node (or one envelope
-// per key when batching is disabled). The returned future completes when
-// every key has been served, whether by the fast path, a queued entry, or a
-// response message.
+// it registers one pending-operation part per server shard the keys touch,
+// routes each key through the variant's Router, and sends the keys that need
+// the network batched into one msg.Op envelope per (destination node, shard)
+// — so every message is shard-pure and lands directly in the serving shard's
+// inbox — or one envelope per key when batching is disabled. The returned
+// future completes when every key has been served, whether by the fast path,
+// a queued entry, or a response message.
 //
-// The pending slot is registered before any routing so queued entries always
-// carry a valid operation ID even if the server drains them concurrently;
-// fast-path keys are accounted as done at the end in a single step.
-func (rt *Runtime) DispatchOp(r Router, t msg.OpType, keys []kv.Key, dst, vals []float32) *kv.Future {
+// The pending parts are registered before any routing so queued entries
+// always carry a valid operation ID even if a server shard drains them
+// concurrently; fast-path keys are accounted as done per shard at the end.
+func (nd *Node) DispatchOp(r Router, t msg.OpType, keys []kv.Key, dst, vals []float32) *kv.Future {
 	if len(keys) == 0 {
 		return kv.CompletedFuture(nil)
 	}
-	layout := rt.g.layout
+	layout := nd.g.layout
+	nShards := len(nd.shards)
 	dstOff := make(map[kv.Key]int, len(keys))
 	off := 0
+	counts := make([]int, nShards)
 	for _, k := range keys {
 		dstOff[k] = off
 		off += layout.Len(k)
+		counts[msg.ShardOfKey(k, nShards)]++
 	}
-	id, fut := rt.pending.RegisterOp(len(keys), dst, dstOff)
+	a := NewAgg()
+	ids := make([]uint64, nShards)
+	for s, c := range counts {
+		if c > 0 {
+			ids[s] = nd.shards[s].pending.RegisterOpPart(a, c, dst, dstOff)
+		}
+	}
 
 	var groups map[destination][]kv.Key
-	served := 0
+	served := counts // reuse the count buffer as per-shard served counters
+	for i := range served {
+		served[i] = 0
+	}
 	for _, k := range keys {
 		l := layout.Len(k)
 		o := dstOff[k]
+		shard := msg.ShardOfKey(k, nShards)
 		var kdst, kvals []float32
 		if t == msg.OpPull {
 			kdst = dst[o : o+l]
 		} else {
 			kvals = vals[o : o+l]
 		}
-		route := r.RouteKey(t, id, k, kdst, kvals)
+		route := r.RouteKey(t, ids[shard], k, kdst, kvals)
 		switch {
 		case route.Served:
-			served++
+			served[shard]++
 		case route.Enqueued:
 			// The queued entry completes the key via the pending table.
-		case rt.g.cfg.Unbatched:
+		case nd.g.cfg.Unbatched:
 			var kval []float32
 			if t == msg.OpPush {
 				kval = append([]float32(nil), kvals...)
 			}
-			op := &msg.Op{Type: t, ID: id, Origin: int32(rt.node), ViaCache: route.ViaCache, Keys: []kv.Key{k}, Vals: kval}
-			rt.Send(route.Dest, op)
+			op := &msg.Op{Type: t, ID: ids[shard], Origin: int32(nd.node), ViaCache: route.ViaCache, Keys: []kv.Key{k}, Vals: kval}
+			nd.Send(route.Dest, op)
 		default:
 			if groups == nil {
 				groups = make(map[destination][]kv.Key)
 			}
-			d := destination{node: route.Dest, viaCache: route.ViaCache}
+			d := destination{node: route.Dest, shard: shard, viaCache: route.ViaCache}
 			groups[d] = append(groups[d], k)
 		}
 	}
@@ -102,11 +119,13 @@ func (rt *Runtime) DispatchOp(r Router, t msg.OpType, keys []kv.Key, dst, vals [
 				gv = append(gv, vals[o:o+layout.Len(k)]...)
 			}
 		}
-		op := &msg.Op{Type: t, ID: id, Origin: int32(rt.node), ViaCache: d.viaCache, Keys: gk, Vals: gv}
-		rt.Send(d.node, op)
+		op := &msg.Op{Type: t, ID: ids[d.shard], Origin: int32(nd.node), ViaCache: d.viaCache, Keys: gk, Vals: gv}
+		nd.Send(d.node, op)
 	}
-	if served > 0 {
-		rt.pending.FinishKeys(id, served)
+	for s, n := range served {
+		if n > 0 {
+			nd.shards[s].pending.FinishKeys(ids[s], n)
+		}
 	}
-	return fut
+	return a.Seal(nil)
 }

@@ -12,29 +12,29 @@ import (
 // handle, it is bound to one worker thread and must not be shared between
 // goroutines.
 type Handle struct {
-	rt          *Runtime
+	nd          *Node
 	worker      int
 	outstanding []*kv.Future
 }
 
-// NewHandle returns a handle for the given worker bound to rt's node. The
+// NewHandle returns a handle for the given worker bound to nd's node. The
 // node must be hosted by this process: a handle issues Sends with the node
 // as source, which only local nodes may do.
-func NewHandle(rt *Runtime, worker int) Handle {
-	if !rt.g.cl.Local(rt.node) {
-		panic(fmt.Sprintf("server: handle for worker %d of non-local node %d", worker, rt.node))
+func NewHandle(nd *Node, worker int) Handle {
+	if !nd.g.cl.Local(nd.node) {
+		panic(fmt.Sprintf("server: handle for worker %d of non-local node %d", worker, nd.node))
 	}
-	return Handle{rt: rt, worker: worker}
+	return Handle{nd: nd, worker: worker}
 }
 
 // NodeID implements kv.KV.
-func (h *Handle) NodeID() int { return h.rt.node }
+func (h *Handle) NodeID() int { return h.nd.node }
 
 // WorkerID implements kv.KV.
 func (h *Handle) WorkerID() int { return h.worker }
 
 // Barrier implements kv.KV.
-func (h *Handle) Barrier() { h.rt.g.cl.Barrier().Wait(h.rt.node) }
+func (h *Handle) Barrier() { h.nd.g.cl.Barrier().Wait(h.nd.node) }
 
 // Clock implements kv.KV as a no-op; the stale PS overrides it.
 func (h *Handle) Clock() {}

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lapse/internal/kv"
@@ -13,10 +14,78 @@ import (
 // nowFunc is stubbed in tests that exercise relocation timing.
 var nowFunc = time.Now
 
-// Pending tracks the asynchronous operations issued by one node's workers:
+// Agg aggregates the per-shard parts of one worker operation into a single
+// future. A multi-key operation whose keys span several server shards
+// registers one pending slot per shard; each slot holds a reference to the
+// shared Agg and releases its keys as they complete. The Agg completes — at
+// most once — when every key of every part is done AND the registration
+// phase has been sealed, so a fast first shard cannot complete the future
+// while later shards are still registering.
+//
+// The reference count starts at 1 (the seal token); Seal releases it.
+type Agg struct {
+	fut       *kv.Future
+	remaining atomic.Int64
+	// Relocation-time measurement (localize aggregates only).
+	start   time.Time
+	measure atomic.Bool
+}
+
+// NewAgg returns an aggregate open for registration.
+func NewAgg() *Agg {
+	a := &Agg{fut: kv.NewFuture()}
+	a.remaining.Store(1)
+	return a
+}
+
+// Measure marks the aggregate for relocation-time measurement and captures
+// the start time: when the aggregate completes, the elapsed time is
+// observed on the completing shard's statistics. Used by the localize that
+// sent a network message; operation aggregates never pay the clock read.
+// Must be called from the registering goroutine, before the measured
+// messages are sent.
+func (a *Agg) Measure() {
+	if a.measure.Load() {
+		return
+	}
+	// The start write happens-before the Store(true); completers read
+	// start only after observing measure == true.
+	a.start = nowFunc()
+	a.measure.Store(true)
+}
+
+// add accounts n more keys (or replies) to wait for.
+func (a *Agg) add(n int) { a.remaining.Add(int64(n)) }
+
+// finish accounts n completions and completes the future when none remain.
+// stats may be nil; it receives the relocation-time observation when the
+// aggregate measures.
+func (a *Agg) finish(n int, stats *metrics.ServerStats) {
+	if a.remaining.Add(int64(-n)) > 0 {
+		return
+	}
+	if a.measure.Load() && stats != nil {
+		stats.RelocationTime.Observe(nowFunc().Sub(a.start))
+	}
+	a.fut.Complete(nil)
+}
+
+// Seal ends the registration phase and returns the aggregate's future. If
+// every registered key already completed (or none were registered), the
+// future completes here. stats receives the relocation-time observation in
+// that case (nil is allowed).
+func (a *Agg) Seal(stats *metrics.ServerStats) *kv.Future {
+	a.finish(1, stats)
+	return a.fut
+}
+
+// Pending tracks the asynchronous operations of one server shard: its keys'
 // pulls/pushes awaiting responses (possibly split across several
 // responders), localizes awaiting key arrivals, and stale-PS fetches
-// awaiting sync replies.
+// awaiting sync replies. Operation IDs are allocated from a node-wide
+// counter, so an ID names exactly one slot in exactly one shard table — the
+// shard that all of the operation part's keys belong to, which is also the
+// shard whose inbox the matching responses arrive on.
 //
 // Localize waiting uses per-key waiter lists rather than transfer IDs: every
 // localize call registers as a waiter on each key it still needs, and key
@@ -25,7 +94,7 @@ var nowFunc = time.Now
 // message; the rest piggy-back).
 type Pending struct {
 	mu      sync.Mutex
-	next    uint64
+	next    *atomic.Uint64 // shared across the node's shards
 	ops     map[uint64]*pendingOp
 	locs    map[uint64]*pendingLoc
 	waiters map[kv.Key][]uint64 // key -> localize IDs waiting for arrival
@@ -33,27 +102,30 @@ type Pending struct {
 }
 
 type pendingOp struct {
-	fut       *kv.Future
+	agg       *Agg
 	remaining int
 	dst       []float32
 	dstOff    map[kv.Key]int
 }
 
 type pendingLoc struct {
-	fut       *kv.Future
+	agg       *Agg
 	remaining int
-	start     time.Time
-	measure   bool // true for the localize that sent the network message
 }
 
 type pendingSync struct {
-	fut       *kv.Future
+	agg       *Agg
 	remaining int // number of server replies expected
 }
 
-// NewPending returns an empty pending-operation table.
-func NewPending() *Pending {
+// NewPending returns an empty pending-operation table with its own ID
+// allocator (single-shard and test use; the runtime's tables share a
+// node-wide allocator).
+func NewPending() *Pending { return newPending(&atomic.Uint64{}) }
+
+func newPending(next *atomic.Uint64) *Pending {
 	return &Pending{
+		next:    next,
 		ops:     make(map[uint64]*pendingOp),
 		locs:    make(map[uint64]*pendingLoc),
 		waiters: make(map[kv.Key][]uint64),
@@ -61,20 +133,29 @@ func NewPending() *Pending {
 	}
 }
 
-// RegisterOp allocates a slot for a pull/push expecting nKeys key answers.
-// For pulls, dst and dstOff describe where each key's response values land.
-func (p *Pending) RegisterOp(nKeys int, dst []float32, dstOff map[kv.Key]int) (uint64, *kv.Future) {
-	fut := kv.NewFuture()
+// RegisterOpPart allocates a slot for the part of a pull/push whose nKeys
+// keys belong to this shard, tied to the operation's aggregate. For pulls,
+// dst and dstOff describe where each key's response values land (shared
+// read-only across parts; distinct keys write distinct sub-slices).
+func (p *Pending) RegisterOpPart(a *Agg, nKeys int, dst []float32, dstOff map[kv.Key]int) uint64 {
+	a.add(nKeys)
+	id := p.next.Add(1)
 	p.mu.Lock()
-	p.next++
-	id := p.next
-	p.ops[id] = &pendingOp{fut: fut, remaining: nKeys, dst: dst, dstOff: dstOff}
+	p.ops[id] = &pendingOp{agg: a, remaining: nKeys, dst: dst, dstOff: dstOff}
 	p.mu.Unlock()
-	return id, fut
+	return id
+}
+
+// RegisterOp allocates a single-part slot for a pull/push expecting nKeys
+// key answers and returns its future directly.
+func (p *Pending) RegisterOp(nKeys int, dst []float32, dstOff map[kv.Key]int) (uint64, *kv.Future) {
+	a := NewAgg()
+	id := p.RegisterOpPart(a, nKeys, dst, dstOff)
+	return id, a.Seal(nil)
 }
 
 // CompleteResp applies a pull/push response, filling the destination buffer
-// and completing the future once all keys are answered.
+// and completing the operation's future once all keys are answered.
 func (p *Pending) CompleteResp(layout kv.Layout, m *msg.OpResp) {
 	p.mu.Lock()
 	op, ok := p.ops[m.ID]
@@ -95,8 +176,8 @@ func (p *Pending) CompleteResp(layout kv.Layout, m *msg.OpResp) {
 	p.FinishKeys(m.ID, len(m.Keys))
 }
 
-// FinishKeys accounts n keys of operation id as done, completing its future
-// when none remain.
+// FinishKeys accounts n keys of operation id as done, completing the
+// operation's future when no keys of any part remain.
 func (p *Pending) FinishKeys(id uint64, n int) {
 	p.mu.Lock()
 	op, ok := p.ops[id]
@@ -105,26 +186,33 @@ func (p *Pending) FinishKeys(id uint64, n int) {
 		panic(fmt.Sprintf("server: completion for unknown op %d", id))
 	}
 	op.remaining -= n
-	done := op.remaining <= 0
-	if done {
+	if op.remaining <= 0 {
 		delete(p.ops, id)
 	}
 	p.mu.Unlock()
-	if done {
-		op.fut.Complete(nil)
-	}
+	op.agg.finish(n, nil)
 }
 
-// RegisterLocalize allocates a localize slot expecting nKeys arrivals.
-// measure marks the slot whose relocation time should be recorded.
-func (p *Pending) RegisterLocalize(nKeys int, measure bool) (uint64, *kv.Future) {
-	fut := kv.NewFuture()
+// RegisterLocalizePart allocates a localize slot expecting nKeys arrivals of
+// this shard's keys, tied to the localize's aggregate.
+func (p *Pending) RegisterLocalizePart(a *Agg, nKeys int) uint64 {
+	a.add(nKeys)
+	id := p.next.Add(1)
 	p.mu.Lock()
-	p.next++
-	id := p.next
-	p.locs[id] = &pendingLoc{fut: fut, remaining: nKeys, start: nowFunc(), measure: measure}
+	p.locs[id] = &pendingLoc{agg: a, remaining: nKeys}
 	p.mu.Unlock()
-	return id, fut
+	return id
+}
+
+// RegisterLocalize allocates a single-part localize slot expecting nKeys
+// arrivals. measure marks the slot whose relocation time should be recorded.
+func (p *Pending) RegisterLocalize(nKeys int, measure bool) (uint64, *kv.Future) {
+	a := NewAgg()
+	if measure {
+		a.Measure()
+	}
+	id := p.RegisterLocalizePart(a, nKeys)
+	return id, a.Seal(nil)
 }
 
 // AddWaiter registers localize id as waiting for key k. Must be called while
@@ -138,9 +226,13 @@ func (p *Pending) AddWaiter(k kv.Key, id uint64) {
 
 // CompleteLocalizeKeys notifies all localize waiters of the given keys that
 // the keys arrived (or already reside) at this node. Relocation times are
-// observed on the measuring slot when it completes.
+// observed on stats when a measuring aggregate completes.
 func (p *Pending) CompleteLocalizeKeys(keys []kv.Key, stats *metrics.ServerStats) {
-	var completed []*pendingLoc
+	type done struct {
+		agg *Agg
+		n   int
+	}
+	var completed []done
 	p.mu.Lock()
 	for _, k := range keys {
 		ids := p.waiters[k]
@@ -156,29 +248,33 @@ func (p *Pending) CompleteLocalizeKeys(keys []kv.Key, stats *metrics.ServerStats
 			loc.remaining--
 			if loc.remaining <= 0 {
 				delete(p.locs, id)
-				completed = append(completed, loc)
 			}
+			completed = append(completed, done{agg: loc.agg, n: 1})
 		}
 	}
 	p.mu.Unlock()
-	for _, loc := range completed {
-		if loc.measure && stats != nil {
-			stats.RelocationTime.Observe(nowFunc().Sub(loc.start))
-		}
-		loc.fut.Complete(nil)
+	for _, d := range completed {
+		d.agg.finish(d.n, stats)
 	}
 }
 
-// RegisterSync allocates a stale-PS fetch slot expecting nReplies sync
-// replies (one per contacted server shard).
-func (p *Pending) RegisterSync(nReplies int) (uint64, *kv.Future) {
-	fut := kv.NewFuture()
+// RegisterSyncPart allocates a stale-PS fetch slot expecting nReplies sync
+// replies for this shard's keys, tied to the fetch's aggregate.
+func (p *Pending) RegisterSyncPart(a *Agg, nReplies int) uint64 {
+	a.add(nReplies)
+	id := p.next.Add(1)
 	p.mu.Lock()
-	p.next++
-	id := p.next
-	p.syncs[id] = &pendingSync{fut: fut, remaining: nReplies}
+	p.syncs[id] = &pendingSync{agg: a, remaining: nReplies}
 	p.mu.Unlock()
-	return id, fut
+	return id
+}
+
+// RegisterSync allocates a single-part fetch slot expecting nReplies sync
+// replies (one per contacted server).
+func (p *Pending) RegisterSync(nReplies int) (uint64, *kv.Future) {
+	a := NewAgg()
+	id := p.RegisterSyncPart(a, nReplies)
+	return id, a.Seal(nil)
 }
 
 // CompleteSync accounts one sync reply for fetch id.
@@ -190,12 +286,9 @@ func (p *Pending) CompleteSync(id uint64) {
 		panic(fmt.Sprintf("server: reply for unknown sync %d", id))
 	}
 	s.remaining--
-	done := s.remaining <= 0
-	if done {
+	if s.remaining <= 0 {
 		delete(p.syncs, id)
 	}
 	p.mu.Unlock()
-	if done {
-		s.fut.Complete(nil)
-	}
+	s.agg.finish(1, nil)
 }

@@ -3,31 +3,41 @@
 // Lapse). The runtime owns everything the variants previously each
 // implemented for themselves:
 //
-//   - the server message loop that drains a node's network inbox and
-//     dispatches messages,
-//   - the pending-operation table that matches responses, key arrivals, and
+//   - the per-shard server message loops that drain a node's sharded network
+//     inboxes and dispatch messages,
+//   - the pending-operation tables that match responses, key arrivals, and
 //     sync replies to the futures workers wait on,
 //   - the per-worker future tracking behind WaitAll,
-//   - the worker-side operation dispatch with per-destination message
-//     batching: all keys of one multi-key Pull/Push that route to the same
-//     node travel in a single msg.Op envelope (message grouping,
-//     Section 3.7 of the paper).
+//   - the worker-side operation dispatch with per-(destination, shard)
+//     message batching: all keys of one multi-key Pull/Push that route to
+//     the same node and the same server shard travel in a single msg.Op
+//     envelope (message grouping, Section 3.7 of the paper).
 //
-// A variant supplies only its policy: a Policy that handles the variant's
-// wire messages on the server goroutine (home-node serving for the classic
-// PS, replica/clock logic for the stale PS, routing and relocation for
-// Lapse), and a Router that decides per key how a worker operation is
-// served (shared-memory fast path, relocation queue, or a destination
-// node). Operation responses (msg.OpResp) are consumed by the runtime
-// itself and complete pending operations uniformly across variants.
+// A node's runtime is split into S independent shards (S = the transport's
+// Shards()): each shard owns the interleaved static key slice k ≡ s (mod S),
+// its own pending-operation table, and its own message loop, so a node's
+// server work parallelizes across cores while every key still has exactly
+// one serving goroutine per node — which is what preserves the paper's
+// per-key ordering arguments. Transports deliver into per-shard inboxes
+// (demux on decode, see msg.ShardOf) with FIFO per (link, shard).
+//
+// A variant supplies only its policy: one Policy per (node, shard) that
+// handles the variant's wire messages on that shard's goroutine (home-node
+// serving for the classic PS, replica/clock logic for the stale PS, routing
+// and relocation for Lapse), and a Router that decides per key how a worker
+// operation is served (shared-memory fast path, relocation queue, or a
+// destination node). Operation responses (msg.OpResp) are consumed by the
+// runtime itself and complete pending operations uniformly across variants.
 package server
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"lapse/internal/cluster"
 	"lapse/internal/kv"
 	"lapse/internal/metrics"
 	"lapse/internal/msg"
-	"sync"
 )
 
 // Config parameterizes the shared runtime.
@@ -38,9 +48,10 @@ type Config struct {
 	Unbatched bool
 }
 
-// Policy is the variant-specific part of a node's server: it handles every
-// wire message except msg.OpResp, which the runtime consumes itself. All
-// methods run on the node's single server goroutine.
+// Policy is the variant-specific part of a node's server shard: it handles
+// every wire message except msg.OpResp, which the runtime consumes itself.
+// All methods run on the owning shard's goroutine; key-addressed messages
+// only ever carry keys of that shard.
 type Policy interface {
 	// HandleMessage processes one variant message from node src.
 	HandleMessage(src int, m any)
@@ -52,50 +63,86 @@ type Policy interface {
 
 // Group manages the per-node runtimes of one parameter-server instance.
 type Group struct {
-	cl       *cluster.Cluster
-	layout   kv.Layout
-	cfg      Config
-	runtimes []*Runtime
-	stats    []*metrics.ServerStats
-	wg       sync.WaitGroup
+	cl     *cluster.Cluster
+	layout kv.Layout
+	cfg    Config
+	shards int
+	nodes  []*Node
+	wg     sync.WaitGroup
 }
 
-// NewGroup creates one Runtime per cluster node. The runtimes are inert
-// until Start binds their policies and spawns the message loops, so variants
-// can wire their per-node state to the runtimes in between.
+// NewGroup creates one Node runtime per cluster node, each with one shard
+// Runtime per transport inbox shard. The runtimes are inert until Start
+// binds their policies and spawns the message loops, so variants can wire
+// their per-node state to the runtimes in between.
 func NewGroup(cl *cluster.Cluster, layout kv.Layout, cfg Config) *Group {
 	g := &Group{
-		cl:       cl,
-		layout:   layout,
-		cfg:      cfg,
-		runtimes: make([]*Runtime, cl.Nodes()),
-		stats:    make([]*metrics.ServerStats, cl.Nodes()),
+		cl:     cl,
+		layout: layout,
+		cfg:    cfg,
+		shards: cl.Net().Shards(),
+		nodes:  make([]*Node, cl.Nodes()),
 	}
 	for n := 0; n < cl.Nodes(); n++ {
-		g.stats[n] = &metrics.ServerStats{}
-		g.runtimes[n] = &Runtime{g: g, node: n, pending: NewPending(), stats: g.stats[n]}
+		nd := &Node{g: g, node: n, shards: make([]*Runtime, g.shards)}
+		for s := 0; s < g.shards; s++ {
+			nd.shards[s] = &Runtime{
+				nd:      nd,
+				shard:   s,
+				pending: newPending(&nd.nextID),
+				stats:   &metrics.ServerStats{},
+			}
+		}
+		g.nodes[n] = nd
 	}
 	return g
 }
 
-// Runtime returns node n's runtime.
-func (g *Group) Runtime(n int) *Runtime { return g.runtimes[n] }
+// Shards returns the per-node shard count.
+func (g *Group) Shards() int { return g.shards }
 
-// Stats returns the per-node server statistics.
-func (g *Group) Stats() []*metrics.ServerStats { return g.stats }
+// Node returns node n's runtime.
+func (g *Group) Node(n int) *Node { return g.nodes[n] }
 
-// Start binds each node's policy and spawns the server goroutines. policy is
-// invoked once per node, in node order. Message loops run only for nodes
-// hosted by this process; in a multi-process deployment every process serves
-// its own share of the nodes.
-func (g *Group) Start(policy func(node int) Policy) {
-	for n, rt := range g.runtimes {
-		rt.policy = policy(n)
-		if !g.cl.Local(n) {
-			continue
+// Runtime returns shard s of node n.
+func (g *Group) Runtime(n, s int) *Runtime { return g.nodes[n].shards[s] }
+
+// Stats returns the per-shard server statistics of every node, node-major:
+// entry n*Shards()+s belongs to shard s of node n. Aggregate with
+// metrics.Sum for cluster totals or NodeStats for one node's shards.
+func (g *Group) Stats() []*metrics.ServerStats {
+	out := make([]*metrics.ServerStats, 0, len(g.nodes)*g.shards)
+	for _, nd := range g.nodes {
+		for _, rt := range nd.shards {
+			out = append(out, rt.stats)
 		}
-		g.wg.Add(1)
-		go rt.loop()
+	}
+	return out
+}
+
+// NodeStats returns the per-shard statistics of node n.
+func (g *Group) NodeStats(n int) []*metrics.ServerStats {
+	out := make([]*metrics.ServerStats, g.shards)
+	for s, rt := range g.nodes[n].shards {
+		out[s] = rt.stats
+	}
+	return out
+}
+
+// Start binds each shard's policy and spawns the server goroutines. policy
+// is invoked once per (node, shard), in node-major order. Message loops run
+// only for nodes hosted by this process; in a multi-process deployment every
+// process serves its own share of the nodes.
+func (g *Group) Start(policy func(node, shard int) Policy) {
+	for n, nd := range g.nodes {
+		for s, rt := range nd.shards {
+			rt.policy = policy(n, s)
+			if !g.cl.Local(n) {
+				continue
+			}
+			g.wg.Add(1)
+			go rt.loop()
+		}
 	}
 }
 
@@ -103,55 +150,91 @@ func (g *Group) Start(policy func(node int) Policy) {
 // be closed first (closing drains the inboxes the loops range over).
 func (g *Group) Wait() { g.wg.Wait() }
 
-// Runtime is the shared server runtime of one node.
+// Node is the worker-facing runtime of one node: it spans the node's server
+// shards and carries the shared operation-ID allocator. Worker-side dispatch
+// (DispatchOp, handles) goes through the Node; server-side message handling
+// through the per-shard Runtimes.
+type Node struct {
+	g      *Group
+	node   int
+	nextID atomic.Uint64 // operation IDs, unique across the node's shards
+	shards []*Runtime
+}
+
+// ID returns the node index.
+func (nd *Node) ID() int { return nd.node }
+
+// Shards returns the node's shard count.
+func (nd *Node) Shards() int { return len(nd.shards) }
+
+// Shard returns shard s's runtime.
+func (nd *Node) Shard(s int) *Runtime { return nd.shards[s] }
+
+// ShardOf returns the runtime of the shard owning key k.
+func (nd *Node) ShardOf(k kv.Key) *Runtime {
+	return nd.shards[msg.ShardOfKey(k, len(nd.shards))]
+}
+
+// Batched reports whether per-destination message batching is enabled.
+func (nd *Node) Batched() bool { return !nd.g.cfg.Unbatched }
+
+// Send transmits m over the cluster transport with this node as source, even
+// when dest is this node (the loopback link models PS-Lite's IPC path). The
+// transport encodes m through the wire codec immediately, so the caller may
+// keep mutating m and its slices afterwards. Safe to call from any
+// goroutine.
+func (nd *Node) Send(dest int, m any) {
+	nd.g.cl.Net().Send(nd.node, dest, m)
+}
+
+// Runtime is the server runtime of one shard of one node: its message loop,
+// pending-operation table, and statistics.
 type Runtime struct {
-	g       *Group
-	node    int
+	nd      *Node
+	shard   int
 	policy  Policy
 	pending *Pending
 	stats   *metrics.ServerStats
 }
 
 // Node returns the node this runtime serves.
-func (rt *Runtime) Node() int { return rt.node }
+func (rt *Runtime) Node() int { return rt.nd.node }
 
-// Pending returns the node's pending-operation table.
+// Shard returns this runtime's shard index.
+func (rt *Runtime) Shard() int { return rt.shard }
+
+// Pending returns the shard's pending-operation table.
 func (rt *Runtime) Pending() *Pending { return rt.pending }
 
-// Stats returns the node's statistics counters.
+// Stats returns the shard's statistics counters.
 func (rt *Runtime) Stats() *metrics.ServerStats { return rt.stats }
 
 // Batched reports whether per-destination message batching is enabled.
-func (rt *Runtime) Batched() bool { return !rt.g.cfg.Unbatched }
+func (rt *Runtime) Batched() bool { return !rt.nd.g.cfg.Unbatched }
 
-// Send transmits m over the cluster transport, even when dest is this node
-// (the loopback link models PS-Lite's IPC path). The transport encodes m
-// through the wire codec immediately, so the caller may keep mutating m and
-// its slices afterwards. Safe to call from worker threads and from the
-// server goroutine.
-func (rt *Runtime) Send(dest int, m any) {
-	rt.g.cl.Net().Send(rt.node, dest, m)
-}
+// Send transmits m over the cluster transport (see Node.Send).
+func (rt *Runtime) Send(dest int, m any) { rt.nd.Send(dest, m) }
 
 // SendOrDispatch transmits m, handling node-local destinations inline on the
 // calling goroutine instead of looping them through the network (Lapse never
-// talks to itself over the network). It must only be called from the server
-// goroutine: inline dispatch preserves arrival order precisely because that
-// goroutine is the only one that processes messages.
+// talks to itself over the network). It must only be called from this
+// shard's server goroutine, and only with messages of this shard's keys:
+// inline dispatch preserves arrival order precisely because that goroutine
+// is the only one that processes the shard's messages.
 func (rt *Runtime) SendOrDispatch(dest int, m any) {
-	if dest == rt.node {
-		rt.handle(rt.node, m)
+	if dest == rt.nd.node {
+		rt.handle(rt.nd.node, m)
 		return
 	}
 	rt.Send(dest, m)
 }
 
-// loop is the node's server goroutine: it processes incoming messages in
+// loop is the shard's server goroutine: it processes incoming messages in
 // arrival order with no prioritization (Section 3.7: prioritizing relocation
 // messages would break consistency for asynchronous operations).
 func (rt *Runtime) loop() {
-	defer rt.g.wg.Done()
-	for env := range rt.g.cl.Net().Inbox(rt.node) {
+	defer rt.nd.g.wg.Done()
+	for env := range rt.nd.g.cl.Net().Inbox(rt.nd.node, rt.shard) {
 		rt.handle(env.Src, env.Msg)
 	}
 }
@@ -163,9 +246,9 @@ func (rt *Runtime) handle(src int, m any) {
 	switch t := m.(type) {
 	case *msg.OpResp:
 		rt.policy.OnOpResp(t)
-		rt.pending.CompleteResp(rt.g.layout, t)
+		rt.pending.CompleteResp(rt.nd.g.layout, t)
 	case *msg.Barrier:
-		rt.g.cl.HandleBarrier(rt.node, t)
+		rt.nd.g.cl.HandleBarrier(rt.nd.node, t)
 	default:
 		rt.policy.HandleMessage(src, m)
 	}

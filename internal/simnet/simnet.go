@@ -50,6 +50,10 @@ import (
 type Config struct {
 	// Nodes is the number of cluster nodes.
 	Nodes int
+	// Shards is the number of per-node inbox shards (default 1). Messages
+	// are demultiplexed on decode via msg.ShardOf, preserving FIFO per
+	// (link, shard); the server runtime runs one message loop per shard.
+	Shards int
 	// Latency is the one-way propagation delay between distinct nodes.
 	// Zero disables timed delivery (messages are delivered immediately,
 	// FIFO order still guaranteed); used by unit tests.
@@ -58,7 +62,9 @@ type Config struct {
 	LoopbackLatency time.Duration
 	// BytesPerSecond is the link bandwidth; 0 means infinite.
 	BytesPerSecond float64
-	// InboxSize bounds the per-node inbox (default 1<<16).
+	// InboxSize bounds each node's total inbox capacity (default 1<<16),
+	// divided evenly across its Shards inbox channels so memory and
+	// backpressure stay constant as the shard count grows.
 	InboxSize int
 }
 
@@ -114,7 +120,7 @@ func (h *eventHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h
 // concurrent use.
 type Network struct {
 	cfg     Config
-	inboxes []chan Envelope
+	inboxes [][]chan Envelope // [node][shard]
 	links   [][]*link
 
 	schedMu   sync.Mutex
@@ -144,17 +150,24 @@ func New(cfg Config) *Network {
 	if cfg.InboxSize <= 0 {
 		cfg.InboxSize = 1 << 16
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
 	n := &Network{
 		cfg:          cfg,
-		inboxes:      make([]chan Envelope, cfg.Nodes),
+		inboxes:      make([][]chan Envelope, cfg.Nodes),
 		links:        make([][]*link, cfg.Nodes),
 		pairMsgs:     make([]atomic.Int64, cfg.Nodes*cfg.Nodes),
 		wake:         make(chan struct{}, 1),
 		schedDone:    make(chan struct{}),
 		sleepEnabled: cfg.Latency > 0 || cfg.LoopbackLatency > 0 || cfg.BytesPerSecond > 0,
 	}
+	perShard := (cfg.InboxSize + cfg.Shards - 1) / cfg.Shards
 	for i := range n.inboxes {
-		n.inboxes[i] = make(chan Envelope, cfg.InboxSize)
+		n.inboxes[i] = make([]chan Envelope, cfg.Shards)
+		for s := range n.inboxes[i] {
+			n.inboxes[i][s] = make(chan Envelope, perShard)
+		}
 	}
 	for src := range n.links {
 		n.links[src] = make([]*link, cfg.Nodes)
@@ -168,6 +181,9 @@ func New(cfg Config) *Network {
 
 // Nodes returns the number of nodes.
 func (n *Network) Nodes() int { return n.cfg.Nodes }
+
+// Shards returns the per-node inbox shard count.
+func (n *Network) Shards() int { return n.cfg.Shards }
 
 // Local reports whether node is hosted here: the simulated network hosts
 // every node of the cluster in this process.
@@ -191,7 +207,14 @@ func (n *Network) Send(src, dst int, m any) {
 	if err != nil {
 		panic(fmt.Sprintf("simnet: message %T does not round-trip: %v", m, err))
 	}
+	if err := msg.CheckShardPure(copied, n.cfg.Shards); err != nil {
+		// The simulated network is the testing transport: a batching bug
+		// that mixes shards in one key-addressed message fails loudly here
+		// instead of corrupting per-shard server state.
+		panic(fmt.Sprintf("simnet: %v", err))
+	}
 	m = copied
+	shard := msg.ShardOf(copied, n.cfg.Shards)
 	bytes := len(buf)
 
 	n.sendMu.RLock()
@@ -209,9 +232,9 @@ func (n *Network) Send(src, dst int, m any) {
 	}
 	n.pairMsgs[src*n.cfg.Nodes+dst].Add(1)
 
-	env := Envelope{Src: src, Dst: dst, Msg: m, Bytes: bytes}
+	env := Envelope{Src: src, Dst: dst, Msg: m, Shard: shard, Bytes: bytes}
 	if !n.sleepEnabled {
-		n.inboxes[dst] <- env
+		n.inboxes[dst][shard] <- env
 		return
 	}
 	lat := n.cfg.Latency
@@ -231,7 +254,7 @@ func (n *Network) Send(src, dst int, m any) {
 	}
 	l.last = at
 	l.mu.Unlock()
-	n.schedule(event{at: at, env: env, inbox: n.inboxes[dst]})
+	n.schedule(event{at: at, env: env, inbox: n.inboxes[dst][shard]})
 }
 
 // Sleep blocks the caller for precisely d, driven by the central scheduler.
@@ -316,11 +339,11 @@ func (n *Network) scheduler() {
 	}
 }
 
-// Inbox returns the receive channel of node. All messages addressed to node
-// (from any source) are merged into this channel; per-source FIFO order is
-// preserved. The channel is closed by Close after all in-flight messages
-// have been delivered.
-func (n *Network) Inbox(node int) <-chan Envelope { return n.inboxes[node] }
+// Inbox returns the receive channel of node's inbox shard. All messages
+// addressed to (node, shard) — from any source — are merged into this
+// channel; per-(source, shard) FIFO order is preserved. The channel is closed
+// by Close after all in-flight messages have been delivered.
+func (n *Network) Inbox(node, shard int) <-chan Envelope { return n.inboxes[node][shard] }
 
 // Close drains all in-flight messages and closes every inbox. It must be
 // called only when no goroutine will Send anymore; receivers observe channel
@@ -349,8 +372,10 @@ func (n *Network) Close() {
 		n.fire(heap.Pop(&rest).(event))
 	}
 	<-n.schedDone
-	for _, in := range n.inboxes {
-		close(in)
+	for _, node := range n.inboxes {
+		for _, in := range node {
+			close(in)
+		}
 	}
 }
 

@@ -31,7 +31,7 @@ func TestFIFOPerLink(t *testing.T) {
 		n.Send(0, 1, clockMsg(0, i))
 	}
 	for i := 0; i < msgs; i++ {
-		env := <-n.Inbox(1)
+		env := <-n.Inbox(1, 0)
 		if got := seqOf(t, env.Msg); got != i {
 			t.Fatalf("message %d arrived out of order (got %v)", i, got)
 		}
@@ -49,7 +49,7 @@ func TestFIFOWithLatency(t *testing.T) {
 		n.Send(0, 1, clockMsg(0, i))
 	}
 	for i := 0; i < msgs; i++ {
-		env := <-n.Inbox(1)
+		env := <-n.Inbox(1, 0)
 		if got := seqOf(t, env.Msg); got != i {
 			t.Fatalf("message %d out of order (got %v)", i, got)
 		}
@@ -62,7 +62,7 @@ func TestLatencyIsApplied(t *testing.T) {
 	defer n.Close()
 	start := time.Now()
 	n.Send(0, 1, clockMsg(0, 0))
-	<-n.Inbox(1)
+	<-n.Inbox(1, 0)
 	if got := time.Since(start); got < lat {
 		t.Fatalf("message delivered after %v, want >= %v", got, lat)
 	}
@@ -74,7 +74,7 @@ func TestLoopbackLatencyDistinct(t *testing.T) {
 	defer n.Close()
 	start := time.Now()
 	n.Send(1, 1, clockMsg(0, 0))
-	<-n.Inbox(1)
+	<-n.Inbox(1, 0)
 	got := time.Since(start)
 	if got < loop {
 		t.Fatalf("loopback delivered after %v, want >= %v", got, loop)
@@ -91,7 +91,7 @@ func TestBandwidthSerialization(t *testing.T) {
 	big := &msg.RelocTransfer{ID: 1, Keys: []kv.Key{1}, Vals: make([]float32, 250_000)}
 	start := time.Now()
 	n.Send(0, 1, big)
-	<-n.Inbox(1)
+	<-n.Inbox(1, 0)
 	if got := time.Since(start); got < 9*time.Millisecond {
 		t.Fatalf("1MB at 100MB/s delivered in %v, want >= ~10ms", got)
 	}
@@ -106,9 +106,9 @@ func TestStats(t *testing.T) {
 	n.Send(0, 1, a)
 	n.Send(0, 2, b)
 	n.Send(1, 1, c) // loopback
-	<-n.Inbox(1)
-	<-n.Inbox(2)
-	<-n.Inbox(1)
+	<-n.Inbox(1, 0)
+	<-n.Inbox(2, 0)
+	<-n.Inbox(1, 0)
 	s := n.Stats()
 	if want := int64(msg.Size(a) + msg.Size(b)); s.RemoteMessages != 2 || s.RemoteBytes != want {
 		t.Fatalf("remote stats = %+v, want 2 msgs / %d bytes", s, want)
@@ -132,7 +132,7 @@ func TestEnvelopeCarriesEncodedSize(t *testing.T) {
 	defer n.Close()
 	m := &msg.Op{Type: msg.OpPush, ID: 9, Keys: []kv.Key{1, 2}, Vals: []float32{1, 2}}
 	n.Send(0, 1, m)
-	env := <-n.Inbox(1)
+	env := <-n.Inbox(1, 0)
 	if env.Bytes != msg.Size(m) {
 		t.Fatalf("envelope bytes = %d, want %d", env.Bytes, msg.Size(m))
 	}
@@ -147,7 +147,7 @@ func TestCloseDrainsInFlight(t *testing.T) {
 	done := make(chan int)
 	go func() {
 		count := 0
-		for range n.Inbox(1) {
+		for range n.Inbox(1, 0) {
 			count++
 		}
 		done <- count
@@ -176,7 +176,7 @@ func TestConcurrentSenders(t *testing.T) {
 	// Per-source sequences must arrive in order even when interleaved.
 	next := [4]int{}
 	for i := 0; i < 4*perSender; i++ {
-		env := <-n.Inbox(3)
+		env := <-n.Inbox(3, 0)
 		c := env.Msg.(*msg.SspClock)
 		if int(c.Clock) != next[c.Worker] {
 			t.Fatalf("source %d: got seq %d, want %d", c.Worker, c.Clock, next[c.Worker])

@@ -46,7 +46,7 @@ func (h *handle) Push(keys []kv.Key, vals []float32) error {
 			c[i] += x
 		}
 		off += l
-		h.nd.rt.Stats().LocalWrites.Inc()
+		h.nd.srv.ShardOf(k).Stats().LocalWrites.Inc()
 	}
 	return nil
 }
@@ -74,14 +74,14 @@ func (h *handle) PullAsync(keys []kv.Key, dst []float32) *kv.Future {
 		required = 0
 	}
 	// Serve what we can from replicas; collect stale keys per server (one
-	// fetch message per contacted shard).
+	// fetch message per contacted server node).
 	var staleBy map[int][]kv.Key
 	dstOff := make(map[kv.Key]int, len(keys))
 	off := 0
-	st := h.nd.rt.Stats()
 	for _, k := range keys {
 		dstOff[k] = off
 		l := h.sys.layout.Len(k)
+		st := h.nd.srv.ShardOf(k).Stats()
 		if h.readReplica(k, required, dst[off:off+l]) {
 			st.LocalReads.Inc()
 		} else {
@@ -99,11 +99,16 @@ func (h *handle) PullAsync(keys []kv.Key, dst []float32) *kv.Future {
 		h.addOwnWrites(keys, dst, dstOff)
 		return kv.CompletedFuture(nil)
 	}
-	id, fut := h.nd.rt.Pending().RegisterSync(len(staleBy))
+	// One fetch per contacted server, each registered as a pending part on
+	// the shard of the fetch's first key: the reply echoes the key list, so
+	// the transport demux delivers it back to exactly that shard.
+	a := server.NewAgg()
 	for srv, ks := range staleBy {
+		id := h.nd.srv.ShardOf(ks[0]).Pending().RegisterSyncPart(a, 1)
 		m := &msg.SspSync{ID: id, Clock: required, Keys: ks}
-		h.nd.rt.Send(srv, m)
+		h.nd.srv.Send(srv, m)
 	}
+	fut := a.Seal(nil)
 	// Completion fills replicas (via applyRefresh); read them afterwards.
 	out := kv.NewFuture()
 	go func() {
@@ -206,7 +211,7 @@ func (h *handle) Clock() {
 		for _, k := range ks {
 			vals = append(vals, h.writeCache[k]...)
 		}
-		if err := h.nd.rt.DispatchOp(h, msg.OpPush, ks, nil, vals).Wait(); err != nil {
+		if err := h.nd.srv.DispatchOp(h, msg.OpPush, ks, nil, vals).Wait(); err != nil {
 			panic(fmt.Sprintf("ssp: flush failed: %v", err))
 		}
 		// Fold the flushed deltas into existing local replicas, as
@@ -230,7 +235,7 @@ func (h *handle) Clock() {
 	h.clock++
 	for n := 0; n < h.sys.cl.Nodes(); n++ {
 		m := &msg.SspClock{Worker: int32(h.WorkerID()), Clock: h.clock}
-		h.nd.rt.Send(n, m)
+		h.nd.srv.Send(n, m)
 	}
 }
 

@@ -74,13 +74,18 @@ type System struct {
 	workers int
 }
 
-// node combines the server shard and the client-side replica manager of one
-// simulated machine (they share the node's single message loop).
+// node combines the server store and the client-side replica manager of one
+// simulated machine. Its message handling is split across the runtime's
+// server shards: flushed updates are applied by the shard owning their keys
+// (the store's latches keep per-key atomicity), while the clock protocol —
+// whose handlers mutate node-level state under clockMu and rely on per-link
+// FIFO — is pinned to shard 0 by the transport demux.
 type node struct {
 	sys *System
-	rt  *server.Runtime
+	srv *server.Node
+	sh  []*policyShard
 
-	// Server-side state (shard).
+	// Server-side state.
 	shard        store.Store
 	clockMu      sync.Mutex
 	workerClocks []int32
@@ -91,6 +96,12 @@ type node struct {
 	// Client-side state (replicas).
 	repMu    sync.RWMutex
 	replicas map[kv.Key]*replica
+}
+
+// policyShard is one server shard's view of the node policy.
+type policyShard struct {
+	nd *node
+	rt *server.Runtime
 }
 
 type replica struct {
@@ -129,21 +140,32 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 		if !cl.Local(n) {
 			continue
 		}
-		s.nodes[n] = &node{
+		srv := s.g.Node(n)
+		nd := &node{
 			sys:          s,
-			rt:           s.g.Runtime(n),
+			srv:          srv,
+			sh:           make([]*policyShard, srv.Shards()),
 			shard:        store.NewDense(layout, cfg.Latches),
 			workerClocks: make([]int32, cl.TotalWorkers()),
 			subs:         make(map[int]map[kv.Key]struct{}),
 			replicas:     make(map[kv.Key]*replica),
 		}
+		for sh := range nd.sh {
+			nd.sh[sh] = &policyShard{nd: nd, rt: srv.Shard(sh)}
+		}
+		s.nodes[n] = nd
 	}
 	for k := kv.Key(0); k < layout.NumKeys(); k++ {
 		if nd := s.nodes[s.part.NodeOf(k)]; nd != nil {
 			nd.shard.Set(k, make([]float32, layout.Len(k)))
 		}
 	}
-	s.g.Start(func(n int) server.Policy { return s.nodes[n] })
+	s.g.Start(func(n, shard int) server.Policy {
+		if s.nodes[n] == nil {
+			return nil // non-local node: no message loop runs
+		}
+		return s.nodes[n].sh[shard]
+	})
 	return s
 }
 
@@ -203,7 +225,7 @@ func (s *System) Shutdown() { s.g.Wait() }
 func (s *System) Handle(worker int) kv.KV {
 	n := s.cl.NodeOfWorker(worker)
 	return &handle{
-		Handle:     server.NewHandle(s.g.Runtime(n), worker),
+		Handle:     server.NewHandle(s.g.Node(n), worker),
 		sys:        s,
 		nd:         s.nodes[n],
 		writeCache: make(map[kv.Key][]float32),
@@ -212,26 +234,31 @@ func (s *System) Handle(worker int) kv.KV {
 
 // OnOpResp implements server.Policy (nothing to observe; the runtime
 // completes flush acknowledgements).
-func (nd *node) OnOpResp(*msg.OpResp) {}
+func (sh *policyShard) OnOpResp(*msg.OpResp) {}
 
-// HandleMessage implements server.Policy.
-func (nd *node) HandleMessage(src int, m any) {
+// HandleMessage implements server.Policy. Flushes carry only this shard's
+// keys; SspClock is pinned to shard 0 by the transport demux; SspSync may
+// reach any shard (its node-level state is clock-guarded, and replies
+// deterministically land on the shard that registered the fetch, because
+// request and reply carry the same key list).
+func (sh *policyShard) HandleMessage(src int, m any) {
 	switch t := m.(type) {
 	case *msg.Op:
-		nd.handleFlush(t)
+		sh.handleFlush(t)
 	case *msg.SspClock:
-		nd.handleClock(t)
+		sh.nd.handleClock(sh, t)
 	case *msg.SspSync:
-		nd.handleSync(src, t)
+		sh.nd.handleSync(sh, src, t)
 	default:
-		panic(fmt.Sprintf("ssp: unexpected message %T at node %d", m, nd.rt.Node()))
+		panic(fmt.Sprintf("ssp: unexpected message %T at node %d", m, sh.rt.Node()))
 	}
 }
 
-// handleFlush applies a worker's flushed update batch to the shard and
+// handleFlush applies a worker's flushed update batch to the store and
 // acknowledges it (the ack keeps flush futures precise; Petuum's oplog flush
 // is likewise confirmed).
-func (nd *node) handleFlush(m *msg.Op) {
+func (sh *policyShard) handleFlush(m *msg.Op) {
+	nd := sh.nd
 	if m.Type != msg.OpPush {
 		panic("ssp: only push flushes reach servers")
 	}
@@ -239,18 +266,18 @@ func (nd *node) handleFlush(m *msg.Op) {
 	for _, k := range m.Keys {
 		l := nd.sys.layout.Len(k)
 		if !nd.shard.Add(k, m.Vals[off:off+l]) {
-			panic(fmt.Sprintf("ssp: flush for key %d not in shard of node %d", k, nd.rt.Node()))
+			panic(fmt.Sprintf("ssp: flush for key %d not in shard of node %d", k, sh.rt.Node()))
 		}
 		off += l
 	}
-	resp := &msg.OpResp{Type: msg.OpPush, ID: m.ID, Responder: int32(nd.rt.Node()), Keys: m.Keys}
-	nd.rt.Send(int(m.Origin), resp)
+	resp := &msg.OpResp{Type: msg.OpPush, ID: m.ID, Responder: int32(sh.rt.Node()), Keys: m.Keys}
+	sh.rt.Send(int(m.Origin), resp)
 }
 
 // handleClock advances a worker's clock at this server and, if the global
 // clock advanced, releases blocked synchronizations and (in SSPPush mode)
 // eagerly pushes subscribed parameters.
-func (nd *node) handleClock(m *msg.SspClock) {
+func (nd *node) handleClock(sh *policyShard, m *msg.SspClock) {
 	nd.clockMu.Lock()
 	if m.Clock > nd.workerClocks[m.Worker] {
 		nd.workerClocks[m.Worker] = m.Clock
@@ -279,16 +306,18 @@ func (nd *node) handleClock(m *msg.SspClock) {
 	nd.clockMu.Unlock()
 
 	for _, w := range release {
-		nd.replySync(w.origin, w.id, w.keys, global)
+		nd.replySync(sh, w.origin, w.id, w.keys, global)
 	}
 	if advanced && nd.sys.cfg.ServerSync {
-		nd.eagerPush(global)
+		nd.eagerPush(sh, global)
 	}
 }
 
 // eagerPush sends every subscribed key's current value to each subscriber
-// node (SSPPush: replicate all previously accessed parameters).
-func (nd *node) eagerPush(global int32) {
+// node (SSPPush: replicate all previously accessed parameters). The pushed
+// messages may span shards; receivers install them clock-monotonically, so
+// no shard-purity is required (see msg.ShardOf).
+func (nd *node) eagerPush(sh *policyShard, global int32) {
 	nd.clockMu.Lock()
 	plan := make(map[int][]kv.Key, len(nd.subs))
 	for sub, keys := range nd.subs {
@@ -316,14 +345,14 @@ func (nd *node) eagerPush(global int32) {
 			vals = append(vals, b...)
 		}
 		m := &msg.SspSync{ID: 0, Clock: global, Keys: ks, Vals: vals}
-		nd.rt.Send(sub, m)
+		sh.rt.Send(sub, m)
 	}
 }
 
 // handleSync processes either a client fetch request (at a server, ID != 0
 // with no values) or a replica refresh (at a client: a fetch reply or an
 // eager push).
-func (nd *node) handleSync(src int, m *msg.SspSync) {
+func (nd *node) handleSync(sh *policyShard, src int, m *msg.SspSync) {
 	if m.Vals == nil {
 		// Fetch request: serve when the global clock is recent enough.
 		nd.clockMu.Lock()
@@ -342,23 +371,24 @@ func (nd *node) handleSync(src int, m *msg.SspSync) {
 		global := nd.globalClock
 		if !ready {
 			nd.waiting = append(nd.waiting, waitingSync{required: m.Clock, origin: int32(src), id: m.ID, keys: m.Keys})
-			nd.rt.Stats().SyncWaits.Inc()
+			sh.rt.Stats().SyncWaits.Inc()
 		}
 		nd.clockMu.Unlock()
 		if ready {
-			nd.replySync(int32(src), m.ID, m.Keys, global)
+			nd.replySync(sh, int32(src), m.ID, m.Keys, global)
 		}
 		return
 	}
-	// Replica refresh at a client.
+	// Replica refresh at a client. A fetch reply carries the request's key
+	// list, so it arrived on the shard whose pending table holds the fetch.
 	nd.applyRefresh(m)
 	if m.ID != 0 {
-		nd.rt.Pending().CompleteSync(m.ID)
+		sh.rt.Pending().CompleteSync(m.ID)
 	}
 }
 
-// replySync sends the current shard values of keys to origin.
-func (nd *node) replySync(origin int32, id uint64, keys []kv.Key, global int32) {
+// replySync sends the current store values of keys to origin.
+func (nd *node) replySync(sh *policyShard, origin int32, id uint64, keys []kv.Key, global int32) {
 	vals := make([]float32, 0, kv.BufferLen(nd.sys.layout, keys))
 	var buf []float32
 	for _, k := range keys {
@@ -368,12 +398,12 @@ func (nd *node) replySync(origin int32, id uint64, keys []kv.Key, global int32) 
 		}
 		b := buf[:l]
 		if !nd.shard.Read(k, b) {
-			panic(fmt.Sprintf("ssp: sync for key %d not in shard of node %d", k, nd.rt.Node()))
+			panic(fmt.Sprintf("ssp: sync for key %d not in shard of node %d", k, sh.rt.Node()))
 		}
 		vals = append(vals, b...)
 	}
 	m := &msg.SspSync{ID: id, Clock: global, Keys: keys, Vals: vals}
-	nd.rt.Send(int(origin), m)
+	sh.rt.Send(int(origin), m)
 }
 
 // applyRefresh installs newer replica values; older refreshes are ignored so
@@ -398,4 +428,4 @@ func (nd *node) applyRefresh(m *msg.SspSync) {
 	}
 }
 
-var _ server.Policy = (*node)(nil)
+var _ server.Policy = (*policyShard)(nil)

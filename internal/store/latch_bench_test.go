@@ -1,0 +1,109 @@
+package store
+
+import (
+	"sync"
+	"testing"
+
+	"lapse/internal/kv"
+)
+
+// cacheLineMutexes is how many sync.Mutex values (8 bytes each) share one
+// 64-byte cache line: the contention radius of adjacent latch indices.
+const cacheLineMutexes = 8
+
+// TestLatchHashScattersAdjacentKeys pins the property the Fibonacci-multiply
+// hash exists for: adjacent keys — the dominant access pattern, since
+// workloads sweep contiguous key blocks — must not map to latches on the
+// same cache line, which the previous modulo mapping put them on (index
+// k%n and (k+1)%n are neighbors).
+func TestLatchHashScattersAdjacentKeys(t *testing.T) {
+	l := newLatchList(DefaultLatches)
+	size := len(l.latches)
+	if size&(size-1) != 0 {
+		t.Fatalf("latch pool size %d is not a power of two", size)
+	}
+	idx := func(k kv.Key) int { return int((uint64(k) * fibMult) >> l.shift) }
+	for k := kv.Key(0); k < kv.Key(size); k++ {
+		a, b := idx(k), idx(k+1)
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		if wrap := size - d; wrap < d {
+			d = wrap
+		}
+		if d < cacheLineMutexes {
+			t.Fatalf("adjacent keys %d,%d map to latches %d,%d (distance %d < %d: same cache line)",
+				k, k+1, a, b, d, cacheLineMutexes)
+		}
+	}
+	// The mapping must still use the whole pool: the first `size` keys may
+	// collide occasionally, but must hit a large fraction of the latches.
+	used := make(map[int]bool, size)
+	for k := kv.Key(0); k < kv.Key(size); k++ {
+		used[idx(k)] = true
+	}
+	if len(used) < size/2 {
+		t.Fatalf("first %d keys use only %d latches", size, len(used))
+	}
+}
+
+// moduloLatchList is the previous latch mapping, kept here as the benchmark
+// baseline: adjacent keys lock adjacent mutexes, eight of which share a
+// cache line.
+type moduloLatchList struct {
+	latches []sync.Mutex
+}
+
+func (l *moduloLatchList) lock(k kv.Key) *sync.Mutex {
+	m := &l.latches[uint64(k)%uint64(len(l.latches))]
+	m.Lock()
+	return m
+}
+
+// BenchmarkLatchAdjacentKeysContendedAdd hammers Add on a small block of
+// adjacent keys from all procs — the contended sweep pattern — through the
+// real dense store (Fibonacci mapping) and through the modulo baseline. The
+// Fibonacci variant spreads the block across cache lines; the modulo
+// variant serializes on one or two lines.
+func BenchmarkLatchAdjacentKeysContendedAdd(b *testing.B) {
+	const nKeys = 16 // one adjacent block, shared by all procs
+	layout := kv.NewUniformLayout(nKeys, 8)
+	delta := []float32{1, 1, 1, 1, 1, 1, 1, 1}
+
+	b.Run("fibonacci", func(b *testing.B) {
+		d := NewDense(layout, DefaultLatches)
+		for k := kv.Key(0); k < nKeys; k++ {
+			d.Set(k, make([]float32, 8))
+		}
+		b.RunParallel(func(pb *testing.PB) {
+			k := kv.Key(0)
+			for pb.Next() {
+				d.Add(k%nKeys, delta)
+				k++
+			}
+		})
+	})
+	b.Run("modulo", func(b *testing.B) {
+		d := NewDense(layout, DefaultLatches)
+		for k := kv.Key(0); k < nKeys; k++ {
+			d.Set(k, make([]float32, 8))
+		}
+		// Same store, but key->latch through the modulo baseline.
+		l := &moduloLatchList{latches: make([]sync.Mutex, DefaultLatches)}
+		b.RunParallel(func(pb *testing.PB) {
+			k := kv.Key(0)
+			for pb.Next() {
+				kk := k % nKeys
+				m := l.lock(kk)
+				off := d.layout.Offset(kk)
+				v := d.vals[off : off+int64(d.layout.Len(kk))]
+				for i, x := range delta {
+					v[i] += x
+				}
+				m.Unlock()
+				k++
+			}
+		})
+	})
+}

@@ -55,7 +55,7 @@ func TestSendDoesNotAliasMessageMemory(t *testing.T) {
 			op.Vals[0] = -1
 			op.ID = 1234
 
-			env := <-net.Inbox(1)
+			env := <-net.Inbox(1, 0)
 			got, ok := env.Msg.(*msg.Op)
 			if !ok {
 				t.Fatalf("received %T, want *msg.Op", env.Msg)
@@ -95,7 +95,7 @@ func TestTransportFIFOAndLoopback(t *testing.T) {
 			}
 			next := [2]int32{}
 			for i := 0; i < 2*msgs; i++ {
-				env := <-net.Inbox(1)
+				env := <-net.Inbox(1, 0)
 				c := env.Msg.(*msg.SspClock)
 				if c.Clock != next[c.Worker] {
 					t.Fatalf("link %d->1: got seq %d, want %d", c.Worker, c.Clock, next[c.Worker])

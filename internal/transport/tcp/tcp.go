@@ -51,7 +51,14 @@ type Config struct {
 	// Local lists the node indices hosted by this process. Nil hosts all
 	// nodes (single-process loopback deployment).
 	Local []int
-	// InboxSize bounds each local node's inbox (default 1<<16).
+	// Shards is the number of per-node inbox shards (default 1). Incoming
+	// frames are demultiplexed on decode via msg.ShardOf, preserving FIFO
+	// per (connection, shard). Every process of a deployment must use the
+	// same value, like the node count.
+	Shards int
+	// InboxSize bounds each local node's total inbox capacity (default
+	// 1<<16), divided evenly across its Shards inbox channels so memory
+	// and backpressure stay constant as the shard count grows.
 	InboxSize int
 	// DialTimeout is the total retry budget for establishing one outgoing
 	// link (default 10s); it covers peers that start slightly later.
@@ -69,7 +76,7 @@ type Network struct {
 	cfg       Config
 	local     []bool
 	listeners []net.Listener
-	inboxes   []chan transport.Envelope
+	inboxes   [][]chan transport.Envelope // [node][shard]; nil for non-local nodes
 
 	addrMu sync.RWMutex
 	addrs  []string // effective dial addresses (resolved for local nodes)
@@ -118,11 +125,14 @@ func New(cfg Config) (*Network, error) {
 	if cfg.MaxMessage <= 0 {
 		cfg.MaxMessage = 64 << 20
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
 	n := &Network{
 		cfg:       cfg,
 		local:     make([]bool, len(cfg.Addrs)),
 		listeners: make([]net.Listener, len(cfg.Addrs)),
-		inboxes:   make([]chan transport.Envelope, len(cfg.Addrs)),
+		inboxes:   make([][]chan transport.Envelope, len(cfg.Addrs)),
 		addrs:     append([]string(nil), cfg.Addrs...),
 		links:     make(map[linkKey]*link),
 		conns:     make(map[net.Conn]struct{}),
@@ -155,7 +165,11 @@ func New(cfg Config) (*Network, error) {
 		}
 		n.listeners[node] = ln
 		n.addrs[node] = ln.Addr().String()
-		n.inboxes[node] = make(chan transport.Envelope, cfg.InboxSize)
+		n.inboxes[node] = make([]chan transport.Envelope, cfg.Shards)
+		perShard := (cfg.InboxSize + cfg.Shards - 1) / cfg.Shards
+		for s := range n.inboxes[node] {
+			n.inboxes[node][s] = make(chan transport.Envelope, perShard)
+		}
 		n.readWg.Add(1)
 		go n.acceptLoop(ln)
 	}
@@ -164,6 +178,9 @@ func New(cfg Config) (*Network, error) {
 
 // Nodes returns the cluster-wide node count.
 func (n *Network) Nodes() int { return len(n.cfg.Addrs) }
+
+// Shards returns the per-node inbox shard count.
+func (n *Network) Shards() int { return n.cfg.Shards }
 
 // Local reports whether node is hosted by this instance.
 func (n *Network) Local(node int) bool { return node >= 0 && node < len(n.local) && n.local[node] }
@@ -235,13 +252,13 @@ func (n *Network) Send(src, dst int, m any) {
 	}
 }
 
-// Inbox returns the receive channel of a local node. It is closed by Close
-// after in-flight messages drain.
-func (n *Network) Inbox(node int) <-chan transport.Envelope {
+// Inbox returns the receive channel of a local node's inbox shard. It is
+// closed by Close after in-flight messages drain.
+func (n *Network) Inbox(node, shard int) <-chan transport.Envelope {
 	if !n.Local(node) {
 		panic(fmt.Sprintf("tcp: Inbox of non-local node %d", node))
 	}
-	return n.inboxes[node]
+	return n.inboxes[node][shard]
 }
 
 // Sleep blocks for d in wall-clock time: on a real transport, computation
@@ -310,8 +327,8 @@ func (n *Network) Close() {
 		}
 		n.connMu.Unlock()
 		n.readWg.Wait()
-		for _, in := range n.inboxes {
-			if in != nil {
+		for _, node := range n.inboxes {
+			for _, in := range node {
 				close(in)
 			}
 		}
@@ -518,7 +535,7 @@ func (n *Network) readLoop(conn net.Conn) {
 		n.fail(fmt.Errorf("tcp: handshake for invalid link %d->%d", src, dst))
 		return
 	}
-	inbox := n.inboxes[dst]
+	inboxes := n.inboxes[dst]
 	header := make([]byte, headerBytes)
 	for {
 		if _, err := io.ReadFull(br, header); err != nil {
@@ -539,7 +556,11 @@ func (n *Network) readLoop(conn net.Conn) {
 			n.fail(fmt.Errorf("tcp: malformed frame from node %d: %w", src, err))
 			return
 		}
-		env := transport.Envelope{Src: src, Dst: dst, Msg: m, Bytes: len(frame)}
+		// Demux on decode: this reader delivers the connection's frames
+		// sequentially, so order is preserved per (connection, shard).
+		shard := msg.ShardOf(m, n.cfg.Shards)
+		inbox := inboxes[shard]
+		env := transport.Envelope{Src: src, Dst: dst, Msg: m, Shard: shard, Bytes: len(frame)}
 		select {
 		case inbox <- env:
 		case <-n.done:

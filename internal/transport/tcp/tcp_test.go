@@ -40,7 +40,7 @@ func TestFIFOPerLinkConcurrentSenders(t *testing.T) {
 	go func() { wg.Wait() }()
 	next := [4]int32{}
 	for i := 0; i < 4*perSender; i++ {
-		env := <-net.Inbox(3)
+		env := <-net.Inbox(3, 0)
 		c := env.Msg.(*msg.SspClock)
 		if c.Clock != next[c.Worker] {
 			t.Fatalf("source %d: got seq %d, want %d", c.Worker, c.Clock, next[c.Worker])
@@ -60,7 +60,7 @@ func TestLargeMessage(t *testing.T) {
 		big.Vals[i] = float32(i % 251)
 	}
 	net.Send(0, 1, big)
-	env := <-net.Inbox(1)
+	env := <-net.Inbox(1, 0)
 	got := env.Msg.(*msg.RelocTransfer)
 	if len(got.Vals) != len(big.Vals) {
 		t.Fatalf("received %d values, want %d", len(got.Vals), len(big.Vals))
@@ -84,7 +84,7 @@ func TestCloseDrainsInFlightLoopback(t *testing.T) {
 	done := make(chan int)
 	go func() {
 		count := 0
-		for range net.Inbox(1) {
+		for range net.Inbox(1, 0) {
 			count++
 		}
 		done <- count
@@ -137,10 +137,10 @@ func TestMultiProcessInstances(t *testing.T) {
 		netB.Send(1, 0, &msg.SspClock{Worker: 1, Clock: int32(i)})
 	}
 	for i := 0; i < msgs; i++ {
-		if c := (<-netB.Inbox(1)).Msg.(*msg.SspClock); c.Clock != int32(i) {
+		if c := (<-netB.Inbox(1, 0)).Msg.(*msg.SspClock); c.Clock != int32(i) {
 			t.Fatalf("A->B: got seq %d, want %d", c.Clock, i)
 		}
-		if c := (<-netA.Inbox(0)).Msg.(*msg.SspClock); c.Clock != int32(i) {
+		if c := (<-netA.Inbox(0, 0)).Msg.(*msg.SspClock); c.Clock != int32(i) {
 			t.Fatalf("B->A: got seq %d, want %d", c.Clock, i)
 		}
 	}
@@ -175,7 +175,7 @@ func TestDialRetriesUntilPeerAppears(t *testing.T) {
 	}
 	defer netB.Close()
 	select {
-	case env := <-netB.Inbox(1):
+	case env := <-netB.Inbox(1, 0):
 		if c := env.Msg.(*msg.SspClock); c.Clock != 42 {
 			t.Fatalf("got %+v", c)
 		}

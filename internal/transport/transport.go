@@ -30,6 +30,10 @@ import "time"
 type Envelope struct {
 	Src, Dst int
 	Msg      any
+	// Shard is the destination inbox shard, derived from the decoded
+	// message via msg.ShardOf (demux on decode; nothing travels on the
+	// wire for it).
+	Shard int
 	// Bytes is the on-the-wire size of the encoded message.
 	Bytes int
 }
@@ -44,14 +48,22 @@ type Stats struct {
 }
 
 // Network is the cluster message fabric. Implementations must preserve FIFO
-// order per directed (src, dst) link — the property the paper's consistency
-// proofs assume of TCP — and must deliver messages by value: Send encodes
-// through the internal/msg codec and receivers get a decoded copy.
+// order per directed (src, dst) link and per (link, shard) — the property the
+// paper's consistency proofs assume of TCP — and must deliver messages by
+// value: Send encodes through the internal/msg codec and receivers get a
+// decoded copy.
+//
+// Each local node owns Shards() inboxes; messages are demultiplexed on
+// decode via msg.ShardOf, so every message of one key's shard arrives on one
+// channel in link order. The shard count is part of the deployment (all
+// processes of a cluster must agree on it, like the node count).
 //
 // Send, Sleep, Inbox and the stats methods are safe for concurrent use.
 type Network interface {
 	// Nodes returns the cluster-wide node count.
 	Nodes() int
+	// Shards returns the per-node inbox shard count (>= 1).
+	Shards() int
 	// Local reports whether node is hosted by this transport instance.
 	Local(node int) bool
 	// Send transmits m from src (which must be local) to dst. The message
@@ -59,10 +71,11 @@ type Network interface {
 	// Send returns. Sends after Close are dropped (see Dropped), mirroring
 	// writes on a closing TCP connection.
 	Send(src, dst int, m any)
-	// Inbox returns the receive channel of a local node. Messages from all
-	// sources are merged; per-source FIFO order is preserved. The channel
-	// is closed by Close after in-flight messages drain.
-	Inbox(node int) <-chan Envelope
+	// Inbox returns one receive channel of a local node: the messages of
+	// inbox shard s. Messages from all sources are merged; per-(source,
+	// shard) FIFO order is preserved. The channel is closed by Close after
+	// in-flight messages drain.
+	Inbox(node, shard int) <-chan Envelope
 	// Sleep blocks the caller for d in the transport's time base: the
 	// simulated network drives it through its event scheduler (the
 	// virtual-compute primitive), real transports sleep in wall-clock

@@ -50,6 +50,7 @@ package lapse
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -104,6 +105,21 @@ type TCPDeployment struct {
 	MaxMessage int
 }
 
+// DefaultServerShards returns the server shard count used when
+// Config.ServerShards is zero: one shard per available core, capped at 8 —
+// beyond that, shard goroutines outnumber what worker threads can feed and
+// the extra per-shard messages stop paying for themselves.
+func DefaultServerShards() int {
+	s := runtime.GOMAXPROCS(0)
+	if s > 8 {
+		s = 8
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
 // DefaultNetwork mirrors the paper's cluster network.
 func DefaultNetwork() NetworkConfig {
 	d := simnet.DefaultTestbed(1)
@@ -135,6 +151,29 @@ type Config struct {
 	// (loopback) or one node per OS process. See cmd/lapse-node for the
 	// multi-process runner.
 	TCP *TCPDeployment
+	// ServerShards is the number of independent server shards per node
+	// (0 = DefaultServerShards, derived from GOMAXPROCS). Each shard owns
+	// the static key slice k ≡ s (mod ServerShards) and runs its own
+	// message loop, so one node's server work spreads across cores while
+	// per-key operation order is preserved.
+	//
+	// Tuning: the default saturates the host for server-bound workloads.
+	// More shards than cores adds goroutine-scheduling overhead without
+	// benefit; shards = 1 restores the paper's single-server-thread layout
+	// and minimizes message count (a multi-key operation sends one message
+	// per destination node instead of one per destination node and shard).
+	// Set it to 1 when measuring message counts. In multi-process
+	// deployments every process must use the same value.
+	//
+	// Consistency: synchronous operations stay sequentially consistent
+	// per key at every shard count. With more than one shard, a worker's
+	// *asynchronous* operations on keys of different shards may be applied
+	// out of program order (each shard is an independent message loop), so
+	// cross-key async sequential consistency — which the paper's Section
+	// 3.4 guarantees without location caches — holds only per shard; use
+	// ServerShards = 1 (or WaitAll/synchronous operations at ordering
+	// points) when that cross-key guarantee matters.
+	ServerShards int
 	// LocationCaches enables Lapse's optional location caches. Note that
 	// with caches on, asynchronous operations are only eventually
 	// consistent (Theorem 3 of the paper).
@@ -201,9 +240,14 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	shards := cfg.ServerShards
+	if shards <= 0 {
+		shards = DefaultServerShards()
+	}
 	deployment := driver.Deployment{
 		Nodes:          cfg.Nodes,
 		WorkersPerNode: cfg.WorkersPerNode,
+		Shards:         shards,
 		Net: simnet.Config{
 			Latency:         cfg.Network.Latency,
 			LoopbackLatency: cfg.Network.LoopbackLatency,
