@@ -186,6 +186,47 @@ func TestLocalizeAndForwardBatchPerDestination(t *testing.T) {
 	}
 }
 
+// TestDuplicateKeyOperations pins the per-occurrence offset handling of the
+// dispatch path through the whole stack: a pull or push that names the same
+// remote key twice must read/write both buffer regions (the old key→offset
+// map collapsed the occurrences, leaving the first pull region unfilled and
+// applying the wrong push region twice).
+func TestDuplicateKeyOperations(t *testing.T) {
+	cl, err := lapse.NewCluster(lapse.Config{
+		Nodes:          2,
+		WorkersPerNode: 1,
+		Keys:           20, // range-partitioned: node 1 homes 10–19
+		ValueLength:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	err = cl.Run(func(w *lapse.Worker) error {
+		if w.ID() != 0 {
+			return nil
+		}
+		keys := []lapse.Key{15, 15, 12} // 15 twice, all homed remotely
+		if err := w.Push(keys, []float32{1, 2, 4, 8, 16, 32}); err != nil {
+			return err
+		}
+		dst := []float32{-1, -1, -1, -1, -1, -1}
+		if err := w.Pull(keys, dst); err != nil {
+			return err
+		}
+		want := []float32{5, 10, 5, 10, 16, 32} // both pushes applied, both regions filled
+		for i := range want {
+			if dst[i] != want[i] {
+				return fmt.Errorf("duplicate-key pull = %v, want %v", dst, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestRunJoinsAllWorkerErrors asserts Cluster.Run reports every failed
 // worker, not just the first one.
 func TestRunJoinsAllWorkerErrors(t *testing.T) {

@@ -18,7 +18,8 @@
 // -quick shrinks the sweep for smoke runs (CI); -rev overrides the revision
 // id (default: git rev-parse --short HEAD, falling back to "dev");
 // -compare loads a previous report and exits nonzero if any matching cell
-// regressed by more than 20% throughput.
+// regressed by more than 20% throughput or allocated more than 20% (plus a
+// small absolute slack) more per operation.
 package main
 
 import (
@@ -34,9 +35,13 @@ import (
 	"lapse/internal/harness"
 )
 
-// regressionTolerance is the fractional throughput drop against the
-// comparison baseline that fails the run.
+// regressionTolerance is the fractional throughput drop — or allocs/op
+// increase — against the comparison baseline that fails the run.
 const regressionTolerance = 0.20
+
+// allocSlack is the absolute allocs/op headroom added on top of the
+// fractional tolerance, so near-zero cells don't trip the gate on noise.
+const allocSlack = 2.0
 
 // Result is one measured (workload, mode, parallelism, shards) cell.
 type Result struct {
@@ -48,6 +53,8 @@ type Result struct {
 	Ops                 int64   `json:"ops"`
 	Seconds             float64 `json:"seconds"`
 	Throughput          float64 `json:"throughput_ops_per_sec"`
+	AllocsPerOp         float64 `json:"allocs_per_op"`
+	BytesPerOp          float64 `json:"bytes_per_op"`
 	NetworkMessages     int64   `json:"network_messages"`
 	NetworkBytes        int64   `json:"network_bytes"`
 	LocalReads          int64   `json:"local_reads"`
@@ -96,8 +103,8 @@ func main() {
 	}
 	fmt.Printf("wrote %s (%d results)\n", path, len(report.Results))
 	for _, r := range report.Results {
-		fmt.Printf("%-8s %-11s %dx%ds%d  %9.0f ops/s  msgs=%-6d remote-reads=%-6d replica-hits=%d\n",
-			r.Workload, r.Mode, r.Nodes, r.Workers, r.Shards, r.Throughput, r.NetworkMessages, r.RemoteReads, r.ReplicaHits)
+		fmt.Printf("%-8s %-11s %dx%ds%d  %9.0f ops/s  %6.1f allocs/op  %7.0f B/op  msgs=%-6d remote-reads=%-6d replica-hits=%d\n",
+			r.Workload, r.Mode, r.Nodes, r.Workers, r.Shards, r.Throughput, r.AllocsPerOp, r.BytesPerOp, r.NetworkMessages, r.RemoteReads, r.ReplicaHits)
 	}
 	if *compareWith != "" {
 		if err := compare(report, *compareWith); err != nil {
@@ -146,10 +153,16 @@ func run(quick bool, rev string) Report {
 						attempts = 3
 					}
 					pt := harness.RunHotKeys(par, cfg, mode)
+					allocs, bytesPer := pt.AllocsPerOp(), pt.BytesPerOp()
 					for a := 1; a < attempts; a++ {
-						if again := harness.RunHotKeys(par, cfg, mode); again.Throughput() > pt.Throughput() {
+						again := harness.RunHotKeys(par, cfg, mode)
+						if again.Throughput() > pt.Throughput() {
 							pt = again
 						}
+						// Allocations are compared as per-cell minima too:
+						// best-of-N suppresses one-off GC/scheduler noise.
+						allocs = min(allocs, again.AllocsPerOp())
+						bytesPer = min(bytesPer, again.BytesPerOp())
 					}
 					report.Results = append(report.Results, Result{
 						Workload:            name,
@@ -160,6 +173,8 @@ func run(quick bool, rev string) Report {
 						Ops:                 pt.Ops,
 						Seconds:             pt.Elapsed.Seconds(),
 						Throughput:          pt.Throughput(),
+						AllocsPerOp:         allocs,
+						BytesPerOp:          bytesPer,
 						NetworkMessages:     pt.Net.RemoteMessages,
 						NetworkBytes:        pt.Net.RemoteBytes,
 						LocalReads:          pt.Stats.LocalReads,
@@ -194,8 +209,17 @@ func compare(cur Report, baselinePath string) error {
 			baselinePath, base.Quick, cur.Quick)
 	}
 	baseBy := make(map[cell]Result, len(base.Results))
+	// Reports from before the allocs column decode every cell as 0; a report
+	// with the column has at least one nonzero cell (a whole sweep cannot
+	// run on literally zero heap allocations). Detecting the column at the
+	// report level keeps the gate armed for individual cells whose baseline
+	// genuinely reaches 0 allocs/op.
+	baseHasAllocs := false
 	for _, r := range base.Results {
 		baseBy[r.cell()] = r
+		if r.AllocsPerOp > 0 {
+			baseHasAllocs = true
+		}
 	}
 	var regressions []string
 	matched := 0
@@ -211,12 +235,20 @@ func compare(cur Report, baselinePath string) error {
 				fmt.Sprintf("  %-8s %-11s %dx%ds%d: %.0f -> %.0f ops/s (-%.0f%%)",
 					r.Workload, r.Mode, r.Nodes, r.Workers, r.Shards, b.Throughput, r.Throughput, drop*100))
 		}
+		// Allocation gate: a cell may not allocate more than 20% (plus a
+		// small absolute slack) over the baseline — zero-alloc baselines
+		// included. Baselines without the allocs column skip the gate.
+		if baseHasAllocs && r.AllocsPerOp > b.AllocsPerOp*(1+regressionTolerance)+allocSlack {
+			regressions = append(regressions,
+				fmt.Sprintf("  %-8s %-11s %dx%ds%d: %.1f -> %.1f allocs/op",
+					r.Workload, r.Mode, r.Nodes, r.Workers, r.Shards, b.AllocsPerOp, r.AllocsPerOp))
+		}
 	}
 	if matched == 0 {
 		return fmt.Errorf("lapse-bench: compare: no cells of %s match the current sweep", baselinePath)
 	}
 	if len(regressions) > 0 {
-		return fmt.Errorf("lapse-bench: throughput regressed more than %.0f%% vs %s (rev %s):\n%s",
+		return fmt.Errorf("lapse-bench: throughput or allocs/op regressed more than %.0f%% vs %s (rev %s):\n%s",
 			regressionTolerance*100, baselinePath, base.Rev, strings.Join(regressions, "\n"))
 	}
 	return nil

@@ -100,3 +100,49 @@ func TestCompareFlagsRegressions(t *testing.T) {
 		t.Fatal("comparison with zero matched cells passed")
 	}
 }
+
+// TestCompareFlagsAllocRegressions pins the allocs/op gate: cells within the
+// 20%+slack envelope pass, a clear allocation regression fails and names the
+// cell, and baselines without the allocs column skip the gate.
+func TestCompareFlagsAllocRegressions(t *testing.T) {
+	mk := func(throughput, allocs float64) Result {
+		return Result{Workload: "uniform", Mode: "relocation", Nodes: 2, Workers: 2,
+			Shards: 1, Ops: 100, Seconds: 1, Throughput: throughput, AllocsPerOp: allocs}
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_base.json")
+	if err := write(Report{Rev: "base", Results: []Result{mk(1000, 10)}}, path); err != nil {
+		t.Fatal(err)
+	}
+	// 10 → 13 allocs/op stays within 20% + 2 slack.
+	if err := compare(Report{Rev: "cur", Results: []Result{mk(1000, 13)}}, path); err != nil {
+		t.Fatalf("in-envelope alloc increase flagged: %v", err)
+	}
+	err := compare(Report{Rev: "cur", Results: []Result{mk(1000, 20)}}, path)
+	if err == nil {
+		t.Fatal("doubled allocs/op passed the comparison")
+	}
+	if !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("alloc regression error does not name the metric: %v", err)
+	}
+	// Old baselines without the column (all cells zero) skip the gate.
+	if err := write(Report{Rev: "base", Results: []Result{mk(1000, 0)}}, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := compare(Report{Rev: "cur", Results: []Result{mk(1000, 50)}}, path); err != nil {
+		t.Fatalf("pre-column baseline tripped the alloc gate: %v", err)
+	}
+	// But a true-zero cell in a baseline that has the column stays gated.
+	mkCell := func(workload string, allocs float64) Result {
+		r := mk(1000, allocs)
+		r.Workload = workload
+		return r
+	}
+	if err := write(Report{Rev: "base", Results: []Result{mkCell("uniform", 4), mkCell("zipf", 0)}}, path); err != nil {
+		t.Fatal(err)
+	}
+	err = compare(Report{Rev: "cur", Results: []Result{mkCell("uniform", 4), mkCell("zipf", 50)}}, path)
+	if err == nil || !strings.Contains(err.Error(), "zipf") {
+		t.Fatalf("regression against a true-zero allocs baseline cell not flagged: %v", err)
+	}
+}

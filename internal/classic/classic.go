@@ -247,7 +247,7 @@ func (h *handle) PullAsync(keys []kv.Key, dst []float32) *kv.Future {
 	if want := kv.BufferLen(h.sys.layout, keys); len(dst) != want {
 		return kv.CompletedFuture(fmt.Errorf("classic: pull buffer has %d values, want %d", len(dst), want))
 	}
-	fut := h.nd.srv.DispatchOp(h, msg.OpPull, keys, dst, nil)
+	fut := h.DispatchOp(h, msg.OpPull, keys, dst, nil)
 	h.Track(fut)
 	return fut
 }
@@ -257,7 +257,7 @@ func (h *handle) PushAsync(keys []kv.Key, vals []float32) *kv.Future {
 	if want := kv.BufferLen(h.sys.layout, keys); len(vals) != want {
 		return kv.CompletedFuture(fmt.Errorf("classic: push buffer has %d values, want %d", len(vals), want))
 	}
-	fut := h.nd.srv.DispatchOp(h, msg.OpPush, keys, nil, vals)
+	fut := h.DispatchOp(h, msg.OpPush, keys, nil, vals)
 	h.Track(fut)
 	return fut
 }
@@ -265,7 +265,7 @@ func (h *handle) PushAsync(keys []kv.Key, vals []float32) *kv.Future {
 // RouteKey implements server.Router: every key goes to its statically
 // assigned server, except that with fast local access enabled, keys assigned
 // to this node are served through shared memory immediately.
-func (h *handle) RouteKey(t msg.OpType, _ uint64, k kv.Key, dst, vals []float32) server.KeyRoute {
+func (h *handle) RouteKey(t msg.OpType, _ *server.OpCtx, k kv.Key, dst, vals []float32) server.KeyRoute {
 	n := h.sys.part.NodeOf(k)
 	local := n == h.NodeID()
 	st := h.nd.srv.ShardOf(k).Stats()

@@ -155,6 +155,11 @@ type policyShard struct {
 	// shard's keys.
 	queueMu sync.Mutex
 	queues  map[kv.Key]*keyQueue
+	// handleOp answer scratch, reused across messages (only the shard's
+	// server goroutine touches it, and responses are consumed on send).
+	ansKeys []kv.Key
+	ansVals []float32
+	resp    msg.OpResp
 }
 
 // keyQueue buffers operations that arrived for a key while it is relocating
@@ -178,6 +183,7 @@ type localOp struct {
 	t    msg.OpType
 	id   uint64 // pending-op ID at this node (the key's shard's part)
 	k    kv.Key
+	off  int32     // occurrence offset into the operation's buffer
 	dst  []float32 // pull destination (sub-slice of the worker's buffer)
 	vals []float32 // push update term
 }
@@ -479,13 +485,18 @@ func (sh *policyShard) HandleMessage(src int, m any) {
 // grouped into a single response, and keys that must travel onward are
 // batched into one forward message per destination node (staying within this
 // shard's key slice, so forwards remain shard-pure).
+//
+// The answer accumulators and the response struct are per-shard scratch:
+// handleOp runs only on the shard's server goroutine, and SendOrDispatch
+// consumes the response synchronously (encode on send, inline dispatch for
+// self), so the scratch is free again when handleOp returns.
 func (sh *policyShard) handleOp(m *msg.Op) {
 	nd := sh.nd
 	if m.Hops > maxHops {
 		panic(fmt.Sprintf("core: op %d exceeded %d hops (routing loop?)", m.ID, maxHops))
 	}
-	var ansKeys []kv.Key
-	var ansVals []float32
+	ansKeys := sh.ansKeys[:0]
+	ansVals := sh.ansVals[:0]
 	var fwd map[int]*msg.Op
 	src := 0
 	for _, k := range m.Keys {
@@ -507,12 +518,13 @@ func (sh *policyShard) handleOp(m *msg.Op) {
 		if nd.state[k].Load() == stateOwned {
 			switch m.Type {
 			case msg.OpPull:
-				buf := make([]float32, l)
-				if nd.store.Read(k, buf) {
+				n := len(ansVals)
+				ansVals = kv.Grow(ansVals, l)
+				if nd.store.Read(k, ansVals[n:n+l]) {
 					ansKeys = append(ansKeys, k)
-					ansVals = append(ansVals, buf...)
 					continue
 				}
+				ansVals = ansVals[:n] // lost the race against a transfer-out
 			case msg.OpPush:
 				if nd.store.Add(k, upd) {
 					ansKeys = append(ansKeys, k)
@@ -523,11 +535,14 @@ func (sh *policyShard) handleOp(m *msg.Op) {
 		// Not owned here: queue if incoming, otherwise route onward.
 		fwd = sh.queueOrRoute(m, k, upd, fwd)
 	}
+	sh.ansKeys, sh.ansVals = ansKeys, ansVals // keep grown capacity
 	if len(ansKeys) > 0 {
+		vals := ansVals
 		if m.Type == msg.OpPush {
-			ansVals = nil
+			vals = nil
 		}
-		resp := &msg.OpResp{Type: m.Type, ID: m.ID, Responder: int32(sh.rt.Node()), Keys: ansKeys, Vals: ansVals}
+		resp := &sh.resp
+		*resp = msg.OpResp{Type: m.Type, ID: m.ID, Responder: int32(sh.rt.Node()), Keys: ansKeys, Vals: vals}
 		sh.rt.SendOrDispatch(int(m.Origin), resp)
 	}
 	for dest, sub := range fwd {
@@ -544,7 +559,10 @@ func (sh *policyShard) queueOrRoute(m *msg.Op, k kv.Key, upd []float32, fwd map[
 	nd := sh.nd
 	sh.queueMu.Lock()
 	if q, ok := sh.queues[k]; ok {
-		sub := &msg.Op{Type: m.Type, ID: m.ID, Origin: m.Origin, Hops: m.Hops, Keys: []kv.Key{k}, Vals: upd}
+		// The queued entry outlives this handler, so it must own its update
+		// values: upd aliases the decoded message's recyclable scratch.
+		sub := &msg.Op{Type: m.Type, ID: m.ID, Origin: m.Origin, Hops: m.Hops,
+			Keys: []kv.Key{k}, Vals: append([]float32(nil), upd...)}
 		q.entries = append(q.entries, queueEntry{remote: sub})
 		sh.queueMu.Unlock()
 		sh.stats.QueuedOps.Inc()
@@ -603,6 +621,9 @@ func (sh *policyShard) requeueRacedOp(m *msg.Op, k kv.Key) {
 	sh.queueMu.Lock()
 	defer sh.queueMu.Unlock()
 	if q, ok := sh.queues[k]; ok {
+		// Queued past this handler: the entry must own its values (m.Vals
+		// may alias the incoming message's recyclable decode scratch).
+		m.Vals = append([]float32(nil), m.Vals...)
 		q.entries = append(q.entries, queueEntry{remote: m})
 		sh.stats.QueuedOps.Inc()
 		return
@@ -747,7 +768,9 @@ func (sh *policyShard) drainQueue(k kv.Key) {
 }
 
 // applyQueuedLocal executes a queued local worker op against the store and
-// completes it through the pending table (no network involved).
+// completes it through the pending table (no network involved). The
+// occurrence's offset entry is claimed first, so a duplicate occurrence's
+// response cannot be misdirected onto the region filled here.
 func (sh *policyShard) applyQueuedLocal(k kv.Key, op *localOp) {
 	nd := sh.nd
 	switch op.t {
@@ -763,6 +786,7 @@ func (sh *policyShard) applyQueuedLocal(k kv.Key, op *localOp) {
 		}
 		sh.stats.LocalWrites.Inc()
 	}
+	sh.rt.Pending().ClaimOffset(op.id, k, op.off)
 	sh.rt.Pending().FinishKeys(op.id, 1)
 }
 

@@ -40,7 +40,7 @@ func (h *handle) PullAsync(keys []kv.Key, dst []float32) *kv.Future {
 	if want := kv.BufferLen(h.sys.layout, keys); len(dst) != want {
 		return kv.CompletedFuture(fmt.Errorf("core: pull buffer has %d values, want %d", len(dst), want))
 	}
-	f := h.nd.srv.DispatchOp(h, msg.OpPull, keys, dst, nil)
+	f := h.DispatchOp(h, msg.OpPull, keys, dst, nil)
 	h.Track(f)
 	return f
 }
@@ -50,7 +50,7 @@ func (h *handle) PushAsync(keys []kv.Key, vals []float32) *kv.Future {
 	if want := kv.BufferLen(h.sys.layout, keys); len(vals) != want {
 		return kv.CompletedFuture(fmt.Errorf("core: push buffer has %d values, want %d", len(vals), want))
 	}
-	f := h.nd.srv.DispatchOp(h, msg.OpPush, keys, nil, vals)
+	f := h.DispatchOp(h, msg.OpPush, keys, nil, vals)
 	h.Track(f)
 	return f
 }
@@ -60,13 +60,13 @@ func (h *handle) PushAsync(keys []kv.Key, vals []float32) *kv.Future {
 // shared-memory access for owned keys, the relocation queue for keys
 // currently arriving at this node, and the network (home-routed, or
 // cache-direct when location caches are on) for everything else.
-func (h *handle) RouteKey(t msg.OpType, id uint64, k kv.Key, dst, vals []float32) server.KeyRoute {
+func (h *handle) RouteKey(t msg.OpType, op *server.OpCtx, k kv.Key, dst, vals []float32) server.KeyRoute {
 	h.nd.tracker.Observe(k)
 	sh := h.nd.shardOf(k)
 	if h.tryFast(sh, t, k, dst, vals) {
 		return server.KeyRoute{Served: true}
 	}
-	dest, enqueued := h.slowRoute(sh, t, id, k, dst, vals)
+	dest, enqueued := h.slowRoute(sh, t, op, k, dst, vals)
 	if enqueued {
 		return server.KeyRoute{Enqueued: true}
 	}
@@ -124,11 +124,13 @@ func (h *handle) tryFast(sh *policyShard, t msg.OpType, k kv.Key, dst, vals []fl
 // slowRoute handles a key that is not locally accessible: it appends the
 // operation to the key's relocation queue if the key is arriving at this node
 // (enqueued=true), and otherwise returns the network destination — the cached
-// owner on a location-cache hit, the home node otherwise.
-func (h *handle) slowRoute(sh *policyShard, t msg.OpType, id uint64, k kv.Key, dst, vals []float32) (routeDest, bool) {
+// owner on a location-cache hit, the home node otherwise. The pending part ID
+// is obtained through op.ID only on the queue path (registering the part
+// lazily), before the entry is published under the queue lock.
+func (h *handle) slowRoute(sh *policyShard, t msg.OpType, op *server.OpCtx, k kv.Key, dst, vals []float32) (routeDest, bool) {
 	sh.queueMu.Lock()
 	if q, ok := sh.queues[k]; ok {
-		q.entries = append(q.entries, queueEntry{local: &localOp{t: t, id: id, k: k, dst: dst, vals: vals}})
+		q.entries = append(q.entries, queueEntry{local: &localOp{t: t, id: op.ID(k), k: k, off: op.Off(), dst: dst, vals: vals}})
 		sh.queueMu.Unlock()
 		sh.stats.QueuedOps.Inc()
 		return routeDest{}, true

@@ -192,12 +192,16 @@ func TestLocalizeIsNoOpForReplicatedKeys(t *testing.T) {
 		if err := h.Localize(hot); err != nil {
 			t.Errorf("worker %d: Localize(replicated) = %v", worker, err)
 		}
-		// Mixed localize still relocates the non-replicated keys.
-		if err := h.Localize([]kv.Key{1, 3}); err != nil {
+		// Mixed localize still relocates the non-replicated keys. Each
+		// worker localizes its own non-replicated key: if both took the
+		// same key, one worker could steal it from the other between
+		// Localize and PullIfLocal and the check would flake.
+		own := kv.Key(2 + worker)
+		if err := h.Localize([]kv.Key{1, own}); err != nil {
 			t.Errorf("worker %d: Localize(mixed) = %v", worker, err)
 		}
 		dst := make([]float32, 2)
-		if ok, err := h.PullIfLocal([]kv.Key{1, 3}, dst); err != nil || !ok {
+		if ok, err := h.PullIfLocal([]kv.Key{1, own}, dst); err != nil || !ok {
 			t.Errorf("worker %d: PullIfLocal after mixed localize = (%v, %v), want (true, nil)", worker, ok, err)
 		}
 	})

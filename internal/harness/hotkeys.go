@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"lapse/internal/cluster"
@@ -104,6 +105,11 @@ type HotKeyPoint struct {
 	Mode    HotKeyMode
 	Elapsed time.Duration
 	Ops     int64
+	// Allocs and AllocBytes are the process-wide heap allocation deltas
+	// (runtime.MemStats Mallocs / TotalAlloc) across the measured run —
+	// the GC-pressure trajectory of the message path.
+	Allocs     int64
+	AllocBytes int64
 	// Stats carries the cluster-wide server-counter totals; Net the
 	// transport traffic counters.
 	Stats metrics.Totals
@@ -116,6 +122,22 @@ func (p HotKeyPoint) Throughput() float64 {
 		return 0
 	}
 	return float64(p.Ops) / p.Elapsed.Seconds()
+}
+
+// AllocsPerOp returns heap allocations per key access.
+func (p HotKeyPoint) AllocsPerOp() float64 {
+	if p.Ops <= 0 {
+		return 0
+	}
+	return float64(p.Allocs) / float64(p.Ops)
+}
+
+// BytesPerOp returns heap bytes allocated per key access.
+func (p HotKeyPoint) BytesPerOp() float64 {
+	if p.Ops <= 0 {
+		return 0
+	}
+	return float64(p.AllocBytes) / float64(p.Ops)
 }
 
 // RunHotKeys executes the hot-key workload on Lapse with the given
@@ -135,6 +157,8 @@ func RunHotKeys(par Parallelism, cfg HotKeyConfig, mode HotKeyMode) HotKeyPoint 
 		ps.Shutdown()
 	}()
 
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
 	start := time.Now()
 	cl.RunWorkers(func(_, worker int) {
 		h := ps.Handle(worker)
@@ -176,12 +200,17 @@ func RunHotKeys(par Parallelism, cfg HotKeyConfig, mode HotKeyMode) HotKeyPoint 
 			panic(fmt.Sprintf("harness: hotkeys waitall: %v", err))
 		}
 	})
+	elapsed := time.Since(start)
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
 	return HotKeyPoint{
-		Par:     par,
-		Mode:    mode,
-		Elapsed: time.Since(start),
-		Ops:     int64(par.Nodes * par.Workers * cfg.OpsPerWorker),
-		Stats:   metrics.Sum(ps.Stats()),
-		Net:     cl.Net().Stats(),
+		Par:        par,
+		Mode:       mode,
+		Elapsed:    elapsed,
+		Ops:        int64(par.Nodes * par.Workers * cfg.OpsPerWorker),
+		Allocs:     int64(after.Mallocs - before.Mallocs),
+		AllocBytes: int64(after.TotalAlloc - before.TotalAlloc),
+		Stats:      metrics.Sum(ps.Stats()),
+		Net:        cl.Net().Stats(),
 	}
 }

@@ -65,15 +65,26 @@ type KV interface {
 type Future struct {
 	done chan struct{}
 	err  error
-	// ok is used by PullIfLocal-style completions; unused otherwise.
-	ok bool
 }
 
 // NewFuture returns an incomplete future.
 func NewFuture() *Future { return &Future{done: make(chan struct{})} }
 
+// completedNil is the shared already-successful future. A completed future
+// is immutable (Complete may not be called again), so every error-free
+// CompletedFuture call can return this one instance — which keeps fully
+// local operations allocation-free.
+var completedNil = func() *Future {
+	f := NewFuture()
+	f.Complete(nil)
+	return f
+}()
+
 // CompletedFuture returns a future that is already complete with err.
 func CompletedFuture(err error) *Future {
+	if err == nil {
+		return completedNil
+	}
 	f := NewFuture()
 	f.Complete(err)
 	return f
@@ -214,4 +225,17 @@ func BufferLen(layout Layout, keys []Key) int {
 		n += layout.Len(k)
 	}
 	return n
+}
+
+// Grow extends s by n elements, reallocating (with capacity doubling) only
+// when capacity is short, and returns the extended slice. The new elements
+// are reservation space the caller must overwrite — the scratch-buffer
+// growth primitive of the allocation-free message path.
+func Grow[T any](s []T, n int) []T {
+	if need := len(s) + n; need > cap(s) {
+		next := make([]T, len(s), max(need, 2*cap(s), 64))
+		copy(next, s)
+		s = next
+	}
+	return s[:len(s)+n]
 }

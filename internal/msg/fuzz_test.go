@@ -74,6 +74,20 @@ func FuzzCodecRoundTrip(f *testing.F) {
 		if enc2 := Encode(m2); !bytes.Equal(enc, enc2) {
 			t.Fatalf("encoding is not a fixpoint:\n got %x\nwant %x", enc2, enc)
 		}
+		// The pooled paths are wire-identical to the plain ones: AppendTo
+		// produces the same bytes and Scratch.Decode the same message.
+		if enc3 := AppendTo(nil, m); !bytes.Equal(enc, enc3) {
+			t.Fatalf("AppendTo diverges from Encode:\n got %x\nwant %x", enc3, enc)
+		}
+		s := GetScratch()
+		m3, n3, err := s.Decode(data)
+		if err != nil {
+			t.Fatalf("Scratch.Decode rejects what Decode accepted: %v", err)
+		}
+		if n3 != n || !bytes.Equal(Encode(m3), enc) {
+			t.Fatalf("Scratch.Decode diverges from Decode: %#v vs %#v", m3, m)
+		}
+		s.Release()
 	})
 }
 

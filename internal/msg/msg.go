@@ -15,6 +15,12 @@
 // never panics on malformed input — every field read is bounds-checked and
 // the payload must be consumed exactly — making it safe to feed bytes
 // straight off a socket (fuzzed by FuzzCodecRoundTrip).
+//
+// The steady-state message path is allocation-free: senders encode with
+// AppendTo into pooled buffers (GetBuf/PutBuf) and receivers decode through
+// pooled Scratch arenas (GetScratch/Scratch.Decode/Release); both are
+// wire-identical to Encode/Decode. See DESIGN.md "Allocation-free message
+// path" for the ownership protocol and the poison-on-release debug mode.
 package msg
 
 import (
@@ -241,93 +247,148 @@ func Size(m any) int {
 }
 
 // Encode serializes m into a fresh byte slice.
-func Encode(m any) []byte {
-	buf := make([]byte, 0, Size(m))
+func Encode(m any) []byte { return AppendTo(nil, m) }
+
+// AppendTo appends the encoding of m to buf and returns the extended slice.
+// It computes Size(m) exactly once, grows buf by that many bytes up front,
+// and then writes every field into the reserved region with bulk
+// little-endian stores — the steady-state encode path allocates nothing when
+// buf has capacity (see GetBuf/PutBuf for the pooled-buffer protocol).
+func AppendTo(buf []byte, m any) []byte {
+	sz := Size(m)
+	base := len(buf)
+	buf = kv.Grow(buf, sz)
+	w := writer{b: buf, off: base}
 	switch t := m.(type) {
 	case *Op:
-		buf = append(buf, byte(KindOp))
-		buf = appendLen(buf, Size(m)-headerBytes)
-		buf = append(buf, byte(t.Type))
-		buf = binary.LittleEndian.AppendUint64(buf, t.ID)
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Origin))
-		buf = append(buf, t.Hops, boolByte(t.ViaCache))
-		buf = appendKeys(buf, t.Keys)
-		buf = appendVals(buf, t.Vals)
+		w.header(KindOp, sz)
+		w.u8(byte(t.Type))
+		w.u64(t.ID)
+		w.u32(uint32(t.Origin))
+		w.u8(t.Hops)
+		w.u8(boolByte(t.ViaCache))
+		w.keys(t.Keys)
+		w.vals(t.Vals)
 	case *OpResp:
-		buf = append(buf, byte(KindOpResp))
-		buf = appendLen(buf, Size(m)-headerBytes)
-		buf = append(buf, byte(t.Type))
-		buf = binary.LittleEndian.AppendUint64(buf, t.ID)
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Responder))
-		buf = appendKeys(buf, t.Keys)
-		buf = appendVals(buf, t.Vals)
+		w.header(KindOpResp, sz)
+		w.u8(byte(t.Type))
+		w.u64(t.ID)
+		w.u32(uint32(t.Responder))
+		w.keys(t.Keys)
+		w.vals(t.Vals)
 	case *Localize:
-		buf = append(buf, byte(KindLocalize))
-		buf = appendLen(buf, Size(m)-headerBytes)
-		buf = binary.LittleEndian.AppendUint64(buf, t.ID)
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Origin))
-		buf = appendKeys(buf, t.Keys)
+		w.header(KindLocalize, sz)
+		w.u64(t.ID)
+		w.u32(uint32(t.Origin))
+		w.keys(t.Keys)
 	case *RelocInstruct:
-		buf = append(buf, byte(KindRelocInstruct))
-		buf = appendLen(buf, Size(m)-headerBytes)
-		buf = binary.LittleEndian.AppendUint64(buf, t.ID)
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Dest))
-		buf = appendKeys(buf, t.Keys)
+		w.header(KindRelocInstruct, sz)
+		w.u64(t.ID)
+		w.u32(uint32(t.Dest))
+		w.keys(t.Keys)
 	case *RelocTransfer:
-		buf = append(buf, byte(KindRelocTransfer))
-		buf = appendLen(buf, Size(m)-headerBytes)
-		buf = binary.LittleEndian.AppendUint64(buf, t.ID)
-		buf = appendKeys(buf, t.Keys)
-		buf = appendVals(buf, t.Vals)
+		w.header(KindRelocTransfer, sz)
+		w.u64(t.ID)
+		w.keys(t.Keys)
+		w.vals(t.Vals)
 	case *SspClock:
-		buf = append(buf, byte(KindSspClock))
-		buf = appendLen(buf, Size(m)-headerBytes)
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Worker))
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Clock))
+		w.header(KindSspClock, sz)
+		w.u32(uint32(t.Worker))
+		w.u32(uint32(t.Clock))
 	case *SspSync:
-		buf = append(buf, byte(KindSspSync))
-		buf = appendLen(buf, Size(m)-headerBytes)
-		buf = binary.LittleEndian.AppendUint64(buf, t.ID)
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Clock))
-		buf = appendKeys(buf, t.Keys)
-		buf = appendVals(buf, t.Vals)
+		w.header(KindSspSync, sz)
+		w.u64(t.ID)
+		w.u32(uint32(t.Clock))
+		w.keys(t.Keys)
+		w.vals(t.Vals)
 	case *Barrier:
-		buf = append(buf, byte(KindBarrier))
-		buf = appendLen(buf, Size(m)-headerBytes)
-		buf = append(buf, boolByte(t.Enter))
-		buf = binary.LittleEndian.AppendUint32(buf, t.Seq)
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Worker))
+		w.header(KindBarrier, sz)
+		w.u8(boolByte(t.Enter))
+		w.u32(t.Seq)
+		w.u32(uint32(t.Worker))
 	case *Block:
-		buf = append(buf, byte(KindBlock))
-		buf = appendLen(buf, Size(m)-headerBytes)
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.ID))
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Worker))
-		buf = appendVals(buf, t.Vals)
+		w.header(KindBlock, sz)
+		w.u32(uint32(t.ID))
+		w.u32(uint32(t.Worker))
+		w.vals(t.Vals)
 	case *ReplicaSync:
-		buf = append(buf, byte(KindReplicaSync))
-		buf = appendLen(buf, Size(m)-headerBytes)
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Origin))
-		buf = binary.LittleEndian.AppendUint32(buf, t.Seq)
-		buf = appendKeys(buf, t.Keys)
-		buf = appendVals(buf, t.Vals)
+		w.header(KindReplicaSync, sz)
+		w.u32(uint32(t.Origin))
+		w.u32(t.Seq)
+		w.keys(t.Keys)
+		w.vals(t.Vals)
 	case *ReplicaRefresh:
-		buf = append(buf, byte(KindReplicaRefresh))
-		buf = appendLen(buf, Size(m)-headerBytes)
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Origin))
-		buf = binary.LittleEndian.AppendUint32(buf, t.Ack)
-		buf = appendKeys(buf, t.Keys)
-		buf = appendVals(buf, t.Vals)
+		w.header(KindReplicaRefresh, sz)
+		w.u32(uint32(t.Origin))
+		w.u32(t.Ack)
+		w.keys(t.Keys)
+		w.vals(t.Vals)
 	default:
-		panic(fmt.Sprintf("msg: Encode on unknown message type %T", m))
+		panic(fmt.Sprintf("msg: AppendTo on unknown message type %T", m))
+	}
+	if w.off != base+sz {
+		panic(fmt.Sprintf("msg: AppendTo wrote %d bytes for %T, Size says %d", w.off-base, m, sz))
 	}
 	return buf
+}
+
+// writer is a cursor over a pre-sized encode buffer. Unlike append-based
+// encoding it never re-checks capacity per field, and the key/value loops
+// store into one bounds-hoisted sub-slice.
+type writer struct {
+	b   []byte
+	off int
+}
+
+func (w *writer) header(k Kind, sz int) {
+	w.u8(byte(k))
+	w.u32(uint32(sz - headerBytes))
+}
+
+func (w *writer) u8(v byte) {
+	w.b[w.off] = v
+	w.off++
+}
+
+func (w *writer) u32(v uint32) {
+	binary.LittleEndian.PutUint32(w.b[w.off:], v)
+	w.off += 4
+}
+
+func (w *writer) u64(v uint64) {
+	binary.LittleEndian.PutUint64(w.b[w.off:], v)
+	w.off += 8
+}
+
+func (w *writer) keys(keys []kv.Key) {
+	w.u32(uint32(len(keys)))
+	b := w.b[w.off : w.off+len(keys)*keyBytes]
+	for i, k := range keys {
+		binary.LittleEndian.PutUint64(b[i*keyBytes:], uint64(k))
+	}
+	w.off += len(keys) * keyBytes
+}
+
+func (w *writer) vals(vals []float32) {
+	w.u32(uint32(len(vals)))
+	b := w.b[w.off : w.off+len(vals)*valBytes]
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(b[i*valBytes:], math.Float32bits(v))
+	}
+	w.off += len(vals) * valBytes
 }
 
 // Decode parses one encoded message and returns it together with the number
 // of bytes consumed. Every field read is bounds-checked and the payload must
 // be consumed exactly, so Decode never panics and malformed input — from a
 // socket or the fuzzer — yields an error.
-func Decode(buf []byte) (any, int, error) {
+func Decode(buf []byte) (any, int, error) { return decodeMsg(buf, nil) }
+
+// decodeMsg decodes one message. With s == nil every decoded struct and
+// slice is freshly allocated (the Decode contract); with a Scratch the
+// message struct and its Keys/Vals are backed by the scratch's reusable
+// arena (the Scratch.Decode contract).
+func decodeMsg(buf []byte, s *Scratch) (any, int, error) {
 	if len(buf) < headerBytes {
 		return nil, 0, fmt.Errorf("msg: short buffer (%d bytes)", len(buf))
 	}
@@ -336,34 +397,111 @@ func Decode(buf []byte) (any, int, error) {
 	if plen < 0 || len(buf)-headerBytes < plen {
 		return nil, 0, fmt.Errorf("msg: truncated %v payload: have %d, want %d", kind, len(buf)-headerBytes, plen)
 	}
-	d := &decoder{p: buf[headerBytes : headerBytes+plen]}
+	d := &decoder{p: buf[headerBytes : headerBytes+plen], s: s}
 	total := headerBytes + plen
 	var m any
 	switch kind {
 	case KindOp:
-		m = &Op{Type: OpType(d.u8()), ID: d.u64(), Origin: int32(d.u32()),
+		var t *Op
+		if s != nil {
+			t = &s.op
+		} else {
+			t = new(Op)
+		}
+		*t = Op{Type: OpType(d.u8()), ID: d.u64(), Origin: int32(d.u32()),
 			Hops: d.u8(), ViaCache: d.bool(), Keys: d.keys(), Vals: d.vals()}
+		m = t
 	case KindOpResp:
-		m = &OpResp{Type: OpType(d.u8()), ID: d.u64(), Responder: int32(d.u32()),
+		var t *OpResp
+		if s != nil {
+			t = &s.opResp
+		} else {
+			t = new(OpResp)
+		}
+		*t = OpResp{Type: OpType(d.u8()), ID: d.u64(), Responder: int32(d.u32()),
 			Keys: d.keys(), Vals: d.vals()}
+		m = t
 	case KindLocalize:
-		m = &Localize{ID: d.u64(), Origin: int32(d.u32()), Keys: d.keys()}
+		var t *Localize
+		if s != nil {
+			t = &s.localize
+		} else {
+			t = new(Localize)
+		}
+		*t = Localize{ID: d.u64(), Origin: int32(d.u32()), Keys: d.keys()}
+		m = t
 	case KindRelocInstruct:
-		m = &RelocInstruct{ID: d.u64(), Dest: int32(d.u32()), Keys: d.keys()}
+		var t *RelocInstruct
+		if s != nil {
+			t = &s.instruct
+		} else {
+			t = new(RelocInstruct)
+		}
+		*t = RelocInstruct{ID: d.u64(), Dest: int32(d.u32()), Keys: d.keys()}
+		m = t
 	case KindRelocTransfer:
-		m = &RelocTransfer{ID: d.u64(), Keys: d.keys(), Vals: d.vals()}
+		var t *RelocTransfer
+		if s != nil {
+			t = &s.transfer
+		} else {
+			t = new(RelocTransfer)
+		}
+		*t = RelocTransfer{ID: d.u64(), Keys: d.keys(), Vals: d.vals()}
+		m = t
 	case KindSspClock:
-		m = &SspClock{Worker: int32(d.u32()), Clock: int32(d.u32())}
+		var t *SspClock
+		if s != nil {
+			t = &s.sspClock
+		} else {
+			t = new(SspClock)
+		}
+		*t = SspClock{Worker: int32(d.u32()), Clock: int32(d.u32())}
+		m = t
 	case KindSspSync:
-		m = &SspSync{ID: d.u64(), Clock: int32(d.u32()), Keys: d.keys(), Vals: d.vals()}
+		var t *SspSync
+		if s != nil {
+			t = &s.sspSync
+		} else {
+			t = new(SspSync)
+		}
+		*t = SspSync{ID: d.u64(), Clock: int32(d.u32()), Keys: d.keys(), Vals: d.vals()}
+		m = t
 	case KindBarrier:
-		m = &Barrier{Enter: d.bool(), Seq: d.u32(), Worker: int32(d.u32())}
+		var t *Barrier
+		if s != nil {
+			t = &s.barrier
+		} else {
+			t = new(Barrier)
+		}
+		*t = Barrier{Enter: d.bool(), Seq: d.u32(), Worker: int32(d.u32())}
+		m = t
 	case KindBlock:
-		m = &Block{ID: int32(d.u32()), Worker: int32(d.u32()), Vals: d.vals()}
+		var t *Block
+		if s != nil {
+			t = &s.block
+		} else {
+			t = new(Block)
+		}
+		*t = Block{ID: int32(d.u32()), Worker: int32(d.u32()), Vals: d.vals()}
+		m = t
 	case KindReplicaSync:
-		m = &ReplicaSync{Origin: int32(d.u32()), Seq: d.u32(), Keys: d.keys(), Vals: d.vals()}
+		var t *ReplicaSync
+		if s != nil {
+			t = &s.repSync
+		} else {
+			t = new(ReplicaSync)
+		}
+		*t = ReplicaSync{Origin: int32(d.u32()), Seq: d.u32(), Keys: d.keys(), Vals: d.vals()}
+		m = t
 	case KindReplicaRefresh:
-		m = &ReplicaRefresh{Origin: int32(d.u32()), Ack: d.u32(), Keys: d.keys(), Vals: d.vals()}
+		var t *ReplicaRefresh
+		if s != nil {
+			t = &s.repRefresh
+		} else {
+			t = new(ReplicaRefresh)
+		}
+		*t = ReplicaRefresh{Origin: int32(d.u32()), Ack: d.u32(), Keys: d.keys(), Vals: d.vals()}
+		m = t
 	default:
 		return nil, 0, fmt.Errorf("msg: unknown message kind %d", kind)
 	}
@@ -378,10 +516,12 @@ func Decode(buf []byte) (any, int, error) {
 
 // decoder is a bounds-checked cursor over a message payload. The first
 // failed read latches err and all subsequent reads return zero values, so
-// decode expressions can be written straight-line.
+// decode expressions can be written straight-line. With a Scratch attached,
+// keys and vals decode into the scratch arena instead of fresh slices.
 type decoder struct {
 	p   []byte
 	err error
+	s   *Scratch
 }
 
 func (d *decoder) fail(what string) {
@@ -424,7 +564,8 @@ func (d *decoder) u64() uint64 {
 
 // keys reads a count-prefixed key list; a zero count decodes to nil. The
 // count is validated against the remaining payload before any allocation
-// (overflow-safe on 32-bit ints).
+// (overflow-safe on 32-bit ints). With a scratch attached, the list is
+// decoded into the scratch's reusable key arena.
 func (d *decoder) keys() []kv.Key {
 	n := int(d.u32())
 	if d.err != nil {
@@ -437,16 +578,26 @@ func (d *decoder) keys() []kv.Key {
 	if n == 0 {
 		return nil
 	}
-	keys := make([]kv.Key, n)
+	var keys []kv.Key
+	if d.s != nil {
+		if cap(d.s.keys) < n {
+			d.s.keys = make([]kv.Key, n)
+		}
+		keys = d.s.keys[:n]
+	} else {
+		keys = make([]kv.Key, n)
+	}
+	b := d.p[:n*keyBytes]
 	for i := range keys {
-		keys[i] = kv.Key(binary.LittleEndian.Uint64(d.p[i*keyBytes:]))
+		keys[i] = kv.Key(binary.LittleEndian.Uint64(b[i*keyBytes:]))
 	}
 	d.p = d.p[n*keyBytes:]
 	return keys
 }
 
 // vals reads a count-prefixed float32 list; a zero count decodes to nil.
-// Like keys, the count is validated overflow-safely before allocating.
+// Like keys, the count is validated overflow-safely before allocating, and a
+// scratch's value arena is reused when present.
 func (d *decoder) vals() []float32 {
 	n := int(d.u32())
 	if d.err != nil {
@@ -459,9 +610,18 @@ func (d *decoder) vals() []float32 {
 	if n == 0 {
 		return nil
 	}
-	vals := make([]float32, n)
+	var vals []float32
+	if d.s != nil {
+		if cap(d.s.vals) < n {
+			d.s.vals = make([]float32, n)
+		}
+		vals = d.s.vals[:n]
+	} else {
+		vals = make([]float32, n)
+	}
+	b := d.p[:n*valBytes]
 	for i := range vals {
-		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(d.p[i*valBytes:]))
+		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*valBytes:]))
 	}
 	d.p = d.p[n*valBytes:]
 	return vals
@@ -472,24 +632,4 @@ func boolByte(b bool) byte {
 		return 1
 	}
 	return 0
-}
-
-func appendLen(buf []byte, n int) []byte {
-	return binary.LittleEndian.AppendUint32(buf, uint32(n))
-}
-
-func appendKeys(buf []byte, keys []kv.Key) []byte {
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(keys)))
-	for _, k := range keys {
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(k))
-	}
-	return buf
-}
-
-func appendVals(buf []byte, vals []float32) []byte {
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(vals)))
-	for _, v := range vals {
-		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
-	}
-	return buf
 }

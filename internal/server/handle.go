@@ -7,14 +7,17 @@ import (
 )
 
 // Handle implements the variant-independent portion of a kv.KV client:
-// identity, the cluster barrier, and the outstanding-future tracking behind
-// WaitAll. Variants embed it and add their operation methods. Like any kv.KV
-// handle, it is bound to one worker thread and must not be shared between
-// goroutines.
+// identity, the cluster barrier, the outstanding-future tracking behind
+// WaitAll, and the worker-side operation dispatch (DispatchOp) with its
+// per-handle reusable scratch. Variants embed it and add their operation
+// methods. Like any kv.KV handle, it is bound to one worker thread and must
+// not be shared between goroutines — which is exactly what lets the dispatch
+// scratch go lock-free.
 type Handle struct {
 	nd          *Node
 	worker      int
 	outstanding []*kv.Future
+	ds          dispatchScratch
 }
 
 // NewHandle returns a handle for the given worker bound to nd's node. The

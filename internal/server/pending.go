@@ -99,13 +99,72 @@ type Pending struct {
 	locs    map[uint64]*pendingLoc
 	waiters map[kv.Key][]uint64 // key -> localize IDs waiting for arrival
 	syncs   map[uint64]*pendingSync
+	// claims is CompleteResp's reusable claim list. CompleteResp only runs
+	// on the owning shard's goroutine (responses demux to the shard that
+	// registered the part), so the scratch needs no lock of its own.
+	claims []*OpEntry
+}
+
+// OpEntry maps one key occurrence of a multi-key pull to the offset of its
+// value region in the operation's destination buffer. Offsets are tracked
+// per occurrence — not per key — so an operation that names the same key
+// twice fills both regions (a key→offset map would silently collapse them
+// onto the last occurrence).
+type OpEntry struct {
+	Key kv.Key
+	Off int32
+	// done marks the occurrence's region as filled by a response.
+	done bool
 }
 
 type pendingOp struct {
 	agg       *Agg
 	remaining int
 	dst       []float32
-	dstOff    map[kv.Key]int
+	// entries lists the pull's key occurrences of this shard in dispatch
+	// order (nil for pushes). Occurrences that complete without a response
+	// are claimed eagerly by offset (fast-path keys served after
+	// registration, queue drains applied locally); responses claim the
+	// remaining occurrences first-to-last per key. Claim marks are guarded
+	// by the table mutex: responses claim on the shard goroutine, offset
+	// claims come from workers.
+	entries []OpEntry
+	scan    int // first possibly-unclaimed entry
+}
+
+// claimLocked returns the first unclaimed occurrence of k, marking it
+// claimed, or nil if every occurrence of k has been answered already. The
+// table mutex must be held.
+func (op *pendingOp) claimLocked(k kv.Key) *OpEntry {
+	for i := op.scan; i < len(op.entries); i++ {
+		e := &op.entries[i]
+		if !e.done && e.Key == k {
+			e.done = true
+			op.advanceScan()
+			return e
+		}
+	}
+	return nil
+}
+
+// claimOffsetLocked marks the specific occurrence (k, off) claimed, so a
+// later response for another occurrence of the same key cannot be
+// misdirected onto its buffer region. The table mutex must be held.
+func (op *pendingOp) claimOffsetLocked(k kv.Key, off int32) {
+	for i := op.scan; i < len(op.entries); i++ {
+		e := &op.entries[i]
+		if !e.done && e.Key == k && e.Off == off {
+			e.done = true
+			op.advanceScan()
+			return
+		}
+	}
+}
+
+func (op *pendingOp) advanceScan() {
+	for op.scan < len(op.entries) && op.entries[op.scan].done {
+		op.scan++
+	}
 }
 
 type pendingLoc struct {
@@ -135,22 +194,23 @@ func newPending(next *atomic.Uint64) *Pending {
 
 // RegisterOpPart allocates a slot for the part of a pull/push whose nKeys
 // keys belong to this shard, tied to the operation's aggregate. For pulls,
-// dst and dstOff describe where each key's response values land (shared
-// read-only across parts; distinct keys write distinct sub-slices).
-func (p *Pending) RegisterOpPart(a *Agg, nKeys int, dst []float32, dstOff map[kv.Key]int) uint64 {
+// dst and entries describe where each key occurrence's response values land
+// (dst is shared read-only across parts; distinct occurrences fill distinct
+// sub-slices).
+func (p *Pending) RegisterOpPart(a *Agg, nKeys int, dst []float32, entries []OpEntry) uint64 {
 	a.add(nKeys)
 	id := p.next.Add(1)
 	p.mu.Lock()
-	p.ops[id] = &pendingOp{agg: a, remaining: nKeys, dst: dst, dstOff: dstOff}
+	p.ops[id] = &pendingOp{agg: a, remaining: nKeys, dst: dst, entries: entries}
 	p.mu.Unlock()
 	return id
 }
 
 // RegisterOp allocates a single-part slot for a pull/push expecting nKeys
 // key answers and returns its future directly.
-func (p *Pending) RegisterOp(nKeys int, dst []float32, dstOff map[kv.Key]int) (uint64, *kv.Future) {
+func (p *Pending) RegisterOp(nKeys int, dst []float32, entries []OpEntry) (uint64, *kv.Future) {
 	a := NewAgg()
-	id := p.RegisterOpPart(a, nKeys, dst, dstOff)
+	id := p.RegisterOpPart(a, nKeys, dst, entries)
 	return id, a.Seal(nil)
 }
 
@@ -164,16 +224,46 @@ func (p *Pending) CompleteResp(layout kv.Layout, m *msg.OpResp) {
 		panic(fmt.Sprintf("server: response for unknown op %d", m.ID))
 	}
 	// Fill the caller's buffer before accounting the keys as answered, so
-	// the future can only complete after all copies finished.
+	// the future can only complete after all copies finished. All of the
+	// response's occurrences are claimed under one mutex acquisition
+	// (workers claim served occurrences concurrently); the copies then run
+	// unlocked — each occurrence's region has exactly one writer.
 	if m.Type == msg.OpPull && op.dst != nil {
-		src := 0
+		claims := p.claims[:0]
+		p.mu.Lock()
 		for _, k := range m.Keys {
+			e := op.claimLocked(k)
+			if e == nil {
+				p.mu.Unlock()
+				panic(fmt.Sprintf("server: response for op %d answers key %d more often than requested", m.ID, k))
+			}
+			claims = append(claims, e)
+		}
+		p.mu.Unlock()
+		p.claims = claims // keep grown capacity
+		src := 0
+		for i, k := range m.Keys {
 			l := layout.Len(k)
-			copy(op.dst[op.dstOff[k]:op.dstOff[k]+l], m.Vals[src:src+l])
+			e := claims[i]
+			copy(op.dst[e.Off:int(e.Off)+l], m.Vals[src:src+l])
 			src += l
 		}
 	}
 	p.FinishKeys(m.ID, len(m.Keys))
+}
+
+// ClaimOffset marks the pull occurrence (k, off) of operation id as
+// completed without a response — a fast-path serve or a local queue-drain
+// apply that happened after the part was registered — so response claims for
+// other occurrences of the same key cannot be misdirected onto its buffer
+// region. It must be called before the occurrence is accounted done through
+// FinishKeys. No-op for pushes (no entries) and unknown ids.
+func (p *Pending) ClaimOffset(id uint64, k kv.Key, off int32) {
+	p.mu.Lock()
+	if op, ok := p.ops[id]; ok {
+		op.claimOffsetLocked(k, off)
+	}
+	p.mu.Unlock()
 }
 
 // FinishKeys accounts n keys of operation id as done, completing the

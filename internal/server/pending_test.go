@@ -13,8 +13,8 @@ func TestPendingOpCompletesAfterAllKeys(t *testing.T) {
 	p := NewPending()
 	layout := kv.NewUniformLayout(4, 2)
 	dst := make([]float32, 8)
-	dstOff := map[kv.Key]int{0: 0, 1: 2, 2: 4, 3: 6}
-	id, fut := p.RegisterOp(4, dst, dstOff)
+	entries := []OpEntry{{Key: 0, Off: 0}, {Key: 1, Off: 2}, {Key: 2, Off: 4}, {Key: 3, Off: 6}}
+	id, fut := p.RegisterOp(4, dst, entries)
 
 	// First response answers two keys (out of order).
 	p.CompleteResp(layout, &msg.OpResp{Type: msg.OpPull, ID: id, Keys: []kv.Key{2, 0}, Vals: []float32{5, 6, 1, 2}})

@@ -152,8 +152,8 @@ func (g *Group) Wait() { g.wg.Wait() }
 
 // Node is the worker-facing runtime of one node: it spans the node's server
 // shards and carries the shared operation-ID allocator. Worker-side dispatch
-// (DispatchOp, handles) goes through the Node; server-side message handling
-// through the per-shard Runtimes.
+// goes through per-worker Handles bound to the Node; server-side message
+// handling through the per-shard Runtimes.
 type Node struct {
 	g      *Group
 	node   int
@@ -232,10 +232,17 @@ func (rt *Runtime) SendOrDispatch(dest int, m any) {
 // loop is the shard's server goroutine: it processes incoming messages in
 // arrival order with no prioritization (Section 3.7: prioritizing relocation
 // messages would break consistency for asynchronous operations).
+//
+// The loop is the sole consumer of the shard's decoded messages, so after
+// the handler returns it recycles the envelope's decode scratch back to the
+// pool — the buffer-ownership protocol every Policy must honour: a handler
+// that needs message data past its return copies it first (DESIGN.md
+// "Allocation-free message path"; msg.SetPoison catches violations).
 func (rt *Runtime) loop() {
 	defer rt.nd.g.wg.Done()
 	for env := range rt.nd.g.cl.Net().Inbox(rt.nd.node, rt.shard) {
 		rt.handle(env.Src, env.Msg)
+		env.Recycle()
 	}
 }
 

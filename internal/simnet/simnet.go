@@ -35,9 +35,9 @@
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -103,18 +103,60 @@ type event struct {
 	ch    chan struct{}
 }
 
+// before orders events by due time, ties broken by scheduling order.
+func (e *event) before(o *event) bool {
+	if e.at.Equal(o.at) {
+		return e.seq < o.seq
+	}
+	return e.at.Before(o.at)
+}
+
+// eventHeap is a binary min-heap of events with hand-written sift
+// operations: container/heap's interface-based Push/Pop would box every
+// event into an `any`, allocating twice per scheduled delivery on the
+// network's hottest path.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at.Equal(h[j].at) {
-		return h[i].seq < h[j].seq
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s[i].before(&s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
 	}
-	return h[i].at.Before(h[j].at)
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s[last] = event{} // release channel/envelope references
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < len(s) && s[l].before(&s[least]) {
+			least = l
+		}
+		if r < len(s) && s[r].before(&s[least]) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+	return top
+}
 
 // Network is a simulated cluster network. Send, Sleep and Inbox are safe for
 // concurrent use.
@@ -202,11 +244,17 @@ func (n *Network) Config() Config { return n.cfg }
 // sends on a closing TCP connection; this lets server loops answer their
 // final in-flight messages during teardown.
 func (n *Network) Send(src, dst int, m any) {
-	buf := msg.Encode(m)
-	copied, _, err := msg.Decode(buf)
+	bp := msg.GetBuf()
+	buf := msg.AppendTo(*bp, m)
+	*bp = buf
+	sc := msg.GetScratch()
+	copied, _, err := sc.Decode(buf)
 	if err != nil {
 		panic(fmt.Sprintf("simnet: message %T does not round-trip: %v", m, err))
 	}
+	// The decode copied every byte out of the encode buffer, so it goes
+	// back to the pool before delivery (poisoned in poison mode).
+	msg.PutBuf(bp)
 	if err := msg.CheckShardPure(copied, n.cfg.Shards); err != nil {
 		// The simulated network is the testing transport: a batching bug
 		// that mixes shards in one key-addressed message fails loudly here
@@ -220,6 +268,7 @@ func (n *Network) Send(src, dst int, m any) {
 	n.sendMu.RLock()
 	defer n.sendMu.RUnlock()
 	if n.closed.Load() {
+		sc.Release()
 		n.dropped.Add(1)
 		return
 	}
@@ -232,7 +281,7 @@ func (n *Network) Send(src, dst int, m any) {
 	}
 	n.pairMsgs[src*n.cfg.Nodes+dst].Add(1)
 
-	env := Envelope{Src: src, Dst: dst, Msg: m, Shard: shard, Bytes: bytes}
+	env := Envelope{Src: src, Dst: dst, Msg: m, Shard: shard, Bytes: bytes, Scratch: sc}
 	if !n.sleepEnabled {
 		n.inboxes[dst][shard] <- env
 		return
@@ -280,7 +329,7 @@ func (n *Network) schedule(e event) {
 	}
 	n.seq++
 	e.seq = n.seq
-	heap.Push(&n.events, e)
+	n.events.push(e)
 	n.schedMu.Unlock()
 	select {
 	case n.wake <- struct{}{}:
@@ -320,7 +369,7 @@ func (n *Network) scheduler() {
 		next := n.events[0].at
 		now := time.Now()
 		if !now.Before(next) {
-			e := heap.Pop(&n.events).(event)
+			e := n.events.pop()
 			n.schedMu.Unlock()
 			n.fire(e)
 			continue
@@ -367,9 +416,9 @@ func (n *Network) Close() {
 	default:
 	}
 	// Deliver remaining events in time order ourselves.
-	heap.Init(&rest)
-	for rest.Len() > 0 {
-		n.fire(heap.Pop(&rest).(event))
+	sort.Slice(rest, func(i, j int) bool { return rest[i].before(&rest[j]) })
+	for _, e := range rest {
+		n.fire(e)
 	}
 	<-n.schedDone
 	for _, node := range n.inboxes {

@@ -190,7 +190,7 @@ func (h *handle) PullIfLocal(keys []kv.Key, dst []float32) (bool, error) {
 // always go to the key's server shard over the message path (even node-local
 // shards use the loopback link, as in Petuum), so no key is served or queued
 // locally.
-func (h *handle) RouteKey(_ msg.OpType, _ uint64, k kv.Key, _, _ []float32) server.KeyRoute {
+func (h *handle) RouteKey(_ msg.OpType, _ *server.OpCtx, k kv.Key, _, _ []float32) server.KeyRoute {
 	return server.KeyRoute{Dest: h.sys.part.NodeOf(k)}
 }
 
@@ -211,7 +211,7 @@ func (h *handle) Clock() {
 		for _, k := range ks {
 			vals = append(vals, h.writeCache[k]...)
 		}
-		if err := h.nd.srv.DispatchOp(h, msg.OpPush, ks, nil, vals).Wait(); err != nil {
+		if err := h.DispatchOp(h, msg.OpPush, ks, nil, vals).Wait(); err != nil {
 			panic(fmt.Sprintf("ssp: flush failed: %v", err))
 		}
 		// Fold the flushed deltas into existing local replicas, as

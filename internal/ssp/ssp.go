@@ -370,7 +370,10 @@ func (nd *node) handleSync(sh *policyShard, src int, m *msg.SspSync) {
 		ready := nd.globalClock >= m.Clock
 		global := nd.globalClock
 		if !ready {
-			nd.waiting = append(nd.waiting, waitingSync{required: m.Clock, origin: int32(src), id: m.ID, keys: m.Keys})
+			// The wait entry outlives this handler, so it must own its key
+			// list: m.Keys aliases the message's recyclable decode scratch.
+			keys := append([]kv.Key(nil), m.Keys...)
+			nd.waiting = append(nd.waiting, waitingSync{required: m.Clock, origin: int32(src), id: m.ID, keys: keys})
 			sh.rt.Stats().SyncWaits.Inc()
 		}
 		nd.clockMu.Unlock()

@@ -1,6 +1,7 @@
 package transport_test
 
 import (
+	"fmt"
 	"testing"
 
 	"lapse/internal/kv"
@@ -75,6 +76,88 @@ func TestSendDoesNotAliasMessageMemory(t *testing.T) {
 			got.Vals[1] = 555
 			if op.Vals[1] != 20 {
 				t.Fatal("receiver mutation visible in the sender's slice")
+			}
+		})
+	}
+}
+
+// TestPooledBufferUseAfterRelease hunts retention bugs in the pooled
+// encode/decode path: with poison-on-release enabled, every released encode
+// buffer and recycled decode scratch is overwritten with msg.PoisonKey /
+// msg.PoisonVal. A stream of messages is sent on each transport — so pooled
+// buffers are reused many times — while the receiver retains every decoded
+// message unrecycled and recycles a trailing prefix. No retained message may
+// ever observe poison (its scratch is its own until Recycle), and every
+// value must survive both the sender's buffer release and later sends.
+func TestPooledBufferUseAfterRelease(t *testing.T) {
+	msg.SetPoison(true)
+	defer msg.SetPoison(false)
+	const msgs = 400
+	for name, mk := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			net := mk()
+			defer net.Close()
+			done := make(chan error, 1)
+			go func() {
+				var retained []transport.Envelope
+				defer func() {
+					for i := range retained {
+						retained[i].Recycle()
+					}
+				}()
+				for i := 0; i < msgs; i++ {
+					env := <-net.Inbox(1, 0)
+					op := env.Msg.(*msg.Op)
+					// Messages from the two links interleave arbitrarily;
+					// each message's payload is derived from its own ID.
+					wantKey := kv.Key(op.ID)
+					wantVal := float32(op.ID) / 2
+					if len(op.Keys) != 2 || op.Keys[0] != wantKey || op.Keys[1] != wantKey+1 ||
+						op.Vals[0] != wantVal || op.Vals[1] != float32(op.ID) {
+						done <- fmt.Errorf("message %d decoded as id=%d keys=%v vals=%v", i, op.ID, op.Keys, op.Vals)
+						return
+					}
+					for _, k := range op.Keys {
+						if k == msg.PoisonKey {
+							done <- fmt.Errorf("message %d observed poisoned key (use-after-release)", i)
+							return
+						}
+					}
+					for _, v := range op.Vals {
+						if v == msg.PoisonVal {
+							done <- fmt.Errorf("message %d observed poisoned value (use-after-release)", i)
+							return
+						}
+					}
+					retained = append(retained, env)
+					// Recycle a trailing prefix so the scratch pool cycles
+					// under load; the last 16 stay retained and are
+					// re-verified below.
+					if len(retained) > 16 {
+						retained[0].Recycle()
+						retained = retained[1:]
+					}
+					// The retained tail must be intact although the sender
+					// released (and poisoned) its encode buffers long ago.
+					first := retained[0].Msg.(*msg.Op)
+					if first.Keys[0] == msg.PoisonKey || first.Vals[0] == msg.PoisonVal {
+						done <- fmt.Errorf("retained message poisoned while %d in flight", i)
+						return
+					}
+				}
+				done <- nil
+			}()
+			op := &msg.Op{Type: msg.OpPush}
+			for i := 0; i < msgs; i++ {
+				// Reuse the sender-side struct and slices across sends: the
+				// transport owns nothing of the caller's after Send returns.
+				op.ID = uint64(i)
+				op.Keys = append(op.Keys[:0], kv.Key(i), kv.Key(i)+1)
+				op.Vals = append(op.Vals[:0], float32(i)/2, float32(i))
+				net.Send(i%2, 1, op)
+			}
+			if err := <-done; err != nil {
+				t.Fatal(err)
 			}
 		})
 	}

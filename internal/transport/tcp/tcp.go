@@ -230,17 +230,21 @@ func (n *Network) Send(src, dst int, m any) {
 	if dst < 0 || dst >= n.Nodes() {
 		panic(fmt.Sprintf("tcp: Send to invalid node %d", dst))
 	}
-	buf := msg.Encode(m)
+	bp := msg.GetBuf()
+	buf := msg.AppendTo(*bp, m)
+	*bp = buf
 	if len(buf) > n.cfg.MaxMessage {
 		// Reject on the sender: the receiver would treat the frame as
 		// corruption and kill the whole link.
 		n.fail(fmt.Errorf("tcp: message %T of %d bytes exceeds MaxMessage %d", m, len(buf), n.cfg.MaxMessage))
 		n.dropped.Add(1)
+		msg.PutBuf(bp)
 		return
 	}
 	l := n.getLink(src, dst)
-	if l == nil || !l.enqueue(buf) {
+	if l == nil || !l.enqueue(bp) {
 		n.dropped.Add(1)
+		msg.PutBuf(bp)
 		return
 	}
 	if src == dst {
@@ -356,22 +360,25 @@ func (n *Network) getLink(src, dst int) *link {
 }
 
 // link is the sending half of one directed node pair: a queue drained by a
-// single writer goroutine over one TCP connection.
+// single writer goroutine over one TCP connection. Queued frames are pooled
+// encode buffers (msg.GetBuf); whoever removes a frame from the queue owns
+// returning it with msg.PutBuf after the coalesced write (or on discard).
 type link struct {
 	n        *Network
 	src, dst int
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  [][]byte
+	queue  []*[]byte
 	conn   net.Conn // set by the writer once dialed
 	closed bool
 	dead   bool // connection failed; enqueues are dropped
 }
 
 // enqueue appends one encoded frame; it reports false when the link no
-// longer accepts traffic (closed or failed).
-func (l *link) enqueue(frame []byte) bool {
+// longer accepts traffic (closed or failed) — the caller then still owns the
+// buffer.
+func (l *link) enqueue(frame *[]byte) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed || l.dead {
@@ -395,15 +402,19 @@ func (l *link) close() {
 	l.mu.Unlock()
 }
 
-// die marks the link failed and discards queued frames (counted as dropped).
+// die marks the link failed and discards queued frames (counted as dropped,
+// buffers returned to the pool).
 func (l *link) die(err error) {
 	l.n.fail(fmt.Errorf("tcp: link %d->%d: %w", l.src, l.dst, err))
 	l.mu.Lock()
 	l.dead = true
-	dropped := len(l.queue)
+	dropped := l.queue
 	l.queue = nil
 	l.mu.Unlock()
-	l.n.dropped.Add(int64(dropped))
+	for _, bp := range dropped {
+		msg.PutBuf(bp)
+	}
+	l.n.dropped.Add(int64(len(dropped)))
 }
 
 // run is the link's writer goroutine: dial (with retries, so peers may start
@@ -447,9 +458,16 @@ func (l *link) run() {
 		if len(batch) > 0 {
 			pending = pending[:0]
 			for _, frame := range batch {
-				pending = append(pending, frame)
+				pending = append(pending, *frame)
 			}
-			if _, err := pending.WriteTo(conn); err != nil {
+			_, err := pending.WriteTo(conn)
+			// The kernel owns copies of the written bytes now (WriteTo
+			// consumes the Buffers view, not the frames), so the pooled
+			// encode buffers go back either way.
+			for _, frame := range batch {
+				msg.PutBuf(frame)
+			}
+			if err != nil {
 				l.die(err)
 				return
 			}
@@ -536,23 +554,30 @@ func (n *Network) readLoop(conn net.Conn) {
 		return
 	}
 	inboxes := n.inboxes[dst]
-	header := make([]byte, headerBytes)
+	// One reusable frame buffer per connection: the scratch decode copies
+	// every byte out of it, so the next frame may overwrite it freely.
+	frame := make([]byte, 64<<10)
 	for {
-		if _, err := io.ReadFull(br, header); err != nil {
+		if _, err := io.ReadFull(br, frame[:headerBytes]); err != nil {
 			return // EOF: peer closed; deadline: teardown drain expired
 		}
-		plen := int(binary.LittleEndian.Uint32(header[1:5]))
+		plen := int(binary.LittleEndian.Uint32(frame[1:headerBytes]))
 		if plen < 0 || plen > n.cfg.MaxMessage {
 			n.fail(fmt.Errorf("tcp: frame of %d bytes from node %d exceeds limit", plen, src))
 			return
 		}
-		frame := make([]byte, headerBytes+plen)
-		copy(frame, header)
-		if _, err := io.ReadFull(br, frame[headerBytes:]); err != nil {
+		if total := headerBytes + plen; total > len(frame) {
+			next := make([]byte, total)
+			copy(next, frame[:headerBytes])
+			frame = next
+		}
+		if _, err := io.ReadFull(br, frame[headerBytes:headerBytes+plen]); err != nil {
 			return
 		}
-		m, _, err := msg.Decode(frame)
+		sc := msg.GetScratch()
+		m, _, err := sc.Decode(frame[:headerBytes+plen])
 		if err != nil {
+			sc.Release()
 			n.fail(fmt.Errorf("tcp: malformed frame from node %d: %w", src, err))
 			return
 		}
@@ -560,7 +585,7 @@ func (n *Network) readLoop(conn net.Conn) {
 		// sequentially, so order is preserved per (connection, shard).
 		shard := msg.ShardOf(m, n.cfg.Shards)
 		inbox := inboxes[shard]
-		env := transport.Envelope{Src: src, Dst: dst, Msg: m, Shard: shard, Bytes: len(frame)}
+		env := transport.Envelope{Src: src, Dst: dst, Msg: m, Shard: shard, Bytes: headerBytes + plen, Scratch: sc}
 		select {
 		case inbox <- env:
 		case <-n.done:
@@ -569,6 +594,7 @@ func (n *Network) readLoop(conn net.Conn) {
 			select {
 			case inbox <- env:
 			default:
+				sc.Release()
 				n.dropped.Add(1)
 			}
 		}

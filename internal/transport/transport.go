@@ -23,10 +23,15 @@
 // nodes.
 package transport
 
-import "time"
+import (
+	"time"
+
+	"lapse/internal/msg"
+)
 
 // Envelope is a delivered message: the decoded wire message plus routing
-// metadata. Msg is always a freshly decoded copy owned by the receiver.
+// metadata. Msg is always a decoded copy owned by the receiver — never the
+// sender's pointer.
 type Envelope struct {
 	Src, Dst int
 	Msg      any
@@ -36,6 +41,20 @@ type Envelope struct {
 	Shard int
 	// Bytes is the on-the-wire size of the encoded message.
 	Bytes int
+	// Scratch, when non-nil, is the pooled decode arena backing Msg. The
+	// consumer that finishes processing Msg calls Recycle to return it;
+	// consumers that retain Msg (or its Keys/Vals) simply never recycle and
+	// the arena falls to the garbage collector.
+	Scratch *msg.Scratch
+}
+
+// Recycle returns the envelope's decode scratch (if any) to the pool. After
+// Recycle, Msg and its slices must no longer be referenced.
+func (e *Envelope) Recycle() {
+	if e.Scratch != nil {
+		e.Scratch.Release()
+		e.Scratch = nil
+	}
 }
 
 // Stats aggregates traffic counters of one transport instance. In
