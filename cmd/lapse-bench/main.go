@@ -9,7 +9,10 @@
 // run under every parameter-management technique (relocation-only,
 // localize-per-access, top-k replication). The uniform and Zipf workloads
 // additionally sweep the server shard count (1 and 4), measuring the
-// multi-core server scaling of the sharded runtime.
+// multi-core server scaling of the sharded runtime. A final set of cells
+// re-runs the Zipf workload as a real multi-process deployment — one OS
+// process per node, over loopback TCP and over shared-memory rings — so the
+// trajectory also covers the real transports (see multiproc.go).
 //
 // Usage:
 //
@@ -45,11 +48,15 @@ const allocSlack = 2.0
 
 // Result is one measured (workload, mode, parallelism, shards) cell.
 type Result struct {
-	Workload            string  `json:"workload"`
-	Mode                string  `json:"mode"`
-	Nodes               int     `json:"nodes"`
-	Workers             int     `json:"workers"`
-	Shards              int     `json:"shards"`
+	Workload string `json:"workload"`
+	Mode     string `json:"mode"`
+	Nodes    int    `json:"nodes"`
+	Workers  int    `json:"workers"`
+	Shards   int    `json:"shards"`
+	// Transport distinguishes the multi-process real-transport cells
+	// ("tcp", "shm"); empty for the in-process simulated-network sweep, so
+	// cells from reports predating the column keep matching.
+	Transport           string  `json:"transport,omitempty"`
 	Ops                 int64   `json:"ops"`
 	Seconds             float64 `json:"seconds"`
 	Throughput          float64 `json:"throughput_ops_per_sec"`
@@ -66,15 +73,17 @@ type Result struct {
 
 // cell identifies a result across reports for regression comparison.
 type cell struct {
-	Workload string
-	Mode     string
-	Nodes    int
-	Workers  int
-	Shards   int
+	Workload  string
+	Mode      string
+	Nodes     int
+	Workers   int
+	Shards    int
+	Transport string
 }
 
 func (r Result) cell() cell {
-	return cell{Workload: r.Workload, Mode: r.Mode, Nodes: r.Nodes, Workers: r.Workers, Shards: r.Shards}
+	return cell{Workload: r.Workload, Mode: r.Mode, Nodes: r.Nodes, Workers: r.Workers,
+		Shards: r.Shards, Transport: r.Transport}
 }
 
 // Report is the top-level BENCH_<rev>.json document.
@@ -86,6 +95,9 @@ type Report struct {
 }
 
 func main() {
+	if spec := os.Getenv(mpChildEnv); spec != "" {
+		os.Exit(runChildNode(spec))
+	}
 	quick := flag.Bool("quick", false, "reduced sweep for smoke runs")
 	rev := flag.String("rev", "", "revision id for the output file name (default: git short hash)")
 	out := flag.String("out", ".", "output directory")
@@ -103,9 +115,11 @@ func main() {
 	}
 	fmt.Printf("wrote %s (%d results)\n", path, len(report.Results))
 	for _, r := range report.Results {
-		fmt.Printf("%-8s %-11s %dx%ds%d  %9.0f ops/s  %6.1f allocs/op  %7.0f B/op  msgs=%-6d remote-reads=%-6d replica-hits=%d\n",
-			r.Workload, r.Mode, r.Nodes, r.Workers, r.Shards, r.Throughput, r.AllocsPerOp, r.BytesPerOp, r.NetworkMessages, r.RemoteReads, r.ReplicaHits)
+		fmt.Printf("%-8s %-11s %dx%ds%d%-4s  %9.0f ops/s  %6.1f allocs/op  %7.0f B/op  msgs=%-6d remote-reads=%-6d replica-hits=%d\n",
+			r.Workload, r.Mode, r.Nodes, r.Workers, r.Shards, transportTag(r.Transport),
+			r.Throughput, r.AllocsPerOp, r.BytesPerOp, r.NetworkMessages, r.RemoteReads, r.ReplicaHits)
 	}
+	printTransportRatios(report)
 	if *compareWith != "" {
 		if err := compare(report, *compareWith); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -187,6 +201,14 @@ func run(quick bool, rev string) Report {
 			}
 		}
 	}
+	// The real-transport cells: co-located multi-process deployments over
+	// loopback TCP and shared-memory rings (see multiproc.go).
+	mp, err := runMultiProcessCells(quick)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	report.Results = append(report.Results, mp...)
 	return report
 }
 
@@ -232,16 +254,18 @@ func compare(cur Report, baselinePath string) error {
 		drop := 1 - r.Throughput/b.Throughput
 		if drop > regressionTolerance {
 			regressions = append(regressions,
-				fmt.Sprintf("  %-8s %-11s %dx%ds%d: %.0f -> %.0f ops/s (-%.0f%%)",
-					r.Workload, r.Mode, r.Nodes, r.Workers, r.Shards, b.Throughput, r.Throughput, drop*100))
+				fmt.Sprintf("  %-8s %-11s %dx%ds%d%s: %.0f -> %.0f ops/s (-%.0f%%)",
+					r.Workload, r.Mode, r.Nodes, r.Workers, r.Shards, transportTag(r.Transport),
+					b.Throughput, r.Throughput, drop*100))
 		}
 		// Allocation gate: a cell may not allocate more than 20% (plus a
 		// small absolute slack) over the baseline — zero-alloc baselines
 		// included. Baselines without the allocs column skip the gate.
 		if baseHasAllocs && r.AllocsPerOp > b.AllocsPerOp*(1+regressionTolerance)+allocSlack {
 			regressions = append(regressions,
-				fmt.Sprintf("  %-8s %-11s %dx%ds%d: %.1f -> %.1f allocs/op",
-					r.Workload, r.Mode, r.Nodes, r.Workers, r.Shards, b.AllocsPerOp, r.AllocsPerOp))
+				fmt.Sprintf("  %-8s %-11s %dx%ds%d%s: %.1f -> %.1f allocs/op",
+					r.Workload, r.Mode, r.Nodes, r.Workers, r.Shards, transportTag(r.Transport),
+					b.AllocsPerOp, r.AllocsPerOp))
 		}
 	}
 	if matched == 0 {

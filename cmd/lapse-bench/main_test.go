@@ -8,13 +8,40 @@ import (
 	"testing"
 )
 
-// TestQuickBenchWritesReport runs the quick sweep end to end and validates
-// the BENCH_<rev>.json schema CI archives.
+// TestMain lets the test binary stand in for the lapse-bench binary when the
+// multi-process sweep re-executes os.Executable() as a cell child.
+func TestMain(m *testing.M) {
+	if spec := os.Getenv(mpChildEnv); spec != "" {
+		os.Exit(runChildNode(spec))
+	}
+	os.Exit(m.Run())
+}
+
+// TestQuickBenchWritesReport runs the quick sweep end to end — including the
+// multi-process transport cells, with this test binary re-executed as the
+// node children — and validates the BENCH_<rev>.json schema CI archives.
 func TestQuickBenchWritesReport(t *testing.T) {
-	// uniform and zipf sweep shards {1,4}; w2vneg runs single-shard.
+	if testing.Short() {
+		t.Skip("runs the full quick sweep with subprocesses")
+	}
+	// uniform and zipf sweep shards {1,4}; w2vneg runs single-shard; the
+	// multi-process transport sweep adds modes × transports cells.
 	report := run(true, "test")
-	if want := (2*2 + 1) * 1 * 3; len(report.Results) != want { // (workloads × shard counts) × parallelisms × modes
+	want := (2*2+1)*1*3 + 2*len(mpTransports())
+	if len(report.Results) != want {
 		t.Fatalf("quick sweep produced %d results, want %d", len(report.Results), want)
+	}
+	var transports []string
+	for _, r := range report.Results {
+		if r.Transport != "" {
+			transports = append(transports, r.Transport)
+			if r.Workload != "zipf" || r.Nodes != mpNodes || r.Shards != mpShards {
+				t.Fatalf("unexpected multi-process cell: %+v", r)
+			}
+		}
+	}
+	if len(transports) != 2*len(mpTransports()) {
+		t.Fatalf("multi-process cells = %v, want 2 per transport of %v", transports, mpTransports())
 	}
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH_test.json")

@@ -1,13 +1,16 @@
 // Command lapse-node runs one cluster node as an OS process, so a parameter
-// server can be deployed as N communicating processes over real TCP — the
-// deployment mode of the paper's actual system — instead of the in-process
-// simulation of cmd/lapse-sim.
+// server can be deployed as N communicating processes over real transports —
+// the deployment mode of the paper's actual system — instead of the
+// in-process simulation of cmd/lapse-sim.
 //
 // Every process is started with the same topology (the full address list and
 // shared workload parameters) plus its own node index; the processes find
 // each other over TCP (dials retry while peers are still starting), run the
 // quickstart workload, and node 0 verifies that the cluster converged to the
-// analytically known result before everyone tears down.
+// analytically known result before everyone tears down. Traffic between
+// processes on the same host automatically rides shared-memory rings
+// (internal/transport/shm) instead of loopback TCP; -no-shm forces plain
+// TCP, and cross-host links always use TCP.
 //
 // Usage (3 nodes on one machine):
 //
@@ -48,6 +51,9 @@ func main() {
 		valLen    = flag.Int("vallen", 2, "values per parameter")
 		iters     = flag.Int("iters", 3, "push rounds")
 		staleness = flag.Int("staleness", 1, "SSP staleness bound (stale variants)")
+		noSHM     = flag.Bool("no-shm", false, "force TCP even between same-host processes")
+		shmDir    = flag.String("shm-dir", "", "shared-memory ring directory (default derived from -addrs; all co-located processes must agree)")
+		pin       = flag.Bool("pin", false, "pin each server shard goroutine to one CPU core")
 		quiet     = flag.Bool("q", false, "suppress the per-node summary")
 	)
 	flag.Parse()
@@ -57,24 +63,34 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*node, addrs, *workers, *shards, driver.Kind(*variant), *keys, *valLen, *iters, *staleness, *quiet); err != nil {
+	opts := nodeOptions{noSHM: *noSHM, shmDir: *shmDir, pin: *pin, quiet: *quiet}
+	if err := run(*node, addrs, *workers, *shards, driver.Kind(*variant), *keys, *valLen, *iters, *staleness, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "lapse-node %d: %v\n", *node, err)
 		os.Exit(1)
 	}
 }
 
-func run(node int, addrs []string, workers, shards int, kind driver.Kind, nKeys, valLen, iters, staleness int, quiet bool) error {
+// nodeOptions carries the deployment knobs that are not workload parameters.
+type nodeOptions struct {
+	noSHM  bool
+	shmDir string
+	pin    bool
+	quiet  bool
+}
+
+func run(node int, addrs []string, workers, shards int, kind driver.Kind, nKeys, valLen, iters, staleness int, opts nodeOptions) error {
 	cl, err := driver.NewCluster(driver.Deployment{
 		Nodes:          len(addrs),
 		WorkersPerNode: workers,
 		Shards:         shards,
-		TCP:            &driver.TCPDeployment{Addrs: addrs, Node: node},
+		TCP: &driver.TCPDeployment{Addrs: addrs, Node: node,
+			DisableSHM: opts.noSHM, SHMDir: opts.shmDir},
 	})
 	if err != nil {
 		return err
 	}
 	layout := kv.NewUniformLayout(kv.Key(nKeys), valLen)
-	ps := driver.Build(kind, cl, layout, driver.Options{Staleness: staleness})
+	ps := driver.Build(kind, cl, layout, driver.Options{Staleness: staleness, PinShards: opts.pin})
 
 	// A failed link (peer crashed, wrong address) silently drops its
 	// messages, which would leave workers blocked on futures or barriers
@@ -103,10 +119,10 @@ func run(node int, addrs []string, workers, shards int, kind driver.Kind, nKeys,
 	if err := cl.Err(); err != nil {
 		return fmt.Errorf("transport: %w", err)
 	}
-	if !quiet {
+	if !opts.quiet {
 		s := cl.Net().Stats()
-		fmt.Printf("lapse-node %d (%s): converged; sent %d remote msgs / %d bytes, %d loopback msgs\n",
-			node, kind, s.RemoteMessages, s.RemoteBytes, s.LoopbackMessages)
+		fmt.Printf("lapse-node %d (%s, transport=%s): converged; sent %d remote msgs / %d bytes, %d loopback msgs\n",
+			node, kind, driver.Transport(cl), s.RemoteMessages, s.RemoteBytes, s.LoopbackMessages)
 	}
 	return nil
 }

@@ -32,9 +32,10 @@ func reservePorts(t *testing.T, n int) []string {
 
 // TestThreeProcessCluster is the end-to-end deployment check: build the real
 // binary, start a 3-node cluster as 3 OS processes — once with a single
-// server shard per node and once with 4 — and require every process to exit
-// 0, which, for node 0, includes verifying the converged parameter values
-// pulled across process boundaries.
+// server shard per node and once with 4, each on the auto-selected
+// shared-memory rings (same-host processes) and once more forced onto plain
+// TCP — and require every process to exit 0, which, for node 0, includes
+// verifying the converged parameter values pulled across process boundaries.
 func TestThreeProcessCluster(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and launches subprocesses")
@@ -43,10 +44,18 @@ func TestThreeProcessCluster(t *testing.T) {
 	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
 		t.Fatalf("go build: %v\n%s", err, out)
 	}
-	for _, shards := range []int{1, 4} {
-		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+	for _, tc := range []struct {
+		transport string
+		shards    int
+	}{
+		{"shm", 1}, {"shm", 4}, {"tcp", 1}, {"tcp", 4},
+	} {
+		t.Run(fmt.Sprintf("%s/shards=%d", tc.transport, tc.shards), func(t *testing.T) {
 			addrs := reservePorts(t, 3)
 			addrList := strings.Join(addrs, ",")
+			// A private ring directory per cell: concurrent test runs must
+			// not rendezvous through the default Addrs-derived path.
+			shmDir := filepath.Join(t.TempDir(), "rings")
 
 			type result struct {
 				node int
@@ -56,16 +65,21 @@ func TestThreeProcessCluster(t *testing.T) {
 			results := make(chan result, 3)
 			for node := 0; node < 3; node++ {
 				go func(node int) {
-					cmd := exec.Command(bin,
+					args := []string{
 						"-node", fmt.Sprint(node),
 						"-addrs", addrList,
 						"-workers", "2",
-						"-shards", fmt.Sprint(shards),
+						"-shards", fmt.Sprint(tc.shards),
 						"-variant", "lapse",
 						"-keys", "48",
 						"-iters", "3",
-					)
-					out, err := cmd.CombinedOutput()
+					}
+					if tc.transport == "tcp" {
+						args = append(args, "-no-shm")
+					} else {
+						args = append(args, "-shm-dir", shmDir)
+					}
+					out, err := exec.Command(bin, args...).CombinedOutput()
 					results <- result{node, out, err}
 				}(node)
 			}
@@ -73,8 +87,13 @@ func TestThreeProcessCluster(t *testing.T) {
 				r := <-results
 				if r.err != nil {
 					t.Errorf("node %d failed: %v\n%s", r.node, r.err, r.out)
-				} else if !strings.Contains(string(r.out), "converged") {
+					continue
+				}
+				if !strings.Contains(string(r.out), "converged") {
 					t.Errorf("node %d output missing convergence line:\n%s", r.node, r.out)
+				}
+				if want := "transport=" + tc.transport; !strings.Contains(string(r.out), want) {
+					t.Errorf("node %d did not report %s:\n%s", r.node, want, r.out)
 				}
 			}
 		})

@@ -92,6 +92,9 @@ type Config struct {
 	// Unbatched disables per-destination message batching (measurement
 	// only).
 	Unbatched bool
+	// PinShards pins each server shard goroutine to one CPU core (see
+	// server.Config.PinShards).
+	PinShards bool
 	// Replicate designates hot keys managed by eventually-consistent
 	// replication instead of relocation: every node holds a local replica,
 	// all reads and cumulative writes are shared-memory operations, and a
@@ -200,7 +203,7 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 		layout: layout,
 		cfg:    cfg,
 		home:   cfg.HomePartitioner,
-		g:      server.NewGroup(cl, layout, server.Config{Unbatched: cfg.Unbatched}),
+		g:      server.NewGroup(cl, layout, server.Config{Unbatched: cfg.Unbatched, PinShards: cfg.PinShards}),
 		nodes:  make([]*node, cl.Nodes()),
 	}
 	nk := int(layout.NumKeys())

@@ -10,6 +10,8 @@ import (
 	"lapse/internal/cluster"
 	"lapse/internal/kv"
 	"lapse/internal/simnet"
+	"lapse/internal/transport"
+	"lapse/internal/transport/shm"
 	"lapse/internal/transport/tcp"
 )
 
@@ -18,10 +20,10 @@ import (
 // 4, and checks that all of them (a) converge to the same parameter values
 // through the unified server runtime and (b) honor the kv.KV contract,
 // including the ErrUnsupported paths of variants without dynamic parameter
-// allocation. The simulated network and TCP loopback sockets must be
-// observationally identical here — both carry every message through the msg
-// codec — and sharding the runtime must never change results, only spread
-// the serving work.
+// allocation. The simulated network, TCP loopback sockets, and shared-memory
+// rings must be observationally identical here — all carry every message
+// through the msg codec — and sharding the runtime must never change
+// results, only spread the serving work.
 
 const (
 	confNodes   = 2
@@ -34,7 +36,7 @@ const (
 // confTransports names the transports every conformance test runs on;
 // confShards the server shard counts.
 var (
-	confTransports = []string{"simnet", "tcp"}
+	confTransports = []string{"simnet", "tcp", "shm"}
 	confShards     = []int{1, 4}
 )
 
@@ -61,6 +63,15 @@ func newConfCluster(t *testing.T, transport string, workersPerNode, shards int) 
 		net, err := tcp.New(tcp.Config{Addrs: addrs, Shards: shards})
 		if err != nil {
 			t.Fatalf("tcp.New: %v", err)
+		}
+		return cluster.New(cluster.Config{Nodes: confNodes, WorkersPerNode: workersPerNode, Transport: net})
+	case "shm":
+		if !shm.Supported() {
+			t.Skip("shm transport not supported on this platform")
+		}
+		net, err := shm.New(shm.Config{Dir: t.TempDir(), Nodes: confNodes, Shards: shards})
+		if err != nil {
+			t.Fatalf("shm.New: %v", err)
 		}
 		return cluster.New(cluster.Config{Nodes: confNodes, WorkersPerNode: workersPerNode, Transport: net})
 	default:
@@ -275,27 +286,53 @@ func TestConformanceKVContract(t *testing.T) {
 // TestConformanceMultiProcess runs every variant on two transport instances
 // hosting one node each — exactly the multi-process deployment of
 // cmd/lapse-node, minus the process boundary — so the representative
-// workload crosses real sockets in both directions and the barrier runs its
-// distributed coordinator protocol. Worker 0 (hosted by the first instance)
-// verifies the converged values before anyone tears down.
+// workload crosses real sockets (or shared-memory rings) in both directions
+// and the barrier runs its distributed coordinator protocol. Worker 0
+// (hosted by the first instance) verifies the converged values before anyone
+// tears down.
 func TestConformanceMultiProcess(t *testing.T) {
+	for _, tr := range []string{"tcp", "shm"} {
+		if tr == "shm" && !shm.Supported() {
+			continue
+		}
+		multiProcessConformance(t, tr)
+	}
+}
+
+func multiProcessConformance(t *testing.T, tr string) {
 	for _, shards := range confShards {
 		for _, kind := range Kinds() {
-			t.Run(fmt.Sprintf("%s/shards=%d", kind, shards), func(t *testing.T) {
-				addrs := []string{"127.0.0.1:0", "127.0.0.1:0"}
-				mkNet := func(node int) *tcp.Network {
-					net, err := tcp.New(tcp.Config{Addrs: addrs, Local: []int{node}, Shards: shards,
-						DrainTimeout: 200 * time.Millisecond})
-					if err != nil {
-						t.Fatalf("tcp.New(node %d): %v", node, err)
+			t.Run(fmt.Sprintf("%s/%s/shards=%d", tr, kind, shards), func(t *testing.T) {
+				var netA, netB transport.Network
+				switch tr {
+				case "tcp":
+					addrs := []string{"127.0.0.1:0", "127.0.0.1:0"}
+					mkNet := func(node int) *tcp.Network {
+						net, err := tcp.New(tcp.Config{Addrs: addrs, Local: []int{node}, Shards: shards,
+							DrainTimeout: 200 * time.Millisecond})
+						if err != nil {
+							t.Fatalf("tcp.New(node %d): %v", node, err)
+						}
+						return net
 					}
-					return net
+					a, b := mkNet(0), mkNet(1)
+					a.SetAddr(1, b.Addr(1))
+					b.SetAddr(0, a.Addr(0))
+					netA, netB = a, b
+				case "shm":
+					dir := t.TempDir()
+					mkNet := func(node int) *shm.Network {
+						net, err := shm.New(shm.Config{Dir: dir, Nodes: confNodes, Local: []int{node},
+							Shards: shards, DrainTimeout: 200 * time.Millisecond})
+						if err != nil {
+							t.Fatalf("shm.New(node %d): %v", node, err)
+						}
+						return net
+					}
+					netA, netB = mkNet(0), mkNet(1)
 				}
-				netA, netB := mkNet(0), mkNet(1)
-				netA.SetAddr(1, netB.Addr(1))
-				netB.SetAddr(0, netA.Addr(0))
 
-				mkCluster := func(net *tcp.Network) *cluster.Cluster {
+				mkCluster := func(net transport.Network) *cluster.Cluster {
 					return cluster.New(cluster.Config{Nodes: confNodes, WorkersPerNode: confWorkers, Transport: net})
 				}
 				clA, clB := mkCluster(netA), mkCluster(netB)

@@ -73,25 +73,28 @@ type Options struct {
 	Replicate []kv.Key
 	// ReplicaSyncEvery is the replica sync interval (0 = default).
 	ReplicaSyncEvery time.Duration
+	// PinShards pins each server shard goroutine to one CPU core (all
+	// variants; see server.Config.PinShards).
+	PinShards bool
 }
 
 // Build constructs the variant on cl.
 func Build(kind Kind, cl *cluster.Cluster, layout kv.Layout, opt Options) PS {
 	switch kind {
 	case ClassicPS:
-		return classic.New(cl, layout, classic.Config{Unbatched: opt.Unbatched})
+		return classic.New(cl, layout, classic.Config{Unbatched: opt.Unbatched, PinShards: opt.PinShards})
 	case ClassicFast:
-		return classic.New(cl, layout, classic.Config{FastLocalAccess: true, Unbatched: opt.Unbatched})
+		return classic.New(cl, layout, classic.Config{FastLocalAccess: true, Unbatched: opt.Unbatched, PinShards: opt.PinShards})
 	case Lapse:
-		return core.New(cl, layout, core.Config{Unbatched: opt.Unbatched,
+		return core.New(cl, layout, core.Config{Unbatched: opt.Unbatched, PinShards: opt.PinShards,
 			Replicate: opt.Replicate, ReplicaSyncEvery: opt.ReplicaSyncEvery})
 	case LapseCached:
-		return core.New(cl, layout, core.Config{LocationCaches: true, Unbatched: opt.Unbatched,
+		return core.New(cl, layout, core.Config{LocationCaches: true, Unbatched: opt.Unbatched, PinShards: opt.PinShards,
 			Replicate: opt.Replicate, ReplicaSyncEvery: opt.ReplicaSyncEvery})
 	case SSPClient:
-		return ssp.New(cl, layout, ssp.Config{Staleness: opt.Staleness, Unbatched: opt.Unbatched})
+		return ssp.New(cl, layout, ssp.Config{Staleness: opt.Staleness, Unbatched: opt.Unbatched, PinShards: opt.PinShards})
 	case SSPServer:
-		return ssp.New(cl, layout, ssp.Config{Staleness: opt.Staleness, ServerSync: true, Unbatched: opt.Unbatched})
+		return ssp.New(cl, layout, ssp.Config{Staleness: opt.Staleness, ServerSync: true, Unbatched: opt.Unbatched, PinShards: opt.PinShards})
 	default:
 		panic(fmt.Sprintf("driver: unknown PS kind %q", kind))
 	}

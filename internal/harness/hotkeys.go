@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sync"
 	"time"
 
 	"lapse/internal/cluster"
@@ -161,44 +162,7 @@ func RunHotKeys(par Parallelism, cfg HotKeyConfig, mode HotKeyMode) HotKeyPoint 
 	runtime.ReadMemStats(&before)
 	start := time.Now()
 	cl.RunWorkers(func(_, worker int) {
-		h := ps.Handle(worker)
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(worker)))
-		var zipf *rand.Zipf
-		if cfg.ZipfS > 0 {
-			zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Keys-1))
-		}
-		buf := make([]float32, cfg.ValLen)
-		delta := make([]float32, cfg.ValLen)
-		for i := range delta {
-			delta[i] = 0.01
-		}
-		keys := make([]kv.Key, 1)
-		for op := 0; op < cfg.OpsPerWorker; op++ {
-			if zipf != nil {
-				keys[0] = kv.Key(zipf.Uint64())
-			} else {
-				keys[0] = kv.Key(rng.Int63n(int64(cfg.Keys)))
-			}
-			if mode == HotKeyLocalize {
-				if err := h.Localize(keys); err != nil {
-					panic(fmt.Sprintf("harness: hotkeys localize: %v", err))
-				}
-			}
-			if err := h.Pull(keys, buf); err != nil {
-				panic(fmt.Sprintf("harness: hotkeys pull: %v", err))
-			}
-			if cfg.PushEvery > 0 && op%cfg.PushEvery == 0 {
-				if err := h.Push(keys, delta); err != nil {
-					panic(fmt.Sprintf("harness: hotkeys push: %v", err))
-				}
-			}
-			if cfg.PointCost > 0 {
-				cl.Compute(cfg.PointCost)
-			}
-		}
-		if err := h.WaitAll(); err != nil {
-			panic(fmt.Sprintf("harness: hotkeys waitall: %v", err))
-		}
+		runHotKeyWorker(cl, ps, cfg, mode, worker)
 	})
 	elapsed := time.Since(start)
 	var after runtime.MemStats
@@ -212,5 +176,95 @@ func RunHotKeys(par Parallelism, cfg HotKeyConfig, mode HotKeyMode) HotKeyPoint 
 		AllocBytes: int64(after.TotalAlloc - before.TotalAlloc),
 		Stats:      metrics.Sum(ps.Stats()),
 		Net:        cl.Net().Stats(),
+	}
+}
+
+// RunHotKeysNode executes this process's share of the hot-key workload on a
+// cluster that may span OS processes — one per node, each calling this with
+// identical par/cfg/mode. The caller owns cl and ps (built for its node of
+// the deployment) and closes them afterwards. Cluster-wide barriers bound
+// the measured window so every process times the same span of work; WaitAll
+// inside the worker loop completes in-flight operations before the end
+// barrier. Ops counts the whole cluster's accesses, so with the
+// barrier-aligned window Throughput is the cluster-wide rate; Stats,
+// allocation deltas, and Net cover only this process.
+func RunHotKeysNode(par Parallelism, cl *cluster.Cluster, ps driver.PS, cfg HotKeyConfig, mode HotKeyMode) HotKeyPoint {
+	b := cl.Barrier()
+	var (
+		mu            sync.Mutex
+		before, after runtime.MemStats
+		start         time.Time
+		elapsed       time.Duration
+	)
+	cl.RunWorkers(func(node, worker int) {
+		b.Wait(node)
+		mu.Lock()
+		if start.IsZero() {
+			runtime.ReadMemStats(&before)
+			start = time.Now()
+		}
+		mu.Unlock()
+		runHotKeyWorker(cl, ps, cfg, mode, worker)
+		b.Wait(node)
+		mu.Lock()
+		if elapsed == 0 {
+			elapsed = time.Since(start)
+			runtime.ReadMemStats(&after)
+		}
+		mu.Unlock()
+	})
+	return HotKeyPoint{
+		Par:        par,
+		Mode:       mode,
+		Elapsed:    elapsed,
+		Ops:        int64(par.Nodes * par.Workers * cfg.OpsPerWorker),
+		Allocs:     int64(after.Mallocs - before.Mallocs),
+		AllocBytes: int64(after.TotalAlloc - before.TotalAlloc),
+		Stats:      metrics.Sum(ps.Stats()),
+		Net:        cl.Net().Stats(),
+	}
+}
+
+// runHotKeyWorker is the per-worker access loop shared by RunHotKeys and
+// RunHotKeysNode. The worker index is global, so the per-worker RNG streams
+// are identical however the nodes are spread over processes.
+func runHotKeyWorker(cl *cluster.Cluster, ps driver.PS, cfg HotKeyConfig, mode HotKeyMode, worker int) {
+	h := ps.Handle(worker)
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(worker)))
+	var zipf *rand.Zipf
+	if cfg.ZipfS > 0 {
+		zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Keys-1))
+	}
+	buf := make([]float32, cfg.ValLen)
+	delta := make([]float32, cfg.ValLen)
+	for i := range delta {
+		delta[i] = 0.01
+	}
+	keys := make([]kv.Key, 1)
+	for op := 0; op < cfg.OpsPerWorker; op++ {
+		if zipf != nil {
+			keys[0] = kv.Key(zipf.Uint64())
+		} else {
+			keys[0] = kv.Key(rng.Int63n(int64(cfg.Keys)))
+		}
+		if mode == HotKeyLocalize {
+			if err := h.Localize(keys); err != nil {
+				panic(fmt.Sprintf("harness: hotkeys localize: %v", err))
+			}
+		}
+		if err := h.Pull(keys, buf); err != nil {
+			panic(fmt.Sprintf("harness: hotkeys pull: %v", err))
+		}
+		if cfg.PushEvery > 0 && op%cfg.PushEvery == 0 {
+			if err := h.Push(keys, delta); err != nil {
+				panic(fmt.Sprintf("harness: hotkeys push: %v", err))
+			}
+		}
+		if cfg.PointCost > 0 {
+			cl.Compute(cfg.PointCost)
+		}
+	}
+	if err := h.WaitAll(); err != nil {
+		panic(fmt.Sprintf("harness: hotkeys waitall: %v", err))
 	}
 }

@@ -1,0 +1,18 @@
+//go:build linux
+
+package server
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// pinToCore restricts the calling OS thread (tid 0 = self) to one CPU core
+// via sched_setaffinity. Best-effort: an EPERM inside a restricted cpuset
+// just leaves the thread unpinned.
+func pinToCore(core int) {
+	var mask [16]uint64 // up to 1024 CPUs
+	mask[core/64] = 1 << (core % 64)
+	syscall.Syscall(syscall.SYS_SCHED_SETAFFINITY, 0,
+		uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+}

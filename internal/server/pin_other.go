@@ -1,0 +1,7 @@
+//go:build !linux
+
+package server
+
+// pinToCore is a no-op on platforms without sched_setaffinity; PinShards
+// still locks the goroutine to one OS thread, which is most of the benefit.
+func pinToCore(core int) {}

@@ -61,6 +61,9 @@ type Config struct {
 	// Unbatched disables per-destination message batching (measurement
 	// only).
 	Unbatched bool
+	// PinShards pins each server shard goroutine to one CPU core (see
+	// server.Config.PinShards).
+	PinShards bool
 }
 
 // System is a running stale PS.
@@ -130,7 +133,7 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 		layout:  layout,
 		cfg:     cfg,
 		part:    cfg.Partitioner,
-		g:       server.NewGroup(cl, layout, server.Config{Unbatched: cfg.Unbatched}),
+		g:       server.NewGroup(cl, layout, server.Config{Unbatched: cfg.Unbatched, PinShards: cfg.PinShards}),
 		nodes:   make([]*node, cl.Nodes()),
 		workers: cl.TotalWorkers(),
 	}

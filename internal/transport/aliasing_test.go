@@ -8,14 +8,15 @@ import (
 	"lapse/internal/msg"
 	"lapse/internal/simnet"
 	"lapse/internal/transport"
+	"lapse/internal/transport/shm"
 	"lapse/internal/transport/tcp"
 )
 
 // transports returns one factory per Network implementation, so the
-// conformance checks below run identically against the simulated network and
-// real TCP loopback sockets.
-func transports(t *testing.T) map[string]func() transport.Network {
-	return map[string]func() transport.Network{
+// conformance checks below run identically against the simulated network,
+// real TCP loopback sockets, and shared-memory rings.
+func transports(t testing.TB) map[string]func() transport.Network {
+	m := map[string]func() transport.Network{
 		"simnet": func() transport.Network {
 			return simnet.New(simnet.Config{Nodes: 2})
 		},
@@ -27,6 +28,16 @@ func transports(t *testing.T) map[string]func() transport.Network {
 			return n
 		},
 	}
+	if shm.Supported() {
+		m["shm"] = func() transport.Network {
+			n, err := shm.New(shm.Config{Dir: t.TempDir(), Nodes: 2})
+			if err != nil {
+				t.Fatalf("shm.New: %v", err)
+			}
+			return n
+		}
+	}
+	return m
 }
 
 // TestSendDoesNotAliasMessageMemory is the transport-boundary contract: a

@@ -1,0 +1,45 @@
+package transport_test
+
+import (
+	"testing"
+
+	"lapse/internal/kv"
+	"lapse/internal/msg"
+)
+
+// BenchmarkPingPong measures the request-response round-trip of each real
+// transport: node 0 sends a small Op to node 1, node 1 answers with an
+// OpResp, node 0 waits for it. This is the latency a worker pays per remote
+// parameter access, so transport-level wakeup or syscall changes show here
+// first, without the parameter-server stack on top.
+func BenchmarkPingPong(b *testing.B) {
+	for name, mk := range transports(b) {
+		if name == "simnet" {
+			continue // simulated time, not a latency measurement
+		}
+		b.Run(name, func(b *testing.B) {
+			net := mk()
+			defer net.Close()
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for env := range net.Inbox(1, 0) {
+					op := env.Msg.(*msg.Op)
+					net.Send(1, 0, &msg.OpResp{Type: op.Type, ID: op.ID, Responder: 1, Keys: op.Keys, Vals: []float32{1}})
+					env.Recycle()
+				}
+			}()
+			req := &msg.Op{Type: msg.OpPull, Origin: 0, Keys: []kv.Key{3}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req.ID = uint64(i)
+				net.Send(0, 1, req)
+				env := <-net.Inbox(0, 0)
+				env.Recycle()
+			}
+			b.StopTimer()
+			net.Close()
+			<-done
+		})
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package shm
+
+import "errors"
+
+// mkfifo is unreachable on platforms without FIFO support: Supported()
+// reports false there, so no ring is ever created.
+func mkfifo(path string) error {
+	return errors.New("shm: doorbell FIFOs not supported on this platform")
+}

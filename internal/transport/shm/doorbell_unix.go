@@ -1,0 +1,11 @@
+//go:build unix
+
+package shm
+
+import "syscall"
+
+// mkfifo creates a doorbell FIFO. FIFOs are the portable cross-process wake
+// primitive that integrates with the Go runtime poller (see ring.go).
+func mkfifo(path string) error {
+	return syscall.Mkfifo(path, 0o600)
+}

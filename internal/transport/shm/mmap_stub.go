@@ -1,0 +1,18 @@
+//go:build !unix
+
+package shm
+
+import (
+	"errors"
+	"os"
+)
+
+// Supported reports whether this platform can host the shared-memory ring
+// transport. Deployments on unsupported platforms fall back to TCP.
+func Supported() bool { return false }
+
+var errUnsupported = errors.New("shm: shared-memory transport not supported on this platform")
+
+func mapFile(f *os.File, size int) ([]byte, error) { return nil, errUnsupported }
+
+func unmapFile(b []byte) error { return nil }

@@ -1,0 +1,18 @@
+//go:build unix
+
+package shm
+
+import (
+	"os"
+	"syscall"
+)
+
+// Supported reports whether this platform can host the shared-memory ring
+// transport. Deployments on unsupported platforms fall back to TCP.
+func Supported() bool { return true }
+
+func mapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+func unmapFile(b []byte) error { return syscall.Munmap(b) }

@@ -22,12 +22,11 @@
 package tcp
 
 import (
-	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -67,9 +66,34 @@ type Config struct {
 	// traffic from peers that have not closed yet (default 2s).
 	DrainTimeout time.Duration
 	// MaxMessage bounds the accepted frame payload size (default 64 MiB),
-	// protecting against corrupt length prefixes.
+	// protecting against corrupt length prefixes: the length is validated
+	// before any buffer grows to hold the frame.
 	MaxMessage int
+	// ReadBuffer is the per-connection read slab size (default 64 KiB).
+	// One kernel read fills the slab with as many frames as are available,
+	// and the decode loop consumes them without further syscalls; the slab
+	// grows only for single frames larger than it (after MaxMessage
+	// validation).
+	ReadBuffer int
+	// FlushWindow lets a link writer that just grabbed a small batch wait
+	// this long for more frames before issuing the writev, trading a little
+	// latency for fewer, larger syscalls. The wait is adaptive: it engages
+	// only while the link's recent batch sizes show a coalescible stream,
+	// so sparse request/reply traffic (barriers) never pays it. 0 means the
+	// 20µs default; negative disables.
+	FlushWindow time.Duration
 }
+
+const (
+	defaultReadBuffer  = 64 << 10
+	minReadBuffer      = 4 << 10
+	defaultFlushWindow = 20 * time.Microsecond
+	// flushBatchTarget is the batch size at which the writer stops waiting
+	// and writes; flushEngageEWMA is the recent-batch-size level above which
+	// the wait engages at all.
+	flushBatchTarget = 16
+	flushEngageEWMA  = 1.5
+)
 
 // Network is a TCP-backed cluster transport.
 type Network struct {
@@ -127,6 +151,14 @@ func New(cfg Config) (*Network, error) {
 	}
 	if cfg.Shards <= 0 {
 		cfg.Shards = 1
+	}
+	if cfg.ReadBuffer <= 0 {
+		cfg.ReadBuffer = defaultReadBuffer
+	} else if cfg.ReadBuffer < minReadBuffer {
+		cfg.ReadBuffer = minReadBuffer
+	}
+	if cfg.FlushWindow == 0 {
+		cfg.FlushWindow = defaultFlushWindow
 	}
 	n := &Network{
 		cfg:       cfg,
@@ -231,16 +263,34 @@ func (n *Network) Send(src, dst int, m any) {
 		panic(fmt.Sprintf("tcp: Send to invalid node %d", dst))
 	}
 	bp := msg.GetBuf()
-	buf := msg.AppendTo(*bp, m)
-	*bp = buf
-	if len(buf) > n.cfg.MaxMessage {
+	*bp = msg.AppendTo(*bp, m)
+	n.sendFrame(src, dst, bp)
+}
+
+// SendEncoded queues an already-encoded frame — a pooled msg buffer whose
+// ownership transfers to the transport — on the (src, dst) link. The shm
+// transport uses it to fall back to TCP without re-encoding. It applies the
+// same validation, drop accounting, and traffic counting as Send.
+func (n *Network) SendEncoded(src, dst int, bp *[]byte) {
+	if !n.Local(src) {
+		panic(fmt.Sprintf("tcp: Send from non-local node %d", src))
+	}
+	if dst < 0 || dst >= n.Nodes() {
+		panic(fmt.Sprintf("tcp: Send to invalid node %d", dst))
+	}
+	n.sendFrame(src, dst, bp)
+}
+
+func (n *Network) sendFrame(src, dst int, bp *[]byte) {
+	if len(*bp) > n.cfg.MaxMessage {
 		// Reject on the sender: the receiver would treat the frame as
 		// corruption and kill the whole link.
-		n.fail(fmt.Errorf("tcp: message %T of %d bytes exceeds MaxMessage %d", m, len(buf), n.cfg.MaxMessage))
+		n.fail(fmt.Errorf("tcp: frame of %d bytes exceeds MaxMessage %d", len(*bp), n.cfg.MaxMessage))
 		n.dropped.Add(1)
 		msg.PutBuf(bp)
 		return
 	}
+	size := int64(len(*bp))
 	l := n.getLink(src, dst)
 	if l == nil || !l.enqueue(bp) {
 		n.dropped.Add(1)
@@ -249,10 +299,10 @@ func (n *Network) Send(src, dst int, m any) {
 	}
 	if src == dst {
 		n.loopMsgs.Add(1)
-		n.loopBytes.Add(int64(len(buf)))
+		n.loopBytes.Add(size)
 	} else {
 		n.remoteMsgs.Add(1)
-		n.remoteBytes.Add(int64(len(buf)))
+		n.remoteBytes.Add(size)
 	}
 }
 
@@ -373,6 +423,10 @@ type link struct {
 	conn   net.Conn // set by the writer once dialed
 	closed bool
 	dead   bool // connection failed; enqueues are dropped
+
+	// ewma tracks recent batch sizes (writer goroutine only); the adaptive
+	// flush window engages only while it shows a coalescible stream.
+	ewma float64
 }
 
 // enqueue appends one encoded frame; it reports false when the link no
@@ -455,6 +509,26 @@ func (l *link) run() {
 		l.queue = nil
 		closed := l.closed
 		l.mu.Unlock()
+		if fw := l.n.cfg.FlushWindow; fw > 0 && !closed &&
+			len(batch) > 0 && len(batch) < flushBatchTarget && l.ewma > flushEngageEWMA {
+			// The stream has been coalescing well but this batch is small:
+			// wait briefly for stragglers so they share one writev.
+			deadline := time.Now().Add(fw)
+			for time.Now().Before(deadline) {
+				runtime.Gosched()
+				l.mu.Lock()
+				if len(l.queue) > 0 {
+					batch = append(batch, l.queue...)
+					l.queue = nil
+				}
+				closed = l.closed
+				l.mu.Unlock()
+				if len(batch) >= flushBatchTarget || closed {
+					break
+				}
+			}
+		}
+		l.ewma = 0.8*l.ewma + 0.2*float64(len(batch))
 		if len(batch) > 0 {
 			pending = pending[:0]
 			for _, frame := range batch {
@@ -530,6 +604,12 @@ func (n *Network) acceptLoop(ln net.Listener) {
 // readLoop decodes one incoming connection's frame stream into the
 // destination inbox. EOF is the normal teardown path (the peer flushed and
 // closed); errors before EOF are recorded.
+//
+// The loop reads through one reusable slab: each kernel read fills as much of
+// the slab as the socket has buffered — typically many frames per syscall
+// under load — and the decode loop then consumes frame after frame from the
+// slab without touching the kernel again. The scratch decode copies every
+// byte out, so consumed slab space is reusable immediately.
 func (n *Network) readLoop(conn net.Conn) {
 	defer n.readWg.Done()
 	defer func() {
@@ -538,44 +618,69 @@ func (n *Network) readLoop(conn net.Conn) {
 		n.connMu.Unlock()
 		conn.Close()
 	}()
-	br := bufio.NewReaderSize(conn, 64<<10)
-	var hs [handshakeBytes]byte
-	if _, err := io.ReadFull(br, hs[:]); err != nil {
+	buf := make([]byte, n.cfg.ReadBuffer)
+	start, end := 0, 0
+	// fill ensures buf[start:end] holds at least need contiguous bytes,
+	// compacting or (for oversized frames, already length-validated) growing
+	// the slab first, then reading whatever the socket has — not just need.
+	fill := func(need int) error {
+		if end-start >= need {
+			return nil
+		}
+		if need > len(buf) {
+			next := make([]byte, need)
+			copy(next, buf[start:end])
+			end -= start
+			start = 0
+			buf = next
+		} else if len(buf)-start < need {
+			copy(buf, buf[start:end])
+			end -= start
+			start = 0
+		}
+		for end-start < need {
+			k, err := conn.Read(buf[end:])
+			end += k
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := fill(handshakeBytes); err != nil {
 		return
 	}
+	hs := buf[start : start+handshakeBytes]
 	if binary.LittleEndian.Uint32(hs[0:4]) != handshakeMagic {
 		n.fail(fmt.Errorf("tcp: bad handshake magic %#x", binary.LittleEndian.Uint32(hs[0:4])))
 		return
 	}
 	src := int(int32(binary.LittleEndian.Uint32(hs[4:8])))
 	dst := int(int32(binary.LittleEndian.Uint32(hs[8:12])))
+	start += handshakeBytes
 	if src < 0 || src >= n.Nodes() || !n.Local(dst) {
 		n.fail(fmt.Errorf("tcp: handshake for invalid link %d->%d", src, dst))
 		return
 	}
 	inboxes := n.inboxes[dst]
-	// One reusable frame buffer per connection: the scratch decode copies
-	// every byte out of it, so the next frame may overwrite it freely.
-	frame := make([]byte, 64<<10)
 	for {
-		if _, err := io.ReadFull(br, frame[:headerBytes]); err != nil {
+		if err := fill(headerBytes); err != nil {
 			return // EOF: peer closed; deadline: teardown drain expired
 		}
-		plen := int(binary.LittleEndian.Uint32(frame[1:headerBytes]))
+		plen := int(binary.LittleEndian.Uint32(buf[start+1 : start+headerBytes]))
 		if plen < 0 || plen > n.cfg.MaxMessage {
+			// Validate before fill so a corrupt length prefix cannot make
+			// the slab attempt a huge allocation.
 			n.fail(fmt.Errorf("tcp: frame of %d bytes from node %d exceeds limit", plen, src))
 			return
 		}
-		if total := headerBytes + plen; total > len(frame) {
-			next := make([]byte, total)
-			copy(next, frame[:headerBytes])
-			frame = next
-		}
-		if _, err := io.ReadFull(br, frame[headerBytes:headerBytes+plen]); err != nil {
+		total := headerBytes + plen
+		if err := fill(total); err != nil {
 			return
 		}
 		sc := msg.GetScratch()
-		m, _, err := sc.Decode(frame[:headerBytes+plen])
+		m, _, err := sc.Decode(buf[start : start+total])
+		start += total
 		if err != nil {
 			sc.Release()
 			n.fail(fmt.Errorf("tcp: malformed frame from node %d: %w", src, err))

@@ -2,12 +2,15 @@
 // component runs on: a cluster-wide message fabric with per-link FIFO
 // delivery, per-node inboxes, traffic accounting, and a clock primitive.
 //
-// Two implementations exist:
+// Three implementations exist:
 //
 //   - internal/simnet: the single-process simulated network with a
 //     latency/bandwidth timing model (the paper's testbed in one process);
 //   - internal/transport/tcp: real length-prefixed TCP connections, allowing
-//     a cluster to run as multiple OS processes (one or more nodes each).
+//     a cluster to run as multiple OS processes (one or more nodes each);
+//   - internal/transport/shm: lock-free shared-memory rings between
+//     co-located processes, layered over a tcp fallback for cross-host
+//     links (the deployment layer auto-selects it; see internal/driver).
 //
 // Every message crosses a transport through the wire codec of internal/msg:
 // Send encodes the message and the receiver observes a decoded copy, never

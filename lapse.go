@@ -89,20 +89,27 @@ type NetworkConfig struct {
 	BytesPerSecond float64
 }
 
-// TCPDeployment runs the cluster over real TCP sockets. Addrs is every
+// TCPDeployment runs the cluster over real transports. Addrs is every
 // node's listen address, indexed by node; Node is the single node hosted by
 // this process, or -1 to host all nodes in-process over loopback sockets.
 // MaxMessage optionally raises the per-message size bound (0 = transport
-// default). In multi-process mode (Node >= 0), Run executes the worker
-// function only for this node's workers, the cluster barrier spans
-// processes, and Init / Read are limited to keys owned by this process's
-// node — read converged values through Worker.Pull instead. Watch
-// Cluster.Err for link failures: operations whose messages were lost never
-// complete.
+// default). Traffic between co-located nodes automatically uses
+// shared-memory rings instead of loopback sockets — set DisableSHM to force
+// plain TCP, SHMDir to override the ring directory (co-located processes
+// must agree on it; defaults to a per-deployment directory derived from
+// Addrs). ReadBuffer overrides the TCP read slab size (0 = 64 KiB). In
+// multi-process mode (Node >= 0), Run executes the worker function only for
+// this node's workers, the cluster barrier spans processes, and Init / Read
+// are limited to keys owned by this process's node — read converged values
+// through Worker.Pull instead. Watch Cluster.Err for link failures:
+// operations whose messages were lost never complete.
 type TCPDeployment struct {
 	Addrs      []string
 	Node       int
 	MaxMessage int
+	ReadBuffer int
+	DisableSHM bool
+	SHMDir     string
 }
 
 // DefaultServerShards returns the server shard count used when
@@ -198,6 +205,12 @@ type Config struct {
 	Replicate []Key
 	// ReplicaSyncEvery is the replica sync interval (0 = 1ms).
 	ReplicaSyncEvery time.Duration
+	// PinShards pins each server shard goroutine to one CPU core
+	// (sched_setaffinity; Linux only, no-op elsewhere), keeping a shard's
+	// slice of the parameter table cache-hot on one core. Worth enabling
+	// for server-bound workloads on dedicated machines; leave off on
+	// shared or oversubscribed hosts.
+	PinShards bool
 }
 
 func (c Config) layout() (kv.Layout, error) {
@@ -255,7 +268,14 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		},
 	}
 	if cfg.TCP != nil {
-		deployment.TCP = &driver.TCPDeployment{Addrs: cfg.TCP.Addrs, Node: cfg.TCP.Node, MaxMessage: cfg.TCP.MaxMessage}
+		deployment.TCP = &driver.TCPDeployment{
+			Addrs:      cfg.TCP.Addrs,
+			Node:       cfg.TCP.Node,
+			MaxMessage: cfg.TCP.MaxMessage,
+			ReadBuffer: cfg.TCP.ReadBuffer,
+			DisableSHM: cfg.TCP.DisableSHM,
+			SHMDir:     cfg.TCP.SHMDir,
+		}
 	}
 	cl, err := driver.NewCluster(deployment)
 	if err != nil {
@@ -270,6 +290,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	sys := core.New(cl, layout, core.Config{
 		LocationCaches:   cfg.LocationCaches,
 		Unbatched:        cfg.DisableBatching,
+		PinShards:        cfg.PinShards,
 		Replicate:        cfg.Replicate,
 		ReplicaSyncEvery: cfg.ReplicaSyncEvery,
 	})
@@ -365,6 +386,10 @@ func (c *Cluster) SyncReplicas() { c.sys.FlushReplicas() }
 // complete, so multi-process deployments should watch Err — see
 // cmd/lapse-node for the pattern. Simulated clusters never fail.
 func (c *Cluster) Err() error { return c.cl.Err() }
+
+// Transport names the transport the cluster selected: "simnet", "tcp", or
+// "shm" (shared-memory rings between co-located nodes, TCP to the rest).
+func (c *Cluster) Transport() string { return driver.Transport(c.cl) }
 
 // Close shuts the cluster down. It is idempotent.
 func (c *Cluster) Close() {
