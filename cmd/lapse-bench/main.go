@@ -7,7 +7,8 @@
 // The workloads are the hot-key suite of internal/harness — uniform,
 // Zipf-skewed, and word2vec-negative-sampling-like access patterns — each
 // run under every parameter-management technique (relocation-only,
-// localize-per-access, top-k replication). The uniform and Zipf workloads
+// localize-per-access, top-k replication, and the adaptive online
+// controller). The uniform and Zipf workloads
 // additionally sweep the server shard count (1 and 4), measuring the
 // multi-core server scaling of the sharded runtime. A final set of cells
 // re-runs the Zipf workload as a real multi-process deployment — one OS
@@ -16,13 +17,15 @@
 //
 // Usage:
 //
-//	lapse-bench [-quick] [-rev <id>] [-out <dir>] [-compare <file>]
+//	lapse-bench [-quick] [-rev <id>] [-out <dir>] [-compare <file>] [-adaptive-gate]
 //
 // -quick shrinks the sweep for smoke runs (CI); -rev overrides the revision
 // id (default: git rev-parse --short HEAD, falling back to "dev");
 // -compare loads a previous report and exits nonzero if any matching cell
 // regressed by more than 20% throughput or allocated more than 20% (plus a
-// small absolute slack) more per operation.
+// small absolute slack) more per operation. -adaptive-gate exits nonzero if
+// any adaptive cell falls behind the best static technique for the same cell
+// by more than the tolerance (see adaptiveGate).
 package main
 
 import (
@@ -69,6 +72,10 @@ type Result struct {
 	ReplicaHits         int64   `json:"replica_hits"`
 	ReplicaSyncMessages int64   `json:"replica_sync_messages"`
 	Relocations         int64   `json:"relocations"`
+	// AdaptTransitions counts the transitions the adaptive controller
+	// executed (promotions + demotions + controller relocations); zero for
+	// the static modes.
+	AdaptTransitions int64 `json:"adapt_transitions,omitempty"`
 }
 
 // cell identifies a result across reports for regression comparison.
@@ -102,6 +109,7 @@ func main() {
 	rev := flag.String("rev", "", "revision id for the output file name (default: git short hash)")
 	out := flag.String("out", ".", "output directory")
 	compareWith := flag.String("compare", "", "baseline BENCH_*.json to compare against; exit nonzero on >20% throughput regression")
+	gateAdaptive := flag.Bool("adaptive-gate", false, "exit nonzero if any adaptive cell falls behind the best static technique by more than the tolerance")
 	flag.Parse()
 
 	if *rev == "" {
@@ -127,6 +135,76 @@ func main() {
 		}
 		fmt.Printf("no cell regressed more than %.0f%% vs %s\n", regressionTolerance*100, *compareWith)
 	}
+	if *gateAdaptive {
+		if err := adaptiveGate(report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("adaptive matched the best static configuration in every cell")
+	}
+}
+
+// Adaptive-gate tolerances: how far an adaptive cell may fall below the best
+// static technique for the same cell. The skewed workloads are where adaptive
+// management must earn its keep, so they get the tighter bound; the uniform
+// workload has nothing for the controller to exploit, so it only has to stay
+// out of the way.
+const (
+	adaptiveToleranceSkewed = 0.10
+	adaptiveTolerance       = 0.20
+)
+
+// adaptiveGate checks the ISSUE's acceptance bar: in every measured cell, the
+// adaptive controller — under ONE set of default knobs — must reach at least
+// (1 - tolerance) of the best statically configured technique's throughput.
+// "Static" means relocation and replication; localize is excluded because it
+// is a different application program (it issues extra Localize calls per
+// access), not an alternative management setting for the same one.
+func adaptiveGate(r Report) error {
+	type spot struct {
+		Workload  string
+		Nodes     int
+		Workers   int
+		Shards    int
+		Transport string
+	}
+	bestStatic := make(map[spot]Result)
+	adaptive := make(map[spot]Result)
+	for _, res := range r.Results {
+		s := spot{res.Workload, res.Nodes, res.Workers, res.Shards, res.Transport}
+		switch res.Mode {
+		case string(harness.HotKeyRelocation), string(harness.HotKeyReplication):
+			if b, ok := bestStatic[s]; !ok || res.Throughput > b.Throughput {
+				bestStatic[s] = res
+			}
+		case string(harness.HotKeyAdaptive):
+			adaptive[s] = res
+		}
+	}
+	if len(adaptive) == 0 {
+		return fmt.Errorf("lapse-bench: adaptive-gate: no adaptive cells in this sweep")
+	}
+	var failures []string
+	for s, a := range adaptive {
+		b, ok := bestStatic[s]
+		if !ok || b.Throughput <= 0 {
+			continue
+		}
+		tol := adaptiveTolerance
+		if s.Workload == "zipf" || s.Workload == "w2vneg" {
+			tol = adaptiveToleranceSkewed
+		}
+		if a.Throughput < b.Throughput*(1-tol) {
+			failures = append(failures,
+				fmt.Sprintf("  %-8s %dx%ds%d%s: adaptive %.0f ops/s vs best static (%s) %.0f ops/s (-%.0f%%, tolerance %.0f%%)",
+					s.Workload, s.Nodes, s.Workers, s.Shards, transportTag(s.Transport),
+					a.Throughput, b.Mode, b.Throughput, (1-a.Throughput/b.Throughput)*100, tol*100))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("lapse-bench: adaptive fell behind the best static configuration:\n%s", strings.Join(failures, "\n"))
+	}
+	return nil
 }
 
 // run executes the sweep and assembles the report.
@@ -196,6 +274,7 @@ func run(quick bool, rev string) Report {
 						ReplicaHits:         pt.Stats.ReplicaHits,
 						ReplicaSyncMessages: pt.Stats.ReplicaSyncMessages,
 						Relocations:         pt.Stats.Relocations,
+						AdaptTransitions:    pt.Stats.AdaptPromotions + pt.Stats.AdaptDemotions + pt.Stats.AdaptRelocations,
 					})
 				}
 			}

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"lapse/internal/harness"
 )
 
 // TestMain lets the test binary stand in for the lapse-bench binary when the
@@ -27,7 +29,7 @@ func TestQuickBenchWritesReport(t *testing.T) {
 	// uniform and zipf sweep shards {1,4}; w2vneg runs single-shard; the
 	// multi-process transport sweep adds modes × transports cells.
 	report := run(true, "test")
-	want := (2*2+1)*1*3 + 2*len(mpTransports())
+	want := (2*2+1)*1*len(harness.HotKeyModes()) + len(mpModes())*len(mpTransports())
 	if len(report.Results) != want {
 		t.Fatalf("quick sweep produced %d results, want %d", len(report.Results), want)
 	}
@@ -40,8 +42,9 @@ func TestQuickBenchWritesReport(t *testing.T) {
 			}
 		}
 	}
-	if len(transports) != 2*len(mpTransports()) {
-		t.Fatalf("multi-process cells = %v, want 2 per transport of %v", transports, mpTransports())
+	if len(transports) != len(mpModes())*len(mpTransports()) {
+		t.Fatalf("multi-process cells = %v, want %d per transport of %v",
+			transports, len(mpModes()), mpTransports())
 	}
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH_test.json")

@@ -10,6 +10,7 @@ import (
 	"os/exec"
 	"time"
 
+	"lapse/internal/adaptive"
 	"lapse/internal/driver"
 	"lapse/internal/harness"
 	"lapse/internal/kv"
@@ -42,13 +43,18 @@ const (
 	// mpTimeout aborts a wedged cell — a child that never converges — with
 	// its stderr, instead of hanging the run.
 	mpTimeout = 120 * time.Second
+	// mpWarmup replaces the workload's in-process warmup: the real
+	// transports push one to two orders of magnitude fewer ops per second,
+	// so the adaptive controller needs more wall time to see the same
+	// traffic and settle before the measured window opens.
+	mpWarmup = 250 * time.Millisecond
 )
 
 // mpModes is the management-technique sweep of the multi-process cells;
 // localize is omitted because its thrash behaviour is covered in-process and
 // adds no transport signal.
 func mpModes() []harness.HotKeyMode {
-	return []harness.HotKeyMode{harness.HotKeyRelocation, harness.HotKeyReplication}
+	return []harness.HotKeyMode{harness.HotKeyRelocation, harness.HotKeyReplication, harness.HotKeyAdaptive}
 }
 
 // mpTransports lists the transports swept by the multi-process cells.
@@ -98,6 +104,7 @@ func runChildNode(specJSON string) int {
 		return 1
 	}
 	cfg.OpsPerWorker = sp.OpsPerWorker
+	cfg.Warmup = mpWarmup
 	mode := harness.HotKeyMode(sp.Mode)
 	cl, err := driver.NewCluster(driver.Deployment{
 		Nodes:          sp.Nodes,
@@ -124,6 +131,9 @@ func runChildNode(specJSON string) int {
 	opt := driver.Options{ReplicaSyncEvery: cfg.SyncEvery}
 	if mode == harness.HotKeyReplication {
 		opt.Replicate = cfg.HotKeys()
+	}
+	if mode == harness.HotKeyAdaptive {
+		opt.Adaptive = &adaptive.Config{}
 	}
 	ps := driver.Build(driver.Lapse, cl, kv.NewUniformLayout(cfg.Keys, cfg.ValLen), opt)
 	par := harness.Parallelism{Nodes: sp.Nodes, Workers: sp.Workers, Shards: sp.Shards}
@@ -190,6 +200,7 @@ func runMultiProcessCells(quick bool) ([]Result, error) {
 				ReplicaHits:         pt.Stats.ReplicaHits,
 				ReplicaSyncMessages: pt.Stats.ReplicaSyncMessages,
 				Relocations:         pt.Stats.Relocations,
+				AdaptTransitions:    pt.Stats.AdaptPromotions + pt.Stats.AdaptDemotions + pt.Stats.AdaptRelocations,
 			})
 		}
 	}

@@ -1,0 +1,347 @@
+// Package adaptive decides, online and per key, which parameter-management
+// technique a key should be under: relocation to the node that dominates its
+// accesses, replication when it is hot everywhere, or plain static placement
+// when it is cold. The paper manages hot keys by a statically chosen
+// technique (replication for a designated hot set, relocation for the rest)
+// and names the per-key combination of both as future work; this package is
+// that controller.
+//
+// Access counts are never compared raw across nodes: the home node hits its
+// keys through an in-memory fast path while remote nodes are capped by the
+// round-trip window, a gap of several orders of magnitude that would make
+// every home-hot key look owner-dominant forever. Instead each origin's
+// counts are read relative to that origin's own reported volume — a key
+// taking a meaningful share (InterestShare) of an origin's traffic marks the
+// origin as interested, and two interested origins mean replicate. Absolute
+// dominance decides only among keys with a single interested origin.
+//
+// The machinery splits in two. A lightweight per-node ticker (internal/core's
+// controller goroutine) periodically snapshots the node's access tracker,
+// decays it, and sends each home node a report of the locally hot keys it
+// homes. The Classifier lives at the home — one instance per server shard, so
+// every decision executes on the shard goroutine that owns the key — and
+// turns the latest report of every node into transition decisions.
+//
+// Hysteresis keeps decisions stable on oscillating workloads in three ways:
+// promotion and demotion use separated thresholds (HotCount vs ColdCount), a
+// key that just transitioned is immune for MinDwellTicks epochs, and a
+// replicated key is demoted only after staying cold for ColdStreakEpochs
+// consecutive epochs — a single cold reading is routinely just sampling
+// noise on a sparsely accessed key. The tracker's per-tick halving supplies
+// the rest: a key accessed heavily on alternating ticks never decays below
+// the demotion threshold, so a flipping hot set settles into one transition
+// per key instead of one per flip (the oscillation bound pinned by
+// TestClassifierOscillationBound).
+package adaptive
+
+import (
+	"sort"
+	"time"
+
+	"lapse/internal/kv"
+)
+
+// Defaults for Config fields left zero.
+const (
+	// DefaultTick is long enough that a remote node's sampled accesses (its
+	// issue rate is capped by round-trip latency) accumulate to a usable
+	// report every epoch; much shorter ticks make remote reports flicker
+	// in and out of existence and starve promotion.
+	DefaultTick           = 5 * time.Millisecond
+	DefaultHotCount       = 32
+	DefaultColdCount      = 8
+	DefaultDominanceShare = 0.75
+	// DefaultInterestShare admits a key once it takes half a percent of an
+	// origin's traffic: under a Zipf(1.3) workload that replicates roughly
+	// the top twenty keys — about the coverage a well-chosen static hot set
+	// gets — while leaving a uniform workload (every key ~0.05%) untouched.
+	DefaultInterestShare = 0.005
+	DefaultMinDwellTicks = 2
+	DefaultReportTopK    = 128
+	// DefaultColdStreakEpochs covers two of the origins' replicated-key
+	// keep-alive intervals (see internal/core's replicatedReportEvery) with
+	// slack, so a still-hot replicated key is always rescued by a keep-alive
+	// before its cold streak completes.
+	DefaultColdStreakEpochs = 8
+)
+
+// staleEpochs is how many epochs behind the newest report an origin's report
+// may be before it is treated as all-zero. Origins stop reporting keys that
+// went cold (only the TopK hottest are reported), so without expiry a stale
+// report would keep a key hot forever.
+const staleEpochs = 2
+
+// Config holds the controller knobs. One set of values is meant to work
+// across workloads — the benchmark gate compares a single default
+// configuration against every static one.
+type Config struct {
+	// Tick is the controller period: every Tick, each node reports its
+	// hottest keys to their home nodes and decays its tracker.
+	Tick time.Duration
+	// HotCount is the promotion threshold: a key whose decayed per-tick
+	// access estimate (summed over nodes) reaches it is managed actively.
+	HotCount int64
+	// ColdCount is the demotion threshold, strictly below HotCount so a key
+	// hovering between them changes nothing (hysteresis).
+	ColdCount int64
+	// DominanceShare splits hot keys into locality-skewed (one node holds at
+	// least this share of the accesses: relocate to it) and hot-everywhere
+	// (no node does: replicate).
+	DominanceShare float64
+	// InterestShare is the fraction of an origin's total reported volume a
+	// key must take for that origin to count as interested in it. A key with
+	// two or more interested origins is hot everywhere and replicated even
+	// when the absolute counts are wildly skewed toward one origin: a remote
+	// origin's issue rate is capped by round-trip latency, so its counts
+	// systematically undercount its demand, and comparing raw counts across
+	// origins would make every home-hot key look owner-dominant — starving
+	// the controller of the very replicas that would lift the remote rate.
+	InterestShare float64
+	// MinDwellTicks is the minimum number of epochs between transitions of
+	// one key.
+	MinDwellTicks uint32
+	// ColdStreakEpochs is how many consecutive epochs a replicated key must
+	// stay below ColdCount before it is demoted. Sampling makes sparse
+	// counts noisy — a tail key's estimate flips between zero and one
+	// extrapolated sample — and demoting on a single cold reading would
+	// churn such keys through demote/re-promote cycles; a sustained streak
+	// demotes only keys whose traffic has genuinely moved on.
+	ColdStreakEpochs uint32
+	// ReportTopK bounds each node's per-tick report to its K hottest keys.
+	ReportTopK int
+}
+
+// WithDefaults returns c with zero fields replaced by the defaults.
+func (c Config) WithDefaults() Config {
+	if c.Tick <= 0 {
+		c.Tick = DefaultTick
+	}
+	if c.HotCount <= 0 {
+		c.HotCount = DefaultHotCount
+	}
+	if c.ColdCount <= 0 {
+		c.ColdCount = DefaultColdCount
+	}
+	if c.DominanceShare <= 0 {
+		c.DominanceShare = DefaultDominanceShare
+	}
+	if c.InterestShare <= 0 {
+		c.InterestShare = DefaultInterestShare
+	}
+	if c.MinDwellTicks == 0 {
+		c.MinDwellTicks = DefaultMinDwellTicks
+	}
+	if c.ColdStreakEpochs == 0 {
+		c.ColdStreakEpochs = DefaultColdStreakEpochs
+	}
+	if c.ReportTopK <= 0 {
+		c.ReportTopK = DefaultReportTopK
+	}
+	return c
+}
+
+// View is the classifier's window into the live per-key management state of
+// the home node it runs on. All callbacks are invoked on the server shard
+// goroutine that owns the classifier's keys.
+type View struct {
+	// Node is the home node the classifier runs on.
+	Node int
+	// Owner returns the current owner of a key homed here.
+	Owner func(k kv.Key) int
+	// Replicated reports whether the key is currently replicated.
+	Replicated func(k kv.Key) bool
+	// Busy reports whether the key has a transition in flight; busy keys are
+	// never re-decided.
+	Busy func(k kv.Key) bool
+}
+
+// ActionKind enumerates the transitions a classifier can request.
+type ActionKind uint8
+
+const (
+	// ActReplicate promotes the key to replicated management.
+	ActReplicate ActionKind = iota
+	// ActDemote returns a replicated key to plain ownership at its home.
+	ActDemote
+	// ActRelocate moves the key to node Dest (the dominant accessor, or the
+	// home itself for a cold key stranded elsewhere).
+	ActRelocate
+)
+
+// Action is one decided transition.
+type Action struct {
+	Kind ActionKind
+	Key  kv.Key
+	Dest int // ActRelocate only
+}
+
+// report is the latest tracker report of one origin node. total is the
+// origin's volume summed over the whole report — the denominator of that
+// origin's per-key interest shares.
+type report struct {
+	epoch  uint32
+	counts map[kv.Key]int64
+	total  int64
+}
+
+// Classifier decides transitions for the keys of one (home node, shard).
+// It is confined to that shard's server goroutine: Ingest both stores the
+// arriving report and classifies, so decisions execute synchronously where
+// they are made and a key's dwell clock starts exactly when its transition
+// is issued.
+type Classifier struct {
+	cfg  Config
+	view View
+	// reports holds the newest report per origin, replaced wholesale on
+	// arrival.
+	reports map[int]*report
+	// managed tracks keys this classifier has placed under active management
+	// (plus statically replicated seeds), so keys that dropped out of every
+	// report are still revisited for demotion.
+	managed map[kv.Key]bool
+	// lastChange is the epoch a key last transitioned, for the dwell gate.
+	lastChange map[kv.Key]uint32
+	// coldSince is the epoch a replicated key's cold streak began; the key
+	// is removed whenever a warm total is observed.
+	coldSince map[kv.Key]uint32
+	now       uint32
+}
+
+// NewClassifier builds a classifier over view with cfg's thresholds
+// (defaults applied).
+func NewClassifier(cfg Config, view View) *Classifier {
+	return &Classifier{
+		cfg:        cfg.WithDefaults(),
+		view:       view,
+		reports:    make(map[int]*report),
+		managed:    make(map[kv.Key]bool),
+		lastChange: make(map[kv.Key]uint32),
+		coldSince:  make(map[kv.Key]uint32),
+	}
+}
+
+// Manage seeds a key into the managed set (a statically replicated key the
+// controller may demote once it goes cold).
+func (c *Classifier) Manage(k kv.Key) { c.managed[k] = true }
+
+// Ingest stores origin's report — keys with estimated decayed access counts
+// — and re-classifies every candidate key, returning the transitions to
+// execute now. The key and count slices are copied (callers pass decode
+// scratch). Issued actions immediately start the key's dwell clock; the
+// caller executes them synchronously on the same goroutine.
+func (c *Classifier) Ingest(origin int, epoch uint32, keys []kv.Key, counts []float32) []Action {
+	r := &report{epoch: epoch, counts: make(map[kv.Key]int64, len(keys))}
+	for i, k := range keys {
+		r.counts[k] = int64(counts[i])
+		r.total += int64(counts[i])
+	}
+	c.reports[origin] = r
+	if epoch > c.now {
+		c.now = epoch
+	}
+	return c.classify()
+}
+
+// classify walks the candidate keys (everything reported recently plus the
+// managed set) in sorted order — determinism first — and applies the decision
+// rules.
+func (c *Classifier) classify() []Action {
+	candidates := make(map[kv.Key]bool)
+	for origin, r := range c.reports {
+		if r.epoch+staleEpochs <= c.now {
+			delete(c.reports, origin)
+			continue
+		}
+		for k := range r.counts {
+			candidates[k] = true
+		}
+	}
+	for k := range c.managed {
+		candidates[k] = true
+	}
+	keys := make([]kv.Key, 0, len(candidates))
+	for k := range candidates {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	var acts []Action
+	for _, k := range keys {
+		if a, ok := c.decide(k); ok {
+			acts = append(acts, a)
+			c.lastChange[k] = c.now
+		}
+	}
+	return acts
+}
+
+// decide applies the decision rules to one key.
+func (c *Classifier) decide(k kv.Key) (Action, bool) {
+	if c.view.Busy(k) {
+		return Action{}, false
+	}
+	if last, ok := c.lastChange[k]; ok && c.now-last < c.cfg.MinDwellTicks {
+		return Action{}, false
+	}
+	var total, top int64
+	topOrigin, interested := -1, 0
+	for origin, r := range c.reports {
+		n := r.counts[k]
+		total += n
+		if n > top || (n == top && topOrigin >= 0 && origin < topOrigin) {
+			top, topOrigin = n, origin
+		}
+		// An origin is interested when the key clears the hot threshold on
+		// its own, or takes a meaningful share of the origin's total volume.
+		// The share form is scale-free: it holds for a latency-capped remote
+		// origin whose absolute counts are dwarfed by the home's fast path.
+		if n >= c.cfg.HotCount ||
+			(r.total >= c.cfg.HotCount && float64(n) >= c.cfg.InterestShare*float64(r.total)) {
+			interested++
+		}
+	}
+	owner := c.view.Owner(k)
+	if c.view.Replicated(k) {
+		if total >= c.cfg.ColdCount {
+			delete(c.coldSince, k)
+			return Action{}, false
+		}
+		since, streak := c.coldSince[k]
+		if !streak {
+			c.coldSince[k] = c.now
+			return Action{}, false
+		}
+		if c.now-since < c.cfg.ColdStreakEpochs {
+			return Action{}, false
+		}
+		delete(c.coldSince, k)
+		return Action{Kind: ActDemote, Key: k}, true
+	}
+	if interested >= 2 {
+		// Hot at several origins: replication serves every one of them
+		// locally. This outranks absolute-count dominance, which the
+		// fast-path/round-trip rate gap renders meaningless across origins.
+		c.managed[k] = true
+		return Action{Kind: ActReplicate, Key: k}, true
+	}
+	if total >= c.cfg.HotCount {
+		if float64(top) >= c.cfg.DominanceShare*float64(total) {
+			if owner != topOrigin {
+				c.managed[k] = true
+				return Action{Kind: ActRelocate, Key: k, Dest: topOrigin}, true
+			}
+			return Action{}, false
+		}
+		c.managed[k] = true
+		return Action{Kind: ActReplicate, Key: k}, true
+	}
+	if total < c.cfg.ColdCount && owner != c.view.Node {
+		c.managed[k] = true
+		return Action{Kind: ActRelocate, Key: k, Dest: c.view.Node}, true
+	}
+	if total < c.cfg.ColdCount && owner == c.view.Node {
+		// Settled: cold, unreplicated, home-owned. Stop revisiting it.
+		delete(c.managed, k)
+	}
+	return Action{}, false
+}

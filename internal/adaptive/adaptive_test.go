@@ -1,0 +1,201 @@
+package adaptive
+
+import (
+	"testing"
+
+	"lapse/internal/kv"
+)
+
+// fakeState executes classifier actions against an in-memory management
+// state, standing in for internal/core's transition machinery.
+type fakeState struct {
+	home  int
+	owner map[kv.Key]int
+	repl  map[kv.Key]bool
+}
+
+func newFakeState(home int) *fakeState {
+	return &fakeState{home: home, owner: make(map[kv.Key]int), repl: make(map[kv.Key]bool)}
+}
+
+func (f *fakeState) view() View {
+	return View{
+		Node: f.home,
+		Owner: func(k kv.Key) int {
+			if o, ok := f.owner[k]; ok {
+				return o
+			}
+			return f.home
+		},
+		Replicated: func(k kv.Key) bool { return f.repl[k] },
+		Busy:       func(k kv.Key) bool { return false },
+	}
+}
+
+func (f *fakeState) apply(t *testing.T, acts []Action) {
+	t.Helper()
+	for _, a := range acts {
+		switch a.Kind {
+		case ActReplicate:
+			if f.repl[a.Key] {
+				t.Fatalf("replicate of already replicated key %d", a.Key)
+			}
+			f.repl[a.Key] = true
+			f.owner[a.Key] = f.home
+		case ActDemote:
+			if !f.repl[a.Key] {
+				t.Fatalf("demote of unreplicated key %d", a.Key)
+			}
+			delete(f.repl, a.Key)
+		case ActRelocate:
+			if f.repl[a.Key] {
+				t.Fatalf("relocate of replicated key %d", a.Key)
+			}
+			f.owner[a.Key] = a.Dest
+		}
+	}
+}
+
+var testCfg = Config{HotCount: 32, ColdCount: 8, DominanceShare: 0.75, InterestShare: 0.02,
+	MinDwellTicks: 2, ColdStreakEpochs: 2, ReportTopK: 128}
+
+func TestClassifierReplicatesHotEverywhereKey(t *testing.T) {
+	st := newFakeState(0)
+	c := NewClassifier(testCfg, st.view())
+	acts := c.Ingest(0, 1, []kv.Key{5}, []float32{50})
+	if len(acts) != 0 {
+		t.Fatalf("one-origin report below dominance issued %v", acts)
+	}
+	acts = c.Ingest(1, 1, []kv.Key{5}, []float32{50})
+	if len(acts) != 1 || acts[0].Kind != ActReplicate || acts[0].Key != 5 {
+		t.Fatalf("hot-everywhere key: got %v, want replicate(5)", acts)
+	}
+}
+
+func TestClassifierRelocatesDominantKey(t *testing.T) {
+	st := newFakeState(0)
+	c := NewClassifier(testCfg, st.view())
+	c.Ingest(0, 1, []kv.Key{9}, []float32{10})
+	acts := c.Ingest(1, 1, []kv.Key{9}, []float32{100})
+	if len(acts) != 1 || acts[0].Kind != ActRelocate || acts[0].Key != 9 || acts[0].Dest != 1 {
+		t.Fatalf("dominant key: got %v, want relocate(9 -> 1)", acts)
+	}
+	st.apply(t, acts)
+	// Once owned by the dominant node, re-reports change nothing.
+	if acts := c.Ingest(1, 4, []kv.Key{9}, []float32{100}); len(acts) != 0 {
+		t.Fatalf("settled dominant key re-decided: %v", acts)
+	}
+}
+
+// TestClassifierReplicatesDespiteRateSkewedCounts pins the scale-free
+// interest rule: the home node reaches its own keys through the in-memory
+// fast path while a remote node's issue rate is capped by the round-trip
+// window, so the same per-worker workload yields absolute counts orders of
+// magnitude apart. The key must still replicate — the remote origin spends
+// its entire (capped) volume on it.
+func TestClassifierReplicatesDespiteRateSkewedCounts(t *testing.T) {
+	st := newFakeState(0)
+	c := NewClassifier(testCfg, st.view())
+	c.Ingest(0, 1, []kv.Key{5}, []float32{500000})     // home fast path
+	acts := c.Ingest(1, 1, []kv.Key{5}, []float32{40}) // latency-capped remote
+	if len(acts) != 1 || acts[0].Kind != ActReplicate || acts[0].Key != 5 {
+		t.Fatalf("rate-skewed hot-everywhere key: got %v, want replicate(5)", acts)
+	}
+}
+
+func TestClassifierDemotesColdReplicatedKeyAndRelocatesColdStray(t *testing.T) {
+	st := newFakeState(0)
+	st.repl[3] = true
+	st.owner[7] = 2 // relocated away earlier; now cold
+	c := NewClassifier(testCfg, st.view())
+	c.Manage(3)
+	c.Manage(7)
+	// An epoch with no counts at all for either key: the stray relocates
+	// home at once, while the replicated key only starts its cold streak.
+	acts := c.Ingest(1, 1, nil, nil)
+	if len(acts) != 1 || acts[0].Kind != ActRelocate || acts[0].Key != 7 || acts[0].Dest != 0 {
+		t.Fatalf("cold stray key: got %v, want relocate(7 -> 0) only", acts)
+	}
+	st.apply(t, acts)
+	// Still cold ColdStreakEpochs later: now the replicated key demotes.
+	acts = c.Ingest(1, 3, nil, nil)
+	if len(acts) != 1 || acts[0].Kind != ActDemote || acts[0].Key != 3 {
+		t.Fatalf("cold replicated key after sustained streak: got %v, want demote(3)", acts)
+	}
+}
+
+func TestClassifierStaleReportsExpire(t *testing.T) {
+	st := newFakeState(0)
+	c := NewClassifier(testCfg, st.view())
+	st.apply(t, c.Ingest(0, 1, []kv.Key{5}, []float32{20}))
+	st.apply(t, c.Ingest(1, 1, []kv.Key{5}, []float32{20}))
+	if !st.repl[5] {
+		t.Fatal("key 5 not replicated after two hot reports")
+	}
+	// Origin 1 stops reporting key 5. Once its epoch-1 report expires the
+	// remaining counts are cold, and after a sustained cold streak the key
+	// is demoted.
+	st.apply(t, c.Ingest(0, 4, nil, nil))
+	if !st.repl[5] {
+		t.Fatal("key 5 demoted on its first cold epoch, before the streak completed")
+	}
+	st.apply(t, c.Ingest(0, 6, nil, nil))
+	if st.repl[5] {
+		t.Fatal("key 5 still replicated after its counts went stale")
+	}
+}
+
+// TestClassifierOscillationBound pins the hysteresis guarantee with exact
+// counters: a key whose hot set flips every tick (heavily accessed on even
+// ticks, untouched on odd ones) transitions exactly once, not once per flip.
+// The tracker's per-tick halving makes the decayed estimate follow
+// 100, 50, 125, 62, 131, ... — never below ColdCount — and the separated
+// thresholds plus the dwell gate absorb the remaining wobble.
+func TestClassifierOscillationBound(t *testing.T) {
+	st := newFakeState(0)
+	c := NewClassifier(testCfg, st.view())
+	transitions := 0
+	counts := [2]float32{} // decayed per-origin estimate of key 5
+	for tick := uint32(1); tick <= 40; tick++ {
+		for o := range counts {
+			counts[o] /= 2
+			if tick%2 == 1 { // the workload phase where key 5 is hot
+				counts[o] += 100
+			}
+		}
+		for o := range counts {
+			var keys []kv.Key
+			var vals []float32
+			if counts[o] > 0 {
+				keys, vals = []kv.Key{5}, []float32{counts[o]}
+			}
+			acts := c.Ingest(o, tick, keys, vals)
+			transitions += len(acts)
+			st.apply(t, acts)
+		}
+	}
+	if transitions != 1 {
+		t.Fatalf("oscillating workload caused %d transitions of key 5, want exactly 1", transitions)
+	}
+	if !st.repl[5] {
+		t.Fatal("key 5 should have settled replicated")
+	}
+}
+
+func TestConfigWithDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.Tick != DefaultTick || c.HotCount != DefaultHotCount || c.ColdCount != DefaultColdCount ||
+		c.DominanceShare != DefaultDominanceShare || c.InterestShare != DefaultInterestShare ||
+		c.MinDwellTicks != DefaultMinDwellTicks || c.ColdStreakEpochs != DefaultColdStreakEpochs ||
+		c.ReportTopK != DefaultReportTopK {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	if c.ColdCount >= c.HotCount {
+		t.Fatalf("default thresholds are not separated: cold %d >= hot %d", c.ColdCount, c.HotCount)
+	}
+	full := Config{Tick: 1, HotCount: 2, ColdCount: 1, DominanceShare: 0.5, InterestShare: 0.1,
+		MinDwellTicks: 9, ColdStreakEpochs: 5, ReportTopK: 3}
+	if got := full.WithDefaults(); got != full {
+		t.Fatalf("explicit config overwritten: %+v", got)
+	}
+}

@@ -56,6 +56,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lapse/internal/adaptive"
 	"lapse/internal/cluster"
 	"lapse/internal/kv"
 	"lapse/internal/metrics"
@@ -70,7 +71,8 @@ import (
 const (
 	stateNotHere uint32 = iota
 	stateOwned
-	stateIncoming // relocation to this node in progress; accesses are queued
+	stateIncoming   // relocation to this node in progress; accesses are queued
+	stateReplicated // served from the node-local replica (hot-key replication)
 )
 
 // maxHops bounds forwarding chains; exceeding it indicates a routing bug.
@@ -105,6 +107,15 @@ type Config struct {
 	// ReplicaSyncEvery is the replication sync interval
 	// (0 = replication.DefaultSyncEvery).
 	ReplicaSyncEvery time.Duration
+	// Adaptive enables the online per-key management controller: each node
+	// periodically reports its hottest keys to their home nodes, which
+	// promote hot-everywhere keys into replication, relocate locality-skewed
+	// keys to their dominant accessor, and demote keys that went cold —
+	// live, with explicit transition protocols (see internal/adaptive and
+	// adaptive.go). Replicate keys become the initial replicated set, which
+	// the controller may demote like any other. Must be identical on every
+	// node of a multi-process deployment.
+	Adaptive *adaptive.Config
 }
 
 // System is a running Lapse instance on a cluster.
@@ -124,6 +135,7 @@ type System struct {
 type node struct {
 	sys *System
 	srv *server.Node
+	id  int
 
 	store store.Store
 	// state[k] is the locality state of key k at this node.
@@ -143,6 +155,10 @@ type node struct {
 	// Per-node (like stats), so worker fast paths never contend on a
 	// process-wide counter.
 	tracker *replication.Tracker
+	// ctlStop/ctlDone bracket the adaptive controller's report ticker
+	// goroutine (nil when adaptive management is off).
+	ctlStop chan struct{}
+	ctlDone chan struct{}
 }
 
 // policyShard is one server shard's policy state: the relocation queues of
@@ -158,6 +174,13 @@ type policyShard struct {
 	// shard's keys.
 	queueMu sync.Mutex
 	queues  map[kv.Key]*keyQueue
+	// transitioning tracks the shard's keys with a management transition in
+	// flight (promote into / demote out of replication). Only the shard's
+	// server goroutine touches it.
+	transitioning map[kv.Key]*transition
+	// classifier decides management transitions for keys homed here (nil
+	// unless adaptive management is enabled).
+	classifier *adaptive.Classifier
 	// handleOp answer scratch, reused across messages (only the shard's
 	// server goroutine touches it, and responses are consumed on send).
 	ansKeys []kv.Key
@@ -223,6 +246,7 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 		nd := &node{
 			sys:     s,
 			srv:     srv,
+			id:      n,
 			store:   st,
 			state:   make([]atomic.Uint32, nk),
 			owner:   make([]atomic.Int32, nk),
@@ -231,7 +255,8 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 		}
 		for sh := range nd.sh {
 			rt := srv.Shard(sh)
-			nd.sh[sh] = &policyShard{nd: nd, rt: rt, stats: rt.Stats(), queues: make(map[kv.Key]*keyQueue)}
+			nd.sh[sh] = &policyShard{nd: nd, rt: rt, stats: rt.Stats(),
+				queues: make(map[kv.Key]*keyQueue), transitioning: make(map[kv.Key]*transition)}
 		}
 		if cfg.LocationCaches {
 			nd.cache = make([]atomic.Int32, nk)
@@ -239,7 +264,7 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 				nd.cache[i].Store(-1)
 			}
 		}
-		if len(cfg.Replicate) > 0 {
+		if len(cfg.Replicate) > 0 || cfg.Adaptive != nil {
 			nd.rep = replication.NewManager(replication.Config{
 				Node:      n,
 				Nodes:     cl.Nodes(),
@@ -252,29 +277,57 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 				Send:      srv.Send,
 			})
 		}
+		if cfg.Adaptive != nil {
+			acfg := cfg.Adaptive.WithDefaults()
+			for _, shp := range nd.sh {
+				shp := shp
+				shp.classifier = adaptive.NewClassifier(acfg, adaptive.View{
+					Node:       n,
+					Owner:      func(k kv.Key) int { return int(nd.owner[k].Load()) },
+					Replicated: func(k kv.Key) bool { return nd.state[k].Load() == stateReplicated },
+					Busy:       func(k kv.Key) bool { _, ok := shp.transitioning[k]; return ok },
+				})
+			}
+			// Seed the statically replicated keys homed here into the
+			// classifiers' managed sets, so the controller can demote them
+			// once they go cold like any key it promoted itself.
+			for _, k := range cfg.Replicate {
+				if s.home.NodeOf(k) == n {
+					nd.shardOf(k).classifier.Manage(k)
+				}
+			}
+		}
 		s.nodes[n] = nd
 	}
-	// Initial allocation: every key lives at its home node (replicated keys
-	// live in the replication managers instead and never enter the
-	// relocation machinery). Every process derives the same global picture
-	// from the shared partitioner but materializes only its local share.
+	// Initial allocation: every key lives at its home node; replicated keys
+	// live in the replication managers instead and are marked Replicated at
+	// every local node. The owner table names the home for every key —
+	// including replicated ones, whose owner stays the home for as long as
+	// they are replicated — so demotion reopens correct routing with no
+	// table updates. Every process derives the same global picture from the
+	// shared partitioner but materializes only its local share.
 	replicated := make(map[kv.Key]bool, len(cfg.Replicate))
 	for _, k := range cfg.Replicate {
 		replicated[k] = true
 	}
 	for k := kv.Key(0); k < layout.NumKeys(); k++ {
-		if replicated[k] {
-			continue
-		}
 		h := s.home.NodeOf(k)
-		if nd := s.nodes[h]; nd != nil {
-			nd.store.Set(k, make([]float32, layout.Len(k)))
-			nd.state[k].Store(stateOwned)
-		}
 		for _, nd := range s.nodes {
 			if nd != nil {
 				nd.owner[k].Store(int32(h))
 			}
+		}
+		if replicated[k] {
+			for _, nd := range s.nodes {
+				if nd != nil {
+					nd.state[k].Store(stateReplicated)
+				}
+			}
+			continue
+		}
+		if nd := s.nodes[h]; nd != nil {
+			nd.store.Set(k, make([]float32, layout.Len(k)))
+			nd.state[k].Store(stateOwned)
 		}
 	}
 	s.g.Start(func(n, shard int) server.Policy {
@@ -286,6 +339,13 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 	for _, nd := range s.nodes {
 		if nd != nil && nd.rep != nil {
 			nd.rep.Start()
+		}
+	}
+	if cfg.Adaptive != nil {
+		for _, nd := range s.nodes {
+			if nd != nil {
+				nd.startController(cfg.Adaptive.WithDefaults())
+			}
 		}
 	}
 	return s
@@ -397,10 +457,15 @@ func (s *System) ReadParameter(k kv.Key, dst []float32) {
 	}
 }
 
-// Shutdown stops the replica sync cycles and waits for the server
-// goroutines to exit; the cluster network must be closed first (sync
-// messages sent while closing are dropped by the transport).
+// Shutdown stops the adaptive controllers and replica sync cycles and waits
+// for the server goroutines to exit; the cluster network must be closed
+// first (sync messages sent while closing are dropped by the transport).
 func (s *System) Shutdown() {
+	for _, nd := range s.nodes {
+		if nd != nil {
+			nd.stopController()
+		}
+	}
 	for _, nd := range s.nodes {
 		if nd != nil && nd.rep != nil {
 			nd.rep.Stop()
@@ -447,7 +512,8 @@ func (s *System) ReadReplica(node int, k kv.Key, dst []float32) {
 // Handle returns the KV client for a worker thread.
 func (s *System) Handle(worker int) kv.KV {
 	n := s.cl.NodeOfWorker(worker)
-	return &handle{Handle: server.NewHandle(s.g.Node(n), worker), sys: s, nd: s.nodes[n]}
+	nd := s.nodes[n]
+	return &handle{Handle: server.NewHandle(s.g.Node(n), worker), sys: s, nd: nd, trk: nd.tracker.Handle()}
 }
 
 // OnOpResp implements server.Policy: refresh the location cache with the
@@ -478,6 +544,10 @@ func (sh *policyShard) HandleMessage(src int, m any) {
 		sh.nd.rep.HandleSync(t)
 	case *msg.ReplicaRefresh:
 		sh.nd.rep.HandleRefresh(t)
+	case *msg.Manage:
+		// Key-addressed like operations, so transitions stay FIFO with the
+		// accesses of the keys they manage on each (link, shard) stream.
+		sh.handleManage(t)
 	default:
 		panic(fmt.Sprintf("core: unexpected message %T at node %d", m, sh.rt.Node()))
 	}
@@ -503,16 +573,34 @@ func (sh *policyShard) handleOp(m *msg.Op) {
 	var fwd map[int]*msg.Op
 	src := 0
 	for _, k := range m.Keys {
-		if nd.rep != nil && nd.rep.Replicated(k) {
-			// Replicated keys are served from the local replica at every
-			// node; no operation for them ever enters the network.
-			panic(fmt.Sprintf("core: remote op for replicated key %d at node %d (routing bug)", k, sh.rt.Node()))
-		}
 		l := nd.sys.layout.Len(k)
 		var upd []float32
 		if m.Type == msg.OpPush {
 			upd = m.Vals[src : src+l]
 			src += l
+		}
+		// Replicated keys are served from the local replica. Remote
+		// operations reach one while the origin has not (or not yet) a
+		// replica of its own: mid-promotion, mid-demotion, or after its
+		// local fast path lost a race against a transition. A rep failure
+		// means the key stopped being replicated here concurrently — fall
+		// through to the ownership paths below.
+		if nd.state[k].Load() == stateReplicated && nd.rep != nil {
+			switch m.Type {
+			case msg.OpPull:
+				n := len(ansVals)
+				ansVals = kv.Grow(ansVals, l)
+				if nd.rep.Pull(k, ansVals[n:n+l]) {
+					ansKeys = append(ansKeys, k)
+					continue
+				}
+				ansVals = ansVals[:n]
+			case msg.OpPush:
+				if nd.rep.Push(k, upd) {
+					ansKeys = append(ansKeys, k)
+					continue
+				}
+			}
 		}
 		// The store may only be probed for keys in Owned state: during a
 		// queue drain the value is already present but queued operations
@@ -653,16 +741,35 @@ func (sh *policyShard) requeueRacedOp(m *msg.Op, k kv.Key) {
 // handleLocalize runs at the home node (message 1 of the relocation
 // protocol): update the owner table immediately, then instruct each previous
 // owner to hand the keys over to the requester. Keys are grouped per previous
-// owner (message grouping, Section 3.7).
+// owner (message grouping, Section 3.7). Two adaptive-management cases divert
+// keys from that path: a key with a transition in flight defers the request
+// until the transition settles, and a replicated key is answered with a
+// ManageReplicate carrying the authoritative value — the key is local
+// everywhere already, the origin just has not observed it yet.
 func (sh *policyShard) handleLocalize(m *msg.Localize) {
 	nd := sh.nd
 	groups := make(map[int][]kv.Key)
+	var repKeys []kv.Key
+	var repVals []float32
 	for _, k := range m.Keys {
 		if nd.sys.home.NodeOf(k) != sh.rt.Node() {
 			panic(fmt.Sprintf("core: localize for key %d reached non-home node %d", k, sh.rt.Node()))
 		}
+		if tr, ok := sh.transitioning[k]; ok {
+			tr.deferred = append(tr.deferred, deferredLocalize{origin: m.Origin, id: m.ID})
+			continue
+		}
+		if nd.state[k].Load() == stateReplicated {
+			repKeys = append(repKeys, k)
+			repVals = append(repVals, nd.rep.AuthValue(k)...)
+			continue
+		}
 		prev := int(nd.owner[k].Swap(m.Origin))
 		groups[prev] = append(groups[prev], k)
+	}
+	if len(repKeys) > 0 {
+		sh.rt.SendOrDispatch(int(m.Origin), &msg.Manage{
+			Kind: msg.ManageReplicate, Origin: int32(sh.rt.Node()), Keys: repKeys, Vals: repVals})
 	}
 	for prev, keys := range groups {
 		instr := &msg.RelocInstruct{ID: m.ID, Dest: m.Origin, Keys: keys}
@@ -741,6 +848,14 @@ func (sh *policyShard) drainQueue(k kv.Key) {
 		sh.queueMu.Lock()
 		q, ok := sh.queues[k]
 		if !ok || len(q.entries) == 0 {
+			if tr, busy := sh.transitioning[k]; busy && tr.kind == transPromote {
+				// This arrival is the home recalling the key to promote it
+				// into replication: hand the value to the replication
+				// manager instead of opening the Owned fast path.
+				sh.queueMu.Unlock()
+				sh.finishReplicate(k)
+				return
+			}
 			// Queue empty: transition to Owned and stop. The
 			// transition happens under queueMu so worker slow paths
 			// cannot enqueue after the queue is deleted. Waiters

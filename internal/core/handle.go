@@ -5,6 +5,7 @@ import (
 
 	"lapse/internal/kv"
 	"lapse/internal/msg"
+	"lapse/internal/replication"
 	"lapse/internal/server"
 )
 
@@ -18,6 +19,9 @@ type handle struct {
 	server.Handle
 	sys *System
 	nd  *node
+	// trk is this worker's private sampling handle onto the node's access
+	// tracker: always-on tracking without a shared counter on the fast path.
+	trk *replication.Handle
 }
 
 // Pull implements kv.KV.
@@ -61,7 +65,7 @@ func (h *handle) PushAsync(keys []kv.Key, vals []float32) *kv.Future {
 // currently arriving at this node, and the network (home-routed, or
 // cache-direct when location caches are on) for everything else.
 func (h *handle) RouteKey(t msg.OpType, op *server.OpCtx, k kv.Key, dst, vals []float32) server.KeyRoute {
-	h.nd.tracker.Observe(k)
+	h.trk.Observe(k)
 	sh := h.nd.shardOf(k)
 	if h.tryFast(sh, t, k, dst, vals) {
 		return server.KeyRoute{Served: true}
@@ -86,39 +90,40 @@ type routeDest struct {
 	viaCache bool
 }
 
-// tryFast attempts the shared-memory fast path: replicated keys are always
-// served from the node-local replica; other keys are served only in Owned
-// state. Keys whose relocation queue is still draining must not be served
+// tryFast attempts the shared-memory fast path: keys in Replicated state are
+// served from the node-local replica, keys in Owned state from the local
+// store. Keys whose relocation queue is still draining must not be served
 // here — that would jump the queue and break the worker's program order —
 // which the Owned gate guarantees, because the state only flips to Owned
-// after the drain completes.
+// after the drain completes. Both paths re-validate and report false when
+// they lose a race against a transition (a transfer-out, or a demotion
+// clearing the replication flag); the caller falls back to the slow path,
+// where routing lands the operation wherever the key went.
 func (h *handle) tryFast(sh *policyShard, t msg.OpType, k kv.Key, dst, vals []float32) bool {
-	if h.nd.rep != nil && h.nd.rep.Replicated(k) {
+	switch h.nd.state[k].Load() {
+	case stateReplicated:
 		if t == msg.OpPull {
-			h.nd.rep.Pull(k, dst)
-		} else {
-			h.nd.rep.Push(k, vals)
+			return h.nd.rep.Pull(k, dst)
 		}
-		return true
-	}
-	if h.nd.state[k].Load() != stateOwned {
-		return false
-	}
-	switch t {
-	case msg.OpPull:
-		if !h.nd.store.Read(k, dst) {
-			return false // lost the race against a transfer-out
+		return h.nd.rep.Push(k, vals)
+	case stateOwned:
+		switch t {
+		case msg.OpPull:
+			if !h.nd.store.Read(k, dst) {
+				return false // lost the race against a transfer-out
+			}
+			sh.stats.LocalReads.Inc()
+			sh.stats.ReadValues.Add(int64(len(dst)))
+			return true
+		default:
+			if !h.nd.store.Add(k, vals) {
+				return false
+			}
+			sh.stats.LocalWrites.Inc()
+			return true
 		}
-		sh.stats.LocalReads.Inc()
-		sh.stats.ReadValues.Add(int64(len(dst)))
-		return true
-	default:
-		if !h.nd.store.Add(k, vals) {
-			return false
-		}
-		sh.stats.LocalWrites.Inc()
-		return true
 	}
+	return false
 }
 
 // slowRoute handles a key that is not locally accessible: it appends the
@@ -155,7 +160,7 @@ func (h *handle) PullIfLocal(keys []kv.Key, dst []float32) (bool, error) {
 	}
 	off := 0
 	for _, k := range keys {
-		h.nd.tracker.Observe(k)
+		h.trk.Observe(k)
 		l := h.sys.layout.Len(k)
 		if !h.tryFast(h.nd.shardOf(k), msg.OpPull, k, dst[off:off+l], nil) {
 			return false, nil
@@ -182,7 +187,7 @@ func (h *handle) LocalizeAsync(keys []kv.Key) *kv.Future {
 	// registration happen under that shard's queue lock.
 	byShard := make(map[*policyShard][]kv.Key)
 	for _, k := range keys {
-		if nd.rep != nil && nd.rep.Replicated(k) {
+		if nd.state[k].Load() == stateReplicated {
 			continue // replicated keys are local at every node already
 		}
 		sh := nd.shardOf(k)
@@ -206,8 +211,8 @@ func (h *handle) LocalizeAsync(keys []kv.Key) *kv.Future {
 		sh.queueMu.Lock()
 		for _, k := range shKeys {
 			switch nd.state[k].Load() {
-			case stateOwned:
-				continue // already local
+			case stateOwned, stateReplicated:
+				continue // already local (a promotion may have raced the filter)
 			case stateIncoming:
 				waitKeys = append(waitKeys, k)
 			default:

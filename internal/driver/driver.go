@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"time"
 
+	"lapse/internal/adaptive"
 	"lapse/internal/classic"
 	"lapse/internal/cluster"
 	"lapse/internal/core"
@@ -73,6 +74,10 @@ type Options struct {
 	Replicate []kv.Key
 	// ReplicaSyncEvery is the replica sync interval (0 = default).
 	ReplicaSyncEvery time.Duration
+	// Adaptive enables the online per-key management controller (Lapse
+	// variants only; see internal/adaptive). Replicate then seeds the
+	// initial replicated set.
+	Adaptive *adaptive.Config
 	// PinShards pins each server shard goroutine to one CPU core (all
 	// variants; see server.Config.PinShards).
 	PinShards bool
@@ -87,10 +92,10 @@ func Build(kind Kind, cl *cluster.Cluster, layout kv.Layout, opt Options) PS {
 		return classic.New(cl, layout, classic.Config{FastLocalAccess: true, Unbatched: opt.Unbatched, PinShards: opt.PinShards})
 	case Lapse:
 		return core.New(cl, layout, core.Config{Unbatched: opt.Unbatched, PinShards: opt.PinShards,
-			Replicate: opt.Replicate, ReplicaSyncEvery: opt.ReplicaSyncEvery})
+			Replicate: opt.Replicate, ReplicaSyncEvery: opt.ReplicaSyncEvery, Adaptive: opt.Adaptive})
 	case LapseCached:
 		return core.New(cl, layout, core.Config{LocationCaches: true, Unbatched: opt.Unbatched, PinShards: opt.PinShards,
-			Replicate: opt.Replicate, ReplicaSyncEvery: opt.ReplicaSyncEvery})
+			Replicate: opt.Replicate, ReplicaSyncEvery: opt.ReplicaSyncEvery, Adaptive: opt.Adaptive})
 	case SSPClient:
 		return ssp.New(cl, layout, ssp.Config{Staleness: opt.Staleness, Unbatched: opt.Unbatched, PinShards: opt.PinShards})
 	case SSPServer:

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"lapse/internal/adaptive"
 	"lapse/internal/cluster"
 	"lapse/internal/driver"
 	"lapse/internal/kv"
@@ -38,11 +39,14 @@ const (
 	// HotKeyReplication replicates the top-k hottest keys; the rest keep
 	// relocation management.
 	HotKeyReplication HotKeyMode = "replication"
+	// HotKeyAdaptive lets the online controller pick each key's technique
+	// at runtime (replicate / relocate / leave home) with no static hot set.
+	HotKeyAdaptive HotKeyMode = "adaptive"
 )
 
 // HotKeyModes lists the techniques compared by the hot-key workloads.
 func HotKeyModes() []HotKeyMode {
-	return []HotKeyMode{HotKeyRelocation, HotKeyLocalize, HotKeyReplication}
+	return []HotKeyMode{HotKeyRelocation, HotKeyLocalize, HotKeyReplication, HotKeyAdaptive}
 }
 
 // HotKeyConfig parameterizes one hot-key workload.
@@ -64,6 +68,12 @@ type HotKeyConfig struct {
 	Seed int64
 	// SyncEvery is the replica sync interval (0 = default).
 	SyncEvery time.Duration
+	// Warmup drives the workload unmeasured for this long before the
+	// measured window opens, so location caches, relocation queues, and the
+	// adaptive controller reach steady state first. The measured windows of
+	// the static modes would otherwise compare a settled system against an
+	// adaptive controller still inside its first classification epochs.
+	Warmup time.Duration
 	// Net is the simulated network profile (zero = instantaneous).
 	Net simnet.Config
 	// PointCost models computation per access via cluster.Compute.
@@ -85,17 +95,22 @@ func (c HotKeyConfig) HotKeys() []kv.Key {
 // values — the word2vec access pattern).
 func HotKeyWorkloads() map[string]HotKeyConfig {
 	return map[string]HotKeyConfig{
+		// Warmup must cover several adaptive controller epochs (5ms tick,
+		// 2-epoch dwell) so the measured window sees the settled hot set.
 		"uniform": {
 			Keys: 2048, ValLen: 8, OpsPerWorker: 400,
 			ZipfS: 0, HotK: 32, PushEvery: 2, Seed: 11,
+			Warmup: 50 * time.Millisecond,
 		},
 		"zipf": {
 			Keys: 2048, ValLen: 8, OpsPerWorker: 400,
 			ZipfS: 1.3, HotK: 32, PushEvery: 2, Seed: 11,
+			Warmup: 50 * time.Millisecond,
 		},
 		"w2vneg": {
 			Keys: 4096, ValLen: 16, OpsPerWorker: 400,
 			ZipfS: 2.0, HotK: 64, PushEvery: 4, Seed: 11,
+			Warmup: 50 * time.Millisecond,
 		},
 	}
 }
@@ -152,40 +167,25 @@ func RunHotKeys(par Parallelism, cfg HotKeyConfig, mode HotKeyMode) HotKeyPoint 
 	if mode == HotKeyReplication {
 		opt.Replicate = cfg.HotKeys()
 	}
+	if mode == HotKeyAdaptive {
+		opt.Adaptive = &adaptive.Config{}
+	}
 	ps := driver.Build(driver.Lapse, cl, kv.NewUniformLayout(cfg.Keys, cfg.ValLen), opt)
 	defer func() {
 		cl.Close()
 		ps.Shutdown()
 	}()
-
-	var before runtime.MemStats
-	runtime.ReadMemStats(&before)
-	start := time.Now()
-	cl.RunWorkers(func(_, worker int) {
-		runHotKeyWorker(cl, ps, cfg, mode, worker)
-	})
-	elapsed := time.Since(start)
-	var after runtime.MemStats
-	runtime.ReadMemStats(&after)
-	return HotKeyPoint{
-		Par:        par,
-		Mode:       mode,
-		Elapsed:    elapsed,
-		Ops:        int64(par.Nodes * par.Workers * cfg.OpsPerWorker),
-		Allocs:     int64(after.Mallocs - before.Mallocs),
-		AllocBytes: int64(after.TotalAlloc - before.TotalAlloc),
-		Stats:      metrics.Sum(ps.Stats()),
-		Net:        cl.Net().Stats(),
-	}
+	return RunHotKeysNode(par, cl, ps, cfg, mode)
 }
 
 // RunHotKeysNode executes this process's share of the hot-key workload on a
 // cluster that may span OS processes — one per node, each calling this with
 // identical par/cfg/mode. The caller owns cl and ps (built for its node of
-// the deployment) and closes them afterwards. Cluster-wide barriers bound
-// the measured window so every process times the same span of work; WaitAll
-// inside the worker loop completes in-flight operations before the end
-// barrier. Ops counts the whole cluster's accesses, so with the
+// the deployment) and closes them afterwards. Workers first drive the
+// workload unmeasured for cfg.Warmup; cluster-wide barriers then bound the
+// measured window so every process times the same span of settled-state
+// work, with counter baselines excluding the warmup traffic. WaitAll inside
+// the worker loop completes in-flight operations before the end barrier. Ops counts the whole cluster's accesses, so with the
 // barrier-aligned window Throughput is the cluster-wide rate; Stats,
 // allocation deltas, and Net cover only this process.
 func RunHotKeysNode(par Parallelism, cl *cluster.Cluster, ps driver.PS, cfg HotKeyConfig, mode HotKeyMode) HotKeyPoint {
@@ -195,11 +195,19 @@ func RunHotKeysNode(par Parallelism, cl *cluster.Cluster, ps driver.PS, cfg HotK
 		before, after runtime.MemStats
 		start         time.Time
 		elapsed       time.Duration
+		statsBase     metrics.Totals
+		netBase       transport.Stats
 	)
 	cl.RunWorkers(func(node, worker int) {
+		warmHotKeyWorker(cl, ps, cfg, mode, worker)
 		b.Wait(node)
 		mu.Lock()
 		if start.IsZero() {
+			// Counter baselines exclude the warmup traffic from the
+			// reported window (snapshot is racy against workers already
+			// past the barrier by at most a few operations).
+			statsBase = metrics.Sum(ps.Stats())
+			netBase = cl.Net().Stats()
 			runtime.ReadMemStats(&before)
 			start = time.Now()
 		}
@@ -220,51 +228,106 @@ func RunHotKeysNode(par Parallelism, cl *cluster.Cluster, ps driver.PS, cfg HotK
 		Ops:        int64(par.Nodes * par.Workers * cfg.OpsPerWorker),
 		Allocs:     int64(after.Mallocs - before.Mallocs),
 		AllocBytes: int64(after.TotalAlloc - before.TotalAlloc),
-		Stats:      metrics.Sum(ps.Stats()),
-		Net:        cl.Net().Stats(),
+		Stats:      metrics.Sum(ps.Stats()).Since(statsBase),
+		Net:        cl.Net().Stats().Since(netBase),
 	}
 }
 
-// runHotKeyWorker is the per-worker access loop shared by RunHotKeys and
-// RunHotKeysNode. The worker index is global, so the per-worker RNG streams
-// are identical however the nodes are spread over processes.
+// runHotKeyWorker is the measured per-worker access loop shared by
+// RunHotKeys and RunHotKeysNode. The worker index is global, so the
+// per-worker RNG streams are identical however the nodes are spread over
+// processes.
 func runHotKeyWorker(cl *cluster.Cluster, ps driver.PS, cfg HotKeyConfig, mode HotKeyMode, worker int) {
-	h := ps.Handle(worker)
-	rng := rand.New(rand.NewSource(cfg.Seed + int64(worker)))
-	var zipf *rand.Zipf
-	if cfg.ZipfS > 0 {
-		zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Keys-1))
-	}
-	buf := make([]float32, cfg.ValLen)
-	delta := make([]float32, cfg.ValLen)
-	for i := range delta {
-		delta[i] = 0.01
-	}
-	keys := make([]kv.Key, 1)
+	l := newHotKeyLoop(cl, ps, cfg, mode, worker, cfg.Seed+int64(worker))
 	for op := 0; op < cfg.OpsPerWorker; op++ {
-		if zipf != nil {
-			keys[0] = kv.Key(zipf.Uint64())
-		} else {
-			keys[0] = kv.Key(rng.Int63n(int64(cfg.Keys)))
+		l.step(op)
+	}
+	l.finish()
+}
+
+// warmupSeedOffset keeps the warmup RNG streams disjoint from the measured
+// phase's, which must stay identical with and without warmup.
+const warmupSeedOffset = 1 << 20
+
+// warmHotKeyWorker drives the same workload unmeasured until cfg.Warmup
+// elapses, then drains in-flight operations, so the measured window that
+// follows starts from steady state.
+func warmHotKeyWorker(cl *cluster.Cluster, ps driver.PS, cfg HotKeyConfig, mode HotKeyMode, worker int) {
+	if cfg.Warmup <= 0 {
+		return
+	}
+	l := newHotKeyLoop(cl, ps, cfg, mode, worker, cfg.Seed+warmupSeedOffset+int64(worker))
+	deadline := time.Now().Add(cfg.Warmup)
+	for op := 0; ; op++ {
+		if op&63 == 0 && op > 0 && !time.Now().Before(deadline) {
+			break
 		}
-		if mode == HotKeyLocalize {
-			if err := h.Localize(keys); err != nil {
-				panic(fmt.Sprintf("harness: hotkeys localize: %v", err))
-			}
-		}
-		if err := h.Pull(keys, buf); err != nil {
-			panic(fmt.Sprintf("harness: hotkeys pull: %v", err))
-		}
-		if cfg.PushEvery > 0 && op%cfg.PushEvery == 0 {
-			if err := h.Push(keys, delta); err != nil {
-				panic(fmt.Sprintf("harness: hotkeys push: %v", err))
-			}
-		}
-		if cfg.PointCost > 0 {
-			cl.Compute(cfg.PointCost)
+		l.step(op)
+	}
+	l.finish()
+}
+
+// hotKeyLoop is one worker's workload state: the sampled key stream and the
+// scratch buffers of its pulls and pushes.
+type hotKeyLoop struct {
+	cl         *cluster.Cluster
+	cfg        HotKeyConfig
+	mode       HotKeyMode
+	h          kv.KV
+	rng        *rand.Rand
+	zipf       *rand.Zipf
+	buf, delta []float32
+	keys       []kv.Key
+}
+
+func newHotKeyLoop(cl *cluster.Cluster, ps driver.PS, cfg HotKeyConfig, mode HotKeyMode, worker int, seed int64) *hotKeyLoop {
+	l := &hotKeyLoop{
+		cl:    cl,
+		cfg:   cfg,
+		mode:  mode,
+		h:     ps.Handle(worker),
+		rng:   rand.New(rand.NewSource(seed)),
+		buf:   make([]float32, cfg.ValLen),
+		delta: make([]float32, cfg.ValLen),
+		keys:  make([]kv.Key, 1),
+	}
+	if cfg.ZipfS > 0 {
+		l.zipf = rand.NewZipf(l.rng, cfg.ZipfS, 1, uint64(cfg.Keys-1))
+	}
+	for i := range l.delta {
+		l.delta[i] = 0.01
+	}
+	return l
+}
+
+// step issues the op-th access of the workload.
+func (l *hotKeyLoop) step(op int) {
+	if l.zipf != nil {
+		l.keys[0] = kv.Key(l.zipf.Uint64())
+	} else {
+		l.keys[0] = kv.Key(l.rng.Int63n(int64(l.cfg.Keys)))
+	}
+	if l.mode == HotKeyLocalize {
+		if err := l.h.Localize(l.keys); err != nil {
+			panic(fmt.Sprintf("harness: hotkeys localize: %v", err))
 		}
 	}
-	if err := h.WaitAll(); err != nil {
+	if err := l.h.Pull(l.keys, l.buf); err != nil {
+		panic(fmt.Sprintf("harness: hotkeys pull: %v", err))
+	}
+	if l.cfg.PushEvery > 0 && op%l.cfg.PushEvery == 0 {
+		if err := l.h.Push(l.keys, l.delta); err != nil {
+			panic(fmt.Sprintf("harness: hotkeys push: %v", err))
+		}
+	}
+	if l.cfg.PointCost > 0 {
+		l.cl.Compute(l.cfg.PointCost)
+	}
+}
+
+// finish drains the worker's in-flight operations.
+func (l *hotKeyLoop) finish() {
+	if err := l.h.WaitAll(); err != nil {
 		panic(fmt.Sprintf("harness: hotkeys waitall: %v", err))
 	}
 }

@@ -117,6 +117,13 @@ type ServerStats struct {
 	// ReplicaSyncMessages counts ReplicaSync/ReplicaRefresh messages sent
 	// by this node's background replica sync cycle.
 	ReplicaSyncMessages Counter
+	// AdaptPromotions, AdaptDemotions, and AdaptRelocations count the
+	// transitions the adaptive controller executed with this node as the
+	// key's home: promotions into replication, demotions back to static
+	// ownership, and controller-initiated relocations.
+	AdaptPromotions  Counter
+	AdaptDemotions   Counter
+	AdaptRelocations Counter
 }
 
 // Reset zeroes all counters and aggregates.
@@ -136,6 +143,9 @@ func (s *ServerStats) Reset() {
 	s.SyncWaits.Reset()
 	s.ReplicaHits.Reset()
 	s.ReplicaSyncMessages.Reset()
+	s.AdaptPromotions.Reset()
+	s.AdaptDemotions.Reset()
+	s.AdaptRelocations.Reset()
 }
 
 // Sum aggregates a set of per-node stats into cluster totals. Relocation-time
@@ -157,6 +167,9 @@ func Sum(nodes []*ServerStats) Totals {
 		t.SyncWaits += s.SyncWaits.Load()
 		t.ReplicaHits += s.ReplicaHits.Load()
 		t.ReplicaSyncMessages += s.ReplicaSyncMessages.Load()
+		t.AdaptPromotions += s.AdaptPromotions.Load()
+		t.AdaptDemotions += s.AdaptDemotions.Load()
+		t.AdaptRelocations += s.AdaptRelocations.Load()
 		rt := s.RelocationTime.Snapshot()
 		if rt.Count > 0 {
 			if t.RelocationCalls == 0 || rt.Min < t.RelocationTimeMin {
@@ -184,6 +197,9 @@ type Totals struct {
 	SyncWaits                 int64
 	ReplicaHits               int64
 	ReplicaSyncMessages       int64
+	AdaptPromotions           int64
+	AdaptDemotions            int64
+	AdaptRelocations          int64
 	RelocationTimeSum         time.Duration
 	RelocationTimeMin         time.Duration
 	RelocationTimeMax         time.Duration
@@ -192,6 +208,33 @@ type Totals struct {
 
 // TotalReads returns local + remote + replica key reads.
 func (t Totals) TotalReads() int64 { return t.LocalReads + t.RemoteReads + t.ReplicaHits }
+
+// Since returns the totals accumulated after base was captured: every
+// additive counter is differenced. The relocation-time min/max cannot be
+// windowed retroactively and keep their whole-run values.
+func (t Totals) Since(base Totals) Totals {
+	d := t
+	d.LocalReads -= base.LocalReads
+	d.RemoteReads -= base.RemoteReads
+	d.LocalWrites -= base.LocalWrites
+	d.RemoteWrites -= base.RemoteWrites
+	d.ReadValues -= base.ReadValues
+	d.Relocations -= base.Relocations
+	d.QueuedOps -= base.QueuedOps
+	d.Forwards -= base.Forwards
+	d.DoubleForwards -= base.DoubleForwards
+	d.CacheHits -= base.CacheHits
+	d.CacheMisses -= base.CacheMisses
+	d.SyncWaits -= base.SyncWaits
+	d.ReplicaHits -= base.ReplicaHits
+	d.ReplicaSyncMessages -= base.ReplicaSyncMessages
+	d.AdaptPromotions -= base.AdaptPromotions
+	d.AdaptDemotions -= base.AdaptDemotions
+	d.AdaptRelocations -= base.AdaptRelocations
+	d.RelocationTimeSum -= base.RelocationTimeSum
+	d.RelocationCalls -= base.RelocationCalls
+	return d
+}
 
 // MeanRelocationTime returns the mean per-localize relocation time.
 func (t Totals) MeanRelocationTime() time.Duration {

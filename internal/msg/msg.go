@@ -51,6 +51,7 @@ const (
 	KindBlock
 	KindReplicaSync
 	KindReplicaRefresh
+	KindManage
 )
 
 func (k Kind) String() string {
@@ -77,6 +78,8 @@ func (k Kind) String() string {
 		return "ReplicaSync"
 	case KindReplicaRefresh:
 		return "ReplicaRefresh"
+	case KindManage:
+		return "Manage"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -209,10 +212,73 @@ type ReplicaRefresh struct {
 	Vals   []float32
 }
 
+// ManageKind discriminates the adaptive-management control operations carried
+// by a Manage message (see internal/core's adaptive controller).
+type ManageKind uint8
+
+// Manage operations.
+const (
+	// ManageReport carries one node's tracker statistics for keys homed at
+	// the destination: Keys with their estimated access counts in Vals,
+	// stamped with the reporting node's controller Epoch.
+	ManageReport ManageKind = iota
+	// ManageReplicate announces that Keys (with current values Vals) are now
+	// managed by replication; receivers install local replicas.
+	ManageReplicate
+	// ManageUnreplicate tells replicas to stop replicating Keys and return
+	// their residual deltas to the home node.
+	ManageUnreplicate
+	// ManageDemoteAck answers an Unreplicate for one key: the replica's
+	// unsynced delta segments (Vals, one value-length segment per entry of
+	// Seqs, where Seqs holds each segment's sync round — 0 for the pending,
+	// never-sent segment).
+	ManageDemoteAck
+	// ManageLocalize asks the destination to relocate Keys to itself through
+	// the ordinary Localize protocol: the home's controller decided the
+	// destination dominates the keys' accesses, but only the destination can
+	// initiate a relocation toward itself (it must queue the keys before the
+	// transfer is underway).
+	ManageLocalize
+)
+
+func (k ManageKind) String() string {
+	switch k {
+	case ManageReport:
+		return "report"
+	case ManageReplicate:
+		return "replicate"
+	case ManageUnreplicate:
+		return "unreplicate"
+	case ManageDemoteAck:
+		return "demote-ack"
+	case ManageLocalize:
+		return "localize-hint"
+	default:
+		return fmt.Sprintf("ManageKind(%d)", uint8(k))
+	}
+}
+
+// Manage is the adaptive-management control message: tracker reports flowing
+// to home nodes and the per-key replication enter/exit protocol driven by the
+// online controller. All operations are key-addressed — every key in one
+// message belongs to the same server shard — so transitions stay FIFO with
+// the operations of the keys they manage on each (link, shard) stream. Origin
+// is the sending node. Epoch is the controller tick of a report (unused
+// otherwise); Seqs is used only by demote acknowledgements.
+type Manage struct {
+	Kind   ManageKind
+	Origin int32
+	Epoch  uint32
+	Keys   []kv.Key
+	Vals   []float32
+	Seqs   []uint32
+}
+
 const (
 	headerBytes = 1 + 4 // kind + payload length prefix used by Encode
 	keyBytes    = 8
 	valBytes    = 4
+	seqBytes    = 4
 )
 
 // Size returns the encoded size in bytes of m. It is used by the simulated
@@ -241,6 +307,8 @@ func Size(m any) int {
 		return headerBytes + 4 + 4 + 4 + 4 + len(t.Keys)*keyBytes + len(t.Vals)*valBytes
 	case *ReplicaRefresh:
 		return headerBytes + 4 + 4 + 4 + 4 + len(t.Keys)*keyBytes + len(t.Vals)*valBytes
+	case *Manage:
+		return headerBytes + 1 + 4 + 4 + 4 + 4 + 4 + len(t.Keys)*keyBytes + len(t.Vals)*valBytes + len(t.Seqs)*seqBytes
 	default:
 		panic(fmt.Sprintf("msg: Size on unknown message type %T", m))
 	}
@@ -323,6 +391,14 @@ func AppendTo(buf []byte, m any) []byte {
 		w.u32(t.Ack)
 		w.keys(t.Keys)
 		w.vals(t.Vals)
+	case *Manage:
+		w.header(KindManage, sz)
+		w.u8(byte(t.Kind))
+		w.u32(uint32(t.Origin))
+		w.u32(t.Epoch)
+		w.keys(t.Keys)
+		w.vals(t.Vals)
+		w.seqs(t.Seqs)
 	default:
 		panic(fmt.Sprintf("msg: AppendTo on unknown message type %T", m))
 	}
@@ -376,6 +452,15 @@ func (w *writer) vals(vals []float32) {
 		binary.LittleEndian.PutUint32(b[i*valBytes:], math.Float32bits(v))
 	}
 	w.off += len(vals) * valBytes
+}
+
+func (w *writer) seqs(seqs []uint32) {
+	w.u32(uint32(len(seqs)))
+	b := w.b[w.off : w.off+len(seqs)*seqBytes]
+	for i, v := range seqs {
+		binary.LittleEndian.PutUint32(b[i*seqBytes:], v)
+	}
+	w.off += len(seqs) * seqBytes
 }
 
 // Decode parses one encoded message and returns it together with the number
@@ -502,6 +587,16 @@ func decodeMsg(buf []byte, s *Scratch) (any, int, error) {
 		}
 		*t = ReplicaRefresh{Origin: int32(d.u32()), Ack: d.u32(), Keys: d.keys(), Vals: d.vals()}
 		m = t
+	case KindManage:
+		var t *Manage
+		if s != nil {
+			t = &s.manage
+		} else {
+			t = new(Manage)
+		}
+		*t = Manage{Kind: ManageKind(d.u8()), Origin: int32(d.u32()), Epoch: d.u32(),
+			Keys: d.keys(), Vals: d.vals(), Seqs: d.seqs()}
+		m = t
 	default:
 		return nil, 0, fmt.Errorf("msg: unknown message kind %d", kind)
 	}
@@ -625,6 +720,38 @@ func (d *decoder) vals() []float32 {
 	}
 	d.p = d.p[n*valBytes:]
 	return vals
+}
+
+// seqs reads a count-prefixed uint32 list; a zero count decodes to nil. Like
+// keys and vals, the count is validated overflow-safely before allocating,
+// and a scratch's seq arena is reused when present.
+func (d *decoder) seqs() []uint32 {
+	n := int(d.u32())
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.p)/seqBytes {
+		d.fail("seqs")
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	var seqs []uint32
+	if d.s != nil {
+		if cap(d.s.seqs) < n {
+			d.s.seqs = make([]uint32, n)
+		}
+		seqs = d.s.seqs[:n]
+	} else {
+		seqs = make([]uint32, n)
+	}
+	b := d.p[:n*seqBytes]
+	for i := range seqs {
+		seqs[i] = binary.LittleEndian.Uint32(b[i*seqBytes:])
+	}
+	d.p = d.p[n*seqBytes:]
+	return seqs
 }
 
 func boolByte(b bool) byte {

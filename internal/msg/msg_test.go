@@ -46,6 +46,12 @@ func TestRoundTripAllKinds(t *testing.T) {
 		&ReplicaSync{Origin: 0, Seq: 0},
 		&ReplicaRefresh{Origin: 3, Ack: 12, Keys: []kv.Key{9}, Vals: []float32{1, 2}},
 		&ReplicaRefresh{Origin: 0, Ack: 0},
+		&Manage{Kind: ManageReport, Origin: 1, Epoch: 7, Keys: []kv.Key{3, 11}, Vals: []float32{64, 16}},
+		&Manage{Kind: ManageReplicate, Origin: 0, Keys: []kv.Key{5}, Vals: []float32{1.5, -2}},
+		&Manage{Kind: ManageUnreplicate, Origin: 2, Keys: []kv.Key{5}},
+		&Manage{Kind: ManageDemoteAck, Origin: 3, Epoch: 9, Keys: []kv.Key{5},
+			Vals: []float32{0.5, 0.5, 1, 1}, Seqs: []uint32{0, 9}},
+		&Manage{Kind: ManageDemoteAck, Origin: 1, Keys: []kv.Key{4}},
 	}
 	for _, m := range msgs {
 		dec := roundTrip(t, m)
@@ -99,6 +105,14 @@ func normalize(m any) any {
 		c := *t
 		c.Keys = nilIfEmptyKeys(c.Keys)
 		c.Vals = nilIfEmptyVals(c.Vals)
+		return &c
+	case *Manage:
+		c := *t
+		c.Keys = nilIfEmptyKeys(c.Keys)
+		c.Vals = nilIfEmptyVals(c.Vals)
+		if len(c.Seqs) == 0 {
+			c.Seqs = nil
+		}
 		return &c
 	default:
 		return m
@@ -205,7 +219,7 @@ func TestQuickTransferRoundTrip(t *testing.T) {
 }
 
 func TestKindString(t *testing.T) {
-	for k := KindOp; k <= KindReplicaRefresh; k++ {
+	for k := KindOp; k <= KindManage; k++ {
 		if s := k.String(); s == "" || s[0] == 'K' {
 			t.Errorf("Kind(%d).String() = %q", k, s)
 		}

@@ -43,6 +43,8 @@ const (
 	poisonByte = 0xDB
 	// PoisonKey is the key value a poisoned scratch arena reads back as.
 	PoisonKey = kv.Key(0xDBDBDBDBDBDBDBDB)
+	// PoisonSeq is the uint32 a poisoned seq arena reads back as.
+	PoisonSeq = uint32(0xDBDBDBDB)
 )
 
 // PoisonVal is the float32 a poisoned buffer or value arena reads back as.
@@ -91,9 +93,11 @@ type Scratch struct {
 	block      Block
 	repSync    ReplicaSync
 	repRefresh ReplicaRefresh
+	manage     Manage
 
 	keys []kv.Key
 	vals []float32
+	seqs []uint32
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
@@ -125,6 +129,10 @@ func (s *Scratch) Release() {
 		for i := range vals {
 			vals[i] = PoisonVal
 		}
+		seqs := s.seqs[:cap(s.seqs)]
+		for i := range seqs {
+			seqs[i] = PoisonSeq
+		}
 		// Zero the structs too (keeping the arena slices out of them), so a
 		// retained struct pointer cannot quietly resurrect old field values.
 		s.op = Op{}
@@ -138,6 +146,7 @@ func (s *Scratch) Release() {
 		s.block = Block{}
 		s.repSync = ReplicaSync{}
 		s.repRefresh = ReplicaRefresh{}
+		s.manage = Manage{}
 	}
 	scratchPool.Put(s)
 }

@@ -18,7 +18,7 @@ import (
 // need, because a key maps to exactly one shard.
 //
 // Key-addressed protocol messages (Op, OpResp, Localize, RelocInstruct,
-// RelocTransfer) must be shard-pure: every key in one message belongs to the
+// RelocTransfer, Manage) must be shard-pure: every key in one message belongs to the
 // same shard. Senders guarantee this by batching per (destination, shard);
 // the simulated network additionally asserts it. Messages that either carry
 // no keys or whose handlers do not assume shard ownership route as follows:
@@ -62,6 +62,10 @@ func ShardOf(m any, shards int) int {
 		return shardOfKeys(t.Keys, shards)
 	case *SspSync:
 		return shardOfKeys(t.Keys, shards)
+	case *Manage:
+		// Adaptive-management transitions are key-addressed so they stay
+		// FIFO with the operations of the keys they manage.
+		return shardOfKeys(t.Keys, shards)
 	default:
 		// SspClock, Barrier, Block, ReplicaSync, ReplicaRefresh, and any
 		// future node-level message.
@@ -96,6 +100,8 @@ func CheckShardPure(m any, shards int) error {
 	case *RelocInstruct:
 		keys = t.Keys
 	case *RelocTransfer:
+		keys = t.Keys
+	case *Manage:
 		keys = t.Keys
 	default:
 		return nil

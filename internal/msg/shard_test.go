@@ -36,6 +36,8 @@ func TestShardOfDemuxRules(t *testing.T) {
 		{&RelocInstruct{Keys: []kv.Key{9}}, 1},
 		{&RelocTransfer{Keys: []kv.Key{8}}, 0},
 		{&SspSync{Keys: []kv.Key{3, 6}}, 3}, // by first key; need not be pure
+		{&Manage{Keys: []kv.Key{6}}, 2},
+		{&Manage{}, 0},
 		// Zero-key and node-level messages pin to shard 0.
 		{&Op{}, 0},
 		{&SspClock{Worker: 1}, 0},
@@ -58,6 +60,9 @@ func TestCheckShardPure(t *testing.T) {
 	}
 	if err := CheckShardPure(&Op{Keys: []kv.Key{2, 3}}, shards); err == nil {
 		t.Fatal("mixed-shard Op accepted")
+	}
+	if err := CheckShardPure(&Manage{Keys: []kv.Key{2, 3}}, shards); err == nil {
+		t.Fatal("mixed-shard Manage accepted")
 	}
 	// SspSync and node-level messages carry no purity requirement.
 	if err := CheckShardPure(&SspSync{Keys: []kv.Key{2, 3}}, shards); err != nil {

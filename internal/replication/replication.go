@@ -42,6 +42,7 @@ package replication
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lapse/internal/kv"
@@ -109,10 +110,16 @@ type stripe struct {
 // state (auth, dirty, applied) is guarded by homeMu. Lock order: a stripe
 // lock may be held when taking homeMu, never the reverse.
 type Manager struct {
-	cfg        Config
-	replicated map[kv.Key]bool
-	replica    *store.Sparse
-	stripes    []stripe
+	cfg Config
+	// flags[k] is 1 while k is replicated at this node. It replaces a static
+	// key-set map so the adaptive controller can add and remove keys at
+	// runtime: worker fast paths read it lock-free, and it only flips under
+	// k's stripe lock — set after the replica entry exists, cleared before
+	// the entry is removed — so a flag observed 1 under the stripe lock
+	// guarantees the entry.
+	flags   []atomic.Uint32
+	replica *store.Sparse
+	stripes []stripe
 
 	// sendMu serializes whole sync rounds (build + send), so concurrent
 	// Flush calls (ticker + explicit) cannot interleave their messages and
@@ -128,6 +135,15 @@ type Manager struct {
 	auth    map[kv.Key][]float32 // home role: merged values
 	dirty   map[kv.Key]bool      // home role: changed since last broadcast
 	applied map[int32]uint32     // home role: highest seq applied per origin
+	// barrier[k][origin] is the highest sync round whose deltas for k were
+	// folded through origin's demote acknowledgement instead of the sync
+	// path. Sync messages are built before they are sent, so a round that
+	// was still unsent (or in flight) when origin demoted k can arrive
+	// *after* the acknowledgement already folded its delta; HandleSync skips
+	// such (key, origin) pairs to keep every delta counted exactly once. The
+	// watermark persists across re-promotions — origin's rounds only grow —
+	// and costs a few words per demoted (key, origin) pair.
+	barrier map[kv.Key]map[int32]uint32
 
 	stop chan struct{}
 	done chan struct{}
@@ -139,13 +155,12 @@ type outMsg struct {
 	m    any
 }
 
-// NewManager builds the manager for one node. Replicas (and, at each key's
-// home, the authoritative values) start at zero, matching the relocation
-// protocol's zero initialization; use InitKey to set starting values.
+// NewManager builds the manager for one node. Keys may be empty when every
+// replicated key will be entered at runtime (the adaptive controller's mode).
+// Replicas (and, at each key's home, the authoritative values) start at zero,
+// matching the relocation protocol's zero initialization; use InitKey to set
+// starting values.
 func NewManager(cfg Config) *Manager {
-	if len(cfg.Keys) == 0 {
-		panic("replication: no keys to replicate")
-	}
 	if cfg.SyncEvery <= 0 {
 		cfg.SyncEvery = DefaultSyncEvery
 	}
@@ -153,15 +168,16 @@ func NewManager(cfg Config) *Manager {
 		cfg.Shards = 1
 	}
 	m := &Manager{
-		cfg:        cfg,
-		replicated: make(map[kv.Key]bool, len(cfg.Keys)),
-		replica:    store.NewSparse(cfg.Layout, 0),
-		stripes:    make([]stripe, cfg.Shards),
-		auth:       make(map[kv.Key][]float32),
-		dirty:      make(map[kv.Key]bool),
-		applied:    make(map[int32]uint32),
-		stop:       make(chan struct{}),
-		done:       make(chan struct{}),
+		cfg:     cfg,
+		flags:   make([]atomic.Uint32, cfg.Layout.NumKeys()),
+		replica: store.NewSparse(cfg.Layout, 0),
+		stripes: make([]stripe, cfg.Shards),
+		auth:    make(map[kv.Key][]float32),
+		dirty:   make(map[kv.Key]bool),
+		applied: make(map[int32]uint32),
+		barrier: make(map[kv.Key]map[int32]uint32),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
 	}
 	for i := range m.stripes {
 		m.stripes[i].pending = make(map[kv.Key][]float32)
@@ -171,7 +187,7 @@ func NewManager(cfg Config) *Manager {
 		if k >= cfg.Layout.NumKeys() {
 			panic(fmt.Sprintf("replication: key %d outside layout (%d keys)", k, cfg.Layout.NumKeys()))
 		}
-		m.replicated[k] = true
+		m.flags[k].Store(1)
 		m.replica.Set(k, make([]float32, cfg.Layout.Len(k)))
 		if cfg.Home.NodeOf(k) == cfg.Node {
 			m.auth[k] = make([]float32, cfg.Layout.Len(k))
@@ -209,17 +225,21 @@ func (m *Manager) Stop() {
 	<-m.done
 }
 
-// Replicated reports whether k is managed by replication on this cluster.
-func (m *Manager) Replicated(k kv.Key) bool { return m.replicated[k] }
+// Replicated reports whether k is currently managed by replication at this
+// node. Lock-free; under live transitions the answer can be stale by the time
+// the caller acts on it, which is why Pull and Push re-validate and report
+// failure instead of trusting a prior Replicated check.
+func (m *Manager) Replicated(k kv.Key) bool { return m.flags[k].Load() == 1 }
 
-// Keys returns the replicated key set (shared slice; do not mutate).
+// Keys returns the statically configured replicated key set (shared slice;
+// do not mutate). Keys entered at runtime are not included.
 func (m *Manager) Keys() []kv.Key { return m.cfg.Keys }
 
 // InitKey sets the starting value of a replicated key: the local replica
 // and, if this node is k's home, the authoritative value. Like System.Init,
 // it must not run concurrently with workers or the sync cycle.
 func (m *Manager) InitKey(k kv.Key, val []float32) {
-	if !m.replicated[k] {
+	if !m.Replicated(k) {
 		panic(fmt.Sprintf("replication: InitKey(%d): key is not replicated", k))
 	}
 	st := m.stripeOf(k)
@@ -233,22 +253,35 @@ func (m *Manager) InitKey(k kv.Key, val []float32) {
 	m.homeMu.Unlock()
 }
 
-// Pull reads the local replica of k into dst. It never touches the network:
-// replicated keys are present at every node by construction.
-func (m *Manager) Pull(k kv.Key, dst []float32) {
+// Pull reads the local replica of k into dst. It reports false — without
+// touching dst's final contents' validity — when k is not (or no longer)
+// replicated here: the caller falls back to its non-replicated path. A true
+// return is an ordinary local replica read, never a network access.
+func (m *Manager) Pull(k kv.Key, dst []float32) bool {
+	if m.flags[k].Load() == 0 {
+		return false
+	}
 	if !m.replica.Read(k, dst) {
-		panic(fmt.Sprintf("replication: replica of key %d missing at node %d", k, m.cfg.Node))
+		return false // demoted between the flag load and the read
 	}
 	m.cfg.Stats.ReplicaHits.Inc()
 	m.cfg.Stats.ReadValues.Add(int64(len(dst)))
+	return true
 }
 
 // Push applies a cumulative update to the local replica and accumulates it
-// in the key's stripe's pending buffer for the next sync round.
-func (m *Manager) Push(k kv.Key, delta []float32) {
+// in the key's stripe's pending buffer for the next sync round. It reports
+// false when k is not (or no longer) replicated here; the delta was not
+// applied anywhere and the caller must route it through its non-replicated
+// path, so the update is counted exactly once however the push races with a
+// demotion.
+func (m *Manager) Push(k kv.Key, delta []float32) bool {
 	st := m.stripeOf(k)
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if m.flags[k].Load() == 0 {
+		return false
+	}
 	p, ok := st.pending[k]
 	if !ok {
 		p = make([]float32, m.cfg.Layout.Len(k))
@@ -261,6 +294,156 @@ func (m *Manager) Push(k kv.Key, delta []float32) {
 		panic(fmt.Sprintf("replication: replica of key %d missing at node %d", k, m.cfg.Node))
 	}
 	m.cfg.Stats.LocalWrites.Inc()
+	return true
+}
+
+// EnterKey starts replicating k at this (non-home) node with the home's
+// current value v. Idempotent: a key already replicated keeps its local view
+// (a duplicate enter must not clobber deltas pushed since the first).
+func (m *Manager) EnterKey(k kv.Key, v []float32) {
+	st := m.stripeOf(k)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if m.flags[k].Load() == 1 {
+		return
+	}
+	m.replica.Set(k, v)
+	m.flags[k].Store(1)
+}
+
+// EnterHomeKey starts replicating k at its home node, seeding both the
+// authoritative merged value and the local replica with v (the value taken
+// out of the relocation store).
+func (m *Manager) EnterHomeKey(k kv.Key, v []float32) {
+	st := m.stripeOf(k)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if m.flags[k].Load() == 1 {
+		panic(fmt.Sprintf("replication: EnterHomeKey(%d): already replicated at node %d", k, m.cfg.Node))
+	}
+	m.homeMu.Lock()
+	a := make([]float32, len(v))
+	copy(a, v)
+	m.auth[k] = a
+	// Mark dirty so the next sync round re-broadcasts this value. A refresh
+	// from before an earlier demotion can still be in flight (refreshes and
+	// manage traffic ride different shard links, so there is no FIFO between
+	// them) and would otherwise install a stale merged value that never heals
+	// if the key goes quiet; the re-broadcast travels the same refresh link
+	// and supersedes it.
+	m.dirty[k] = true
+	m.homeMu.Unlock()
+	m.replica.Set(k, v)
+	m.flags[k].Store(1)
+}
+
+// DemoteLocal stops replicating k at this (non-home) node and returns the
+// node's unsynced delta segments for the demote acknowledgement: vals holds
+// len(seqs) concatenated value-length segments, seqs the sync round each
+// segment was sent under — 0 for the pending, never-sent segment. The caller
+// sends them to the home, which folds exactly the segments the sync path has
+// not already applied (see ApplyDemoteAck). After DemoteLocal, worker pushes
+// fail over to the network path, so no delta can land in a buffer that was
+// already gathered.
+func (m *Manager) DemoteLocal(k kv.Key) (vals []float32, seqs []uint32) {
+	st := m.stripeOf(k)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if m.flags[k].Load() == 0 {
+		return nil, nil
+	}
+	m.flags[k].Store(0)
+	if p, ok := st.pending[k]; ok {
+		vals = append(vals, p...)
+		seqs = append(seqs, 0)
+		delete(st.pending, k)
+	}
+	for _, e := range st.inflight[k] {
+		vals = append(vals, e.delta...)
+		seqs = append(seqs, e.seq)
+	}
+	delete(st.inflight, k)
+	m.replica.Take(k)
+	return vals, seqs
+}
+
+// ApplyDemoteAck folds one origin's residual delta segments for a demoted
+// key into the authoritative value at the home node. The pending segment
+// (seq 0) is always folded — it never travelled in a sync message. A sent
+// segment is folded only if its round has not been applied through the sync
+// path yet; either way the round is recorded as a fold barrier so the sync
+// message, when (or if) it arrives, skips k. This is the exactly-once
+// argument for deltas crossing a demotion.
+func (m *Manager) ApplyDemoteAck(k kv.Key, origin int32, vals []float32, seqs []uint32) {
+	l := m.cfg.Layout.Len(k)
+	m.homeMu.Lock()
+	defer m.homeMu.Unlock()
+	src := 0
+	for _, s := range seqs {
+		seg := vals[src : src+l]
+		src += l
+		if s == 0 || seqAfter(s, m.applied[origin]) {
+			m.mergeHomeLocked(k, seg)
+		}
+		if s != 0 {
+			b := m.barrier[k]
+			if b == nil {
+				b = make(map[int32]uint32)
+				m.barrier[k] = b
+			}
+			if cur, ok := b[origin]; !ok || seqAfter(s, cur) {
+				b[origin] = s
+			}
+		}
+	}
+}
+
+// FinalizeDemote ends k's replication at its home node after every replica
+// acknowledged: the home's own unsynced pending deltas are folded in, the
+// authoritative value is returned (ownership transfers to the caller, who
+// re-installs it in the relocation store), and all replication state for k
+// is dropped. The fold barriers persist: a sync round that was in flight
+// while the demote ran may arrive arbitrarily late.
+func (m *Manager) FinalizeDemote(k kv.Key) []float32 {
+	st := m.stripeOf(k)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if m.flags[k].Load() == 0 {
+		panic(fmt.Sprintf("replication: FinalizeDemote(%d): not replicated at node %d", k, m.cfg.Node))
+	}
+	m.flags[k].Store(0)
+	m.homeMu.Lock()
+	v, ok := m.auth[k]
+	if !ok {
+		m.homeMu.Unlock()
+		panic(fmt.Sprintf("replication: FinalizeDemote(%d): node %d is not the home", k, m.cfg.Node))
+	}
+	if p, ok := st.pending[k]; ok {
+		for i, d := range p {
+			v[i] += d
+		}
+		delete(st.pending, k)
+	}
+	delete(m.auth, k)
+	delete(m.dirty, k)
+	m.homeMu.Unlock()
+	delete(st.inflight, k) // own-homed keys never have in-flight deltas
+	m.replica.Take(k)
+	return v
+}
+
+// AuthValue returns a copy of the authoritative merged value of a key homed
+// at this node (for seeding new replicas during a promotion).
+func (m *Manager) AuthValue(k kv.Key) []float32 {
+	m.homeMu.Lock()
+	defer m.homeMu.Unlock()
+	a, ok := m.auth[k]
+	if !ok {
+		panic(fmt.Sprintf("replication: node %d is not home of key %d", m.cfg.Node, k))
+	}
+	v := make([]float32, len(a))
+	copy(v, a)
+	return v
 }
 
 // Flush runs one sync round immediately (in addition to the background
@@ -394,13 +577,21 @@ func (m *Manager) broadcast(out []outMsg) []outMsg {
 
 // HandleSync runs at the home node on the shard-0 server goroutine: fold the
 // deltas into the authoritative values, record the origin's sync round for
-// acknowledgment, and mark the keys for the next refresh broadcast.
+// acknowledgment, and mark the keys for the next refresh broadcast. Keys at
+// or below the origin's demote fold barrier are skipped — their deltas were
+// already folded through the demote acknowledgement (DemoteLocal gathers
+// every in-flight round, so no sync for a demoted key can carry a round
+// above its barrier).
 func (m *Manager) HandleSync(t *msg.ReplicaSync) {
 	m.homeMu.Lock()
 	defer m.homeMu.Unlock()
 	src := 0
 	for _, k := range t.Keys {
 		l := m.cfg.Layout.Len(k)
+		if w, ok := m.barrier[k][t.Origin]; ok && !seqAfter(t.Seq, w) {
+			src += l
+			continue
+		}
 		m.mergeHomeLocked(k, t.Vals[src:src+l])
 		src += l
 	}
@@ -452,7 +643,13 @@ func (m *Manager) retireLocked(st *stripe, k kv.Key, ack uint32) {
 // installLocked sets the local replica of k to merged plus every local delta
 // not yet reflected in merged (in-flight and pending), preserving
 // read-your-writes across the install. The key's stripe lock must be held.
+// Keys no longer replicated here are dropped: a refresh (or a home-side
+// broadcast that copied its keys under homeMu) may land after a demotion
+// cleared the flag, and installing then would resurrect a removed entry.
 func (m *Manager) installLocked(st *stripe, k kv.Key, merged []float32) {
+	if m.flags[k].Load() == 0 {
+		return
+	}
 	v := make([]float32, len(merged))
 	copy(v, merged)
 	for _, e := range st.inflight[k] {

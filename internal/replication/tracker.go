@@ -35,14 +35,49 @@ func NewTracker(every int) *Tracker {
 	return &Tracker{every: uint64(every), count: make(map[kv.Key]int64)}
 }
 
-// Observe records one access of k, subject to sampling.
+// Observe records one access of k, subject to sampling. The sampling counter
+// is a single process-shared atomic; worker threads that observe on every
+// access should use a per-worker Handle instead, which samples without any
+// shared write.
 func (t *Tracker) Observe(k kv.Key) {
 	if t.n.Add(1)%t.every != 0 {
 		return
 	}
+	t.record(k)
+}
+
+func (t *Tracker) record(k kv.Key) {
 	t.mu.Lock()
 	t.count[k]++
 	t.mu.Unlock()
+}
+
+// Handle is a per-worker view of a Tracker: it samples with a plain private
+// counter instead of the tracker's shared atomic, so always-on tracking adds
+// no cross-core write to the operation fast path. A Handle must only be used
+// by the single worker thread it was created for.
+type Handle struct {
+	t *Tracker
+	n uint64
+}
+
+// Handle returns a new per-worker sampling handle. The handle records its
+// very first observation and every Nth after: its private counter restarts
+// at zero on every handle (one per worker per Run phase), so a pure stride
+// would make phases shorter than the sampling interval invisible to the
+// tracker. The first-sample extrapolation error is bounded by one stride
+// per handle lifetime.
+func (t *Tracker) Handle() *Handle {
+	return &Handle{t: t, n: t.every - 1}
+}
+
+// Observe records one access of k, subject to the tracker's sampling rate.
+func (h *Handle) Observe(k kv.Key) {
+	h.n++
+	if h.n%h.t.every != 0 {
+		return
+	}
+	h.t.record(k)
 }
 
 // Hot returns the n most frequently observed keys, hottest first, with
@@ -79,6 +114,24 @@ func MergeHot(n int, trackers ...*Tracker) []metrics.KeyFreq {
 		out = out[:n]
 	}
 	return out
+}
+
+// Decay halves every count, dropping keys that reach zero. Called on a fixed
+// tick (the adaptive controller's), it turns the all-time counters into an
+// exponentially decayed window, so Hot reports the keys of the *current*
+// workload phase: a formerly-hot key's count halves each tick until it ages
+// out entirely.
+func (t *Tracker) Decay() {
+	t.mu.Lock()
+	for k, c := range t.count {
+		c >>= 1
+		if c == 0 {
+			delete(t.count, k)
+			continue
+		}
+		t.count[k] = c
+	}
+	t.mu.Unlock()
 }
 
 // Reset clears all observations (e.g. after a warm-up epoch).

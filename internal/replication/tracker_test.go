@@ -1,6 +1,8 @@
 package replication
 
 import (
+	"runtime"
+	"sync"
 	"testing"
 
 	"lapse/internal/kv"
@@ -41,4 +43,77 @@ func TestTrackerSamplingExtrapolates(t *testing.T) {
 	if hot[0].Count != 400 {
 		t.Fatalf("extrapolated count = %d, want 400", hot[0].Count)
 	}
+}
+
+func TestTrackerHandleSamples(t *testing.T) {
+	tr := NewTracker(4)
+	h := tr.Handle()
+	for i := 0; i < 400; i++ {
+		h.Observe(kv.Key(2))
+	}
+	hot := tr.Hot(1)
+	if len(hot) != 1 || hot[0].Key != 2 || hot[0].Count != 400 {
+		t.Fatalf("Hot(1) via handle = %v, want key 2 count 400", hot)
+	}
+}
+
+func TestTrackerDecayAgesOutFormerlyHotKeys(t *testing.T) {
+	tr := NewTracker(1)
+	for i := 0; i < 64; i++ {
+		tr.Observe(kv.Key(7)) // hot in the first phase
+	}
+	// The workload phase changes: key 7 goes cold, key 3 heats up.
+	for tick := 0; tick < 7; tick++ {
+		tr.Decay()
+		for i := 0; i < 64; i++ {
+			tr.Observe(kv.Key(3))
+		}
+	}
+	hot := tr.Hot(2)
+	if len(hot) == 0 || hot[0].Key != 3 {
+		t.Fatalf("Hot(2) after phase change = %v, want key 3 first", hot)
+	}
+	// 64 halves to zero within 7 ticks (the last phase's 64 observations of
+	// key 3 arrived after its decays), so key 7 must be gone entirely.
+	for _, f := range hot {
+		if f.Key == 7 {
+			t.Fatalf("formerly hot key 7 still reported after 7 decay ticks: %v", hot)
+		}
+	}
+}
+
+// BenchmarkTrackerObserveParallel measures the always-on tracking cost with
+// all worker threads bumping the tracker's single shared atomic counter.
+func BenchmarkTrackerObserveParallel(b *testing.B) {
+	tr := NewTracker(0)
+	b.RunParallel(func(pb *testing.PB) {
+		k := kv.Key(0)
+		for pb.Next() {
+			tr.Observe(k)
+			k = (k + 1) % 1024
+		}
+	})
+}
+
+// BenchmarkTrackerHandleObserveParallel is the striped counterpart: each
+// worker samples through its private Handle counter, contending only on the
+// rare recorded sample.
+func BenchmarkTrackerHandleObserveParallel(b *testing.B) {
+	tr := NewTracker(0)
+	var mu sync.Mutex
+	handles := make(map[int]*Handle)
+	var next int
+	b.RunParallel(func(pb *testing.PB) {
+		mu.Lock()
+		h := tr.Handle()
+		handles[next] = h
+		next++
+		mu.Unlock()
+		k := kv.Key(0)
+		for pb.Next() {
+			h.Observe(k)
+			k = (k + 1) % 1024
+		}
+	})
+	runtime.KeepAlive(handles)
 }

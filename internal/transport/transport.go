@@ -69,6 +69,16 @@ type Stats struct {
 	LoopbackBytes    int64
 }
 
+// Since returns the traffic accumulated after base was captured.
+func (s Stats) Since(base Stats) Stats {
+	return Stats{
+		RemoteMessages:   s.RemoteMessages - base.RemoteMessages,
+		RemoteBytes:      s.RemoteBytes - base.RemoteBytes,
+		LoopbackMessages: s.LoopbackMessages - base.LoopbackMessages,
+		LoopbackBytes:    s.LoopbackBytes - base.LoopbackBytes,
+	}
+}
+
 // Network is the cluster message fabric. Implementations must preserve FIFO
 // order per directed (src, dst) link and per (link, shard) — the property the
 // paper's consistency proofs assume of TCP — and must deliver messages by

@@ -54,6 +54,7 @@ import (
 	"sync"
 	"time"
 
+	"lapse/internal/adaptive"
 	"lapse/internal/cluster"
 	"lapse/internal/core"
 	"lapse/internal/driver"
@@ -205,12 +206,64 @@ type Config struct {
 	Replicate []Key
 	// ReplicaSyncEvery is the replica sync interval (0 = 1ms).
 	ReplicaSyncEvery time.Duration
+	// Adaptive, when non-nil, enables adaptive per-key parameter management:
+	// an online controller that chooses each key's management technique at
+	// runtime — replication for keys hot at every node, relocation to the
+	// dominant accessor for locality-skewed keys, plain home placement for
+	// cold keys — instead of requiring a static Replicate list. Keys listed
+	// in Replicate seed the replicated set and may be demoted once they go
+	// cold. &AdaptiveConfig{} selects defaults that are meant to work across
+	// workloads. In multi-process deployments, Adaptive must be identical in
+	// every process.
+	Adaptive *AdaptiveConfig
 	// PinShards pins each server shard goroutine to one CPU core
 	// (sched_setaffinity; Linux only, no-op elsewhere), keeping a shard's
 	// slice of the parameter table cache-hot on one core. Worth enabling
 	// for server-bound workloads on dedicated machines; leave off on
 	// shared or oversubscribed hosts.
 	PinShards bool
+}
+
+// AdaptiveConfig tunes the adaptive management controller (Config.Adaptive).
+// Zero fields take documented defaults; one default set is meant to hold
+// across workloads, so most programs should leave all fields zero.
+type AdaptiveConfig struct {
+	// Tick is the controller period: every Tick, each node reports its
+	// hottest keys to their home nodes and halves its access tracker
+	// (0 = 5ms).
+	Tick time.Duration
+	// HotCount is the promotion threshold: a key whose decayed per-tick
+	// access estimate, summed over all nodes, reaches HotCount is placed
+	// under active management — replicated if it is hot everywhere,
+	// relocated if one node dominates its accesses (0 = 32).
+	HotCount int64
+	// ColdCount is the demotion threshold, strictly below HotCount so a key
+	// hovering between the two changes nothing (hysteresis). A replicated
+	// key whose estimate falls below ColdCount is demoted back to plain
+	// ownership at its home (0 = 8).
+	ColdCount int64
+	// DominanceShare splits hot keys into locality-skewed and hot-everywhere:
+	// if one node holds at least this share of a hot key's accesses the key
+	// is relocated to that node, otherwise it is replicated (0 = 0.75).
+	DominanceShare float64
+	// InterestShare is the fraction of a node's total reported volume a key
+	// must take for that node to count as interested in it; a key with two
+	// or more interested nodes is replicated regardless of how skewed the
+	// absolute counts are. This keeps promotion working when the home node's
+	// in-memory access rate dwarfs the latency-capped rates of remote nodes
+	// (0 = 0.005).
+	InterestShare float64
+	// MinDwellTicks is the minimum number of controller epochs between two
+	// transitions of the same key (0 = 2).
+	MinDwellTicks uint32
+	// ColdStreakEpochs is how many consecutive controller epochs a
+	// replicated key must stay below ColdCount before it is demoted,
+	// shielding sparsely sampled keys from demote/re-promote churn on
+	// sampling noise (0 = 8).
+	ColdStreakEpochs uint32
+	// ReportTopK bounds each node's per-tick report to its K hottest keys
+	// (0 = 128).
+	ReportTopK int
 }
 
 func (c Config) layout() (kv.Layout, error) {
@@ -287,13 +340,26 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			return nil, fmt.Errorf("lapse: replicated key %d outside layout (%d keys)", k, layout.NumKeys())
 		}
 	}
-	sys := core.New(cl, layout, core.Config{
+	coreCfg := core.Config{
 		LocationCaches:   cfg.LocationCaches,
 		Unbatched:        cfg.DisableBatching,
 		PinShards:        cfg.PinShards,
 		Replicate:        cfg.Replicate,
 		ReplicaSyncEvery: cfg.ReplicaSyncEvery,
-	})
+	}
+	if a := cfg.Adaptive; a != nil {
+		coreCfg.Adaptive = &adaptive.Config{
+			Tick:             a.Tick,
+			HotCount:         a.HotCount,
+			ColdCount:        a.ColdCount,
+			DominanceShare:   a.DominanceShare,
+			InterestShare:    a.InterestShare,
+			MinDwellTicks:    a.MinDwellTicks,
+			ColdStreakEpochs: a.ColdStreakEpochs,
+			ReportTopK:       a.ReportTopK,
+		}
+	}
+	sys := core.New(cl, layout, coreCfg)
 	return &Cluster{cfg: cfg, cl: cl, sys: sys}, nil
 }
 
@@ -338,6 +404,13 @@ type Stats struct {
 	// background sync-cycle messages that paid for them.
 	ReplicaHits         int64
 	ReplicaSyncMessages int64
+	// AdaptPromotions, AdaptDemotions, and AdaptRelocations count the
+	// transitions executed by the adaptive controller (Config.Adaptive):
+	// keys promoted into replication, demoted back to plain ownership, and
+	// relocated on the controller's initiative.
+	AdaptPromotions  int64
+	AdaptDemotions   int64
+	AdaptRelocations int64
 }
 
 // Stats returns a snapshot of the instrumentation counters.
@@ -353,6 +426,9 @@ func (c *Cluster) Stats() Stats {
 		NetworkBytes:        n.RemoteBytes,
 		ReplicaHits:         t.ReplicaHits,
 		ReplicaSyncMessages: t.ReplicaSyncMessages,
+		AdaptPromotions:     t.AdaptPromotions,
+		AdaptDemotions:      t.AdaptDemotions,
+		AdaptRelocations:    t.AdaptRelocations,
 	}
 }
 
