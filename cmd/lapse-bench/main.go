@@ -49,6 +49,14 @@ const regressionTolerance = 0.20
 // fractional tolerance, so near-zero cells don't trip the gate on noise.
 const allocSlack = 2.0
 
+// latencyTolerance is the fractional pull-p99 increase against the baseline
+// that fails the run; latencySlackNs is the absolute headroom on top, so
+// microsecond-scale cells don't trip on scheduler jitter.
+const (
+	latencyTolerance = 0.25
+	latencySlackNs   = 20_000
+)
+
 // Result is one measured (workload, mode, parallelism, shards) cell.
 type Result struct {
 	Workload string `json:"workload"`
@@ -76,6 +84,13 @@ type Result struct {
 	// executed (promotions + demotions + controller relocations); zero for
 	// the static modes.
 	AdaptTransitions int64 `json:"adapt_transitions,omitempty"`
+	// PullP50Ns/PullP99Ns/PullP999Ns are end-to-end pull-latency quantiles
+	// in nanoseconds over the measured window (fast and slow paths merged;
+	// the shared-memory fast path is sampled 1-in-8 with matching weight).
+	// Zero in reports predating the columns.
+	PullP50Ns  int64 `json:"pull_p50_ns,omitempty"`
+	PullP99Ns  int64 `json:"pull_p99_ns,omitempty"`
+	PullP999Ns int64 `json:"pull_p999_ns,omitempty"`
 }
 
 // cell identifies a result across reports for regression comparison.
@@ -123,9 +138,11 @@ func main() {
 	}
 	fmt.Printf("wrote %s (%d results)\n", path, len(report.Results))
 	for _, r := range report.Results {
-		fmt.Printf("%-8s %-11s %dx%ds%d%-4s  %9.0f ops/s  %6.1f allocs/op  %7.0f B/op  msgs=%-6d remote-reads=%-6d replica-hits=%d\n",
+		fmt.Printf("%-8s %-11s %dx%ds%d%-4s  %9.0f ops/s  %6.1f allocs/op  %7.0f B/op  p50=%-9v p99=%-9v p999=%-9v msgs=%-6d remote-reads=%-6d replica-hits=%d\n",
 			r.Workload, r.Mode, r.Nodes, r.Workers, r.Shards, transportTag(r.Transport),
-			r.Throughput, r.AllocsPerOp, r.BytesPerOp, r.NetworkMessages, r.RemoteReads, r.ReplicaHits)
+			r.Throughput, r.AllocsPerOp, r.BytesPerOp,
+			time.Duration(r.PullP50Ns), time.Duration(r.PullP99Ns), time.Duration(r.PullP999Ns),
+			r.NetworkMessages, r.RemoteReads, r.ReplicaHits)
 	}
 	printTransportRatios(report)
 	if *compareWith != "" {
@@ -246,15 +263,19 @@ func run(quick bool, rev string) Report {
 					}
 					pt := harness.RunHotKeys(par, cfg, mode)
 					allocs, bytesPer := pt.AllocsPerOp(), pt.BytesPerOp()
+					p50, p99, p999 := pullQuantiles(pt)
 					for a := 1; a < attempts; a++ {
 						again := harness.RunHotKeys(par, cfg, mode)
 						if again.Throughput() > pt.Throughput() {
 							pt = again
 						}
-						// Allocations are compared as per-cell minima too:
-						// best-of-N suppresses one-off GC/scheduler noise.
+						// Allocations and latency quantiles are compared as
+						// per-cell minima too: best-of-N suppresses one-off
+						// GC/scheduler noise.
 						allocs = min(allocs, again.AllocsPerOp())
 						bytesPer = min(bytesPer, again.BytesPerOp())
+						a50, a99, a999 := pullQuantiles(again)
+						p50, p99, p999 = min(p50, a50), min(p99, a99), min(p999, a999)
 					}
 					report.Results = append(report.Results, Result{
 						Workload:            name,
@@ -275,6 +296,9 @@ func run(quick bool, rev string) Report {
 						ReplicaSyncMessages: pt.Stats.ReplicaSyncMessages,
 						Relocations:         pt.Stats.Relocations,
 						AdaptTransitions:    pt.Stats.AdaptPromotions + pt.Stats.AdaptDemotions + pt.Stats.AdaptRelocations,
+						PullP50Ns:           p50,
+						PullP99Ns:           p99,
+						PullP999Ns:          p999,
 					})
 				}
 			}
@@ -316,10 +340,14 @@ func compare(cur Report, baselinePath string) error {
 	// report level keeps the gate armed for individual cells whose baseline
 	// genuinely reaches 0 allocs/op.
 	baseHasAllocs := false
+	baseHasLat := false
 	for _, r := range base.Results {
 		baseBy[r.cell()] = r
 		if r.AllocsPerOp > 0 {
 			baseHasAllocs = true
+		}
+		if r.PullP99Ns > 0 {
+			baseHasLat = true
 		}
 	}
 	var regressions []string
@@ -346,6 +374,15 @@ func compare(cur Report, baselinePath string) error {
 					r.Workload, r.Mode, r.Nodes, r.Workers, r.Shards, transportTag(r.Transport),
 					b.AllocsPerOp, r.AllocsPerOp))
 		}
+		// Tail-latency gate: pull p99 may not grow more than 25% plus an
+		// absolute 20µs of jitter headroom. Baselines without the latency
+		// columns skip the gate (detected like the allocs column above).
+		if baseHasLat && float64(r.PullP99Ns) > float64(b.PullP99Ns)*(1+latencyTolerance)+latencySlackNs {
+			regressions = append(regressions,
+				fmt.Sprintf("  %-8s %-11s %dx%ds%d%s: pull p99 %v -> %v",
+					r.Workload, r.Mode, r.Nodes, r.Workers, r.Shards, transportTag(r.Transport),
+					time.Duration(b.PullP99Ns), time.Duration(r.PullP99Ns)))
+		}
 	}
 	if matched == 0 {
 		return fmt.Errorf("lapse-bench: compare: no cells of %s match the current sweep", baselinePath)
@@ -355,6 +392,15 @@ func compare(cur Report, baselinePath string) error {
 			regressionTolerance*100, baselinePath, base.Rev, strings.Join(regressions, "\n"))
 	}
 	return nil
+}
+
+// pullQuantiles returns a measured point's merged pull-latency p50/p99/p999
+// in nanoseconds.
+func pullQuantiles(pt harness.HotKeyPoint) (p50, p99, p999 int64) {
+	pull := pt.Lat.Pull()
+	return pull.Quantile(0.5).Nanoseconds(),
+		pull.Quantile(0.99).Nanoseconds(),
+		pull.Quantile(0.999).Nanoseconds()
 }
 
 // write marshals the report to path.

@@ -170,6 +170,7 @@ func runMultiProcessCells(quick bool) ([]Result, error) {
 				return nil, err
 			}
 			allocs, bytesPer := pt.AllocsPerOp(), pt.BytesPerOp()
+			p50, p99, p999 := pullQuantiles(pt)
 			for a := 1; a < attempts; a++ {
 				again, err := runMultiProcessOnce(tr, mode, ops)
 				if err != nil {
@@ -180,6 +181,8 @@ func runMultiProcessCells(quick bool) ([]Result, error) {
 				}
 				allocs = min(allocs, again.AllocsPerOp())
 				bytesPer = min(bytesPer, again.BytesPerOp())
+				a50, a99, a999 := pullQuantiles(again)
+				p50, p99, p999 = min(p50, a50), min(p99, a99), min(p999, a999)
 			}
 			results = append(results, Result{
 				Workload:            "zipf",
@@ -201,6 +204,9 @@ func runMultiProcessCells(quick bool) ([]Result, error) {
 				ReplicaSyncMessages: pt.Stats.ReplicaSyncMessages,
 				Relocations:         pt.Stats.Relocations,
 				AdaptTransitions:    pt.Stats.AdaptPromotions + pt.Stats.AdaptDemotions + pt.Stats.AdaptRelocations,
+				PullP50Ns:           p50,
+				PullP99Ns:           p99,
+				PullP999Ns:          p999,
 			})
 		}
 	}

@@ -38,6 +38,8 @@ import (
 	"lapse/internal/cluster"
 	"lapse/internal/driver"
 	"lapse/internal/kv"
+	"lapse/internal/metrics"
+	"lapse/internal/obs"
 )
 
 func main() {
@@ -55,6 +57,8 @@ func main() {
 		shmDir    = flag.String("shm-dir", "", "shared-memory ring directory (default derived from -addrs; all co-located processes must agree)")
 		pin       = flag.Bool("pin", false, "pin each server shard goroutine to one CPU core")
 		quiet     = flag.Bool("q", false, "suppress the per-node summary")
+		metricsAt = flag.String("metrics-addr", "", "serve /metrics, /debug/trace, /debug/stats over HTTP on this address (empty = off)")
+		linger    = flag.Duration("linger", 0, "keep the process (and its metrics endpoint) alive this long after the workload finishes")
 	)
 	flag.Parse()
 	addrs := strings.Split(*addrList, ",")
@@ -63,7 +67,8 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	opts := nodeOptions{noSHM: *noSHM, shmDir: *shmDir, pin: *pin, quiet: *quiet}
+	opts := nodeOptions{noSHM: *noSHM, shmDir: *shmDir, pin: *pin, quiet: *quiet,
+		metricsAddr: *metricsAt, linger: *linger}
 	if err := run(*node, addrs, *workers, *shards, driver.Kind(*variant), *keys, *valLen, *iters, *staleness, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "lapse-node %d: %v\n", *node, err)
 		os.Exit(1)
@@ -72,10 +77,12 @@ func main() {
 
 // nodeOptions carries the deployment knobs that are not workload parameters.
 type nodeOptions struct {
-	noSHM  bool
-	shmDir string
-	pin    bool
-	quiet  bool
+	noSHM       bool
+	shmDir      string
+	pin         bool
+	quiet       bool
+	metricsAddr string
+	linger      time.Duration
 }
 
 func run(node int, addrs []string, workers, shards int, kind driver.Kind, nKeys, valLen, iters, staleness int, opts nodeOptions) error {
@@ -91,6 +98,22 @@ func run(node int, addrs []string, workers, shards int, kind driver.Kind, nKeys,
 	}
 	layout := kv.NewUniformLayout(kv.Key(nKeys), valLen)
 	ps := driver.Build(kind, cl, layout, driver.Options{Staleness: staleness, PinShards: opts.pin})
+
+	if opts.metricsAddr != "" {
+		srv, err := obs.Serve(opts.metricsAddr, obs.Source{
+			Node:      node,
+			Stats:     func() metrics.Totals { return metrics.Sum(ps.Stats()) },
+			Latencies: ps.Latencies,
+			Trace:     cl.Trace(),
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		if !opts.quiet {
+			fmt.Printf("lapse-node %d: metrics on http://%s/metrics\n", node, srv.Addr())
+		}
+	}
 
 	// A failed link (peer crashed, wrong address) silently drops its
 	// messages, which would leave workers blocked on futures or barriers
@@ -110,6 +133,12 @@ func run(node int, addrs []string, workers, shards int, kind driver.Kind, nKeys,
 			failure.Store(fmt.Errorf("worker %d: %w", worker, err))
 		}
 	})
+
+	// Linger before teardown so the metrics endpoint stays scrapeable (the
+	// cluster is still up — other nodes may also be lingering).
+	if opts.linger > 0 {
+		time.Sleep(opts.linger)
+	}
 
 	cl.Close()
 	ps.Shutdown()

@@ -35,6 +35,7 @@
 package adaptive
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -173,6 +174,10 @@ type Action struct {
 	Kind ActionKind
 	Key  kv.Key
 	Dest int // ActRelocate only
+	// Detail records the classifier inputs behind the decision (total and
+	// top access estimates, interested-origin count, cold streak length) in
+	// a compact human-readable form, for the control-plane trace ledger.
+	Detail string
 }
 
 // report is the latest tracker report of one origin node. total is the
@@ -315,29 +320,34 @@ func (c *Classifier) decide(k kv.Key) (Action, bool) {
 			return Action{}, false
 		}
 		delete(c.coldSince, k)
-		return Action{Kind: ActDemote, Key: k}, true
+		return Action{Kind: ActDemote, Key: k,
+			Detail: fmt.Sprintf("total=%d streak=%d", total, c.now-since)}, true
 	}
 	if interested >= 2 {
 		// Hot at several origins: replication serves every one of them
 		// locally. This outranks absolute-count dominance, which the
 		// fast-path/round-trip rate gap renders meaningless across origins.
 		c.managed[k] = true
-		return Action{Kind: ActReplicate, Key: k}, true
+		return Action{Kind: ActReplicate, Key: k,
+			Detail: fmt.Sprintf("interested=%d total=%d", interested, total)}, true
 	}
 	if total >= c.cfg.HotCount {
 		if float64(top) >= c.cfg.DominanceShare*float64(total) {
 			if owner != topOrigin {
 				c.managed[k] = true
-				return Action{Kind: ActRelocate, Key: k, Dest: topOrigin}, true
+				return Action{Kind: ActRelocate, Key: k, Dest: topOrigin,
+					Detail: fmt.Sprintf("total=%d top=%d@%d", total, top, topOrigin)}, true
 			}
 			return Action{}, false
 		}
 		c.managed[k] = true
-		return Action{Kind: ActReplicate, Key: k}, true
+		return Action{Kind: ActReplicate, Key: k,
+			Detail: fmt.Sprintf("interested=%d total=%d top=%d@%d", interested, total, top, topOrigin)}, true
 	}
 	if total < c.cfg.ColdCount && owner != c.view.Node {
 		c.managed[k] = true
-		return Action{Kind: ActRelocate, Key: k, Dest: c.view.Node}, true
+		return Action{Kind: ActRelocate, Key: k, Dest: c.view.Node,
+			Detail: fmt.Sprintf("cold total=%d owner=%d", total, owner)}, true
 	}
 	if total < c.cfg.ColdCount && owner == c.view.Node {
 		// Settled: cold, unreplicated, home-owned. Stop revisiting it.

@@ -131,6 +131,10 @@ func (s *System) Layout() kv.Layout { return s.layout }
 // Stats returns the per-node server statistics.
 func (s *System) Stats() []*metrics.ServerStats { return s.g.Stats() }
 
+// Latencies returns the merged operation-latency snapshot of every worker of
+// this process's nodes.
+func (s *System) Latencies() metrics.LatencySnapshot { return s.g.Latencies() }
+
 // Init sets initial parameter values: fn fills the value of each key. It must
 // be called before training starts (it writes server stores directly). fn is
 // invoked for every key — so stateful initializers produce identical

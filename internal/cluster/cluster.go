@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"lapse/internal/metrics"
 	"lapse/internal/msg"
 	"lapse/internal/simnet"
 	"lapse/internal/transport"
@@ -37,6 +38,9 @@ type Config struct {
 	// this process's share of the nodes). The cluster takes ownership and
 	// closes it in Close.
 	Transport transport.Network
+	// TraceCap overrides the control-plane trace ring's capacity
+	// (0 = metrics.DefaultTraceCap).
+	TraceCap int
 }
 
 // Cluster is a running cluster: a transport plus topology metadata.
@@ -45,6 +49,7 @@ type Cluster struct {
 	net     transport.Network
 	locals  []int
 	barrier *Barrier
+	trace   *metrics.TraceRing
 }
 
 // New starts a cluster. Call Close when done.
@@ -59,7 +64,11 @@ func New(cfg Config) *Cluster {
 	} else if net.Nodes() != cfg.Nodes {
 		panic(fmt.Sprintf("cluster: transport has %d nodes, topology %d", net.Nodes(), cfg.Nodes))
 	}
-	c := &Cluster{cfg: cfg, net: net}
+	tc := cfg.TraceCap
+	if tc <= 0 {
+		tc = metrics.DefaultTraceCap
+	}
+	c := &Cluster{cfg: cfg, net: net, trace: metrics.NewTraceRing(tc)}
 	allLocal := true
 	for n := 0; n < cfg.Nodes; n++ {
 		if net.Local(n) {
@@ -99,6 +108,11 @@ func (c *Cluster) LocalNodes() []int { return c.locals }
 
 // Barrier returns the cluster-wide worker barrier.
 func (c *Cluster) Barrier() *Barrier { return c.barrier }
+
+// Trace returns the cluster's control-plane trace ring. Subsystems append
+// relocation, replication, and transport events to it; exposition and tests
+// read it back. Never nil for a cluster built by New.
+func (c *Cluster) Trace() *metrics.TraceRing { return c.trace }
 
 // HandleBarrier processes a barrier protocol message that arrived at a local
 // node. It is called by the server runtime's message loop.

@@ -6,6 +6,7 @@ import (
 
 	"lapse/internal/adaptive"
 	"lapse/internal/kv"
+	"lapse/internal/metrics"
 	"lapse/internal/msg"
 )
 
@@ -125,6 +126,12 @@ func (sh *policyShard) handleManage(m *msg.Manage) {
 			return // adaptive management disabled; stray report
 		}
 		for _, a := range sh.classifier.Ingest(int(m.Origin), m.Epoch, m.Keys, m.Vals) {
+			switch a.Kind {
+			case adaptive.ActReplicate:
+				sh.trace.Record(sh.nd.id, sh.rt.Shard(), metrics.TracePromote, a.Key, -1, sh.nd.id, a.Detail)
+			case adaptive.ActDemote:
+				sh.trace.Record(sh.nd.id, sh.rt.Shard(), metrics.TraceDemote, a.Key, sh.nd.id, -1, a.Detail)
+			}
 			sh.execute(a)
 		}
 	case msg.ManageReplicate:
@@ -161,6 +168,8 @@ func (sh *policyShard) execute(a adaptive.Action) {
 		sh.beginDemote(a.Key)
 	case adaptive.ActRelocate:
 		sh.stats.AdaptRelocations.Inc()
+		sh.trace.Record(sh.nd.id, sh.rt.Shard(), metrics.TraceAdaptRelocate, a.Key,
+			int(sh.nd.owner[a.Key].Load()), a.Dest, a.Detail)
 		if a.Dest == sh.nd.id {
 			sh.localizeHere(a.Key)
 			return
@@ -238,6 +247,7 @@ func (sh *policyShard) finishReplicate(k kv.Key) {
 		e := q.entries[0]
 		q.entries = q.entries[1:]
 		sh.queueMu.Unlock()
+		sh.stats.QueueWait.Observe(time.Since(e.at))
 		switch {
 		case e.local != nil:
 			sh.applyQueuedLocal(k, e.local)
@@ -281,7 +291,10 @@ func (sh *policyShard) enterReplica(k kv.Key, v []float32) {
 	nd.state[k].Store(stateReplicated)
 	sh.queueMu.Unlock()
 	if q != nil {
+		sh.trace.Record(nd.id, sh.rt.Shard(), metrics.TraceQueueAdopt, k, -1, nd.id,
+			fmt.Sprintf("entries=%d", len(q.entries)))
 		for _, e := range q.entries {
+			sh.stats.QueueWait.Observe(time.Since(e.at))
 			switch {
 			case e.local != nil:
 				sh.applyQueuedLocalReplica(k, e.local)

@@ -170,6 +170,9 @@ type policyShard struct {
 	nd    *node
 	rt    *server.Runtime
 	stats *metrics.ServerStats
+	// trace is the cluster's control-plane event ring; relocation and
+	// management transitions of this shard's keys are recorded into it.
+	trace *metrics.TraceRing
 	// queueMu guards queues and the Incoming<->Owned transitions of the
 	// shard's keys.
 	queueMu sync.Mutex
@@ -202,6 +205,9 @@ type queueEntry struct {
 	local  *localOp
 	remote *msg.Op
 	instr  *msg.RelocInstruct
+	// at is the enqueue time; the drain observes now-at into the shard's
+	// QueueWait histogram — the time an access spent blocked on a relocation.
+	at time.Time
 }
 
 // localOp is a single-key slice of a worker operation that had to be queued.
@@ -255,7 +261,7 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 		}
 		for sh := range nd.sh {
 			rt := srv.Shard(sh)
-			nd.sh[sh] = &policyShard{nd: nd, rt: rt, stats: rt.Stats(),
+			nd.sh[sh] = &policyShard{nd: nd, rt: rt, stats: rt.Stats(), trace: cl.Trace(),
 				queues: make(map[kv.Key]*keyQueue), transitioning: make(map[kv.Key]*transition)}
 		}
 		if cfg.LocationCaches {
@@ -362,6 +368,10 @@ func (s *System) Layout() kv.Layout { return s.layout }
 // Stats returns per-shard server statistics, node-major (Table 5
 // instrumentation; aggregate with metrics.Sum).
 func (s *System) Stats() []*metrics.ServerStats { return s.g.Stats() }
+
+// Latencies returns the merged operation-latency snapshot of every worker of
+// this process's nodes.
+func (s *System) Latencies() metrics.LatencySnapshot { return s.g.Latencies() }
 
 // NodeStats returns the per-shard statistics of one node.
 func (s *System) NodeStats(n int) []*metrics.ServerStats { return s.g.NodeStats(n) }
@@ -654,7 +664,7 @@ func (sh *policyShard) queueOrRoute(m *msg.Op, k kv.Key, upd []float32, fwd map[
 		// values: upd aliases the decoded message's recyclable scratch.
 		sub := &msg.Op{Type: m.Type, ID: m.ID, Origin: m.Origin, Hops: m.Hops,
 			Keys: []kv.Key{k}, Vals: append([]float32(nil), upd...)}
-		q.entries = append(q.entries, queueEntry{remote: sub})
+		q.entries = append(q.entries, queueEntry{remote: sub, at: time.Now()})
 		sh.queueMu.Unlock()
 		sh.stats.QueuedOps.Inc()
 		return fwd
@@ -715,7 +725,7 @@ func (sh *policyShard) requeueRacedOp(m *msg.Op, k kv.Key) {
 		// Queued past this handler: the entry must own its values (m.Vals
 		// may alias the incoming message's recyclable decode scratch).
 		m.Vals = append([]float32(nil), m.Vals...)
-		q.entries = append(q.entries, queueEntry{remote: m})
+		q.entries = append(q.entries, queueEntry{remote: m, at: time.Now()})
 		sh.stats.QueuedOps.Inc()
 		return
 	}
@@ -766,6 +776,7 @@ func (sh *policyShard) handleLocalize(m *msg.Localize) {
 		}
 		prev := int(nd.owner[k].Swap(m.Origin))
 		groups[prev] = append(groups[prev], k)
+		sh.trace.Record(sh.rt.Node(), sh.rt.Shard(), metrics.TraceRelocStart, k, prev, int(m.Origin), "")
 	}
 	if len(repKeys) > 0 {
 		sh.rt.SendOrDispatch(int(m.Origin), &msg.Manage{
@@ -795,7 +806,7 @@ func (sh *policyShard) handleInstruct(m *msg.RelocInstruct) {
 		sh.queueMu.Lock()
 		if q, ok := sh.queues[k]; ok {
 			sub := &msg.RelocInstruct{ID: m.ID, Dest: m.Dest, Keys: []kv.Key{k}}
-			q.entries = append(q.entries, queueEntry{instr: sub})
+			q.entries = append(q.entries, queueEntry{instr: sub, at: time.Now()})
 			sh.queueMu.Unlock()
 			continue
 		}
@@ -842,6 +853,7 @@ func (sh *policyShard) handleTransfer(m *msg.RelocTransfer) {
 func (sh *policyShard) drainQueue(k kv.Key) {
 	nd := sh.nd
 	sh.stats.Relocations.Inc()
+	sh.trace.Record(sh.rt.Node(), sh.rt.Shard(), metrics.TraceRelocFinish, k, -1, sh.rt.Node(), "")
 	sh.rt.Pending().CompleteLocalizeKeys([]kv.Key{k}, sh.stats)
 
 	for {
@@ -872,6 +884,7 @@ func (sh *policyShard) drainQueue(k kv.Key) {
 		e := q.entries[0]
 		q.entries = q.entries[1:]
 		sh.queueMu.Unlock()
+		sh.stats.QueueWait.Observe(time.Since(e.at))
 
 		switch {
 		case e.local != nil:

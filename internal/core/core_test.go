@@ -467,14 +467,14 @@ func TestRelocationTimeMeasured(t *testing.T) {
 		t.Fatal(err)
 	}
 	rt := sys.Stats()[0].RelocationTime.Snapshot()
-	if rt.Count != 1 {
-		t.Fatalf("relocation time observations = %d, want 1", rt.Count)
+	if rt.Count() != 1 {
+		t.Fatalf("relocation time observations = %d, want 1", rt.Count())
 	}
 	// Protocol sends 3 messages; with home==owner it is 2 network hops
 	// (requester->home is remote, home->owner local, owner->requester
-	// remote), so >= 2ms.
-	if rt.Mean < 2*time.Millisecond {
-		t.Fatalf("relocation time = %v, want >= 2ms", rt.Mean)
+	// remote), so >= 2ms (histogram buckets carry ~±3%, hence the margin).
+	if rt.Mean() < 1900*time.Microsecond {
+		t.Fatalf("relocation time = %v, want >= ~2ms", rt.Mean())
 	}
 }
 

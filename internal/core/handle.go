@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"lapse/internal/kv"
 	"lapse/internal/msg"
@@ -135,7 +136,7 @@ func (h *handle) tryFast(sh *policyShard, t msg.OpType, k kv.Key, dst, vals []fl
 func (h *handle) slowRoute(sh *policyShard, t msg.OpType, op *server.OpCtx, k kv.Key, dst, vals []float32) (routeDest, bool) {
 	sh.queueMu.Lock()
 	if q, ok := sh.queues[k]; ok {
-		q.entries = append(q.entries, queueEntry{local: &localOp{t: t, id: op.ID(k), k: k, off: op.Off(), dst: dst, vals: vals}})
+		q.entries = append(q.entries, queueEntry{local: &localOp{t: t, id: op.ID(k), k: k, off: op.Off(), dst: dst, vals: vals}, at: time.Now()})
 		sh.queueMu.Unlock()
 		sh.stats.QueuedOps.Inc()
 		return routeDest{}, true
@@ -182,6 +183,7 @@ func (h *handle) LocalizeAsync(keys []kv.Key) *kv.Future {
 	if len(keys) == 0 {
 		return kv.CompletedFuture(nil)
 	}
+	start := time.Now()
 	nd := h.nd
 	// Group keys by shard first; each shard's classification and waiter
 	// registration happen under that shard's queue lock.
@@ -260,6 +262,7 @@ func (h *handle) LocalizeAsync(keys []kv.Key) *kv.Future {
 			nd.srv.Send(sg.home, &msg.Localize{ID: sg.id, Origin: int32(h.NodeID()), Keys: []kv.Key{k}})
 		}
 	}
+	a.Time(&h.Lat().Localize, start)
 	fut := a.Seal(nd.shardOf(keys[0]).stats)
 	h.Track(fut)
 	return fut

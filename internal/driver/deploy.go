@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"lapse/internal/cluster"
+	"lapse/internal/metrics"
 	"lapse/internal/simnet"
 	"lapse/internal/transport"
 	"lapse/internal/transport/shm"
@@ -98,16 +99,35 @@ func NewCluster(d Deployment) (*cluster.Cluster, error) {
 		return nil, err
 	}
 	var tr transport.Network = tcpNet
+	var shmNet *shm.Network
 	if !d.TCP.DisableSHM {
 		if s := shmFor(d, local, tcpNet); s != nil {
 			tr = s
+			shmNet, _ = s.(*shm.Network)
 		}
 	}
-	return cluster.New(cluster.Config{
+	cl := cluster.New(cluster.Config{
 		Nodes:          d.Nodes,
 		WorkersPerNode: d.WorkersPerNode,
 		Transport:      tr,
-	}), nil
+	})
+	// Ledger the transport topology decisions: any link that could not ride a
+	// shared-memory ring (cross-host peer, or rings unavailable entirely)
+	// shows up in the control-plane trace.
+	if !d.TCP.DisableSHM {
+		if shmNet == nil {
+			cl.Trace().Record(d.TCP.Node, 0, metrics.TraceTransportFallback, 0, d.TCP.Node, -1,
+				"shm rings unavailable: all traffic on tcp")
+		} else {
+			for dst := 0; dst < d.Nodes; dst++ {
+				if !shmNet.RingTo(dst) {
+					cl.Trace().Record(d.TCP.Node, 0, metrics.TraceTransportFallback, 0, d.TCP.Node, dst,
+						"cross-host link on tcp")
+				}
+			}
+		}
+	}
+	return cl, nil
 }
 
 // Transport names the transport a cluster's network stack selected, for

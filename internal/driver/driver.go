@@ -55,6 +55,10 @@ type PS interface {
 	ReadParameter(k kv.Key, dst []float32)
 	// Stats returns per-node server statistics.
 	Stats() []*metrics.ServerStats
+	// Latencies returns the merged end-to-end operation-latency snapshot
+	// (pull/push fast and slow paths, localize) over every worker handle of
+	// this process's nodes.
+	Latencies() metrics.LatencySnapshot
 	// Layout returns the parameter layout.
 	Layout() kv.Layout
 	// Shutdown waits for server goroutines after the cluster closed.

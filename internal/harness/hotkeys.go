@@ -130,6 +130,9 @@ type HotKeyPoint struct {
 	// transport traffic counters.
 	Stats metrics.Totals
 	Net   transport.Stats
+	// Lat is the end-to-end operation-latency snapshot of the measured
+	// window (warmup excluded), merged over this process's workers.
+	Lat metrics.LatencySnapshot
 }
 
 // Throughput returns key accesses per second of wall-clock time.
@@ -197,6 +200,7 @@ func RunHotKeysNode(par Parallelism, cl *cluster.Cluster, ps driver.PS, cfg HotK
 		elapsed       time.Duration
 		statsBase     metrics.Totals
 		netBase       transport.Stats
+		latBase       metrics.LatencySnapshot
 	)
 	cl.RunWorkers(func(node, worker int) {
 		warmHotKeyWorker(cl, ps, cfg, mode, worker)
@@ -208,6 +212,7 @@ func RunHotKeysNode(par Parallelism, cl *cluster.Cluster, ps driver.PS, cfg HotK
 			// past the barrier by at most a few operations).
 			statsBase = metrics.Sum(ps.Stats())
 			netBase = cl.Net().Stats()
+			latBase = ps.Latencies()
 			runtime.ReadMemStats(&before)
 			start = time.Now()
 		}
@@ -230,6 +235,7 @@ func RunHotKeysNode(par Parallelism, cl *cluster.Cluster, ps driver.PS, cfg HotK
 		AllocBytes: int64(after.TotalAlloc - before.TotalAlloc),
 		Stats:      metrics.Sum(ps.Stats()).Since(statsBase),
 		Net:        cl.Net().Stats().Since(netBase),
+		Lat:        ps.Latencies().Sub(latBase),
 	}
 }
 

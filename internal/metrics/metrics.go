@@ -99,7 +99,13 @@ type ServerStats struct {
 	Relocations Counter
 	// RelocationTime aggregates per-localize-call relocation times
 	// (localize issued until all keys are owned locally, Section 3.2).
-	RelocationTime Durations
+	RelocationTime Histogram
+	// ServeLatency records the per-message handling time of this shard's
+	// server loop — how long each inbound message held the shard goroutine.
+	ServeLatency Histogram
+	// QueueWait records how long operations sat on relocation queues before
+	// a queue drain applied them.
+	QueueWait Histogram
 	// QueuedOps counts operations that had to be queued during relocations.
 	QueuedOps Counter
 	// Forwards counts operations forwarded by this node (as home), and
@@ -117,6 +123,9 @@ type ServerStats struct {
 	// ReplicaSyncMessages counts ReplicaSync/ReplicaRefresh messages sent
 	// by this node's background replica sync cycle.
 	ReplicaSyncMessages Counter
+	// ReplicaSyncTime records the duration of each replica sync round
+	// (pending-delta drain plus refresh broadcast assembly and dispatch).
+	ReplicaSyncTime Histogram
 	// AdaptPromotions, AdaptDemotions, and AdaptRelocations count the
 	// transitions the adaptive controller executed with this node as the
 	// key's home: promotions into replication, demotions back to static
@@ -135,6 +144,8 @@ func (s *ServerStats) Reset() {
 	s.ReadValues.Reset()
 	s.Relocations.Reset()
 	s.RelocationTime.Reset()
+	s.ServeLatency.Reset()
+	s.QueueWait.Reset()
 	s.QueuedOps.Reset()
 	s.Forwards.Reset()
 	s.DoubleForwards.Reset()
@@ -143,13 +154,14 @@ func (s *ServerStats) Reset() {
 	s.SyncWaits.Reset()
 	s.ReplicaHits.Reset()
 	s.ReplicaSyncMessages.Reset()
+	s.ReplicaSyncTime.Reset()
 	s.AdaptPromotions.Reset()
 	s.AdaptDemotions.Reset()
 	s.AdaptRelocations.Reset()
 }
 
-// Sum aggregates a set of per-node stats into cluster totals. Relocation-time
-// aggregates are merged by total sum/count and global min/max.
+// Sum aggregates a set of per-node stats into cluster totals. Histogram
+// aggregates are merged bucket-wise into snapshots.
 func Sum(nodes []*ServerStats) Totals {
 	var t Totals
 	for _, s := range nodes {
@@ -170,17 +182,10 @@ func Sum(nodes []*ServerStats) Totals {
 		t.AdaptPromotions += s.AdaptPromotions.Load()
 		t.AdaptDemotions += s.AdaptDemotions.Load()
 		t.AdaptRelocations += s.AdaptRelocations.Load()
-		rt := s.RelocationTime.Snapshot()
-		if rt.Count > 0 {
-			if t.RelocationCalls == 0 || rt.Min < t.RelocationTimeMin {
-				t.RelocationTimeMin = rt.Min
-			}
-			if rt.Max > t.RelocationTimeMax {
-				t.RelocationTimeMax = rt.Max
-			}
-			t.RelocationTimeSum += rt.Sum
-			t.RelocationCalls += rt.Count
-		}
+		t.RelocationTime.Merge(s.RelocationTime.Snapshot())
+		t.ServeLatency.Merge(s.ServeLatency.Snapshot())
+		t.QueueWait.Merge(s.QueueWait.Snapshot())
+		t.ReplicaSyncTime.Merge(s.ReplicaSyncTime.Snapshot())
 	}
 	return t
 }
@@ -200,18 +205,24 @@ type Totals struct {
 	AdaptPromotions           int64
 	AdaptDemotions            int64
 	AdaptRelocations          int64
-	RelocationTimeSum         time.Duration
-	RelocationTimeMin         time.Duration
-	RelocationTimeMax         time.Duration
-	RelocationCalls           int64
+	// RelocationTime, ServeLatency, and QueueWait are the cluster-merged
+	// histogram snapshots of the corresponding ServerStats aggregates.
+	// Mean/min/max/quantiles are all derived from the buckets, so windowed
+	// views (Since) carry correctly windowed extrema too.
+	RelocationTime  HistSnapshot
+	ServeLatency    HistSnapshot
+	QueueWait       HistSnapshot
+	ReplicaSyncTime HistSnapshot
 }
 
 // TotalReads returns local + remote + replica key reads.
 func (t Totals) TotalReads() int64 { return t.LocalReads + t.RemoteReads + t.ReplicaHits }
 
 // Since returns the totals accumulated after base was captured: every
-// additive counter is differenced. The relocation-time min/max cannot be
-// windowed retroactively and keep their whole-run values.
+// additive counter is differenced and every histogram is windowed
+// bucket-wise, so derived statistics (means, extrema, quantiles) describe
+// only the window — a warmed-up measurement window is not polluted by
+// ramp-up outliers.
 func (t Totals) Since(base Totals) Totals {
 	d := t
 	d.LocalReads -= base.LocalReads
@@ -231,18 +242,18 @@ func (t Totals) Since(base Totals) Totals {
 	d.AdaptPromotions -= base.AdaptPromotions
 	d.AdaptDemotions -= base.AdaptDemotions
 	d.AdaptRelocations -= base.AdaptRelocations
-	d.RelocationTimeSum -= base.RelocationTimeSum
-	d.RelocationCalls -= base.RelocationCalls
+	d.RelocationTime = t.RelocationTime.Sub(base.RelocationTime)
+	d.ServeLatency = t.ServeLatency.Sub(base.ServeLatency)
+	d.QueueWait = t.QueueWait.Sub(base.QueueWait)
+	d.ReplicaSyncTime = t.ReplicaSyncTime.Sub(base.ReplicaSyncTime)
 	return d
 }
 
+// RelocationCalls returns the number of timed localize calls.
+func (t Totals) RelocationCalls() int64 { return t.RelocationTime.Count() }
+
 // MeanRelocationTime returns the mean per-localize relocation time.
-func (t Totals) MeanRelocationTime() time.Duration {
-	if t.RelocationCalls == 0 {
-		return 0
-	}
-	return time.Duration(int64(t.RelocationTimeSum) / t.RelocationCalls)
-}
+func (t Totals) MeanRelocationTime() time.Duration { return t.RelocationTime.Mean() }
 
 // KeyFreq is one hot-key candidate reported by an access-frequency sampler
 // (see replication.Tracker): an estimated access count for one key. Counts

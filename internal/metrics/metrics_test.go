@@ -61,6 +61,17 @@ func TestDurationsEmptySnapshot(t *testing.T) {
 	}
 }
 
+// near asserts got is within 5% of want (histogram buckets carry ~±3%
+// relative error).
+func near(t *testing.T, what string, got, want time.Duration) {
+	t.Helper()
+	lo := time.Duration(float64(want) * 0.95)
+	hi := time.Duration(float64(want) * 1.05)
+	if got < lo || got > hi {
+		t.Fatalf("%s = %v, want ~%v", what, got, want)
+	}
+}
+
 func TestSumTotals(t *testing.T) {
 	a := &ServerStats{}
 	b := &ServerStats{}
@@ -77,12 +88,35 @@ func TestSumTotals(t *testing.T) {
 	if tot.TotalReads() != 17 {
 		t.Fatalf("TotalReads = %d", tot.TotalReads())
 	}
-	if tot.MeanRelocationTime() != 2*time.Millisecond {
-		t.Fatalf("mean RT = %v", tot.MeanRelocationTime())
+	if tot.RelocationCalls() != 2 {
+		t.Fatalf("RelocationCalls = %d", tot.RelocationCalls())
 	}
-	if tot.RelocationTimeMin != time.Millisecond || tot.RelocationTimeMax != 3*time.Millisecond {
-		t.Fatalf("min/max RT = %v/%v", tot.RelocationTimeMin, tot.RelocationTimeMax)
+	near(t, "mean RT", tot.MeanRelocationTime(), 2*time.Millisecond)
+	near(t, "min RT", tot.RelocationTime.Min(), time.Millisecond)
+	near(t, "max RT", tot.RelocationTime.Max(), 3*time.Millisecond)
+}
+
+func TestTotalsSinceWindowsHistograms(t *testing.T) {
+	s := &ServerStats{}
+	// Ramp-up: a pathological outlier before the measurement window opens.
+	s.RelocationTime.Observe(time.Second)
+	s.LocalReads.Add(3)
+	base := Sum([]*ServerStats{s})
+	// Measured window: two well-behaved observations.
+	s.RelocationTime.Observe(time.Millisecond)
+	s.RelocationTime.Observe(2 * time.Millisecond)
+	s.LocalReads.Add(4)
+	win := Sum([]*ServerStats{s}).Since(base)
+	if win.LocalReads != 4 {
+		t.Fatalf("windowed LocalReads = %d", win.LocalReads)
 	}
+	if win.RelocationCalls() != 2 {
+		t.Fatalf("windowed RelocationCalls = %d", win.RelocationCalls())
+	}
+	// The whole-run max (1s) must not leak into the windowed extrema.
+	near(t, "windowed max RT", win.RelocationTime.Max(), 2*time.Millisecond)
+	near(t, "windowed min RT", win.RelocationTime.Min(), time.Millisecond)
+	near(t, "windowed mean RT", win.MeanRelocationTime(), 1500*time.Microsecond)
 }
 
 func TestSumEmpty(t *testing.T) {
@@ -97,7 +131,8 @@ func TestServerStatsReset(t *testing.T) {
 	s.LocalReads.Inc()
 	s.RelocationTime.Observe(time.Second)
 	s.Reset()
-	if s.LocalReads.Load() != 0 || s.RelocationTime.Snapshot().Count != 0 {
+	snap := s.RelocationTime.Snapshot()
+	if s.LocalReads.Load() != 0 || snap.Count() != 0 {
 		t.Fatal("reset incomplete")
 	}
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package metrics
+
+// raceEnabled reports whether the race detector instrumented this build;
+// timing gates are skipped under it.
+const raceEnabled = true

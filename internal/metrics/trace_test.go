@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"lapse/internal/kv"
+)
+
+func TestTraceRingBasics(t *testing.T) {
+	r := NewTraceRing(8)
+	r.Record(1, 0, TraceRelocStart, 42, 2, 1, "")
+	r.Record(1, 0, TraceRelocFinish, 42, 2, 1, "queued=3")
+	evs := r.Events()
+	if len(evs) != 2 || r.Len() != 2 || r.Total() != 2 {
+		t.Fatalf("len=%d total=%d evs=%d", r.Len(), r.Total(), len(evs))
+	}
+	if evs[0].Kind != TraceRelocStart || evs[1].Kind != TraceRelocFinish {
+		t.Fatalf("kinds = %s, %s", evs[0].Kind, evs[1].Kind)
+	}
+	if evs[0].Seq != 0 || evs[1].Seq != 1 {
+		t.Fatalf("seqs = %d, %d", evs[0].Seq, evs[1].Seq)
+	}
+	if evs[0].Time.IsZero() {
+		t.Fatal("time not stamped")
+	}
+	if evs[1].Detail != "queued=3" {
+		t.Fatalf("detail = %q", evs[1].Detail)
+	}
+	if _, err := json.Marshal(evs); err != nil {
+		t.Fatalf("events not JSON-serializable: %v", err)
+	}
+}
+
+func TestTraceRingWraparound(t *testing.T) {
+	const capacity = 16
+	r := NewTraceRing(capacity)
+	const total = 3*capacity + 5
+	for i := 0; i < total; i++ {
+		r.Record(0, 0, TracePromote, kv.Key(i), -1, -1, "")
+	}
+	if r.Len() != capacity || r.Total() != total {
+		t.Fatalf("len=%d total=%d", r.Len(), r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != capacity {
+		t.Fatalf("events = %d", len(evs))
+	}
+	// The ring keeps exactly the newest `capacity` events, oldest first.
+	for i, ev := range evs {
+		want := uint64(total - capacity + i)
+		if ev.Seq != want {
+			t.Fatalf("event %d: seq = %d, want %d", i, ev.Seq, want)
+		}
+		if ev.Key != kv.Key(want) {
+			t.Fatalf("event %d: key = %d, want %d", i, ev.Key, want)
+		}
+	}
+}
+
+func TestTraceRingConcurrent(t *testing.T) {
+	r := NewTraceRing(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record(w, 0, TraceDemote, kv.Key(i), -1, -1, "")
+				if i%100 == 0 {
+					_ = r.Events()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Total() != 8*500 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 64 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("events not in sequence order at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestTraceRingNil(t *testing.T) {
+	var r *TraceRing
+	r.Record(0, 0, TracePromote, 1, -1, -1, "") // must not panic
+	if r.Events() != nil || r.Len() != 0 || r.Total() != 0 {
+		t.Fatal("nil ring must be an empty no-op sink")
+	}
+}

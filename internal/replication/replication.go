@@ -455,6 +455,7 @@ func (m *Manager) AuthValue(k kv.Key) []float32 {
 // assembled under the stripe/home locks but sent after their release (see
 // sendMu).
 func (m *Manager) Flush() {
+	start := time.Now()
 	m.sendMu.Lock()
 	defer m.sendMu.Unlock()
 	out := m.syncRound(nil)
@@ -463,6 +464,7 @@ func (m *Manager) Flush() {
 		m.cfg.Send(o.dest, o.m)
 		m.cfg.Stats.ReplicaSyncMessages.Inc()
 	}
+	m.cfg.Stats.ReplicaSyncTime.Observe(time.Since(start))
 }
 
 // syncRound drains the pending buffers of all stripes: deltas for keys

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"time"
+
 	"lapse/internal/kv"
 	"lapse/internal/msg"
 )
@@ -183,6 +185,21 @@ func (h *Handle) DispatchOp(r Router, t msg.OpType, keys []kv.Key, dst, vals []f
 	if len(keys) == 0 {
 		return kv.CompletedFuture(nil)
 	}
+	// End-to-end latency: operations that leave the fast path are always
+	// timed (dispatch to future completion, observed in Agg.finish); the
+	// all-fast-path case pays the clock reads only for 1 in fastSampleEvery
+	// operations and records them with matching weight, so the merged
+	// distribution stays unbiased while unsampled fast ops stay clock-free.
+	var start time.Time
+	kind := 0
+	if t == msg.OpPush {
+		kind = 1
+	}
+	h.opSeq[kind]++
+	sampled := h.lat != nil && h.opSeq[kind]&(fastSampleEvery-1) == 0
+	if sampled {
+		start = nowFunc()
+	}
 	nd := h.nd
 	layout := nd.g.layout
 	nShards := len(nd.shards)
@@ -210,6 +227,12 @@ func (h *Handle) DispatchOp(r Router, t msg.OpType, keys []kv.Key, dst, vals []f
 		}
 		ctx.cur = i
 		route := r.RouteKey(t, ctx, k, kdst, kvals)
+		if !route.Served && h.lat != nil && start.IsZero() {
+			// First key that leaves the fast path: this operation will be
+			// timed end-to-end, so capture its start now (the routed prefix
+			// cost nanoseconds against a network-bound completion).
+			start = nowFunc()
+		}
 		switch {
 		case route.Served:
 			ds.served[shard]++
@@ -257,7 +280,26 @@ func (h *Handle) DispatchOp(r Router, t msg.OpType, keys []kv.Key, dst, vals []f
 	if ctx.agg == nil {
 		// Every key was served through the fast path: nothing registered,
 		// nothing to wait for.
+		if sampled {
+			lat := &h.lat.PullFast
+			if t == msg.OpPush {
+				lat = &h.lat.PushFast
+			}
+			lat.ObserveN(nowFunc().Sub(start), fastSampleEvery)
+		}
 		return kv.CompletedFuture(nil)
+	}
+	if h.lat != nil {
+		lat := &h.lat.PullSlow
+		if t == msg.OpPush {
+			lat = &h.lat.PushSlow
+		}
+		ctx.agg.Time(lat, start)
 	}
 	return ctx.agg.Seal(nil)
 }
+
+// fastSampleEvery is the fast-path latency sampling period: all-fast-path
+// operations are timed once every fastSampleEvery calls per worker, with
+// observations weighted by the period. Must be a power of two.
+const fastSampleEvery = 8

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lapse/internal/kv"
+	"lapse/internal/metrics"
 )
 
 // Handle implements the variant-independent portion of a kv.KV client:
@@ -18,6 +19,12 @@ type Handle struct {
 	worker      int
 	outstanding []*kv.Future
 	ds          dispatchScratch
+	// lat is this worker's private latency stripe (see Node.latFor); opSeq
+	// drives the fast-path latency sampling in DispatchOp, one counter per
+	// op kind so a workload alternating pushes and pulls in lockstep with
+	// the sampling period cannot alias one kind out of the sample stream.
+	lat   *metrics.OpLat
+	opSeq [2]uint32
 }
 
 // NewHandle returns a handle for the given worker bound to nd's node. The
@@ -27,8 +34,13 @@ func NewHandle(nd *Node, worker int) Handle {
 	if !nd.g.cl.Local(nd.node) {
 		panic(fmt.Sprintf("server: handle for worker %d of non-local node %d", worker, nd.node))
 	}
-	return Handle{nd: nd, worker: worker}
+	return Handle{nd: nd, worker: worker, lat: nd.latFor(worker)}
 }
+
+// Lat returns the worker's operation-latency stripe. Variants record
+// latencies of operations they build outside DispatchOp (e.g. Localize)
+// into it; its histograms are merged into Group.Latencies snapshots.
+func (h *Handle) Lat() *metrics.OpLat { return h.lat }
 
 // NodeID implements kv.KV.
 func (h *Handle) NodeID() int { return h.nd.node }

@@ -29,6 +29,9 @@ type Agg struct {
 	// Relocation-time measurement (localize aggregates only).
 	start   time.Time
 	measure atomic.Bool
+	// End-to-end latency recorder (optional, see Time).
+	lat      *metrics.Histogram
+	latStart time.Time
 }
 
 // NewAgg returns an aggregate open for registration.
@@ -54,6 +57,15 @@ func (a *Agg) Measure() {
 	a.measure.Store(true)
 }
 
+// Time attaches an end-to-end latency recorder: when the aggregate
+// completes, the elapsed time since start is observed on h. Like Measure, it
+// must be called from the registering goroutine before Seal — the seal
+// token's release orders the write for whichever goroutine completes the
+// aggregate (atomic operations on `remaining` are the synchronization).
+func (a *Agg) Time(h *metrics.Histogram, start time.Time) {
+	a.lat, a.latStart = h, start
+}
+
 // add accounts n more keys (or replies) to wait for.
 func (a *Agg) add(n int) { a.remaining.Add(int64(n)) }
 
@@ -64,8 +76,14 @@ func (a *Agg) finish(n int, stats *metrics.ServerStats) {
 	if a.remaining.Add(int64(-n)) > 0 {
 		return
 	}
-	if a.measure.Load() && stats != nil {
-		stats.RelocationTime.Observe(nowFunc().Sub(a.start))
+	if a.measure.Load() || a.lat != nil {
+		now := nowFunc()
+		if a.measure.Load() && stats != nil {
+			stats.RelocationTime.Observe(now.Sub(a.start))
+		}
+		if a.lat != nil {
+			a.lat.Observe(now.Sub(a.latStart))
+		}
 	}
 	a.fut.Complete(nil)
 }

@@ -66,9 +66,9 @@ func TestPendingLocalizeWaiters(t *testing.T) {
 	if err := fut1.Wait(); err != nil {
 		t.Fatal(err)
 	}
-	if st.RelocationTime.Snapshot().Count != 1 {
+	if st.RelocationTime.Snapshot().Count() != 1 {
 		t.Fatalf("relocation time observations = %d, want 1 (only the measuring slot)",
-			st.RelocationTime.Snapshot().Count)
+			st.RelocationTime.Snapshot().Count())
 	}
 }
 

@@ -126,6 +126,23 @@ func (g *Group) Stats() []*metrics.ServerStats {
 	return out
 }
 
+// Latencies returns the cluster-merged operation-latency snapshot: every
+// worker stripe of every process-local node, merged bucket-wise. Safe to
+// call while workers run.
+func (g *Group) Latencies() metrics.LatencySnapshot {
+	var out metrics.LatencySnapshot
+	for _, nd := range g.nodes {
+		nd.latMu.Lock()
+		for _, l := range nd.lats {
+			if l != nil {
+				out.Merge(l.Snapshot())
+			}
+		}
+		nd.latMu.Unlock()
+	}
+	return out
+}
+
 // NodeStats returns the per-shard statistics of node n.
 func (g *Group) NodeStats(n int) []*metrics.ServerStats {
 	out := make([]*metrics.ServerStats, g.shards)
@@ -165,6 +182,28 @@ type Node struct {
 	node   int
 	nextID atomic.Uint64 // operation IDs, unique across the node's shards
 	shards []*Runtime
+	// lats holds the per-worker operation-latency stripes, indexed by worker
+	// ID. Each worker's Handle observes into its own stripe without
+	// contention; snapshots merge the stripes. Stripes are reused when a
+	// worker index recurs across runs, so repeated worker spawns don't leak.
+	latMu sync.Mutex
+	lats  []*metrics.OpLat
+}
+
+// latFor returns worker w's latency stripe, creating it on first use.
+func (nd *Node) latFor(w int) *metrics.OpLat {
+	if w < 0 {
+		w = 0
+	}
+	nd.latMu.Lock()
+	defer nd.latMu.Unlock()
+	for w >= len(nd.lats) {
+		nd.lats = append(nd.lats, nil)
+	}
+	if nd.lats[w] == nil {
+		nd.lats[w] = new(metrics.OpLat)
+	}
+	return nd.lats[w]
 }
 
 // ID returns the node index.
@@ -261,8 +300,12 @@ func (rt *Runtime) loop() {
 
 // handle dispatches one message: operation responses complete pending
 // operations and barrier protocol messages drive the cluster barrier, both
-// variant-independently; everything else is the variant's business.
+// variant-independently; everything else is the variant's business. Each
+// message's handling time is observed on the shard's ServeLatency histogram
+// — how long it held the shard goroutine, the per-message queueing-theory
+// service time of the server.
 func (rt *Runtime) handle(src int, m any) {
+	start := nowFunc()
 	switch t := m.(type) {
 	case *msg.OpResp:
 		rt.policy.OnOpResp(t)
@@ -272,4 +315,5 @@ func (rt *Runtime) handle(src int, m any) {
 	default:
 		rt.policy.HandleMessage(src, m)
 	}
+	rt.stats.ServeLatency.Observe(nowFunc().Sub(start))
 }

@@ -178,6 +178,10 @@ func (s *System) Layout() kv.Layout { return s.layout }
 // Stats returns per-node statistics.
 func (s *System) Stats() []*metrics.ServerStats { return s.g.Stats() }
 
+// Latencies returns the merged operation-latency snapshot of every worker of
+// this process's nodes.
+func (s *System) Latencies() metrics.LatencySnapshot { return s.g.Latencies() }
+
 // Init sets initial parameter values at the server shards. fn is invoked
 // for every key — so stateful initializers produce identical sequences in
 // every process — but only locally sharded keys are stored.

@@ -276,6 +276,11 @@ func (n *Network) Shards() int { return n.cfg.Shards }
 // Local reports whether node is hosted by this instance.
 func (n *Network) Local(node int) bool { return node >= 0 && node < len(n.local) && n.local[node] }
 
+// RingTo reports whether traffic to node rides a shared-memory ring; false
+// means sends to it fall back to the underlying transport (TCP). Observability
+// layers record the fallback links in the control-plane trace.
+func (n *Network) RingTo(node int) bool { return node >= 0 && node < len(n.ringTo) && n.ringTo[node] }
+
 // Err returns the first failure observed on either the ring paths or the
 // fallback transport.
 func (n *Network) Err() error {
