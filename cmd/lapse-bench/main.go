@@ -87,10 +87,17 @@ type Result struct {
 	// PullP50Ns/PullP99Ns/PullP999Ns are end-to-end pull-latency quantiles
 	// in nanoseconds over the measured window (fast and slow paths merged;
 	// the shared-memory fast path is sampled 1-in-8 with matching weight).
-	// Zero in reports predating the columns.
+	// For the open-loop serving cells they hold sojourn-time quantiles
+	// (completion minus scheduled arrival) instead, so the same latency
+	// gate covers the serving SLO. Zero in reports predating the columns.
 	PullP50Ns  int64 `json:"pull_p50_ns,omitempty"`
 	PullP99Ns  int64 `json:"pull_p99_ns,omitempty"`
 	PullP999Ns int64 `json:"pull_p999_ns,omitempty"`
+	// ServingHits/LeaseGrants/LeaseInvalidations are the serving-tier
+	// counters of the measured window; zero outside the serving cells.
+	ServingHits        int64 `json:"serving_hits,omitempty"`
+	LeaseGrants        int64 `json:"lease_grants,omitempty"`
+	LeaseInvalidations int64 `json:"lease_invalidations,omitempty"`
 }
 
 // cell identifies a result across reports for regression comparison.
@@ -304,6 +311,12 @@ func run(quick bool, rev string) Report {
 			}
 		}
 	}
+	// The serving cells: the open-loop read workload at one fixed arrival
+	// schedule over the simulated testbed network, through the plain
+	// batched Pull path and through the lease-cached MultiGet path. The
+	// sojourn-time quantiles land in the Pull*Ns columns so the -compare
+	// latency gate guards the serving SLO.
+	report.Results = append(report.Results, runServingCells(quick)...)
 	// The real-transport cells: co-located multi-process deployments over
 	// loopback TCP and shared-memory rings (see multiproc.go).
 	mp, err := runMultiProcessCells(quick)

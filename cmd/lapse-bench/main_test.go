@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"lapse/internal/harness"
 )
@@ -27,9 +28,11 @@ func TestQuickBenchWritesReport(t *testing.T) {
 		t.Skip("runs the full quick sweep with subprocesses")
 	}
 	// uniform and zipf sweep shards {1,4}; w2vneg runs single-shard; the
+	// open-loop serving comparison adds one cell per read path; the
 	// multi-process transport sweep adds modes × transports cells.
 	report := run(true, "test")
-	want := (2*2+1)*1*len(harness.HotKeyModes()) + len(mpModes())*len(mpTransports())
+	want := (2*2+1)*1*len(harness.HotKeyModes()) + len(harness.ServingModes()) +
+		len(mpModes())*len(mpTransports())
 	if len(report.Results) != want {
 		t.Fatalf("quick sweep produced %d results, want %d", len(report.Results), want)
 	}
@@ -88,6 +91,20 @@ func TestQuickBenchWritesReport(t *testing.T) {
 		t.Fatalf("w2vneg remote reads: replication %d vs relocation %d, expected a clear win",
 			repl.RemoteReads, base.RemoteReads)
 	}
+	// The serving headline: at the same open-loop arrival schedule, the
+	// lease-cached MultiGet path must hold p99 sojourn at least 2x below
+	// plain batched Pull, and must actually serve from the cache.
+	sPull, sMG := byKey["serving/pull"], byKey["serving/multiget"]
+	if sPull.PullP99Ns == 0 || sMG.PullP99Ns == 0 {
+		t.Fatalf("serving cells carry no sojourn quantiles: pull %+v multiget %+v", sPull, sMG)
+	}
+	if sMG.PullP99Ns*2 > sPull.PullP99Ns {
+		t.Fatalf("serving p99 sojourn: multiget %v vs pull %v, want at least a 2x win",
+			time.Duration(sMG.PullP99Ns), time.Duration(sPull.PullP99Ns))
+	}
+	if sMG.ServingHits == 0 || sMG.LeaseGrants == 0 {
+		t.Fatalf("serving/multiget cell records no cache activity: %+v", sMG)
+	}
 }
 
 // TestCompareFlagsRegressions pins the -compare contract: a report compared
@@ -128,6 +145,49 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	// A baseline with no matching cells is an error, not a silent pass.
 	if err := compare(Report{Rev: "cur", Results: []Result{mk("other", 1, 1)}}, path); err == nil {
 		t.Fatal("comparison with zero matched cells passed")
+	}
+}
+
+// TestCompareReportsAllFailingCells pins that -compare accumulates every
+// regressed cell into one error instead of stopping at the first: a run
+// where several cells regress — across different metrics — must name each
+// one, so a CI failure shows the whole blast radius at once.
+func TestCompareReportsAllFailingCells(t *testing.T) {
+	mk := func(workload string, throughput, allocs float64, p99 int64) Result {
+		return Result{Workload: workload, Mode: "relocation", Nodes: 2, Workers: 2,
+			Shards: 1, Ops: 100, Seconds: 1, Throughput: throughput,
+			AllocsPerOp: allocs, PullP99Ns: p99}
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_base.json")
+	baseline := Report{Rev: "base", Results: []Result{
+		mk("uniform", 1000, 10, 100_000),
+		mk("zipf", 2000, 10, 100_000),
+		mk("serving", 3000, 10, 100_000),
+	}}
+	if err := write(baseline, path); err != nil {
+		t.Fatal(err)
+	}
+	// Three distinct regressions: a throughput drop, an alloc blow-up, and
+	// a p99 latency blow-up, one per cell.
+	cur := Report{Rev: "cur", Results: []Result{
+		mk("uniform", 500, 10, 100_000),
+		mk("zipf", 2000, 40, 100_000),
+		mk("serving", 3000, 10, 400_000),
+	}}
+	err := compare(cur, path)
+	if err == nil {
+		t.Fatal("three-way regression passed the comparison")
+	}
+	for _, cell := range []string{"uniform", "zipf", "serving"} {
+		if !strings.Contains(err.Error(), cell) {
+			t.Fatalf("comparison error does not name regressed cell %q:\n%v", cell, err)
+		}
+	}
+	for _, metric := range []string{"ops/s", "allocs/op", "p99"} {
+		if !strings.Contains(err.Error(), metric) {
+			t.Fatalf("comparison error does not name regressed metric %q:\n%v", metric, err)
+		}
 	}
 }
 

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"lapse/internal/cluster"
+	"lapse/internal/core"
 	"lapse/internal/driver"
 	"lapse/internal/kv"
 	"lapse/internal/metrics"
@@ -59,6 +60,7 @@ func main() {
 		quiet     = flag.Bool("q", false, "suppress the per-node summary")
 		metricsAt = flag.String("metrics-addr", "", "serve /metrics, /debug/trace, /debug/stats over HTTP on this address (empty = off)")
 		linger    = flag.Duration("linger", 0, "keep the process (and its metrics endpoint) alive this long after the workload finishes")
+		serving   = flag.Duration("serving", 0, "enable the lease-based serving tier with this TTL and re-verify convergence through MultiGet (lapse variants only; 0 = off)")
 	)
 	flag.Parse()
 	addrs := strings.Split(*addrList, ",")
@@ -68,7 +70,7 @@ func main() {
 		os.Exit(2)
 	}
 	opts := nodeOptions{noSHM: *noSHM, shmDir: *shmDir, pin: *pin, quiet: *quiet,
-		metricsAddr: *metricsAt, linger: *linger}
+		metricsAddr: *metricsAt, linger: *linger, serving: *serving}
 	if err := run(*node, addrs, *workers, *shards, driver.Kind(*variant), *keys, *valLen, *iters, *staleness, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "lapse-node %d: %v\n", *node, err)
 		os.Exit(1)
@@ -83,6 +85,7 @@ type nodeOptions struct {
 	quiet       bool
 	metricsAddr string
 	linger      time.Duration
+	serving     time.Duration
 }
 
 func run(node int, addrs []string, workers, shards int, kind driver.Kind, nKeys, valLen, iters, staleness int, opts nodeOptions) error {
@@ -97,7 +100,11 @@ func run(node int, addrs []string, workers, shards int, kind driver.Kind, nKeys,
 		return err
 	}
 	layout := kv.NewUniformLayout(kv.Key(nKeys), valLen)
-	ps := driver.Build(kind, cl, layout, driver.Options{Staleness: staleness, PinShards: opts.pin})
+	buildOpts := driver.Options{Staleness: staleness, PinShards: opts.pin}
+	if opts.serving > 0 {
+		buildOpts.Serving = &core.ServingConfig{TTL: opts.serving}
+	}
+	ps := driver.Build(kind, cl, layout, buildOpts)
 
 	if opts.metricsAddr != "" {
 		srv, err := obs.Serve(opts.metricsAddr, obs.Source{
@@ -129,7 +136,7 @@ func run(node int, addrs []string, workers, shards int, kind driver.Kind, nKeys,
 
 	var failure atomic.Value
 	cl.RunWorkers(func(_, worker int) {
-		if err := runWorker(cl, ps, kind, worker, nKeys, valLen, iters); err != nil {
+		if err := runWorker(cl, ps, kind, worker, nKeys, valLen, iters, opts.serving > 0); err != nil {
 			failure.Store(fmt.Errorf("worker %d: %w", worker, err))
 		}
 	})
@@ -165,7 +172,7 @@ func run(node int, addrs []string, workers, shards int, kind driver.Kind, nKeys,
 // must still participate in the remaining ones (clocking so the stale PS's
 // global clock keeps advancing), otherwise its error would deadlock every
 // other worker — across all processes — instead of being reported.
-func runWorker(cl *cluster.Cluster, ps driver.PS, kind driver.Kind, worker, nKeys, valLen, iters int) error {
+func runWorker(cl *cluster.Cluster, ps driver.PS, kind driver.Kind, worker, nKeys, valLen, iters int, serving bool) error {
 	h := ps.Handle(worker)
 	barriersLeft := iters + 1
 	defer func() {
@@ -204,6 +211,15 @@ func runWorker(cl *cluster.Cluster, ps driver.PS, kind driver.Kind, worker, nKey
 		h.Clock()
 		barrier()
 	}
+	if serving {
+		// Every worker re-reads a hot prefix of the key space through the
+		// serving tier: the first MultiGet misses and takes leases, the rest
+		// are served from the node-local cache, so a deployment smoke test
+		// can assert nonzero lapse_serving_hits_total on /metrics.
+		if err := runServingReads(cl, h, nKeys, valLen, iters); err != nil {
+			return err
+		}
+	}
 	if worker == 0 {
 		want := float32(cl.TotalWorkers() * iters)
 		dst := make([]float32, nKeys*valLen)
@@ -220,4 +236,44 @@ func runWorker(cl *cluster.Cluster, ps driver.PS, kind driver.Kind, worker, nKey
 	// tears its transport down while node 0 is still pulling.
 	barrier()
 	return h.WaitAll()
+}
+
+// multiGetter is the serving-tier batched read path; only the Lapse variants
+// implement it.
+type multiGetter interface {
+	MultiGet(keys []kv.Key, dst []float32) *kv.Future
+}
+
+// runServingReads verifies the converged prefix of the key space through the
+// serving tier. Repeated MultiGets of the same keys keep hitting the lease
+// cache, which is what the CI serving smoke job scrapes for.
+func runServingReads(cl *cluster.Cluster, h kv.KV, nKeys, valLen, iters int) error {
+	mg, ok := h.(multiGetter)
+	if !ok {
+		return fmt.Errorf("-serving requires a variant with a MultiGet read path (lapse, lapse-cached)")
+	}
+	hot := nKeys
+	if hot > 8 {
+		hot = 8
+	}
+	// Stride the hot set across the whole key space: a contiguous prefix
+	// would be local to one node, whose reads bypass the lease cache — every
+	// node must take some cross-node leases for its hit counters to move.
+	keys := make([]kv.Key, hot)
+	for i := range keys {
+		keys[i] = kv.Key(i * nKeys / hot)
+	}
+	dst := make([]float32, hot*valLen)
+	want := float32(cl.TotalWorkers() * iters)
+	for r := 0; r < 32; r++ {
+		if err := mg.MultiGet(keys, dst).Wait(); err != nil {
+			return fmt.Errorf("serving read %d: %w", r, err)
+		}
+		for i, v := range dst {
+			if v != want {
+				return fmt.Errorf("serving read %d: value %d = %v, want %v", r, i, v, want)
+			}
+		}
+	}
+	return nil
 }

@@ -247,6 +247,20 @@ func (c *Classifier) Ingest(origin int, epoch uint32, keys []kv.Key, counts []fl
 	return c.classify()
 }
 
+// Sweep advances the classifier's epoch clock without ingesting a report and
+// re-classifies. Ingest is the only other place the clock moves, so on a home
+// whose keys stopped being accessed — no node reports them, no reports arrive
+// — a replicated key would never accumulate the cold streak that demotes it
+// and would hold replica memory on every node forever. The controller ticker
+// sends each of its own shards one ManageSweep per epoch to close that edge:
+// sweeping expires stale reports and lets the all-zero totals drive demotion.
+func (c *Classifier) Sweep(epoch uint32) []Action {
+	if epoch > c.now {
+		c.now = epoch
+	}
+	return c.classify()
+}
+
 // classify walks the candidate keys (everything reported recently plus the
 // managed set) in sorted order — determinism first — and applies the decision
 // rules.

@@ -199,3 +199,34 @@ func TestConfigWithDefaults(t *testing.T) {
 		t.Fatalf("explicit config overwritten: %+v", got)
 	}
 }
+
+// TestClassifierSweepDemotesIdleReplicatedKey pins the idle-demotion edge
+// Sweep closes: when traffic stops entirely, no node reports anything, so
+// Ingest — previously the only thing advancing the epoch clock — never runs
+// and a replicated key would hold replica memory on every node forever.
+// Sweeps must expire the old reports, run the cold streak, and demote.
+func TestClassifierSweepDemotesIdleReplicatedKey(t *testing.T) {
+	st := newFakeState(0)
+	st.repl[3] = true
+	c := NewClassifier(testCfg, st.view())
+	c.Manage(3)
+	// Steady state: a warm report keeps the replicated key in place.
+	if acts := c.Ingest(1, 1, []kv.Key{3}, []float32{100}); len(acts) != 0 {
+		t.Fatalf("warm replicated key re-decided: %v", acts)
+	}
+	// All traffic stops; only sweeps arrive. Epoch 3 expires the epoch-1
+	// report (staleEpochs) and starts the cold streak.
+	if acts := c.Sweep(3); len(acts) != 0 {
+		t.Fatalf("first cold sweep demoted before the streak completed: %v", acts)
+	}
+	// ColdStreakEpochs later the key demotes — from sweeps alone.
+	acts := c.Sweep(3 + testCfg.ColdStreakEpochs)
+	if len(acts) != 1 || acts[0].Kind != ActDemote || acts[0].Key != 3 {
+		t.Fatalf("idle replicated key after sweeps: got %v, want demote(3)", acts)
+	}
+	st.apply(t, acts)
+	// Sweeps against a settled state stay quiet.
+	if acts := c.Sweep(10); len(acts) != 0 {
+		t.Fatalf("post-demotion sweep issued %v", acts)
+	}
+}

@@ -115,6 +115,17 @@ func (nd *node) reportTick(cfg adaptive.Config, epoch uint32) {
 	for g, m := range groups {
 		nd.srv.Send(g.home, m)
 	}
+	// Idle sweep: advance this home's own classifier clocks even when no
+	// reports flow anywhere, so a replicated key whose traffic stopped
+	// entirely still accumulates the cold streak that demotes it. One
+	// self-addressed sweep per shard; the single key only selects the shard
+	// (ShardOfKey(s, shards) == s for s < shards).
+	if nd.sh[0].classifier != nil {
+		for s := range nd.sh {
+			nd.srv.Send(nd.id, &msg.Manage{
+				Kind: msg.ManageSweep, Origin: int32(nd.id), Epoch: epoch, Keys: []kv.Key{kv.Key(s)}})
+		}
+	}
 }
 
 // handleManage dispatches one adaptive-management message on the shard
@@ -125,15 +136,12 @@ func (sh *policyShard) handleManage(m *msg.Manage) {
 		if sh.classifier == nil {
 			return // adaptive management disabled; stray report
 		}
-		for _, a := range sh.classifier.Ingest(int(m.Origin), m.Epoch, m.Keys, m.Vals) {
-			switch a.Kind {
-			case adaptive.ActReplicate:
-				sh.trace.Record(sh.nd.id, sh.rt.Shard(), metrics.TracePromote, a.Key, -1, sh.nd.id, a.Detail)
-			case adaptive.ActDemote:
-				sh.trace.Record(sh.nd.id, sh.rt.Shard(), metrics.TraceDemote, a.Key, sh.nd.id, -1, a.Detail)
-			}
-			sh.execute(a)
+		sh.runClassifier(sh.classifier.Ingest(int(m.Origin), m.Epoch, m.Keys, m.Vals))
+	case msg.ManageSweep:
+		if sh.classifier == nil {
+			return // adaptive management disabled; stray sweep
 		}
+		sh.runClassifier(sh.classifier.Sweep(m.Epoch))
 	case msg.ManageReplicate:
 		src := 0
 		for _, k := range m.Keys {
@@ -153,6 +161,20 @@ func (sh *policyShard) handleManage(m *msg.Manage) {
 		}
 	default:
 		panic(fmt.Sprintf("core: unknown manage kind %v at node %d", m.Kind, sh.rt.Node()))
+	}
+}
+
+// runClassifier traces and executes one batch of classifier decisions (from
+// a report ingest or an idle sweep).
+func (sh *policyShard) runClassifier(acts []adaptive.Action) {
+	for _, a := range acts {
+		switch a.Kind {
+		case adaptive.ActReplicate:
+			sh.trace.Record(sh.nd.id, sh.rt.Shard(), metrics.TracePromote, a.Key, -1, sh.nd.id, a.Detail)
+		case adaptive.ActDemote:
+			sh.trace.Record(sh.nd.id, sh.rt.Shard(), metrics.TraceDemote, a.Key, sh.nd.id, -1, a.Detail)
+		}
+		sh.execute(a)
 	}
 }
 
@@ -258,6 +280,12 @@ func (sh *policyShard) finishReplicate(k kv.Key) {
 			// so no instruct can be issued against the home mid-promotion.
 			panic(fmt.Sprintf("core: instruct queued during promotion of key %d", k))
 		}
+	}
+	if nd.leased != nil && nd.leased[k].Load() != 0 {
+		// The key enters replication with outstanding serving leases:
+		// piggyback the revocation on the sync cycle's next refresh
+		// broadcast, which reaches every node anyway.
+		nd.queueRevoke(k)
 	}
 	delete(sh.transitioning, k)
 	sh.stats.AdaptPromotions.Inc()

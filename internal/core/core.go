@@ -116,6 +116,13 @@ type Config struct {
 	// the controller may demote like any other. Must be identical on every
 	// node of a multi-process deployment.
 	Adaptive *adaptive.Config
+	// Serving enables the read-path serving tier: MultiGet misses install
+	// TTL-leased values in a node-local serving cache, owners track and
+	// revoke leases on writes/relocations/promotions, and subsequent
+	// MultiGets of leased keys are shared-memory reads with zero
+	// pending-table registration (see serving.go and DESIGN.md "Serving
+	// tier"). nil disables the tier; MultiGet then behaves like Pull.
+	Serving *ServingConfig
 }
 
 // System is a running Lapse instance on a cluster.
@@ -159,6 +166,13 @@ type node struct {
 	// goroutine (nil when adaptive management is off).
 	ctlStop chan struct{}
 	ctlDone chan struct{}
+	// serving is the node's client-side lease cache, leases the owner-side
+	// lease registry, and leased[k] a lock-free flag the worker write fast
+	// path checks before touching the registry. All nil/empty when the
+	// serving tier is disabled.
+	serving *servingCache
+	leases  *leaseReg
+	leased  []atomic.Uint32
 }
 
 // policyShard is one server shard's policy state: the relocation queues of
@@ -269,6 +283,11 @@ func New(cl *cluster.Cluster, layout kv.Layout, cfg Config) *System {
 			for i := range nd.cache {
 				nd.cache[i].Store(-1)
 			}
+		}
+		if cfg.Serving != nil {
+			nd.serving = newServingCache()
+			nd.leases = newLeaseReg(cfg.Serving)
+			nd.leased = make([]atomic.Uint32, nk)
 		}
 		if len(cfg.Replicate) > 0 || cfg.Adaptive != nil {
 			nd.rep = replication.NewManager(replication.Config{
@@ -527,12 +546,23 @@ func (s *System) Handle(worker int) kv.KV {
 }
 
 // OnOpResp implements server.Policy: refresh the location cache with the
-// responder's identity before the runtime completes the pending operation.
-// The response's keys all belong to this shard.
+// responder's identity, and install leased values in the serving cache, both
+// before the runtime completes the pending operation — a worker unblocked by
+// the completion must already see the lease installed, or its own later
+// write-through invalidation could be overtaken by this install. The
+// response's keys all belong to this shard.
 func (sh *policyShard) OnOpResp(m *msg.OpResp) {
 	if sh.nd.cache != nil {
 		for _, k := range m.Keys {
 			sh.nd.cache[k].Store(m.Responder)
+		}
+	}
+	if sh.nd.serving != nil && m.LeaseTTL > 0 && m.Type == msg.OpPull {
+		src := 0
+		for _, k := range m.Keys {
+			l := sh.nd.sys.layout.Len(k)
+			sh.nd.serving.install(k, m.Vals[src:src+l], m.LeaseTTL)
+			src += l
 		}
 	}
 }
@@ -553,7 +583,15 @@ func (sh *policyShard) HandleMessage(src int, m any) {
 		// successive sync rounds keep their per-link order.
 		sh.nd.rep.HandleSync(t)
 	case *msg.ReplicaRefresh:
+		// Piggybacked lease revocations must apply before the refresh: a
+		// worker that observes the refreshed replica must not fall back to a
+		// stale cached lease afterwards.
+		if len(t.Revoke) > 0 {
+			sh.nd.servingInvalidate(t.Revoke, &sh.stats.LeaseInvalidations)
+		}
 		sh.nd.rep.HandleRefresh(t)
+	case *msg.LeaseRevoke:
+		sh.nd.servingInvalidate(t.Keys, &sh.stats.LeaseInvalidations)
 	case *msg.Manage:
 		// Key-addressed like operations, so transitions stay FIFO with the
 		// accesses of the keys they manage on each (link, shard) stream.
@@ -580,6 +618,11 @@ func (sh *policyShard) handleOp(m *msg.Op) {
 	}
 	ansKeys := sh.ansKeys[:0]
 	ansVals := sh.ansVals[:0]
+	// A lease is granted only when every answered key was served from the
+	// owned store: replica-served keys are refreshed by the sync cycle, not
+	// the lease protocol, so a mixed answer grants nothing (rare; the origin
+	// simply retries the lease on its next miss).
+	leaseOK := m.Lease && m.Type == msg.OpPull && nd.leases != nil && int(m.Origin) != nd.id
 	var fwd map[int]*msg.Op
 	src := 0
 	for _, k := range m.Keys {
@@ -602,6 +645,7 @@ func (sh *policyShard) handleOp(m *msg.Op) {
 				ansVals = kv.Grow(ansVals, l)
 				if nd.rep.Pull(k, ansVals[n:n+l]) {
 					ansKeys = append(ansKeys, k)
+					leaseOK = false
 					continue
 				}
 				ansVals = ansVals[:n]
@@ -629,6 +673,12 @@ func (sh *policyShard) handleOp(m *msg.Op) {
 			case msg.OpPush:
 				if nd.store.Add(k, upd) {
 					ansKeys = append(ansKeys, k)
+					if nd.leased != nil && nd.leased[k].Load() != 0 {
+						// Another node wrote a leased key: revoke before the
+						// ack leaves, so the revoke chases the last grant on
+						// each holder's FIFO (link, shard) stream.
+						nd.revokeLeases(k, int(m.Origin))
+					}
 					continue
 				}
 			}
@@ -644,6 +694,9 @@ func (sh *policyShard) handleOp(m *msg.Op) {
 		}
 		resp := &sh.resp
 		*resp = msg.OpResp{Type: m.Type, ID: m.ID, Responder: int32(sh.rt.Node()), Keys: ansKeys, Vals: vals}
+		if leaseOK {
+			resp.LeaseTTL = nd.grantLeases(ansKeys, int(m.Origin))
+		}
 		sh.rt.SendOrDispatch(int(m.Origin), resp)
 	}
 	for dest, sub := range fwd {
@@ -743,6 +796,9 @@ func (sh *policyShard) requeueRacedOp(m *msg.Op, k kv.Key) {
 		if !nd.store.Add(k, m.Vals) {
 			panic(fmt.Sprintf("core: key %d claimed by owner table at node %d but absent", k, sh.rt.Node()))
 		}
+		if nd.leased != nil && nd.leased[k].Load() != 0 {
+			nd.revokeLeases(k, int(m.Origin))
+		}
 		resp := &msg.OpResp{Type: msg.OpPush, ID: m.ID, Responder: int32(sh.rt.Node()), Keys: []kv.Key{k}}
 		sh.rt.SendOrDispatch(int(m.Origin), resp)
 	}
@@ -829,6 +885,11 @@ func (sh *policyShard) takeOwned(k kv.Key) []float32 {
 	v := sh.nd.store.Take(k)
 	if v == nil {
 		panic(fmt.Sprintf("core: instruct for key %d at node %d: not owned and not incoming", k, sh.rt.Node()))
+	}
+	if sh.nd.leased != nil && sh.nd.leased[k].Load() != 0 {
+		// The key moves to a new owner who knows nothing of the leases this
+		// node granted; withdraw them before the transfer leaves.
+		sh.nd.revokeLeases(k, -1)
 	}
 	return v
 }

@@ -62,14 +62,28 @@ func (h *handle) PushAsync(keys []kv.Key, vals []float32) *kv.Future {
 
 // RouteKey implements server.Router: serve each key through the fastest
 // admissible path — the node-local replica for replicated hot keys,
-// shared-memory access for owned keys, the relocation queue for keys
-// currently arriving at this node, and the network (home-routed, or
-// cache-direct when location caches are on) for everything else.
+// shared-memory access for owned keys, the leased serving cache for
+// read-only pulls, the relocation queue for keys currently arriving at this
+// node, and the network (home-routed, or cache-direct when location caches
+// are on) for everything else. Pushes write-through-invalidate the node's
+// serving-cache entry first, preserving read-your-writes for the node's own
+// workers whatever path the update takes.
 func (h *handle) RouteKey(t msg.OpType, op *server.OpCtx, k kv.Key, dst, vals []float32) server.KeyRoute {
 	h.trk.Observe(k)
 	sh := h.nd.shardOf(k)
+	if t == msg.OpPush && h.nd.serving != nil && h.nd.serving.invalidate(k) {
+		sh.stats.LeaseInvalidations.Inc()
+	}
 	if h.tryFast(sh, t, k, dst, vals) {
 		return server.KeyRoute{Served: true}
+	}
+	if t == msg.OpPull && op.Lease() && h.nd.serving != nil {
+		if h.nd.serving.get(k, dst) {
+			sh.stats.ServingHits.Inc()
+			sh.stats.ReadValues.Add(int64(len(dst)))
+			return server.KeyRoute{Served: true}
+		}
+		sh.stats.ServingMisses.Inc()
 	}
 	dest, enqueued := h.slowRoute(sh, t, op, k, dst, vals)
 	if enqueued {
@@ -120,6 +134,12 @@ func (h *handle) tryFast(sh *policyShard, t msg.OpType, k kv.Key, dst, vals []fl
 			if !h.nd.store.Add(k, vals) {
 				return false
 			}
+			if h.nd.leased != nil && h.nd.leased[k].Load() != 0 {
+				// This owner's own worker wrote a leased key; withdraw the
+				// remote leases (the flag check keeps the unleased fast path
+				// free of the registry lock).
+				h.nd.revokeLeases(k, -1)
+			}
 			sh.stats.LocalWrites.Inc()
 			return true
 		}
@@ -150,6 +170,24 @@ func (h *handle) slowRoute(sh *policyShard, t msg.OpType, op *server.OpCtx, k kv
 		sh.stats.CacheMisses.Inc()
 	}
 	return routeDest{node: h.sys.home.NodeOf(k)}, false
+}
+
+// MultiGet issues a batched read-only pull through the serving tier: keys
+// are served — in this order — from the local replica or owned store, from
+// the node's leased serving cache, or over the network with a lease request
+// attached, so the next MultiGet of the same keys hits the cache. Keys
+// served entirely without the network complete with zero pending-table
+// registration and zero allocation (the kv.CompletedFuture fast path of
+// DispatchOp). With the serving tier disabled (Config.Serving nil) MultiGet
+// is equivalent to PullAsync. The returned future completes when dst holds
+// every value.
+func (h *handle) MultiGet(keys []kv.Key, dst []float32) *kv.Future {
+	if want := kv.BufferLen(h.sys.layout, keys); len(dst) != want {
+		return kv.CompletedFuture(fmt.Errorf("core: multi-get buffer has %d values, want %d", len(dst), want))
+	}
+	f := h.DispatchOpRO(h, keys, dst)
+	h.Track(f)
+	return f
 }
 
 // PullIfLocal implements kv.KV: it reads the keys only if all of them are

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"lapse/internal/kv"
+)
+
+// servingTestConfig enables the serving tier with a TTL long enough that any
+// cache-consistency effect a test observes inside its deadline is due to
+// explicit invalidation, never lease expiry.
+func servingTestConfig() Config {
+	return Config{Serving: &ServingConfig{TTL: 30 * time.Second}}
+}
+
+// servingKV is a worker handle with the serving-tier read path.
+type servingKV interface {
+	kv.KV
+	MultiGet(keys []kv.Key, dst []float32) *kv.Future
+}
+
+// TestMultiGetServedFromLeaseCache pins the serving read path: the first
+// MultiGet of a remote key misses, travels with a lease request, and installs
+// the granted value; the second is served from the node-local cache without
+// another remote read.
+func TestMultiGetServedFromLeaseCache(t *testing.T) {
+	_, sys := newTestSystem(t, 2, 1, 8, 2, servingTestConfig())
+	h := sys.Handle(0).(servingKV)
+	keys := []kv.Key{6} // homed at node 1
+	if err := h.Push(keys, []float32{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float32, 2)
+	if err := h.MultiGet(keys, buf).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 1 || buf[1] != 2 {
+		t.Fatalf("first MultiGet = %v, want [1 2]", buf)
+	}
+	remoteAfterMiss := sys.Stats()[0].RemoteReads.Load()
+	if sys.Stats()[1].LeaseGrants.Load() == 0 {
+		t.Fatal("home node granted no lease for the missed read")
+	}
+	buf[0], buf[1] = -1, -1
+	if err := h.MultiGet(keys, buf).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 1 || buf[1] != 2 {
+		t.Fatalf("cached MultiGet = %v, want [1 2]", buf)
+	}
+	if got := sys.Stats()[0].ServingHits.Load(); got != 1 {
+		t.Fatalf("serving hits = %d, want 1", got)
+	}
+	if got := sys.Stats()[0].RemoteReads.Load(); got != remoteAfterMiss {
+		t.Fatalf("cached MultiGet went remote: %d -> %d remote reads", remoteAfterMiss, got)
+	}
+}
+
+// TestMultiGetAllHitZeroAlloc is the regression gate for the serving-tier
+// fast path: a steady-state MultiGet whose keys are all served from the
+// lease cache must not allocate — no pending-table registration, no future,
+// no per-request state (kv.CompletedFuture end to end).
+func TestMultiGetAllHitZeroAlloc(t *testing.T) {
+	_, sys := newTestSystem(t, 2, 1, 16, 2, servingTestConfig())
+	h := sys.Handle(0).(servingKV)
+	keys := []kv.Key{9, 11, 13, 15} // all homed at node 1
+	buf := make([]float32, 2*len(keys))
+	// Warm the cache: the first MultiGet misses and installs leases.
+	if err := h.MultiGet(keys, buf).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := h.MultiGet(keys, buf).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("all-hit MultiGet allocates %.1f times per op, want 0", n)
+	}
+	if sys.Stats()[0].ServingHits.Load() < 100 {
+		t.Fatalf("serving hits = %d; the gated loop was not served from the cache",
+			sys.Stats()[0].ServingHits.Load())
+	}
+}
+
+// TestMultiGetReadYourWrites pins write-through invalidation: a worker's own
+// Push to a cached key must invalidate the local serving-cache entry before
+// the push dispatches, so the worker's next MultiGet sees its write.
+func TestMultiGetReadYourWrites(t *testing.T) {
+	_, sys := newTestSystem(t, 2, 1, 8, 1, servingTestConfig())
+	h := sys.Handle(0).(servingKV)
+	keys := []kv.Key{6} // homed at node 1
+	buf := make([]float32, 1)
+	if err := h.MultiGet(keys, buf).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Push(keys, []float32{5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.MultiGet(keys, buf).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 5 {
+		t.Fatalf("MultiGet after own push = %v, want [5] (stale lease served)", buf)
+	}
+	if sys.Stats()[0].LeaseInvalidations.Load() == 0 {
+		t.Fatal("push invalidated no serving-cache entry")
+	}
+}
+
+// TestOwnerPushRevokesRemoteLease pins the home-side revocation channel: a
+// write at the key's owner must revoke the lease a remote node holds, so the
+// remote node's MultiGet re-reads within the test deadline — far inside the
+// 30s TTL, proving the freshness came from revocation, not expiry.
+func TestOwnerPushRevokesRemoteLease(t *testing.T) {
+	_, sys := newTestSystem(t, 2, 1, 8, 1, servingTestConfig())
+	h0, h1 := sys.Handle(0).(servingKV), sys.Handle(1)
+	keys := []kv.Key{6} // homed (and owned) at node 1
+	buf := make([]float32, 1)
+	if err := h0.MultiGet(keys, buf).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h1.Push(keys, []float32{7}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := h0.MultiGet(keys, buf).Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] == 7 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("remote lease never revoked: MultiGet still returns %v", buf)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if sys.Stats()[1].LeaseRevokes.Load() == 0 {
+		t.Fatal("owner recorded no lease revocation")
+	}
+}

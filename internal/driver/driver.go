@@ -85,6 +85,9 @@ type Options struct {
 	// PinShards pins each server shard goroutine to one CPU core (all
 	// variants; see server.Config.PinShards).
 	PinShards bool
+	// Serving enables the read-path serving tier — lease-based client
+	// caching with MultiGet (Lapse variants only; see core.ServingConfig).
+	Serving *core.ServingConfig
 }
 
 // Build constructs the variant on cl.
@@ -96,10 +99,12 @@ func Build(kind Kind, cl *cluster.Cluster, layout kv.Layout, opt Options) PS {
 		return classic.New(cl, layout, classic.Config{FastLocalAccess: true, Unbatched: opt.Unbatched, PinShards: opt.PinShards})
 	case Lapse:
 		return core.New(cl, layout, core.Config{Unbatched: opt.Unbatched, PinShards: opt.PinShards,
-			Replicate: opt.Replicate, ReplicaSyncEvery: opt.ReplicaSyncEvery, Adaptive: opt.Adaptive})
+			Replicate: opt.Replicate, ReplicaSyncEvery: opt.ReplicaSyncEvery, Adaptive: opt.Adaptive,
+			Serving: opt.Serving})
 	case LapseCached:
 		return core.New(cl, layout, core.Config{LocationCaches: true, Unbatched: opt.Unbatched, PinShards: opt.PinShards,
-			Replicate: opt.Replicate, ReplicaSyncEvery: opt.ReplicaSyncEvery, Adaptive: opt.Adaptive})
+			Replicate: opt.Replicate, ReplicaSyncEvery: opt.ReplicaSyncEvery, Adaptive: opt.Adaptive,
+			Serving: opt.Serving})
 	case SSPClient:
 		return ssp.New(cl, layout, ssp.Config{Staleness: opt.Staleness, Unbatched: opt.Unbatched, PinShards: opt.PinShards})
 	case SSPServer:

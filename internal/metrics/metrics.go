@@ -133,6 +133,17 @@ type ServerStats struct {
 	AdaptPromotions  Counter
 	AdaptDemotions   Counter
 	AdaptRelocations Counter
+	// ServingHits and ServingMisses count read-only pulls served from (or
+	// missing) the node's lease-based serving cache.
+	ServingHits   Counter
+	ServingMisses Counter
+	// LeaseGrants counts serving-cache leases this node granted as a home;
+	// LeaseRevokes counts revocations it sent (writes, relocations, and
+	// promotions of leased keys); LeaseInvalidations counts cache entries
+	// this node dropped (revocations received plus write-through drops).
+	LeaseGrants        Counter
+	LeaseRevokes       Counter
+	LeaseInvalidations Counter
 }
 
 // Reset zeroes all counters and aggregates.
@@ -158,6 +169,11 @@ func (s *ServerStats) Reset() {
 	s.AdaptPromotions.Reset()
 	s.AdaptDemotions.Reset()
 	s.AdaptRelocations.Reset()
+	s.ServingHits.Reset()
+	s.ServingMisses.Reset()
+	s.LeaseGrants.Reset()
+	s.LeaseRevokes.Reset()
+	s.LeaseInvalidations.Reset()
 }
 
 // Sum aggregates a set of per-node stats into cluster totals. Histogram
@@ -182,6 +198,11 @@ func Sum(nodes []*ServerStats) Totals {
 		t.AdaptPromotions += s.AdaptPromotions.Load()
 		t.AdaptDemotions += s.AdaptDemotions.Load()
 		t.AdaptRelocations += s.AdaptRelocations.Load()
+		t.ServingHits += s.ServingHits.Load()
+		t.ServingMisses += s.ServingMisses.Load()
+		t.LeaseGrants += s.LeaseGrants.Load()
+		t.LeaseRevokes += s.LeaseRevokes.Load()
+		t.LeaseInvalidations += s.LeaseInvalidations.Load()
 		t.RelocationTime.Merge(s.RelocationTime.Snapshot())
 		t.ServeLatency.Merge(s.ServeLatency.Snapshot())
 		t.QueueWait.Merge(s.QueueWait.Snapshot())
@@ -205,6 +226,11 @@ type Totals struct {
 	AdaptPromotions           int64
 	AdaptDemotions            int64
 	AdaptRelocations          int64
+	ServingHits               int64
+	ServingMisses             int64
+	LeaseGrants               int64
+	LeaseRevokes              int64
+	LeaseInvalidations        int64
 	// RelocationTime, ServeLatency, and QueueWait are the cluster-merged
 	// histogram snapshots of the corresponding ServerStats aggregates.
 	// Mean/min/max/quantiles are all derived from the buckets, so windowed
@@ -242,6 +268,11 @@ func (t Totals) Since(base Totals) Totals {
 	d.AdaptPromotions -= base.AdaptPromotions
 	d.AdaptDemotions -= base.AdaptDemotions
 	d.AdaptRelocations -= base.AdaptRelocations
+	d.ServingHits -= base.ServingHits
+	d.ServingMisses -= base.ServingMisses
+	d.LeaseGrants -= base.LeaseGrants
+	d.LeaseRevokes -= base.LeaseRevokes
+	d.LeaseInvalidations -= base.LeaseInvalidations
 	d.RelocationTime = t.RelocationTime.Sub(base.RelocationTime)
 	d.ServeLatency = t.ServeLatency.Sub(base.ServeLatency)
 	d.QueueWait = t.QueueWait.Sub(base.QueueWait)

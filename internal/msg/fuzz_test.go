@@ -14,8 +14,10 @@ func seedMessages() []any {
 		&Op{Type: OpPull, ID: 1, Origin: 2, Hops: 3, ViaCache: true, Keys: []kv.Key{7, 1 << 40}},
 		&Op{Type: OpPush, ID: 2, Keys: []kv.Key{5}, Vals: []float32{1.5, -2}},
 		&Op{Type: OpPush, ID: 3, Keys: []kv.Key{}, Vals: []float32{}},
+		&Op{Type: OpPull, ID: 12, Origin: 1, Lease: true, Keys: []kv.Key{13}},
 		&OpResp{Type: OpPull, ID: 4, Responder: 1, Keys: []kv.Key{9}, Vals: []float32{0.25}},
 		&OpResp{Type: OpPush, ID: 5, Responder: -1, Keys: []kv.Key{9}},
+		&OpResp{Type: OpPull, ID: 13, Responder: 2, LeaseTTL: 5_000_000, Keys: []kv.Key{13}, Vals: []float32{1}},
 		&Localize{ID: 6, Origin: 3, Keys: []kv.Key{1, 2, 3}},
 		&RelocInstruct{ID: 7, Dest: 2, Keys: []kv.Key{4}},
 		&RelocTransfer{ID: 8, Keys: []kv.Key{4}, Vals: []float32{1, 2}},
@@ -31,11 +33,16 @@ func seedMessages() []any {
 		&ReplicaSync{Origin: 0, Seq: 0, Keys: nil, Vals: nil},
 		&ReplicaRefresh{Origin: 2, Ack: 9, Keys: []kv.Key{4}, Vals: []float32{42}},
 		&ReplicaRefresh{Origin: -1, Ack: 0, Keys: []kv.Key{}, Vals: []float32{}},
+		&ReplicaRefresh{Origin: 0, Ack: 1, Keys: []kv.Key{4}, Vals: []float32{7}, Revoke: []kv.Key{2, 1 << 50}},
+		&ReplicaRefresh{Origin: 1, Ack: 2, Revoke: []kv.Key{3}},
 		&Manage{Kind: ManageReport, Origin: 1, Epoch: 3, Keys: []kv.Key{2, 6}, Vals: []float32{32, 16}},
 		&Manage{Kind: ManageDemoteAck, Origin: 2, Epoch: 5, Keys: []kv.Key{9},
 			Vals: []float32{1, 2}, Seqs: []uint32{0, 5}},
 		&Manage{Kind: ManageUnreplicate, Origin: 0, Keys: nil, Vals: nil, Seqs: nil},
 		&Manage{Kind: ManageLocalize, Origin: 3, Keys: []kv.Key{12}},
+		&Manage{Kind: ManageSweep, Origin: 1, Epoch: 9, Keys: []kv.Key{2}},
+		&LeaseRevoke{Origin: 2, Keys: []kv.Key{5, 1 << 41}},
+		&LeaseRevoke{Origin: 0, Keys: nil},
 	}
 }
 

@@ -52,6 +52,7 @@ const (
 	KindReplicaSync
 	KindReplicaRefresh
 	KindManage
+	KindLeaseRevoke
 )
 
 func (k Kind) String() string {
@@ -80,6 +81,8 @@ func (k Kind) String() string {
 		return "ReplicaRefresh"
 	case KindManage:
 		return "Manage"
+	case KindLeaseRevoke:
+		return "LeaseRevoke"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -113,17 +116,25 @@ type Op struct {
 	Origin   int32
 	Hops     uint8
 	ViaCache bool
-	Keys     []kv.Key
-	Vals     []float32 // push update terms (concatenated in Keys order); nil for pulls
+	// Lease marks a read-only pull whose origin wants a serving-cache lease
+	// on the requested keys: the home grants one (OpResp.LeaseTTL) when the
+	// keys are owned and not replicated. Ignored for pushes.
+	Lease bool
+	Keys  []kv.Key
+	Vals  []float32 // push update terms (concatenated in Keys order); nil for pulls
 }
 
 // OpResp answers an Op. For pulls, Vals carries the requested values in Keys
 // order. Responder is the node that held the keys; origins use it to update
-// their location caches.
+// their location caches. LeaseTTL is nonzero when the responder granted a
+// serving-cache lease on the response's keys: the origin may serve reads of
+// those keys from its local cache for LeaseTTL microseconds (or until the
+// home revokes the lease, whichever comes first).
 type OpResp struct {
 	Type      OpType
 	ID        uint64
 	Responder int32
+	LeaseTTL  uint32 // lease duration in microseconds; 0 = no lease granted
 	Keys      []kv.Key
 	Vals      []float32 // nil for push acknowledgements
 }
@@ -204,12 +215,17 @@ type ReplicaSync struct {
 // ReplicaRefresh fans the merged authoritative values of replicated keys
 // from their home node (Origin) back out to one replica node (phase 2 of
 // the sync cycle). Ack is the highest ReplicaSync.Seq received from the
-// destination whose deltas are reflected in Vals.
+// destination whose deltas are reflected in Vals. Revoke piggybacks
+// serving-cache lease revocations on the sync traffic: the destination must
+// drop any cached lease for these keys before the refresh is considered
+// applied (a key entering replication invalidates leases granted while it
+// was relocation-managed).
 type ReplicaRefresh struct {
 	Origin int32
 	Ack    uint32
 	Keys   []kv.Key
 	Vals   []float32
+	Revoke []kv.Key
 }
 
 // ManageKind discriminates the adaptive-management control operations carried
@@ -239,6 +255,12 @@ const (
 	// initiate a relocation toward itself (it must queue the keys before the
 	// transfer is underway).
 	ManageLocalize
+	// ManageSweep is a node-local tick a node sends to its own shards: the
+	// classifier advances its epoch without ingesting a report, so replicated
+	// keys whose home stopped receiving reports entirely still go cold and
+	// get demoted. Keys carries a single shard-selector key (see the adaptive
+	// controller); Epoch is the controller tick.
+	ManageSweep
 )
 
 func (k ManageKind) String() string {
@@ -253,6 +275,8 @@ func (k ManageKind) String() string {
 		return "demote-ack"
 	case ManageLocalize:
 		return "localize-hint"
+	case ManageSweep:
+		return "sweep"
 	default:
 		return fmt.Sprintf("ManageKind(%d)", uint8(k))
 	}
@@ -274,6 +298,18 @@ type Manage struct {
 	Seqs   []uint32
 }
 
+// LeaseRevoke tells a lease holder to drop its serving-cache entries for
+// Keys immediately: another node pushed to (or relocated) a key the holder
+// had leased, so the cached values may be stale. Origin is the revoking home
+// node. LeaseRevoke is key-addressed (routed by first key): a revocation
+// must stay FIFO, per (link, shard), with the OpResp grant it chases, so a
+// stale grant can never be installed after its revocation was processed.
+// Senders emit one message per key to keep revocations shard-pure.
+type LeaseRevoke struct {
+	Origin int32
+	Keys   []kv.Key
+}
+
 const (
 	headerBytes = 1 + 4 // kind + payload length prefix used by Encode
 	keyBytes    = 8
@@ -286,9 +322,9 @@ const (
 func Size(m any) int {
 	switch t := m.(type) {
 	case *Op:
-		return headerBytes + 1 + 8 + 4 + 1 + 1 + 4 + 4 + len(t.Keys)*keyBytes + len(t.Vals)*valBytes
+		return headerBytes + 1 + 8 + 4 + 1 + 1 + 1 + 4 + 4 + len(t.Keys)*keyBytes + len(t.Vals)*valBytes
 	case *OpResp:
-		return headerBytes + 1 + 8 + 4 + 4 + 4 + len(t.Keys)*keyBytes + len(t.Vals)*valBytes
+		return headerBytes + 1 + 8 + 4 + 4 + 4 + 4 + len(t.Keys)*keyBytes + len(t.Vals)*valBytes
 	case *Localize:
 		return headerBytes + 8 + 4 + 4 + len(t.Keys)*keyBytes
 	case *RelocInstruct:
@@ -306,9 +342,11 @@ func Size(m any) int {
 	case *ReplicaSync:
 		return headerBytes + 4 + 4 + 4 + 4 + len(t.Keys)*keyBytes + len(t.Vals)*valBytes
 	case *ReplicaRefresh:
-		return headerBytes + 4 + 4 + 4 + 4 + len(t.Keys)*keyBytes + len(t.Vals)*valBytes
+		return headerBytes + 4 + 4 + 4 + 4 + 4 + len(t.Keys)*keyBytes + len(t.Vals)*valBytes + len(t.Revoke)*keyBytes
 	case *Manage:
 		return headerBytes + 1 + 4 + 4 + 4 + 4 + 4 + len(t.Keys)*keyBytes + len(t.Vals)*valBytes + len(t.Seqs)*seqBytes
+	case *LeaseRevoke:
+		return headerBytes + 4 + 4 + len(t.Keys)*keyBytes
 	default:
 		panic(fmt.Sprintf("msg: Size on unknown message type %T", m))
 	}
@@ -335,6 +373,7 @@ func AppendTo(buf []byte, m any) []byte {
 		w.u32(uint32(t.Origin))
 		w.u8(t.Hops)
 		w.u8(boolByte(t.ViaCache))
+		w.u8(boolByte(t.Lease))
 		w.keys(t.Keys)
 		w.vals(t.Vals)
 	case *OpResp:
@@ -342,6 +381,7 @@ func AppendTo(buf []byte, m any) []byte {
 		w.u8(byte(t.Type))
 		w.u64(t.ID)
 		w.u32(uint32(t.Responder))
+		w.u32(t.LeaseTTL)
 		w.keys(t.Keys)
 		w.vals(t.Vals)
 	case *Localize:
@@ -391,6 +431,7 @@ func AppendTo(buf []byte, m any) []byte {
 		w.u32(t.Ack)
 		w.keys(t.Keys)
 		w.vals(t.Vals)
+		w.keys(t.Revoke)
 	case *Manage:
 		w.header(KindManage, sz)
 		w.u8(byte(t.Kind))
@@ -399,6 +440,10 @@ func AppendTo(buf []byte, m any) []byte {
 		w.keys(t.Keys)
 		w.vals(t.Vals)
 		w.seqs(t.Seqs)
+	case *LeaseRevoke:
+		w.header(KindLeaseRevoke, sz)
+		w.u32(uint32(t.Origin))
+		w.keys(t.Keys)
 	default:
 		panic(fmt.Sprintf("msg: AppendTo on unknown message type %T", m))
 	}
@@ -494,7 +539,7 @@ func decodeMsg(buf []byte, s *Scratch) (any, int, error) {
 			t = new(Op)
 		}
 		*t = Op{Type: OpType(d.u8()), ID: d.u64(), Origin: int32(d.u32()),
-			Hops: d.u8(), ViaCache: d.bool(), Keys: d.keys(), Vals: d.vals()}
+			Hops: d.u8(), ViaCache: d.bool(), Lease: d.bool(), Keys: d.keys(), Vals: d.vals()}
 		m = t
 	case KindOpResp:
 		var t *OpResp
@@ -504,7 +549,7 @@ func decodeMsg(buf []byte, s *Scratch) (any, int, error) {
 			t = new(OpResp)
 		}
 		*t = OpResp{Type: OpType(d.u8()), ID: d.u64(), Responder: int32(d.u32()),
-			Keys: d.keys(), Vals: d.vals()}
+			LeaseTTL: d.u32(), Keys: d.keys(), Vals: d.vals()}
 		m = t
 	case KindLocalize:
 		var t *Localize
@@ -585,7 +630,8 @@ func decodeMsg(buf []byte, s *Scratch) (any, int, error) {
 		} else {
 			t = new(ReplicaRefresh)
 		}
-		*t = ReplicaRefresh{Origin: int32(d.u32()), Ack: d.u32(), Keys: d.keys(), Vals: d.vals()}
+		*t = ReplicaRefresh{Origin: int32(d.u32()), Ack: d.u32(), Keys: d.keys(), Vals: d.vals(),
+			Revoke: d.keys2()}
 		m = t
 	case KindManage:
 		var t *Manage
@@ -596,6 +642,15 @@ func decodeMsg(buf []byte, s *Scratch) (any, int, error) {
 		}
 		*t = Manage{Kind: ManageKind(d.u8()), Origin: int32(d.u32()), Epoch: d.u32(),
 			Keys: d.keys(), Vals: d.vals(), Seqs: d.seqs()}
+		m = t
+	case KindLeaseRevoke:
+		var t *LeaseRevoke
+		if s != nil {
+			t = &s.leaseRevoke
+		} else {
+			t = new(LeaseRevoke)
+		}
+		*t = LeaseRevoke{Origin: int32(d.u32()), Keys: d.keys()}
 		m = t
 	default:
 		return nil, 0, fmt.Errorf("msg: unknown message kind %d", kind)
@@ -662,6 +717,25 @@ func (d *decoder) u64() uint64 {
 // (overflow-safe on 32-bit ints). With a scratch attached, the list is
 // decoded into the scratch's reusable key arena.
 func (d *decoder) keys() []kv.Key {
+	var arena *[]kv.Key
+	if d.s != nil {
+		arena = &d.s.keys
+	}
+	return d.keyList(arena)
+}
+
+// keys2 reads a key list into the scratch's second key arena. Messages with
+// two independent key lists (ReplicaRefresh.Keys + .Revoke) need distinct
+// backing or the second decode would alias — and overwrite — the first.
+func (d *decoder) keys2() []kv.Key {
+	var arena *[]kv.Key
+	if d.s != nil {
+		arena = &d.s.keys2
+	}
+	return d.keyList(arena)
+}
+
+func (d *decoder) keyList(arena *[]kv.Key) []kv.Key {
 	n := int(d.u32())
 	if d.err != nil {
 		return nil
@@ -674,11 +748,11 @@ func (d *decoder) keys() []kv.Key {
 		return nil
 	}
 	var keys []kv.Key
-	if d.s != nil {
-		if cap(d.s.keys) < n {
-			d.s.keys = make([]kv.Key, n)
+	if arena != nil {
+		if cap(*arena) < n {
+			*arena = make([]kv.Key, n)
 		}
-		keys = d.s.keys[:n]
+		keys = (*arena)[:n]
 	} else {
 		keys = make([]kv.Key, n)
 	}

@@ -82,22 +82,24 @@ func PutBuf(bp *[]byte) {
 // and slices are views into the arena; they remain valid until Release. A
 // Scratch serves one decoded message at a time.
 type Scratch struct {
-	op         Op
-	opResp     OpResp
-	localize   Localize
-	instruct   RelocInstruct
-	transfer   RelocTransfer
-	sspClock   SspClock
-	sspSync    SspSync
-	barrier    Barrier
-	block      Block
-	repSync    ReplicaSync
-	repRefresh ReplicaRefresh
-	manage     Manage
+	op          Op
+	opResp      OpResp
+	localize    Localize
+	instruct    RelocInstruct
+	transfer    RelocTransfer
+	sspClock    SspClock
+	sspSync     SspSync
+	barrier     Barrier
+	block       Block
+	repSync     ReplicaSync
+	repRefresh  ReplicaRefresh
+	manage      Manage
+	leaseRevoke LeaseRevoke
 
-	keys []kv.Key
-	vals []float32
-	seqs []uint32
+	keys  []kv.Key
+	keys2 []kv.Key // second key list of a message (ReplicaRefresh.Revoke)
+	vals  []float32
+	seqs  []uint32
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
@@ -125,6 +127,10 @@ func (s *Scratch) Release() {
 		for i := range keys {
 			keys[i] = PoisonKey
 		}
+		keys2 := s.keys2[:cap(s.keys2)]
+		for i := range keys2 {
+			keys2[i] = PoisonKey
+		}
 		vals := s.vals[:cap(s.vals)]
 		for i := range vals {
 			vals[i] = PoisonVal
@@ -147,6 +153,7 @@ func (s *Scratch) Release() {
 		s.repSync = ReplicaSync{}
 		s.repRefresh = ReplicaRefresh{}
 		s.manage = Manage{}
+		s.leaseRevoke = LeaseRevoke{}
 	}
 	scratchPool.Put(s)
 }

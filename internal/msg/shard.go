@@ -18,15 +18,15 @@ import (
 // need, because a key maps to exactly one shard.
 //
 // Key-addressed protocol messages (Op, OpResp, Localize, RelocInstruct,
-// RelocTransfer, Manage) must be shard-pure: every key in one message belongs to the
+// RelocTransfer, Manage, LeaseRevoke) must be shard-pure: every key in one message belongs to the
 // same shard. Senders guarantee this by batching per (destination, shard);
 // the simulated network additionally asserts it. Messages that either carry
 // no keys or whose handlers do not assume shard ownership route as follows:
 //
 //   - SspClock, Barrier, Block, ReplicaSync, ReplicaRefresh: shard 0. The
-//     clock, barrier, and replication sync handlers keep node-level state and
-//     rely on per-link FIFO between successive messages, so they are pinned
-//     to one shard.
+//     clock, barrier, and replication sync handlers keep node-level state
+//     and rely on per-link FIFO between successive messages, so they are
+//     pinned to one shard.
 //   - SspSync: by first key. Fetch requests and their replies carry the same
 //     key list, so both ends derive the same shard and the reply finds the
 //     pending slot registered under it; eager pushes are clock-tagged and
@@ -66,6 +66,10 @@ func ShardOf(m any, shards int) int {
 		// Adaptive-management transitions are key-addressed so they stay
 		// FIFO with the operations of the keys they manage.
 		return shardOfKeys(t.Keys, shards)
+	case *LeaseRevoke:
+		// Revocations are key-addressed so they stay FIFO with the OpResp
+		// lease grant they chase on the holder's (link, shard) stream.
+		return shardOfKeys(t.Keys, shards)
 	default:
 		// SspClock, Barrier, Block, ReplicaSync, ReplicaRefresh, and any
 		// future node-level message.
@@ -102,6 +106,8 @@ func CheckShardPure(m any, shards int) error {
 	case *RelocTransfer:
 		keys = t.Keys
 	case *Manage:
+		keys = t.Keys
+	case *LeaseRevoke:
 		keys = t.Keys
 	default:
 		return nil

@@ -43,6 +43,7 @@ type Router interface {
 type OpCtx struct {
 	nd       *Node
 	t        msg.OpType
+	lease    bool // read-only dispatch requesting serving-cache leases
 	keys     []kv.Key
 	dst      []float32
 	offs     []int32  // per-occurrence offset into dst/vals
@@ -52,6 +53,11 @@ type OpCtx struct {
 	agg      *Agg
 	cur      int // occurrence index currently being routed
 }
+
+// Lease reports whether this operation is a read-only dispatch
+// (DispatchOpRO) whose remote pulls request serving-cache leases; routers
+// use it to consult the serving cache before paying the network.
+func (c *OpCtx) Lease() bool { return c.lease }
 
 // ID returns the pending-operation ID of key k's shard part, registering the
 // part first if this is the shard's first non-fast-path key. Routers call it
@@ -121,6 +127,7 @@ type dispatchScratch struct {
 	groups   []sendGroup
 	op       msg.Op
 	kbuf     []kv.Key // single-key list for unbatched sends
+	lease    bool     // next DispatchOp is a read-only lease dispatch
 }
 
 func (ds *dispatchScratch) reset(nShards, nKeys int) {
@@ -212,7 +219,7 @@ func (h *Handle) DispatchOp(r Router, t msg.OpType, keys []kv.Key, dst, vals []f
 		ds.counts[msg.ShardOfKey(k, nShards)]++
 	}
 	ctx := &ds.ctx
-	*ctx = OpCtx{nd: nd, t: t, keys: keys, dst: dst, offs: ds.offs, fastDone: ds.fastDone,
+	*ctx = OpCtx{nd: nd, t: t, lease: ds.lease, keys: keys, dst: dst, offs: ds.offs, fastDone: ds.fastDone,
 		counts: ds.counts, ids: ds.ids}
 
 	for i, k := range keys {
@@ -251,7 +258,7 @@ func (h *Handle) DispatchOp(r Router, t msg.OpType, keys []kv.Key, dst, vals []f
 			id := ctx.ensure(shard)
 			ds.kbuf = append(ds.kbuf[:0], k)
 			op := &ds.op
-			*op = msg.Op{Type: t, ID: id, Origin: int32(nd.node), ViaCache: route.ViaCache, Keys: ds.kbuf, Vals: kvals}
+			*op = msg.Op{Type: t, ID: id, Origin: int32(nd.node), ViaCache: route.ViaCache, Lease: ctx.lease, Keys: ds.kbuf, Vals: kvals}
 			nd.Send(route.Dest, op)
 		default:
 			g := ds.group(route.Dest, shard, route.ViaCache)
@@ -269,7 +276,7 @@ func (h *Handle) DispatchOp(r Router, t msg.OpType, keys []kv.Key, dst, vals []f
 			gv = g.vals
 		}
 		op := &ds.op
-		*op = msg.Op{Type: t, ID: id, Origin: int32(nd.node), ViaCache: g.viaCache, Keys: g.keys, Vals: gv}
+		*op = msg.Op{Type: t, ID: id, Origin: int32(nd.node), ViaCache: g.viaCache, Lease: ctx.lease, Keys: g.keys, Vals: gv}
 		nd.Send(g.node, op)
 	}
 	for s := 0; s < nShards; s++ {
@@ -303,3 +310,15 @@ func (h *Handle) DispatchOp(r Router, t msg.OpType, keys []kv.Key, dst, vals []f
 // operations are timed once every fastSampleEvery calls per worker, with
 // observations weighted by the period. Must be a power of two.
 const fastSampleEvery = 8
+
+// DispatchOpRO issues a read-only multi-key pull whose remote slices request
+// serving-cache leases (Op.Lease): the router sees OpCtx.Lease and may serve
+// keys from the node's serving cache, and residual remote pulls install
+// leases for the next call. Everything else — batching, lazy pending-table
+// registration, the zero-allocation all-fast-path completion — is DispatchOp.
+func (h *Handle) DispatchOpRO(r Router, keys []kv.Key, dst []float32) *kv.Future {
+	h.ds.lease = true
+	f := h.DispatchOp(r, msg.OpPull, keys, dst, nil)
+	h.ds.lease = false
+	return f
+}

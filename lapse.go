@@ -223,6 +223,17 @@ type Config struct {
 	// for server-bound workloads on dedicated machines; leave off on
 	// shared or oversubscribed hosts.
 	PinShards bool
+	// Serving, when non-nil, enables the read-path serving tier for
+	// read-mostly workloads: Worker.MultiGet misses install TTL-leased
+	// values in a node-local serving cache, the keys' home nodes track and
+	// revoke the leases on writes, relocations, and promotions, and repeat
+	// MultiGets of leased keys are shared-memory reads that complete without
+	// a single allocation. Reads through the cache may lag remote writes by
+	// up to the lease TTL if a revocation message is lost; a worker always
+	// observes its own preceding synchronous writes (write-through
+	// invalidation). &ServingConfig{} selects the default TTL. In
+	// multi-process deployments, Serving must be identical in every process.
+	Serving *ServingConfig
 	// MetricsAddr, when non-empty, serves live metrics over HTTP on this
 	// address (host:port; port 0 picks a free one — see Cluster.MetricsAddr
 	// for the bound address): GET /metrics returns Prometheus text-format
@@ -273,6 +284,15 @@ type AdaptiveConfig struct {
 	// ReportTopK bounds each node's per-tick report to its K hottest keys
 	// (0 = 128).
 	ReportTopK int
+}
+
+// ServingConfig tunes the read-path serving tier (Config.Serving).
+type ServingConfig struct {
+	// TTL is the lease duration granted to caching nodes: longer leases mean
+	// higher cache-hit rates and a larger worst-case staleness window when a
+	// revocation message is lost (0 = 100ms; capped near 71 minutes by the
+	// wire format).
+	TTL time.Duration
 }
 
 func (c Config) layout() (kv.Layout, error) {
@@ -369,6 +389,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			ReportTopK:       a.ReportTopK,
 		}
 	}
+	if s := cfg.Serving; s != nil {
+		coreCfg.Serving = &core.ServingConfig{TTL: s.TTL}
+	}
 	sys := core.New(cl, layout, coreCfg)
 	c := &Cluster{cfg: cfg, cl: cl, sys: sys}
 	if cfg.MetricsAddr != "" {
@@ -448,6 +471,17 @@ type Stats struct {
 	AdaptPromotions  int64
 	AdaptDemotions   int64
 	AdaptRelocations int64
+	// ServingHits and ServingMisses count MultiGet keys served from (or
+	// missing) the lease-based serving cache (Config.Serving). LeaseGrants
+	// counts leases granted by home nodes, LeaseRevokes revocation messages
+	// sent (writes, relocations, and promotions of leased keys), and
+	// LeaseInvalidations cache entries dropped (revocations received plus
+	// write-through drops).
+	ServingHits        int64
+	ServingMisses      int64
+	LeaseGrants        int64
+	LeaseRevokes       int64
+	LeaseInvalidations int64
 	// PullP50/P99/P999 and PushP50/P99/P999 are end-to-end operation-latency
 	// quantiles over every worker of this process, fast and slow paths
 	// merged. Fast-path (shared-memory) operations are sampled 1-in-8 with
@@ -482,6 +516,11 @@ func (c *Cluster) Stats() Stats {
 		AdaptPromotions:     t.AdaptPromotions,
 		AdaptDemotions:      t.AdaptDemotions,
 		AdaptRelocations:    t.AdaptRelocations,
+		ServingHits:         t.ServingHits,
+		ServingMisses:       t.ServingMisses,
+		LeaseGrants:         t.LeaseGrants,
+		LeaseRevokes:        t.LeaseRevokes,
+		LeaseInvalidations:  t.LeaseInvalidations,
 	}
 }
 
@@ -571,6 +610,29 @@ func (w *Worker) Localize(keys []Key) error { return w.kv.Localize(keys) }
 // LocalizeAsync requests relocation without waiting.
 func (w *Worker) LocalizeAsync(keys []Key) *Async {
 	return &Async{f: w.kv.LocalizeAsync(keys)}
+}
+
+// MultiGet retrieves the values of keys through the read-path serving tier:
+// keys are served from the local replica or owned store, from the node's
+// leased serving cache, or — for the residual misses only — over the network
+// with a lease request attached, so the next MultiGet of the same keys is a
+// shared-memory read. A MultiGet whose keys all hit local state completes
+// without allocating. With Config.Serving nil the call is equivalent to
+// Pull. Values served from the cache may lag remote writes by up to the
+// lease TTL (see Config.Serving); the worker's own preceding synchronous
+// writes are always visible.
+func (w *Worker) MultiGet(keys []Key, dst []float32) error {
+	return w.MultiGetAsync(keys, dst).Wait()
+}
+
+// MultiGetAsync is MultiGet without waiting.
+func (w *Worker) MultiGetAsync(keys []Key, dst []float32) *Async {
+	if mg, ok := w.kv.(interface {
+		MultiGet([]kv.Key, []float32) *kv.Future
+	}); ok {
+		return &Async{f: mg.MultiGet(keys, dst)}
+	}
+	return &Async{f: w.kv.PullAsync(keys, dst)}
 }
 
 // PullIfLocal retrieves keys only if all of them are currently on this
