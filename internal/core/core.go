@@ -676,8 +676,12 @@ func (sh *policyShard) handleOp(m *msg.Op) {
 					if nd.leased != nil && nd.leased[k].Load() != 0 {
 						// Another node wrote a leased key: revoke before the
 						// ack leaves, so the revoke chases the last grant on
-						// each holder's FIFO (link, shard) stream.
-						nd.revokeLeases(k, int(m.Origin))
+						// each holder's FIFO (link, shard) stream. The writer
+						// itself is NOT skipped — a grant carrying the
+						// pre-write value may still be in flight to it, and
+						// only a revoke ahead of this push's ack keeps the
+						// writer's read-your-writes intact.
+						nd.revokeLeases(k)
 					}
 					continue
 				}
@@ -715,7 +719,7 @@ func (sh *policyShard) queueOrRoute(m *msg.Op, k kv.Key, upd []float32, fwd map[
 	if q, ok := sh.queues[k]; ok {
 		// The queued entry outlives this handler, so it must own its update
 		// values: upd aliases the decoded message's recyclable scratch.
-		sub := &msg.Op{Type: m.Type, ID: m.ID, Origin: m.Origin, Hops: m.Hops,
+		sub := &msg.Op{Type: m.Type, ID: m.ID, Origin: m.Origin, Hops: m.Hops, Lease: m.Lease,
 			Keys: []kv.Key{k}, Vals: append([]float32(nil), upd...)}
 		q.entries = append(q.entries, queueEntry{remote: sub, at: time.Now()})
 		sh.queueMu.Unlock()
@@ -729,7 +733,7 @@ func (sh *policyShard) queueOrRoute(m *msg.Op, k kv.Key, upd []float32, fwd map[
 			// The owner table says "here" but the store said no: the
 			// key is mid-arrival; the queue check above raced with the
 			// transfer. Retry through the queue path.
-			sub := &msg.Op{Type: m.Type, ID: m.ID, Origin: m.Origin, Hops: m.Hops + 1, Keys: []kv.Key{k}, Vals: upd}
+			sub := &msg.Op{Type: m.Type, ID: m.ID, Origin: m.Origin, Hops: m.Hops + 1, Lease: m.Lease, Keys: []kv.Key{k}, Vals: upd}
 			sh.requeueRacedOp(sub, k)
 			return fwd
 		}
@@ -744,10 +748,12 @@ func (sh *policyShard) queueOrRoute(m *msg.Op, k kv.Key, upd []float32, fwd map[
 
 // addForward appends key k (with its push update term, if any) to the
 // forward group headed to dest; with batching disabled it sends a single-key
-// message immediately, as the original per-key protocol did.
+// message immediately, as the original per-key protocol did. The lease bit
+// travels with the forward, so a mid-relocation (or stale-cache-routed) pull
+// still comes back with a lease from wherever the key landed.
 func (sh *policyShard) addForward(fwd map[int]*msg.Op, m *msg.Op, dest int, k kv.Key, upd []float32) map[int]*msg.Op {
 	if !sh.rt.Batched() {
-		sub := &msg.Op{Type: m.Type, ID: m.ID, Origin: m.Origin, Hops: m.Hops + 1, Keys: []kv.Key{k}, Vals: upd}
+		sub := &msg.Op{Type: m.Type, ID: m.ID, Origin: m.Origin, Hops: m.Hops + 1, Lease: m.Lease, Keys: []kv.Key{k}, Vals: upd}
 		sh.rt.SendOrDispatch(dest, sub)
 		return fwd
 	}
@@ -756,7 +762,7 @@ func (sh *policyShard) addForward(fwd map[int]*msg.Op, m *msg.Op, dest int, k kv
 	}
 	sub := fwd[dest]
 	if sub == nil {
-		sub = &msg.Op{Type: m.Type, ID: m.ID, Origin: m.Origin, Hops: m.Hops + 1}
+		sub = &msg.Op{Type: m.Type, ID: m.ID, Origin: m.Origin, Hops: m.Hops + 1, Lease: m.Lease}
 		fwd[dest] = sub
 	}
 	sub.Keys = append(sub.Keys, k)
@@ -791,13 +797,20 @@ func (sh *policyShard) requeueRacedOp(m *msg.Op, k kv.Key) {
 			panic(fmt.Sprintf("core: key %d claimed by owner table at node %d but absent", k, sh.rt.Node()))
 		}
 		resp := &msg.OpResp{Type: msg.OpPull, ID: m.ID, Responder: int32(sh.rt.Node()), Keys: []kv.Key{k}, Vals: buf}
+		if m.Lease && nd.leases != nil && int(m.Origin) != nd.id {
+			// Served from the owned store, same as handleOp's answer path:
+			// the lease request is honored here too.
+			resp.LeaseTTL = nd.grantLeases(resp.Keys, int(m.Origin))
+		}
 		sh.rt.SendOrDispatch(int(m.Origin), resp)
 	case msg.OpPush:
 		if !nd.store.Add(k, m.Vals) {
 			panic(fmt.Sprintf("core: key %d claimed by owner table at node %d but absent", k, sh.rt.Node()))
 		}
 		if nd.leased != nil && nd.leased[k].Load() != 0 {
-			nd.revokeLeases(k, int(m.Origin))
+			// As in handleOp: the writer is not skipped, so the revoke chases
+			// any grant still in flight to it ahead of this push's ack.
+			nd.revokeLeases(k)
 		}
 		resp := &msg.OpResp{Type: msg.OpPush, ID: m.ID, Responder: int32(sh.rt.Node()), Keys: []kv.Key{k}}
 		sh.rt.SendOrDispatch(int(m.Origin), resp)
@@ -889,7 +902,7 @@ func (sh *policyShard) takeOwned(k kv.Key) []float32 {
 	if sh.nd.leased != nil && sh.nd.leased[k].Load() != 0 {
 		// The key moves to a new owner who knows nothing of the leases this
 		// node granted; withdraw them before the transfer leaves.
-		sh.nd.revokeLeases(k, -1)
+		sh.nd.revokeLeases(k)
 	}
 	return v
 }
@@ -983,7 +996,11 @@ func (sh *policyShard) applyQueuedLocal(k kv.Key, op *localOp) {
 }
 
 // applyQueuedRemote executes a queued forwarded op and responds to its
-// origin.
+// origin. A queued pull's lease request (m.Lease) is intentionally not
+// honored: a queued push behind it in the same drain would overwrite the
+// granted value with no revoke in between — after the drain its ack would
+// trail the stale grant on the origin's stream, breaking read-your-writes.
+// The origin just retries the lease on its next miss.
 func (sh *policyShard) applyQueuedRemote(k kv.Key, m *msg.Op) {
 	nd := sh.nd
 	l := nd.sys.layout.Len(k)

@@ -137,8 +137,11 @@ func (h *handle) tryFast(sh *policyShard, t msg.OpType, k kv.Key, dst, vals []fl
 			if h.nd.leased != nil && h.nd.leased[k].Load() != 0 {
 				// This owner's own worker wrote a leased key; withdraw the
 				// remote leases (the flag check keeps the unleased fast path
-				// free of the registry lock).
-				h.nd.revokeLeases(k, -1)
+				// free of the registry lock). A grant racing this write on a
+				// shard goroutine can slip past the flag check — that one
+				// holder's staleness is bounded by the TTL (see serving.go,
+				// "Correctness").
+				h.nd.revokeLeases(k)
 			}
 			sh.stats.LocalWrites.Inc()
 			return true

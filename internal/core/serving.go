@@ -25,20 +25,31 @@ import (
 // Correctness:
 //
 //   - Read-your-writes: every Push write-through-invalidates the pusher's own
-//     cache entry before the update is routed (handle.RouteKey), so a node
-//     never reads its own stale write from its cache (synchronous
+//     cache entry before the update is routed (handle.RouteKey), and the
+//     owner's revocation pass notifies every live holder *including the
+//     writer's node* — a grant can still be in flight to the writer (its own
+//     leased pull processed by the owner just before the push), and only a
+//     chasing revoke, delivered on the same (link, shard) FIFO stream before
+//     the push ack, stops that grant from re-installing the pre-write value.
+//     So a node never reads its own stale write from its cache (synchronous
 //     operations; asynchronous pipelining keeps the same caveats it has
 //     without the cache).
 //   - Cross-node invalidation: the owner tracks lease holders per key and
-//     revokes on every write by another node, on relocation (transfer-out),
-//     and on promotion into replication. Write/relocation revokes travel as
-//     key-addressed LeaseRevoke messages — FIFO, per (link, shard), with the
-//     grant they chase — and promotion revokes piggyback on the replication
-//     sync cycle's ReplicaRefresh broadcast (Revoke field).
-//   - Staleness bound: a revoke can only be lost if its message is lost, so
-//     the worst-case staleness of a served read is the lease TTL (plus one
-//     message latency for in-flight reads), matching the eventual-consistency
-//     window replication already accepts.
+//     revokes on writes, on relocation (transfer-out), and on promotion into
+//     replication. Write/relocation revokes travel as key-addressed
+//     LeaseRevoke messages — FIFO, per (link, shard), with the grant they
+//     chase — and promotion revokes piggyback on the replication sync cycle's
+//     ReplicaRefresh broadcast (Revoke field). One grant-side race is
+//     deliberately tolerated: a shard goroutine serving a remote leased pull
+//     can read the pre-write value and register the lease after a concurrent
+//     owner-local write saw leased[k]==0 and skipped revocation, so that one
+//     remote holder keeps the pre-write value until its lease expires.
+//     Revoke-on-write is therefore best-effort against owner-local writes;
+//     the staleness stays inside the TTL bound below.
+//   - Staleness bound: a served read lags a write by at most the lease TTL
+//     (plus one message latency for in-flight reads) — whether the revoke was
+//     lost with its message or never sent (the grant race above) — matching
+//     the eventual-consistency window replication already accepts.
 type ServingConfig struct {
 	// TTL is the lease duration granted to caching clients. Longer TTLs mean
 	// higher hit rates and a larger worst-case staleness window for reads of
@@ -199,13 +210,15 @@ func (nd *node) grantLeases(keys []kv.Key, origin int) uint32 {
 }
 
 // revokeLeases withdraws every outstanding lease on k: the registry entry and
-// the fast-path flag are cleared, and each live holder except skipOrigin is
-// sent a LeaseRevoke (key-addressed, so it stays FIFO with the grant response
-// it chases on the holder's (link, shard) stream). Pass skipOrigin -1 to
-// notify every holder; the writer that triggered the revoke has already
-// write-through-invalidated its own cache. Safe from shard goroutines and
-// worker threads.
-func (nd *node) revokeLeases(k kv.Key, skipOrigin int) {
+// the fast-path flag are cleared, and each live holder is sent a LeaseRevoke
+// (key-addressed, so it stays FIFO with the grant response it chases on the
+// holder's (link, shard) stream). The holder set includes the node whose
+// write triggered the revocation: its write-through invalidation only covers
+// the entry already installed, while a grant from this owner may still be in
+// flight to it — carrying the pre-write value — and only a chasing revoke,
+// which lands before the push ack, preserves that node's read-your-writes.
+// Safe from shard goroutines and worker threads.
+func (nd *node) revokeLeases(k kv.Key) {
 	reg := nd.leases
 	reg.mu.Lock()
 	h, ok := reg.holders[k]
@@ -227,8 +240,8 @@ func (nd *node) revokeLeases(k kv.Key, skipOrigin int) {
 			continue
 		}
 		mask &^= 1 << uint(dest)
-		if dest == skipOrigin || dest == nd.id {
-			continue
+		if dest == nd.id {
+			continue // self-grants are never recorded; defensive
 		}
 		stats.LeaseRevokes.Inc()
 		nd.srv.Send(dest, &msg.LeaseRevoke{Origin: int32(nd.id), Keys: []kv.Key{k}})

@@ -140,3 +140,78 @@ func TestOwnerPushRevokesRemoteLease(t *testing.T) {
 		t.Fatal("owner recorded no lease revocation")
 	}
 }
+
+// TestPushByLeaseHolderChasesItsOwnGrant pins that the owner does NOT skip
+// the writing node when revoking: after node 0 — the only lease holder —
+// pushes the key it holds a lease on, the owner must still send exactly one
+// LeaseRevoke (to node 0). Write-through invalidation alone cannot cover a
+// grant that is still in flight to the writer when the push arrives; only a
+// revoke chasing that grant on the same FIFO stream, ahead of the push ack,
+// keeps the writer's read-your-writes intact. Skipping the writer here would
+// leave the revoke count at 0 and reopen that window.
+func TestPushByLeaseHolderChasesItsOwnGrant(t *testing.T) {
+	_, sys := newTestSystem(t, 2, 1, 8, 1, servingTestConfig())
+	h := sys.Handle(0).(servingKV)
+	keys := []kv.Key{6} // homed (and owned) at node 1
+	buf := make([]float32, 1)
+	if err := h.MultiGet(keys, buf).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Stats()[1].LeaseGrants.Load() == 0 {
+		t.Fatal("missed MultiGet granted no lease")
+	}
+	if err := h.Push(keys, []float32{3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Stats()[1].LeaseRevokes.Load(); got != 1 {
+		t.Fatalf("owner sent %d revokes after the lease holder's own push, want 1 (the writer's node must be chased)", got)
+	}
+	if err := h.MultiGet(keys, buf).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 3 {
+		t.Fatalf("MultiGet after own push = %v, want [3]", buf)
+	}
+}
+
+// TestForwardedLeasePullStillGranted pins that Op.Lease survives forwarding:
+// a MultiGet of a key that relocated away from its home is routed via the
+// home node and forwarded to the current owner, and the owner must still
+// grant the lease — the next MultiGet of the key is a cache hit. Dropping
+// the bit on the forward would silently disable the serving cache for every
+// relocated key.
+func TestForwardedLeasePullStillGranted(t *testing.T) {
+	_, sys := newTestSystem(t, 3, 1, 9, 1, servingTestConfig())
+	h0 := sys.Handle(0).(servingKV)
+	h2 := sys.Handle(2)
+	keys := []kv.Key{4} // homed at node 1 (9 keys range-partitioned over 3 nodes)
+	if err := h2.Localize(keys); err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.Push(keys, []float32{9}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float32, 1)
+	if err := h0.MultiGet(keys, buf).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 9 {
+		t.Fatalf("forwarded MultiGet = %v, want [9]", buf)
+	}
+	if sys.Stats()[1].Forwards.Load() == 0 {
+		t.Fatal("pull did not travel through the home node's forward path")
+	}
+	if sys.Stats()[2].LeaseGrants.Load() == 0 {
+		t.Fatal("current owner granted no lease for the forwarded pull")
+	}
+	buf[0] = -1
+	if err := h0.MultiGet(keys, buf).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 9 {
+		t.Fatalf("cached MultiGet after forward = %v, want [9]", buf)
+	}
+	if got := sys.Stats()[0].ServingHits.Load(); got != 1 {
+		t.Fatalf("serving hits = %d, want 1 (forwarded grant never installed)", got)
+	}
+}

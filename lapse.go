@@ -228,10 +228,11 @@ type Config struct {
 	// values in a node-local serving cache, the keys' home nodes track and
 	// revoke the leases on writes, relocations, and promotions, and repeat
 	// MultiGets of leased keys are shared-memory reads that complete without
-	// a single allocation. Reads through the cache may lag remote writes by
-	// up to the lease TTL if a revocation message is lost; a worker always
-	// observes its own preceding synchronous writes (write-through
-	// invalidation). &ServingConfig{} selects the default TTL. In
+	// a single allocation. Reads through the cache may lag another node's
+	// writes by up to the lease TTL; a worker always observes its own
+	// preceding synchronous writes (write-through invalidation, plus an
+	// owner-side revoke that chases any lease grant still in flight to the
+	// writer ahead of the push ack). &ServingConfig{} selects the default TTL. In
 	// multi-process deployments, Serving must be identical in every process.
 	Serving *ServingConfig
 	// MetricsAddr, when non-empty, serves live metrics over HTTP on this
